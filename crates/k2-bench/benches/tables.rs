@@ -1,0 +1,25 @@
+//! The headline benchmark harness: regenerates every table and figure of
+//! the paper's evaluation. Runs under `cargo bench` (plain main, no
+//! criterion) so that `bench_output.txt` carries the full reproduction.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("{}", k2_bench::table1_cores());
+    println!("{}", k2_bench::table3_power());
+    println!("{}", k2_bench::fig1_trend());
+    println!("{}", k2_bench::table2_refactoring());
+    println!("{}", k2_bench::fig6_all());
+    println!("{}", k2_bench::table4_alloc());
+    println!("{}", k2_bench::table5_dsm());
+    println!("{}", k2_bench::table6_shared_driver());
+    println!("{}", k2_bench::ablation_shadowed_alloc());
+    println!("{}", k2_bench::ablation_three_state());
+    println!("{}", k2_bench::ablation_pin_weak());
+    println!("{}", k2_bench::dvfs_sweep());
+    println!("{}", k2_bench::fig6_flash());
+    println!("{}", k2_bench::standby_estimate());
+    println!(
+        "(entire evaluation regenerated in {:.1} s of host time)",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates one experiment of the reproduction; see EXPERIMENTS.md.
+fn main() {
+    print!("{}", k2_bench::ablation_pin_weak());
+}

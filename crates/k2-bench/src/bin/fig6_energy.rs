@@ -1,0 +1,34 @@
+//! Regenerates Figure 6 (a/b/c): energy efficiency of light OS workloads.
+//!
+//! Usage: `fig6_energy [--dma] [--ext2] [--udp]` (all three by default).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    if all || args.iter().any(|a| a == "--dma") {
+        print!(
+            "{}",
+            k2_bench::fig6_energy(
+                "(a): DMA driver, (BatchSize, TotalSize)",
+                k2_workloads::harness::figure6_dma_params()
+            )
+        );
+    }
+    if all || args.iter().any(|a| a == "--ext2") {
+        print!(
+            "{}",
+            k2_bench::fig6_energy(
+                "(b): ext2, single file size (8 files)",
+                k2_workloads::harness::figure6_ext2_params()
+            )
+        );
+    }
+    if all || args.iter().any(|a| a == "--udp") {
+        print!(
+            "{}",
+            k2_bench::fig6_energy(
+                "(c): UDP loopback, (BatchSize, TotalSize)",
+                k2_workloads::harness::figure6_udp_params()
+            )
+        );
+    }
+}

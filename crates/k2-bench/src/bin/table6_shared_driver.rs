@@ -1,0 +1,4 @@
+//! Regenerates one table/figure of the paper; see EXPERIMENTS.md.
+fn main() {
+    print!("{}", k2_bench::table6_shared_driver());
+}

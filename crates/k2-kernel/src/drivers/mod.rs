@@ -1,0 +1,7 @@
+//! Device drivers (shadowed services).
+
+pub mod dma;
+pub mod sensor;
+
+pub use dma::{Channel, DmaDriver, DmaError, DmaRequest};
+pub use sensor::{Sample, SensorDriver, SensorError};

@@ -1,0 +1,215 @@
+//! A sensor-hub device driver.
+//!
+//! Continuous sensing is the paper's flagship weak-domain workload ("sensing
+//! user physical activities, monitoring surrounding environment", §2.1; the
+//! LittleRock/Reflex line of work it builds on). The device samples into a
+//! hardware FIFO and raises its interrupt when a watermark fills; the
+//! driver drains the FIFO into a client buffer. Like every driver, it is a
+//! shadowed service: either kernel can operate it, and rule 1 of §7 keeps
+//! its interrupts from waking the strong domain.
+//!
+//! State pages: page 10 holds the driver's configuration and ring
+//! descriptors (the DMA driver uses 0–2, keeping the spaces disjoint).
+
+use crate::cost::Cost;
+use crate::service::OpCx;
+use std::collections::VecDeque;
+
+/// Hardware FIFO depth, in samples.
+pub const FIFO_DEPTH: usize = 64;
+
+/// The driver's state page.
+const SENSOR_PAGE: u32 = 10;
+
+/// One sensor sample (a packed accelerometer/ambient reading).
+pub type Sample = u32;
+
+/// Driver errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SensorError {
+    /// Operation needs the device enabled.
+    Disabled,
+    /// Enabling an already-enabled device.
+    AlreadyEnabled,
+}
+
+impl std::fmt::Display for SensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SensorError::Disabled => "sensor disabled",
+            SensorError::AlreadyEnabled => "sensor already enabled",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SensorError {}
+
+/// The sensor device + driver state (device FIFO included: the simulation
+/// has no bus to put it behind).
+#[derive(Debug, Default)]
+pub struct SensorDriver {
+    enabled: bool,
+    watermark: usize,
+    fifo: VecDeque<Sample>,
+    seq: u32,
+    overruns: u64,
+    samples_read: u64,
+}
+
+impl SensorDriver {
+    /// Creates the driver with the device disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables sampling with an interrupt watermark.
+    ///
+    /// # Errors
+    ///
+    /// [`SensorError::AlreadyEnabled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watermark is zero or beyond the FIFO depth.
+    pub fn enable(&mut self, watermark: usize, cx: &mut OpCx) -> Result<(), SensorError> {
+        assert!((1..=FIFO_DEPTH).contains(&watermark), "bad watermark");
+        if self.enabled {
+            return Err(SensorError::AlreadyEnabled);
+        }
+        self.enabled = true;
+        self.watermark = watermark;
+        cx.charge(Cost::instr(600) + Cost::mem(12)); // regulator + config regs
+        cx.write(SENSOR_PAGE);
+        Ok(())
+    }
+
+    /// Disables sampling and clears the FIFO.
+    pub fn disable(&mut self, cx: &mut OpCx) {
+        self.enabled = false;
+        self.fifo.clear();
+        cx.charge(Cost::instr(300) + Cost::mem(6));
+        cx.write(SENSOR_PAGE);
+    }
+
+    /// Device-side: produces `n` samples into the FIFO (the machine calls
+    /// this on a timer before raising the sensor IRQ). Returns `true` if
+    /// the watermark is reached and the interrupt should fire.
+    pub fn device_sample(&mut self, n: usize) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        for _ in 0..n {
+            if self.fifo.len() == FIFO_DEPTH {
+                self.fifo.pop_front();
+                self.overruns += 1;
+            }
+            self.seq = self.seq.wrapping_add(1);
+            // A deterministic pseudo-reading derived from the sequence.
+            self.fifo.push_back(self.seq.wrapping_mul(0x9E37_79B9));
+        }
+        self.fifo.len() >= self.watermark
+    }
+
+    /// Driver-side: drains the FIFO (the interrupt handler's work).
+    ///
+    /// # Errors
+    ///
+    /// [`SensorError::Disabled`].
+    pub fn drain(&mut self, cx: &mut OpCx) -> Result<Vec<Sample>, SensorError> {
+        if !self.enabled {
+            return Err(SensorError::Disabled);
+        }
+        let out: Vec<Sample> = self.fifo.drain(..).collect();
+        self.samples_read += out.len() as u64;
+        // Per-sample register reads over the (slow) peripheral bus.
+        cx.charge(Cost::instr(150 + 40 * out.len() as u64) + Cost::mem(4 + out.len() as u64));
+        cx.write(SENSOR_PAGE);
+        Ok(out)
+    }
+
+    /// Samples currently buffered in the FIFO.
+    pub fn fifo_level(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Samples lost to FIFO overruns.
+    pub fn overruns(&self) -> u64 {
+        self.overruns
+    }
+
+    /// Samples delivered to software so far.
+    pub fn samples_read(&self) -> u64 {
+        self.samples_read
+    }
+
+    /// `true` if sampling.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx() -> OpCx {
+        OpCx::new()
+    }
+
+    #[test]
+    fn enable_sample_drain_cycle() {
+        let mut s = SensorDriver::new();
+        s.enable(8, &mut cx()).unwrap();
+        assert!(!s.device_sample(7), "below watermark: no interrupt");
+        assert!(s.device_sample(1), "watermark reached");
+        let samples = s.drain(&mut cx()).unwrap();
+        assert_eq!(samples.len(), 8);
+        assert_eq!(s.fifo_level(), 0);
+        assert_eq!(s.samples_read(), 8);
+    }
+
+    #[test]
+    fn samples_are_deterministic() {
+        let mut a = SensorDriver::new();
+        let mut b = SensorDriver::new();
+        a.enable(4, &mut cx()).unwrap();
+        b.enable(4, &mut cx()).unwrap();
+        a.device_sample(4);
+        b.device_sample(4);
+        assert_eq!(a.drain(&mut cx()).unwrap(), b.drain(&mut cx()).unwrap());
+    }
+
+    #[test]
+    fn fifo_overruns_drop_oldest() {
+        let mut s = SensorDriver::new();
+        s.enable(64, &mut cx()).unwrap();
+        s.device_sample(FIFO_DEPTH + 10);
+        assert_eq!(s.fifo_level(), FIFO_DEPTH);
+        assert_eq!(s.overruns(), 10);
+    }
+
+    #[test]
+    fn disabled_device_neither_samples_nor_drains() {
+        let mut s = SensorDriver::new();
+        assert!(!s.device_sample(5));
+        assert_eq!(s.drain(&mut cx()), Err(SensorError::Disabled));
+        s.enable(1, &mut cx()).unwrap();
+        assert_eq!(s.enable(1, &mut cx()), Err(SensorError::AlreadyEnabled));
+        s.disable(&mut cx());
+        assert_eq!(s.fifo_level(), 0);
+    }
+
+    #[test]
+    fn drain_cost_scales_with_fifo_level() {
+        let mut s = SensorDriver::new();
+        s.enable(64, &mut cx()).unwrap();
+        s.device_sample(4);
+        let mut c1 = OpCx::new();
+        s.drain(&mut c1).unwrap();
+        s.device_sample(40);
+        let mut c2 = OpCx::new();
+        s.drain(&mut c2).unwrap();
+        assert!(c2.cost().instructions > c1.cost().instructions);
+    }
+}

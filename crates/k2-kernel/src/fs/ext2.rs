@@ -1,0 +1,1055 @@
+//! An ext2-like filesystem.
+//!
+//! A compact but real filesystem in the structural image of ext2 rev 0 with
+//! 4 KB blocks and a single block group: superblock, inode bitmap, block
+//! bitmap, inode table, then data blocks. Directories are files of packed
+//! dirents; files use twelve direct pointers plus one single-indirect
+//! block. Everything — bitmaps, inodes, dirents, indirect blocks, data —
+//! lives in the underlying [`BlockDevice`] as real bytes, so a filesystem
+//! can be unmounted and remounted and tests verify content end-to-end.
+//!
+//! Every operation charges its cost and records the metadata/data blocks it
+//! touched into an [`OpCx`], which is what lets K2 run the same filesystem
+//! as a *shadowed service* on both kernels (§5.3).
+
+use crate::cost::Cost;
+use crate::fs::block::{BlockDevice, BLOCK_SIZE};
+use crate::service::OpCx;
+use std::fmt;
+
+/// Filesystem magic (stored in the superblock).
+const MAGIC: u32 = 0x4B32_EF53; // "K2" + ext2's 0xEF53
+
+/// Bytes per on-disk inode.
+const INODE_SIZE: usize = 128;
+/// Inodes per inode-table block.
+const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_SIZE;
+/// Direct block pointers per inode.
+const N_DIRECT: usize = 12;
+/// Pointers per indirect block.
+const PTRS_PER_BLOCK: usize = BLOCK_SIZE / 4;
+/// Maximum file name length.
+pub const MAX_NAME: usize = 200;
+
+/// The root directory's inode number (as in ext2).
+pub const ROOT_INO: InodeNo = InodeNo(2);
+
+/// An inode number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InodeNo(pub u32);
+
+/// Filesystem errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsError {
+    /// Path component not found.
+    NotFound,
+    /// Creating something that already exists.
+    Exists,
+    /// Out of free blocks or inodes.
+    NoSpace,
+    /// A non-directory used as a directory.
+    NotDir,
+    /// A directory where a file was expected.
+    IsDir,
+    /// File exceeds the maximum mappable size.
+    TooBig,
+    /// Name longer than [`MAX_NAME`] or empty.
+    BadName,
+    /// Removing a non-empty directory.
+    NotEmpty,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::Exists => "file exists",
+            FsError::NoSpace => "no space left on device",
+            FsError::NotDir => "not a directory",
+            FsError::IsDir => "is a directory",
+            FsError::TooBig => "file too large",
+            FsError::BadName => "invalid file name",
+            FsError::NotEmpty => "directory not empty",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Inode type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileType {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Inode {
+    mode: u16, // 0 = free, 1 = file, 2 = dir
+    links: u16,
+    size: u64,
+    direct: [u32; N_DIRECT],
+    indirect: u32,
+    dindirect: u32,
+}
+
+impl Inode {
+    const FREE: u16 = 0;
+    const FILE: u16 = 1;
+    const DIR: u16 = 2;
+
+    fn empty() -> Self {
+        Inode {
+            mode: Inode::FREE,
+            links: 0,
+            size: 0,
+            direct: [0; N_DIRECT],
+            indirect: 0,
+            dindirect: 0,
+        }
+    }
+
+    fn to_bytes(self) -> [u8; INODE_SIZE] {
+        let mut b = [0u8; INODE_SIZE];
+        b[0..2].copy_from_slice(&self.mode.to_le_bytes());
+        b[2..4].copy_from_slice(&self.links.to_le_bytes());
+        b[4..12].copy_from_slice(&self.size.to_le_bytes());
+        for (i, d) in self.direct.iter().enumerate() {
+            b[12 + i * 4..16 + i * 4].copy_from_slice(&d.to_le_bytes());
+        }
+        b[60..64].copy_from_slice(&self.indirect.to_le_bytes());
+        b[64..68].copy_from_slice(&self.dindirect.to_le_bytes());
+        b
+    }
+
+    fn from_bytes(b: &[u8]) -> Self {
+        let mut direct = [0u32; N_DIRECT];
+        for (i, d) in direct.iter_mut().enumerate() {
+            *d = u32::from_le_bytes(b[12 + i * 4..16 + i * 4].try_into().unwrap());
+        }
+        Inode {
+            mode: u16::from_le_bytes(b[0..2].try_into().unwrap()),
+            links: u16::from_le_bytes(b[2..4].try_into().unwrap()),
+            size: u64::from_le_bytes(b[4..12].try_into().unwrap()),
+            direct,
+            indirect: u32::from_le_bytes(b[60..64].try_into().unwrap()),
+            dindirect: u32::from_le_bytes(b[64..68].try_into().unwrap()),
+        }
+    }
+}
+
+/// Filesystem geometry, derived from the superblock.
+#[derive(Clone, Copy, Debug)]
+struct Layout {
+    blocks: u64,
+    inodes: u32,
+    inode_table_start: u64,
+    inode_table_blocks: u64,
+    first_data_block: u64,
+}
+
+impl Layout {
+    const SUPERBLOCK: u64 = 0;
+    const INODE_BITMAP: u64 = 1;
+    const BLOCK_BITMAP: u64 = 2;
+
+    fn new(blocks: u64, inodes: u32) -> Self {
+        let inode_table_blocks = (inodes as u64).div_ceil(INODES_PER_BLOCK as u64);
+        Layout {
+            blocks,
+            inodes,
+            inode_table_start: 3,
+            inode_table_blocks,
+            first_data_block: 3 + inode_table_blocks,
+        }
+    }
+
+    fn inode_block(&self, ino: InodeNo) -> (u64, usize) {
+        let idx = ino.0 as u64;
+        (
+            self.inode_table_start + idx / INODES_PER_BLOCK as u64,
+            (idx as usize % INODES_PER_BLOCK) * INODE_SIZE,
+        )
+    }
+}
+
+/// The filesystem, generic over its block device.
+///
+/// # Examples
+///
+/// ```
+/// use k2_kernel::fs::block::RamDisk;
+/// use k2_kernel::fs::ext2::Ext2Fs;
+/// use k2_kernel::service::OpCx;
+///
+/// # fn main() -> Result<(), k2_kernel::fs::ext2::FsError> {
+/// let mut cx = OpCx::new();
+/// let mut fs = Ext2Fs::format(RamDisk::new(256), 64, &mut cx);
+/// let ino = fs.create("/notes.txt", &mut cx)?;
+/// fs.write(ino, 0, b"hello", &mut cx)?;
+/// let mut buf = [0u8; 5];
+/// fs.read(ino, 0, &mut buf, &mut cx)?;
+/// assert_eq!(&buf, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Ext2Fs<D: BlockDevice> {
+    dev: D,
+    layout: Layout,
+}
+
+impl<D: BlockDevice> Ext2Fs<D> {
+    /// Formats `dev` with `inodes` inodes and mounts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is too small for the metadata plus one data
+    /// block.
+    pub fn format(mut dev: D, inodes: u32, cx: &mut OpCx) -> Self {
+        let blocks = dev.block_count();
+        let layout = Layout::new(blocks, inodes);
+        assert!(
+            layout.first_data_block < blocks,
+            "device too small: {blocks} blocks"
+        );
+        assert!(
+            blocks <= 8 * BLOCK_SIZE as u64,
+            "block bitmap spans one block"
+        );
+        assert!(
+            inodes as usize <= 8 * BLOCK_SIZE,
+            "inode bitmap spans one block"
+        );
+        // Superblock.
+        let mut sb = [0u8; BLOCK_SIZE];
+        sb[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        sb[4..12].copy_from_slice(&blocks.to_le_bytes());
+        sb[12..16].copy_from_slice(&inodes.to_le_bytes());
+        cx.charge(dev.write_block(Layout::SUPERBLOCK, &sb));
+        cx.write(Layout::SUPERBLOCK as u32);
+        // Bitmaps: zeroed, then metadata blocks marked used.
+        let mut bbm = [0u8; BLOCK_SIZE];
+        for b in 0..layout.first_data_block {
+            bbm[(b / 8) as usize] |= 1 << (b % 8);
+        }
+        cx.charge(dev.write_block(Layout::BLOCK_BITMAP, &bbm));
+        cx.write(Layout::BLOCK_BITMAP as u32);
+        let mut ibm = [0u8; BLOCK_SIZE];
+        // Inodes 0 and 1 reserved, 2 = root.
+        for i in 0..=2 {
+            ibm[i / 8] |= 1 << (i % 8);
+        }
+        cx.charge(dev.write_block(Layout::INODE_BITMAP, &ibm));
+        cx.write(Layout::INODE_BITMAP as u32);
+        // Zero the inode table.
+        let zero = [0u8; BLOCK_SIZE];
+        for b in 0..layout.inode_table_blocks {
+            cx.charge(dev.write_block(layout.inode_table_start + b, &zero));
+        }
+        let mut fs = Ext2Fs { dev, layout };
+        // Root directory.
+        let mut root = Inode::empty();
+        root.mode = Inode::DIR;
+        root.links = 1;
+        fs.write_inode(ROOT_INO, root, cx);
+        fs
+    }
+
+    /// Mounts an already-formatted device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the superblock magic is wrong.
+    pub fn mount(dev: D, cx: &mut OpCx) -> Self {
+        let mut sb = [0u8; BLOCK_SIZE];
+        cx.charge(dev.read_block(Layout::SUPERBLOCK, &mut sb));
+        cx.read(Layout::SUPERBLOCK as u32);
+        let magic = u32::from_le_bytes(sb[0..4].try_into().unwrap());
+        assert_eq!(magic, MAGIC, "bad filesystem magic {magic:#x}");
+        let blocks = u64::from_le_bytes(sb[4..12].try_into().unwrap());
+        let inodes = u32::from_le_bytes(sb[12..16].try_into().unwrap());
+        assert_eq!(blocks, dev.block_count(), "superblock/device size mismatch");
+        Ext2Fs {
+            dev,
+            layout: Layout::new(blocks, inodes),
+        }
+    }
+
+    /// Consumes the filesystem, returning the device (unmount).
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// Device I/O latency per operation (for I/O-wait modelling).
+    pub fn io_latency(&self) -> k2_sim::time::SimDuration {
+        self.dev.io_latency()
+    }
+
+    /// Creates an empty regular file. Parent directories must exist.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] if the path exists, [`FsError::NotFound`] /
+    /// [`FsError::NotDir`] for bad parents, [`FsError::NoSpace`] when out of
+    /// inodes, [`FsError::BadName`] for invalid names.
+    pub fn create(&mut self, path: &str, cx: &mut OpCx) -> Result<InodeNo, FsError> {
+        self.create_node(path, FileType::File, cx)
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Ext2Fs::create`].
+    pub fn mkdir(&mut self, path: &str, cx: &mut OpCx) -> Result<InodeNo, FsError> {
+        self.create_node(path, FileType::Dir, cx)
+    }
+
+    /// Resolves a path to an inode.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or [`FsError::NotDir`].
+    pub fn lookup(&self, path: &str, cx: &mut OpCx) -> Result<InodeNo, FsError> {
+        let mut cur = ROOT_INO;
+        for comp in Self::components(path)? {
+            let ino = self.read_inode(cur, cx);
+            if ino.mode != Inode::DIR {
+                return Err(FsError::NotDir);
+            }
+            cur = self.dir_find(&ino, comp, cx)?.ok_or(FsError::NotFound)?;
+        }
+        Ok(cur)
+    }
+
+    /// The type of an inode.
+    pub fn file_type(&self, ino: InodeNo, cx: &mut OpCx) -> FileType {
+        match self.read_inode(ino, cx).mode {
+            Inode::DIR => FileType::Dir,
+            _ => FileType::File,
+        }
+    }
+
+    /// A file's size in bytes.
+    pub fn size(&self, ino: InodeNo, cx: &mut OpCx) -> u64 {
+        self.read_inode(ino, cx).size
+    }
+
+    /// Writes `data` at `offset`, growing the file as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsDir`], [`FsError::NoSpace`], or [`FsError::TooBig`].
+    pub fn write(
+        &mut self,
+        ino: InodeNo,
+        offset: u64,
+        data: &[u8],
+        cx: &mut OpCx,
+    ) -> Result<(), FsError> {
+        let mut inode = self.read_inode(ino, cx);
+        if inode.mode == Inode::DIR {
+            return Err(FsError::IsDir);
+        }
+        self.write_contents(&mut inode, offset, data, cx)?;
+        self.write_inode(ino, inode, cx);
+        // VFS-path overhead: fd table, inode lock, dcache.
+        cx.charge(Cost::instr(400) + Cost::mem(12));
+        Ok(())
+    }
+
+    /// Reads up to `buf.len()` bytes at `offset`; returns bytes read.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsDir`].
+    pub fn read(
+        &self,
+        ino: InodeNo,
+        offset: u64,
+        buf: &mut [u8],
+        cx: &mut OpCx,
+    ) -> Result<usize, FsError> {
+        let inode = self.read_inode(ino, cx);
+        if inode.mode == Inode::DIR {
+            return Err(FsError::IsDir);
+        }
+        let n = self.read_contents(&inode, offset, buf, cx);
+        cx.charge(Cost::instr(350) + Cost::mem(10));
+        Ok(n)
+    }
+
+    /// Removes a file (directories must be empty).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::NotEmpty`].
+    pub fn unlink(&mut self, path: &str, cx: &mut OpCx) -> Result<(), FsError> {
+        let comps = Self::components(path)?;
+        let (name, parent_path) = comps.split_last().ok_or(FsError::BadName)?;
+        let parent = self.lookup_components(parent_path, cx)?;
+        let pino = self.read_inode(parent, cx);
+        let victim = self.dir_find(&pino, name, cx)?.ok_or(FsError::NotFound)?;
+        let vino = self.read_inode(victim, cx);
+        if vino.mode == Inode::DIR && !self.dir_entries(&vino, cx).is_empty() {
+            return Err(FsError::NotEmpty);
+        }
+        // Free data blocks.
+        for b in self.block_list(&vino, cx) {
+            self.bitmap_clear(Layout::BLOCK_BITMAP, b as u64, cx);
+        }
+        if vino.indirect != 0 {
+            self.bitmap_clear(Layout::BLOCK_BITMAP, vino.indirect as u64, cx);
+        }
+        if vino.dindirect != 0 {
+            for l1 in self.pointer_block_entries(vino.dindirect, cx) {
+                self.bitmap_clear(Layout::BLOCK_BITMAP, l1 as u64, cx);
+            }
+            self.bitmap_clear(Layout::BLOCK_BITMAP, vino.dindirect as u64, cx);
+        }
+        self.write_inode(victim, Inode::empty(), cx);
+        self.bitmap_clear(Layout::INODE_BITMAP, victim.0 as u64, cx);
+        self.dir_remove(parent, name, cx)?;
+        cx.charge(Cost::instr(500) + Cost::mem(16));
+        Ok(())
+    }
+
+    /// Renames a file or (empty or not) directory within the tree.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a missing source, [`FsError::Exists`] for
+    /// an occupied destination, plus parent-resolution errors.
+    pub fn rename(&mut self, from: &str, to: &str, cx: &mut OpCx) -> Result<(), FsError> {
+        let from_comps = Self::components(from)?;
+        let (from_name, from_parent_path) = from_comps.split_last().ok_or(FsError::BadName)?;
+        let to_comps = Self::components(to)?;
+        let (to_name, to_parent_path) = to_comps.split_last().ok_or(FsError::BadName)?;
+        let from_parent = self.lookup_components(from_parent_path, cx)?;
+        let to_parent = self.lookup_components(to_parent_path, cx)?;
+        let fp_inode = self.read_inode(from_parent, cx);
+        let victim = self
+            .dir_find(&fp_inode, from_name, cx)?
+            .ok_or(FsError::NotFound)?;
+        let tp_inode = self.read_inode(to_parent, cx);
+        if self.dir_find(&tp_inode, to_name, cx)?.is_some() {
+            return Err(FsError::Exists);
+        }
+        self.dir_remove(from_parent, from_name, cx)?;
+        self.dir_insert(to_parent, to_name, victim, cx)?;
+        cx.charge(Cost::instr(600) + Cost::mem(16));
+        Ok(())
+    }
+
+    /// Lists the names in a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or [`FsError::NotDir`].
+    pub fn readdir(&self, path: &str, cx: &mut OpCx) -> Result<Vec<String>, FsError> {
+        let ino = self.lookup(path, cx)?;
+        let inode = self.read_inode(ino, cx);
+        if inode.mode != Inode::DIR {
+            return Err(FsError::NotDir);
+        }
+        Ok(self
+            .dir_entries(&inode, cx)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect())
+    }
+
+    /// Free data blocks remaining.
+    pub fn free_blocks(&self, cx: &mut OpCx) -> u64 {
+        let mut bm = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(Layout::BLOCK_BITMAP, &mut bm));
+        cx.read(Layout::BLOCK_BITMAP as u32);
+        let used: u64 = bm.iter().map(|b| b.count_ones() as u64).sum();
+        self.layout.blocks - used
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn components(path: &str) -> Result<Vec<&str>, FsError> {
+        if !path.starts_with('/') {
+            return Err(FsError::BadName);
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        for c in &comps {
+            if c.len() > MAX_NAME {
+                return Err(FsError::BadName);
+            }
+        }
+        Ok(comps)
+    }
+
+    fn lookup_components(&self, comps: &[&str], cx: &mut OpCx) -> Result<InodeNo, FsError> {
+        let mut cur = ROOT_INO;
+        for comp in comps {
+            let ino = self.read_inode(cur, cx);
+            if ino.mode != Inode::DIR {
+                return Err(FsError::NotDir);
+            }
+            cur = self.dir_find(&ino, comp, cx)?.ok_or(FsError::NotFound)?;
+        }
+        Ok(cur)
+    }
+
+    fn create_node(&mut self, path: &str, ft: FileType, cx: &mut OpCx) -> Result<InodeNo, FsError> {
+        let comps = Self::components(path)?;
+        let (name, parent_path) = comps.split_last().ok_or(FsError::BadName)?;
+        let parent = self.lookup_components(parent_path, cx)?;
+        let pino = self.read_inode(parent, cx);
+        if pino.mode != Inode::DIR {
+            return Err(FsError::NotDir);
+        }
+        if self.dir_find(&pino, name, cx)?.is_some() {
+            return Err(FsError::Exists);
+        }
+        let ino_no = self.alloc_inode(cx)?;
+        let mut node = Inode::empty();
+        node.mode = match ft {
+            FileType::File => Inode::FILE,
+            FileType::Dir => Inode::DIR,
+        };
+        node.links = 1;
+        self.write_inode(ino_no, node, cx);
+        self.dir_insert(parent, name, ino_no, cx)?;
+        cx.charge(Cost::instr(700) + Cost::mem(20));
+        Ok(ino_no)
+    }
+
+    fn read_inode(&self, ino: InodeNo, cx: &mut OpCx) -> Inode {
+        let (blk, off) = self.layout.inode_block(ino);
+        let mut b = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(blk, &mut b));
+        cx.read(blk as u32);
+        Inode::from_bytes(&b[off..off + INODE_SIZE])
+    }
+
+    fn write_inode(&mut self, ino: InodeNo, inode: Inode, cx: &mut OpCx) {
+        let (blk, off) = self.layout.inode_block(ino);
+        let mut b = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(blk, &mut b));
+        b[off..off + INODE_SIZE].copy_from_slice(&inode.to_bytes());
+        cx.charge(self.dev.write_block(blk, &b));
+        cx.write(blk as u32);
+    }
+
+    fn alloc_inode(&mut self, cx: &mut OpCx) -> Result<InodeNo, FsError> {
+        let mut bm = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(Layout::INODE_BITMAP, &mut bm));
+        for i in 3..self.layout.inodes as usize {
+            if bm[i / 8] & (1 << (i % 8)) == 0 {
+                bm[i / 8] |= 1 << (i % 8);
+                cx.charge(self.dev.write_block(Layout::INODE_BITMAP, &bm));
+                cx.write(Layout::INODE_BITMAP as u32);
+                cx.charge(Cost::mem((i / 64) as u64 + 1)); // bitmap scan
+                return Ok(InodeNo(i as u32));
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn alloc_block(&mut self, cx: &mut OpCx) -> Result<u32, FsError> {
+        let mut bm = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(Layout::BLOCK_BITMAP, &mut bm));
+        for b in self.layout.first_data_block..self.layout.blocks {
+            let (i, m) = ((b / 8) as usize, 1u8 << (b % 8));
+            if bm[i] & m == 0 {
+                bm[i] |= m;
+                cx.charge(self.dev.write_block(Layout::BLOCK_BITMAP, &bm));
+                cx.write(Layout::BLOCK_BITMAP as u32);
+                cx.charge(Cost::mem(b / 64 + 1));
+                // A block fresh from the free pool belongs to the
+                // allocating kernel; no coherence transfer on first touch.
+                cx.alloc(b as u32);
+                return Ok(b as u32);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn bitmap_clear(&mut self, bitmap_block: u64, bit: u64, cx: &mut OpCx) {
+        let mut bm = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(bitmap_block, &mut bm));
+        bm[(bit / 8) as usize] &= !(1 << (bit % 8));
+        cx.charge(self.dev.write_block(bitmap_block, &bm));
+        cx.write(bitmap_block as u32);
+    }
+
+    /// The `n`th data block of a file, allocating it (and the indirect
+    /// block) if absent. Returns `(block, fresh)`: a fresh block must be
+    /// treated as zeroed — it may be recycled and still hold a removed
+    /// file's bytes on the device, which must never leak into a new file.
+    fn file_block_alloc(
+        &mut self,
+        inode: &mut Inode,
+        n: u64,
+        cx: &mut OpCx,
+    ) -> Result<(u32, bool), FsError> {
+        if (n as usize) < N_DIRECT {
+            if inode.direct[n as usize] == 0 {
+                inode.direct[n as usize] = self.alloc_block(cx)?;
+                return Ok((inode.direct[n as usize], true));
+            }
+            return Ok((inode.direct[n as usize], false));
+        }
+        let idx = n as usize - N_DIRECT;
+        if idx < PTRS_PER_BLOCK {
+            if inode.indirect == 0 {
+                inode.indirect = self.alloc_block(cx)?;
+                let zero = [0u8; BLOCK_SIZE];
+                cx.charge(self.dev.write_block(inode.indirect as u64, &zero));
+            }
+            return self.indirect_slot_alloc(inode.indirect, idx, cx);
+        }
+        // Double indirect: up to 1024 further indirect blocks.
+        let didx = idx - PTRS_PER_BLOCK;
+        if didx >= PTRS_PER_BLOCK * PTRS_PER_BLOCK {
+            return Err(FsError::TooBig);
+        }
+        if inode.dindirect == 0 {
+            inode.dindirect = self.alloc_block(cx)?;
+            let zero = [0u8; BLOCK_SIZE];
+            cx.charge(self.dev.write_block(inode.dindirect as u64, &zero));
+        }
+        let (l1, l1_fresh) =
+            self.indirect_slot_alloc(inode.dindirect, didx / PTRS_PER_BLOCK, cx)?;
+        if l1_fresh {
+            let zero = [0u8; BLOCK_SIZE];
+            cx.charge(self.dev.write_block(l1 as u64, &zero));
+        }
+        self.indirect_slot_alloc(l1, didx % PTRS_PER_BLOCK, cx)
+    }
+
+    /// Reads slot `idx` of the pointer block `blk`, allocating a data block
+    /// into it if empty. Returns `(block, fresh)`.
+    fn indirect_slot_alloc(
+        &mut self,
+        blk: u32,
+        idx: usize,
+        cx: &mut OpCx,
+    ) -> Result<(u32, bool), FsError> {
+        let mut ib = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(blk as u64, &mut ib));
+        cx.read(blk);
+        let mut ptr = u32::from_le_bytes(ib[idx * 4..idx * 4 + 4].try_into().unwrap());
+        let mut fresh = false;
+        if ptr == 0 {
+            ptr = self.alloc_block(cx)?;
+            fresh = true;
+            ib[idx * 4..idx * 4 + 4].copy_from_slice(&ptr.to_le_bytes());
+            cx.charge(self.dev.write_block(blk as u64, &ib));
+            cx.write(blk);
+        }
+        Ok((ptr, fresh))
+    }
+
+    /// The `n`th data block of a file, or 0 if it is a hole. Never
+    /// allocates.
+    fn file_block_ro(&self, inode: &Inode, n: u64, cx: &mut OpCx) -> u32 {
+        if (n as usize) < N_DIRECT {
+            return inode.direct[n as usize];
+        }
+        let idx = n as usize - N_DIRECT;
+        if idx < PTRS_PER_BLOCK {
+            if inode.indirect == 0 {
+                return 0;
+            }
+            return self.indirect_slot_ro(inode.indirect, idx, cx);
+        }
+        let didx = idx - PTRS_PER_BLOCK;
+        if didx >= PTRS_PER_BLOCK * PTRS_PER_BLOCK || inode.dindirect == 0 {
+            return 0;
+        }
+        let l1 = self.indirect_slot_ro(inode.dindirect, didx / PTRS_PER_BLOCK, cx);
+        if l1 == 0 {
+            return 0;
+        }
+        self.indirect_slot_ro(l1, didx % PTRS_PER_BLOCK, cx)
+    }
+
+    fn indirect_slot_ro(&self, blk: u32, idx: usize, cx: &mut OpCx) -> u32 {
+        let mut ib = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(blk as u64, &mut ib));
+        cx.read(blk);
+        u32::from_le_bytes(ib[idx * 4..idx * 4 + 4].try_into().unwrap())
+    }
+
+    /// Every *data* block of a file (used when freeing it).
+    fn block_list(&self, inode: &Inode, cx: &mut OpCx) -> Vec<u32> {
+        let mut v: Vec<u32> = inode.direct.iter().copied().filter(|&b| b != 0).collect();
+        if inode.indirect != 0 {
+            v.extend(self.pointer_block_entries(inode.indirect, cx));
+        }
+        if inode.dindirect != 0 {
+            for l1 in self.pointer_block_entries(inode.dindirect, cx) {
+                v.extend(self.pointer_block_entries(l1, cx));
+            }
+        }
+        v
+    }
+
+    fn pointer_block_entries(&self, blk: u32, cx: &mut OpCx) -> Vec<u32> {
+        let mut ib = [0u8; BLOCK_SIZE];
+        cx.charge(self.dev.read_block(blk as u64, &mut ib));
+        cx.read(blk);
+        (0..PTRS_PER_BLOCK)
+            .map(|i| u32::from_le_bytes(ib[i * 4..i * 4 + 4].try_into().unwrap()))
+            .filter(|&p| p != 0)
+            .collect()
+    }
+
+    fn write_contents(
+        &mut self,
+        inode: &mut Inode,
+        offset: u64,
+        data: &[u8],
+        cx: &mut OpCx,
+    ) -> Result<(), FsError> {
+        let mut pos = offset;
+        let mut done = 0usize;
+        while done < data.len() {
+            let bn = pos / BLOCK_SIZE as u64;
+            let boff = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - boff).min(data.len() - done);
+            let (blk, fresh) = self.file_block_alloc(inode, bn, cx)?;
+            let mut b = [0u8; BLOCK_SIZE];
+            // A fresh block reads as zeroes; reading the device here would
+            // resurrect a removed file's bytes.
+            if !fresh && (boff != 0 || n != BLOCK_SIZE) {
+                cx.charge(self.dev.read_block(blk as u64, &mut b));
+            }
+            b[boff..boff + n].copy_from_slice(&data[done..done + n]);
+            cx.charge(self.dev.write_block(blk as u64, &b));
+            cx.write(blk);
+            pos += n as u64;
+            done += n;
+        }
+        inode.size = inode.size.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    fn read_contents(&self, inode: &Inode, offset: u64, buf: &mut [u8], cx: &mut OpCx) -> usize {
+        if offset >= inode.size {
+            return 0;
+        }
+        let want = buf.len().min((inode.size - offset) as usize);
+        let mut pos = offset;
+        let mut done = 0usize;
+        while done < want {
+            let bn = pos / BLOCK_SIZE as u64;
+            let boff = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - boff).min(want - done);
+            let blk = self.file_block_ro(inode, bn, cx);
+            if blk == 0 {
+                buf[done..done + n].fill(0); // hole
+            } else {
+                let mut b = [0u8; BLOCK_SIZE];
+                cx.charge(self.dev.read_block(blk as u64, &mut b));
+                cx.read(blk);
+                buf[done..done + n].copy_from_slice(&b[boff..boff + n]);
+            }
+            pos += n as u64;
+            done += n;
+        }
+        want
+    }
+
+    // --- directory entries: [ino u32][len u8][name; len] packed ---
+
+    fn dir_entries(&self, dir: &Inode, cx: &mut OpCx) -> Vec<(String, InodeNo)> {
+        let mut raw = vec![0u8; dir.size as usize];
+        self.read_contents(dir, 0, &mut raw, cx);
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i + 5 <= raw.len() {
+            let ino = u32::from_le_bytes(raw[i..i + 4].try_into().unwrap());
+            let len = raw[i + 4] as usize;
+            if i + 5 + len > raw.len() {
+                break;
+            }
+            if ino != 0 {
+                let name = String::from_utf8_lossy(&raw[i + 5..i + 5 + len]).into_owned();
+                out.push((name, InodeNo(ino)));
+            }
+            i += 5 + len;
+        }
+        out
+    }
+
+    fn dir_find(&self, dir: &Inode, name: &str, cx: &mut OpCx) -> Result<Option<InodeNo>, FsError> {
+        cx.charge(Cost::instr(120) + Cost::mem(4)); // dcache probe
+        Ok(self
+            .dir_entries(dir, cx)
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, i)| i))
+    }
+
+    fn dir_insert(
+        &mut self,
+        dir_ino: InodeNo,
+        name: &str,
+        child: InodeNo,
+        cx: &mut OpCx,
+    ) -> Result<(), FsError> {
+        let mut dir = self.read_inode(dir_ino, cx);
+        let mut rec = Vec::with_capacity(5 + name.len());
+        rec.extend_from_slice(&child.0.to_le_bytes());
+        rec.push(name.len() as u8);
+        rec.extend_from_slice(name.as_bytes());
+        let at = dir.size;
+        self.write_contents(&mut dir, at, &rec, cx)?;
+        self.write_inode(dir_ino, dir, cx);
+        Ok(())
+    }
+
+    fn dir_remove(&mut self, dir_ino: InodeNo, name: &str, cx: &mut OpCx) -> Result<(), FsError> {
+        let mut dir = self.read_inode(dir_ino, cx);
+        let mut raw = vec![0u8; dir.size as usize];
+        self.read_contents(&dir, 0, &mut raw, cx);
+        let mut i = 0usize;
+        while i + 5 <= raw.len() {
+            let ino = u32::from_le_bytes(raw[i..i + 4].try_into().unwrap());
+            let len = raw[i + 4] as usize;
+            if ino != 0 && &raw[i + 5..i + 5 + len] == name.as_bytes() {
+                // Tombstone the entry in place.
+                let zero = 0u32.to_le_bytes();
+                self.write_contents(&mut dir, i as u64, &zero, cx)?;
+                self.write_inode(dir_ino, dir, cx);
+                return Ok(());
+            }
+            i += 5 + len;
+        }
+        Err(FsError::NotFound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::block::RamDisk;
+
+    fn fs() -> Ext2Fs<RamDisk> {
+        Ext2Fs::format(RamDisk::new(1024), 128, &mut OpCx::new())
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        let ino = f.create("/a.txt", &mut cx).unwrap();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        f.write(ino, 0, &data, &mut cx).unwrap();
+        assert_eq!(f.size(ino, &mut cx), 10_000);
+        let mut out = vec![0u8; 10_000];
+        assert_eq!(f.read(ino, 0, &mut out, &mut cx).unwrap(), 10_000);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn read_at_offset_and_past_eof() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        let ino = f.create("/x", &mut cx).unwrap();
+        f.write(ino, 0, b"0123456789", &mut cx).unwrap();
+        let mut out = [0u8; 4];
+        assert_eq!(f.read(ino, 6, &mut out, &mut cx).unwrap(), 4);
+        assert_eq!(&out, b"6789");
+        assert_eq!(f.read(ino, 10, &mut out, &mut cx).unwrap(), 0);
+        assert_eq!(f.read(ino, 8, &mut out, &mut cx).unwrap(), 2);
+    }
+
+    #[test]
+    fn large_file_uses_indirect_blocks() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        let ino = f.create("/big", &mut cx).unwrap();
+        // 1 MB needs 256 blocks: 12 direct + 244 indirect.
+        let chunk = vec![0xabu8; 1 << 20];
+        f.write(ino, 0, &chunk, &mut cx).unwrap();
+        let mut out = vec![0u8; 4096];
+        f.read(ino, (1 << 20) - 4096, &mut out, &mut cx).unwrap();
+        assert!(out.iter().all(|&b| b == 0xab));
+    }
+
+    #[test]
+    fn sparse_files_read_zeroes_in_holes() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        let ino = f.create("/sparse", &mut cx).unwrap();
+        f.write(ino, 100_000, b"end", &mut cx).unwrap();
+        let mut out = [1u8; 8];
+        f.read(ino, 50_000, &mut out, &mut cx).unwrap();
+        assert_eq!(out, [0u8; 8]);
+    }
+
+    #[test]
+    fn directories_nest() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        f.mkdir("/sync", &mut cx).unwrap();
+        f.mkdir("/sync/photos", &mut cx).unwrap();
+        let ino = f.create("/sync/photos/img1.jpg", &mut cx).unwrap();
+        assert_eq!(f.lookup("/sync/photos/img1.jpg", &mut cx).unwrap(), ino);
+        assert_eq!(f.readdir("/sync", &mut cx).unwrap(), vec!["photos"]);
+        assert_eq!(f.file_type(ino, &mut cx), FileType::File);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        f.create("/dup", &mut cx).unwrap();
+        assert_eq!(f.create("/dup", &mut cx), Err(FsError::Exists));
+    }
+
+    #[test]
+    fn unlink_frees_space() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        // Force the root directory's data block into existence first, so
+        // the before/after comparison sees only the file's own blocks.
+        f.create("/warmup", &mut cx).unwrap();
+        let free0 = f.free_blocks(&mut cx);
+        let ino = f.create("/tmp", &mut cx).unwrap();
+        f.write(ino, 0, &vec![1u8; 100_000], &mut cx).unwrap();
+        assert!(f.free_blocks(&mut cx) < free0);
+        f.unlink("/tmp", &mut cx).unwrap();
+        assert_eq!(f.free_blocks(&mut cx), free0);
+        assert_eq!(f.lookup("/tmp", &mut cx), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn unlink_nonempty_dir_refused() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        f.mkdir("/d", &mut cx).unwrap();
+        f.create("/d/f", &mut cx).unwrap();
+        assert_eq!(f.unlink("/d", &mut cx), Err(FsError::NotEmpty));
+        f.unlink("/d/f", &mut cx).unwrap();
+        f.unlink("/d", &mut cx).unwrap();
+    }
+
+    #[test]
+    fn survives_remount() {
+        let mut cx = OpCx::new();
+        let mut f = Ext2Fs::format(RamDisk::new(256), 64, &mut cx);
+        let ino = f.create("/persist", &mut cx).unwrap();
+        f.write(ino, 0, b"still here", &mut cx).unwrap();
+        let dev = f.into_device();
+        let f2 = Ext2Fs::mount(dev, &mut cx);
+        let ino2 = f2.lookup("/persist", &mut cx).unwrap();
+        let mut out = [0u8; 10];
+        f2.read(ino2, 0, &mut out, &mut cx).unwrap();
+        assert_eq!(&out, b"still here");
+    }
+
+    #[test]
+    fn out_of_space_reported() {
+        let mut cx = OpCx::new();
+        // Tiny device: ~8 data blocks.
+        let mut f = Ext2Fs::format(RamDisk::new(16), 16, &mut cx);
+        let ino = f.create("/fill", &mut cx).unwrap();
+        let big = vec![0u8; 16 * BLOCK_SIZE];
+        assert_eq!(f.write(ino, 0, &big, &mut cx), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    fn file_too_big_reported() {
+        let mut cx = OpCx::new();
+        let mut f = fs();
+        let ino = f.create("/huge", &mut cx).unwrap();
+        // Past direct + indirect + double indirect (~4 GB).
+        let beyond = (N_DIRECT + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK) as u64
+            * BLOCK_SIZE as u64;
+        assert_eq!(f.write(ino, beyond, b"x", &mut cx), Err(FsError::TooBig));
+    }
+
+    #[test]
+    fn double_indirect_files_work() {
+        let mut cx = OpCx::new();
+        // Enough blocks for a file beyond the single-indirect limit.
+        let mut f = Ext2Fs::format(RamDisk::new(8192), 64, &mut cx);
+        let ino = f.create("/big", &mut cx).unwrap();
+        // Write one block beyond direct+indirect coverage.
+        let offset = (N_DIRECT + PTRS_PER_BLOCK) as u64 * BLOCK_SIZE as u64;
+        f.write(ino, offset, b"beyond the indirect limit", &mut cx)
+            .unwrap();
+        let mut buf = [0u8; 25];
+        f.read(ino, offset, &mut buf, &mut cx).unwrap();
+        assert_eq!(&buf, b"beyond the indirect limit");
+        // Unlink frees the whole tree.
+        f.create("/warmup", &mut cx).unwrap();
+        let free_before = f.free_blocks(&mut cx);
+        f.unlink("/big", &mut cx).unwrap();
+        let recovered = f.free_blocks(&mut cx) - free_before;
+        assert!(
+            recovered >= 3,
+            "data + both pointer levels freed: {recovered}"
+        );
+    }
+
+    #[test]
+    fn rename_moves_entries() {
+        let mut cx = OpCx::new();
+        let mut f = fs();
+        f.mkdir("/a", &mut cx).unwrap();
+        f.mkdir("/b", &mut cx).unwrap();
+        let ino = f.create("/a/doc", &mut cx).unwrap();
+        f.write(ino, 0, b"payload", &mut cx).unwrap();
+        f.rename("/a/doc", "/b/renamed", &mut cx).unwrap();
+        assert_eq!(f.lookup("/a/doc", &mut cx), Err(FsError::NotFound));
+        let moved = f.lookup("/b/renamed", &mut cx).unwrap();
+        assert_eq!(moved, ino, "same inode, new name");
+        let mut buf = [0u8; 7];
+        f.read(moved, 0, &mut buf, &mut cx).unwrap();
+        assert_eq!(&buf, b"payload");
+        // Destination collisions are refused.
+        f.create("/b/taken", &mut cx).unwrap();
+        f.create("/loose", &mut cx).unwrap();
+        assert_eq!(
+            f.rename("/loose", "/b/taken", &mut cx),
+            Err(FsError::Exists)
+        );
+    }
+
+    #[test]
+    fn relative_paths_rejected() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        assert_eq!(f.create("relative", &mut cx), Err(FsError::BadName));
+    }
+
+    #[test]
+    fn ops_record_touched_state_pages() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        let ino = f.create("/t", &mut cx).unwrap();
+        let mut wcx = OpCx::new();
+        f.write(ino, 0, b"data", &mut wcx).unwrap();
+        // A write touches at least the block bitmap, the inode table and a
+        // data block.
+        assert!(wcx.writes().len() >= 3, "writes: {:?}", wcx.writes());
+        assert!(!wcx.cost().is_zero());
+    }
+
+    #[test]
+    fn write_into_dir_inode_refused() {
+        let mut f = fs();
+        let mut cx = OpCx::new();
+        f.mkdir("/d", &mut cx).unwrap();
+        let d = f.lookup("/d", &mut cx).unwrap();
+        assert_eq!(f.write(d, 0, b"no", &mut cx), Err(FsError::IsDir));
+        let mut buf = [0u8; 1];
+        assert_eq!(f.read(d, 0, &mut buf, &mut cx), Err(FsError::IsDir));
+    }
+}

@@ -1,0 +1,9 @@
+//! Filesystem layer: block devices and the ext2-like filesystem.
+
+pub mod block;
+pub mod ext2;
+pub mod vfs;
+
+pub use block::{BlockDevice, Disk, FlashDisk, RamDisk, BLOCK_SIZE};
+pub use ext2::{Ext2Fs, FileType, FsError, InodeNo, ROOT_INO};
+pub use vfs::{Fd, Vfs};

@@ -1,0 +1,264 @@
+//! The VFS layer: per-process file descriptor tables.
+//!
+//! "Threads belonging to the same process share an extensive set of OS
+//! state, e.g., opened files" (§4.3) — this is that state. A process's
+//! NightWatch thread on the weak domain and its normal threads on the
+//! strong domain operate on *one* descriptor table; under K2 the table is
+//! shadowed-service state like the rest of the filesystem, which is why
+//! running them simultaneously would ping-pong these pages (and why K2
+//! serialises them instead).
+//!
+//! State-page map: each process's descriptor table lives at page
+//! `VFS_PAGE_BASE + pid`, far above any filesystem block number.
+
+use crate::cost::Cost;
+use crate::fs::block::BlockDevice;
+use crate::fs::ext2::{Ext2Fs, FsError, InodeNo};
+use crate::proc::Pid;
+use crate::service::OpCx;
+use std::collections::HashMap;
+
+/// First state page used for descriptor tables (fs blocks stay below).
+pub const VFS_PAGE_BASE: u32 = 500_000;
+
+/// A file descriptor, per-process.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fd(pub u32);
+
+#[derive(Clone, Copy, Debug)]
+struct OpenFile {
+    ino: InodeNo,
+    offset: u64,
+}
+
+/// The open-file state of every process.
+#[derive(Debug, Default)]
+pub struct Vfs {
+    tables: HashMap<u32, Vec<Option<OpenFile>>>,
+}
+
+impl Vfs {
+    /// Creates an empty VFS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_of(pid: Pid) -> u32 {
+        VFS_PAGE_BASE + pid.0
+    }
+
+    fn table(&mut self, pid: Pid) -> &mut Vec<Option<OpenFile>> {
+        self.tables.entry(pid.0).or_default()
+    }
+
+    /// Opens `path` for `pid`, creating the file if `create` and absent.
+    /// The offset starts at zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors ([`FsError::NotFound`] when not
+    /// creating, etc.).
+    pub fn open<D: BlockDevice>(
+        &mut self,
+        fs: &mut Ext2Fs<D>,
+        pid: Pid,
+        path: &str,
+        create: bool,
+        cx: &mut OpCx,
+    ) -> Result<Fd, FsError> {
+        cx.charge(Cost::instr(500) + Cost::mem(10));
+        cx.write(Self::page_of(pid));
+        let ino = match fs.lookup(path, cx) {
+            Ok(ino) => ino,
+            Err(FsError::NotFound) if create => fs.create(path, cx)?,
+            Err(e) => return Err(e),
+        };
+        let table = self.table(pid);
+        let slot = table.iter().position(Option::is_none).unwrap_or_else(|| {
+            table.push(None);
+            table.len() - 1
+        });
+        table[slot] = Some(OpenFile { ino, offset: 0 });
+        Ok(Fd(slot as u32))
+    }
+
+    /// Reads up to `buf.len()` bytes at the descriptor's offset, advancing
+    /// it. Returns bytes read (0 at EOF).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad descriptor, plus filesystem errors.
+    pub fn read<D: BlockDevice>(
+        &mut self,
+        fs: &Ext2Fs<D>,
+        pid: Pid,
+        fd: Fd,
+        buf: &mut [u8],
+        cx: &mut OpCx,
+    ) -> Result<usize, FsError> {
+        cx.read(Self::page_of(pid));
+        let of = self
+            .table(pid)
+            .get_mut(fd.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(FsError::NotFound)?;
+        let n = fs.read(of.ino, of.offset, buf, cx)?;
+        of.offset += n as u64;
+        cx.write(Self::page_of(pid));
+        Ok(n)
+    }
+
+    /// Writes `data` at the descriptor's offset, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad descriptor, plus filesystem errors.
+    pub fn write<D: BlockDevice>(
+        &mut self,
+        fs: &mut Ext2Fs<D>,
+        pid: Pid,
+        fd: Fd,
+        data: &[u8],
+        cx: &mut OpCx,
+    ) -> Result<(), FsError> {
+        cx.read(Self::page_of(pid));
+        let of = self
+            .table(pid)
+            .get_mut(fd.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(FsError::NotFound)?;
+        fs.write(of.ino, of.offset, data, cx)?;
+        of.offset += data.len() as u64;
+        cx.write(Self::page_of(pid));
+        Ok(())
+    }
+
+    /// Repositions a descriptor's offset.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad descriptor.
+    pub fn seek(&mut self, pid: Pid, fd: Fd, offset: u64, cx: &mut OpCx) -> Result<(), FsError> {
+        cx.charge(Cost::instr(120) + Cost::mem(3));
+        cx.write(Self::page_of(pid));
+        let of = self
+            .table(pid)
+            .get_mut(fd.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(FsError::NotFound)?;
+        of.offset = offset;
+        Ok(())
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad or already-closed descriptor.
+    pub fn close(&mut self, pid: Pid, fd: Fd, cx: &mut OpCx) -> Result<(), FsError> {
+        cx.charge(Cost::instr(300) + Cost::mem(6));
+        cx.write(Self::page_of(pid));
+        let slot = self
+            .table(pid)
+            .get_mut(fd.0 as usize)
+            .ok_or(FsError::NotFound)?;
+        if slot.take().is_none() {
+            return Err(FsError::NotFound);
+        }
+        Ok(())
+    }
+
+    /// Open descriptors of a process.
+    pub fn open_count(&self, pid: Pid) -> usize {
+        self.tables
+            .get(&pid.0)
+            .map_or(0, |t| t.iter().filter(|s| s.is_some()).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::block::RamDisk;
+
+    fn setup() -> (Vfs, Ext2Fs<RamDisk>, Pid) {
+        let fs = Ext2Fs::format(RamDisk::new(512), 64, &mut OpCx::new());
+        (Vfs::new(), fs, Pid(7))
+    }
+
+    #[test]
+    fn open_write_seek_read_close() {
+        let (mut vfs, mut fs, pid) = setup();
+        let mut cx = OpCx::new();
+        let fd = vfs.open(&mut fs, pid, "/log", true, &mut cx).unwrap();
+        vfs.write(&mut fs, pid, fd, b"hello ", &mut cx).unwrap();
+        vfs.write(&mut fs, pid, fd, b"world", &mut cx).unwrap();
+        vfs.seek(pid, fd, 0, &mut cx).unwrap();
+        let mut buf = [0u8; 11];
+        assert_eq!(vfs.read(&fs, pid, fd, &mut buf, &mut cx).unwrap(), 11);
+        assert_eq!(&buf, b"hello world");
+        // Offset advanced to EOF.
+        assert_eq!(vfs.read(&fs, pid, fd, &mut buf, &mut cx).unwrap(), 0);
+        vfs.close(pid, fd, &mut cx).unwrap();
+        assert_eq!(vfs.open_count(pid), 0);
+    }
+
+    #[test]
+    fn descriptors_are_per_process() {
+        let (mut vfs, mut fs, _) = setup();
+        let mut cx = OpCx::new();
+        let fd_a = vfs.open(&mut fs, Pid(1), "/shared", true, &mut cx).unwrap();
+        let fd_b = vfs
+            .open(&mut fs, Pid(2), "/shared", false, &mut cx)
+            .unwrap();
+        vfs.write(&mut fs, Pid(1), fd_a, b"from A", &mut cx)
+            .unwrap();
+        // B's offset is independent; it reads what A wrote.
+        let mut buf = [0u8; 6];
+        assert_eq!(vfs.read(&fs, Pid(2), fd_b, &mut buf, &mut cx).unwrap(), 6);
+        assert_eq!(&buf, b"from A");
+    }
+
+    #[test]
+    fn descriptor_slots_are_reused() {
+        let (mut vfs, mut fs, pid) = setup();
+        let mut cx = OpCx::new();
+        let fd1 = vfs.open(&mut fs, pid, "/a", true, &mut cx).unwrap();
+        let _fd2 = vfs.open(&mut fs, pid, "/b", true, &mut cx).unwrap();
+        vfs.close(pid, fd1, &mut cx).unwrap();
+        let fd3 = vfs.open(&mut fs, pid, "/c", true, &mut cx).unwrap();
+        assert_eq!(fd3, fd1, "lowest free slot first, as POSIX does");
+    }
+
+    #[test]
+    fn bad_descriptor_rejected() {
+        let (mut vfs, mut fs, pid) = setup();
+        let mut cx = OpCx::new();
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            vfs.read(&fs, pid, Fd(3), &mut buf, &mut cx),
+            Err(FsError::NotFound)
+        );
+        let fd = vfs.open(&mut fs, pid, "/x", true, &mut cx).unwrap();
+        vfs.close(pid, fd, &mut cx).unwrap();
+        assert_eq!(vfs.close(pid, fd, &mut cx), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn open_without_create_requires_existence() {
+        let (mut vfs, mut fs, pid) = setup();
+        let mut cx = OpCx::new();
+        assert_eq!(
+            vfs.open(&mut fs, pid, "/absent", false, &mut cx),
+            Err(FsError::NotFound)
+        );
+    }
+
+    #[test]
+    fn fd_table_pages_are_per_process_state() {
+        let (mut vfs, mut fs, _) = setup();
+        let mut cx = OpCx::new();
+        vfs.open(&mut fs, Pid(3), "/f", true, &mut cx).unwrap();
+        assert!(cx.writes().iter().any(|p| p.0 == VFS_PAGE_BASE + 3));
+    }
+}

@@ -1,0 +1,142 @@
+//! Interrupt bottom halves (softirq) bookkeeping.
+//!
+//! The paper's asymmetric DSM priorities (§6.3) hang off this mechanism:
+//! "the main kernel handles GetExclusive in bottom halves, and will further
+//! defer the handling if under high workloads; in contrast, the shadow
+//! kernel handles the request before any other pending interrupt." This
+//! module models the bottom-half queue and its deferral accounting; the
+//! system layer consults it to decide how long a remote request waits.
+
+use crate::cost::Cost;
+use std::collections::VecDeque;
+
+/// The kinds of deferred work this reproduction routes through bottom
+/// halves.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BhWork {
+    /// Servicing a DSM `GetExclusive` from the other kernel.
+    DsmService,
+    /// Completing a DMA transfer (freeing driver resources, waking the
+    /// submitter).
+    DmaCompletion,
+    /// Asynchronous page free redirected from the other kernel (§6.2).
+    FreeRedirect,
+}
+
+/// How a kernel schedules its bottom halves — the §6.3 asymmetry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BhPolicy {
+    /// Run promptly after the interrupt, but defer behind the current
+    /// workload when the CPU is busy (the main kernel).
+    DeferUnderLoad,
+    /// Run before any other pending interrupt (the shadow kernel).
+    Immediate,
+}
+
+/// Counters and the pending queue of one kernel's bottom halves.
+#[derive(Debug)]
+pub struct BottomHalves {
+    policy: BhPolicy,
+    pending: VecDeque<BhWork>,
+    processed: u64,
+    deferred: u64,
+}
+
+impl BottomHalves {
+    /// Creates the queue with the given scheduling policy.
+    pub fn new(policy: BhPolicy) -> Self {
+        BottomHalves {
+            policy,
+            pending: VecDeque::new(),
+            processed: 0,
+            deferred: 0,
+        }
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> BhPolicy {
+        self.policy
+    }
+
+    /// Raises a bottom half from interrupt context. Returns the raise cost
+    /// and whether the work will be *deferred* given the CPU's business.
+    pub fn raise(&mut self, work: BhWork, cpu_busy: bool) -> (Cost, bool) {
+        self.pending.push_back(work);
+        let deferred = match self.policy {
+            BhPolicy::DeferUnderLoad => cpu_busy,
+            BhPolicy::Immediate => false,
+        };
+        if deferred {
+            self.deferred += 1;
+        }
+        (Cost::instr(90) + Cost::mem(4), deferred)
+    }
+
+    /// Runs every pending bottom half, returning the kinds processed and
+    /// the aggregate dispatch cost (the handlers' own costs are charged by
+    /// their owners).
+    pub fn run_pending(&mut self) -> (Vec<BhWork>, Cost) {
+        let work: Vec<BhWork> = self.pending.drain(..).collect();
+        self.processed += work.len() as u64;
+        let cost = Cost::instr(60 * work.len() as u64) + Cost::mem(2 * work.len() as u64);
+        (work, cost)
+    }
+
+    /// Bottom halves waiting to run.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Total raised while the CPU was busy (each cost a deferral quantum).
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_kernel_defers_under_load() {
+        let mut bh = BottomHalves::new(BhPolicy::DeferUnderLoad);
+        let (_, deferred_idle) = bh.raise(BhWork::DsmService, false);
+        let (_, deferred_busy) = bh.raise(BhWork::DsmService, true);
+        assert!(!deferred_idle);
+        assert!(deferred_busy);
+        assert_eq!(bh.deferred(), 1);
+    }
+
+    #[test]
+    fn shadow_kernel_never_defers() {
+        let mut bh = BottomHalves::new(BhPolicy::Immediate);
+        let (_, deferred) = bh.raise(BhWork::DsmService, true);
+        assert!(!deferred, "the shadow kernel services before anything else");
+        assert_eq!(bh.deferred(), 0);
+    }
+
+    #[test]
+    fn run_pending_drains_in_order() {
+        let mut bh = BottomHalves::new(BhPolicy::DeferUnderLoad);
+        bh.raise(BhWork::DmaCompletion, false);
+        bh.raise(BhWork::FreeRedirect, true);
+        let (work, cost) = bh.run_pending();
+        assert_eq!(work, vec![BhWork::DmaCompletion, BhWork::FreeRedirect]);
+        assert!(cost.instructions > 0);
+        assert_eq!(bh.pending(), 0);
+        assert_eq!(bh.processed(), 2);
+    }
+
+    #[test]
+    fn empty_run_is_free_enough() {
+        let mut bh = BottomHalves::new(BhPolicy::Immediate);
+        let (work, cost) = bh.run_pending();
+        assert!(work.is_empty());
+        assert!(cost.is_zero());
+    }
+}

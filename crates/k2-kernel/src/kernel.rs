@@ -1,0 +1,300 @@
+//! The per-domain kernel instance and the shadowed-service bundle.
+//!
+//! A [`Kernel`] holds the *independent* and *private* services of one
+//! domain: its page allocator (buddy + slab), movable-page registry, page
+//! table and statistics. K2 instantiates one per domain with no shared
+//! state (§4.3); the Linux baseline instantiates exactly one.
+//!
+//! [`SharedServices`] bundles the *shadowed* services — filesystem, network
+//! stack, DMA driver — of which there is one logical instance reachable
+//! from every kernel, kept coherent by K2's DSM.
+
+use crate::cost::Cost;
+use crate::drivers::dma::DmaDriver;
+use crate::drivers::sensor::SensorDriver;
+use crate::fs::block::{Disk, FlashDisk, RamDisk};
+use crate::fs::ext2::Ext2Fs;
+use crate::irqflow::{BhPolicy, BottomHalves};
+use crate::mm::buddy::{BuddyAllocator, MigrateType};
+use crate::mm::pagecache::PageCache;
+use crate::mm::rmap::{MovableRegistry, PageHandle};
+use crate::mm::slab::SlabAllocator;
+use crate::net::udp::NetStack;
+use crate::proc::ProcessTable;
+use crate::service::OpCx;
+use k2_soc::ids::DomainId;
+use k2_soc::mem::{Pfn, PAGE_SIZE};
+
+/// Counters of one kernel instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Thread context switches performed.
+    pub context_switches: u64,
+    /// Interrupts handled by this kernel.
+    pub irqs_handled: u64,
+    /// Pages migrated for balloon inflation.
+    pub pages_migrated: u64,
+}
+
+/// One domain's kernel: independent core services plus private state.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The domain this kernel runs on.
+    pub domain: DomainId,
+    /// The independent physical page allocator (§6.2).
+    pub buddy: BuddyAllocator,
+    /// The slab allocator for small kernel objects.
+    pub slab: SlabAllocator,
+    /// Movable-page reverse map for balloon evacuation.
+    pub rmap: MovableRegistry,
+    /// The page cache: file blocks held in movable local pages.
+    pub pagecache: PageCache,
+    /// Bottom-half queue, scheduled asymmetrically (§6.3): the main
+    /// kernel defers under load, the shadow kernel runs immediately.
+    pub bh: BottomHalves,
+    /// The global process/thread table view. In K2 this is coordinated
+    /// meta-state; both kernels see one logical table, so it lives in the
+    /// system world and each kernel holds bookkeeping counters only.
+    pub stats: KernelStats,
+}
+
+impl Kernel {
+    /// Creates a kernel for `domain` managing no memory yet; the boot path
+    /// (K2 or baseline) hands it its local region and balloon-deflated
+    /// blocks via [`BuddyAllocator::add_range`].
+    pub fn new(domain: DomainId) -> Self {
+        let policy = if domain == DomainId::STRONG {
+            BhPolicy::DeferUnderLoad
+        } else {
+            BhPolicy::Immediate
+        };
+        Kernel {
+            domain,
+            buddy: BuddyAllocator::new(),
+            slab: SlabAllocator::new(),
+            rmap: MovableRegistry::new(),
+            pagecache: PageCache::new(),
+            bh: BottomHalves::new(policy),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Allocates one movable page (page cache / user memory) and registers
+    /// it for migration. Returns the stable handle.
+    pub fn alloc_movable(&mut self) -> Option<(PageHandle, Cost)> {
+        let (pfn, cost) = self.buddy.alloc_pages(0, MigrateType::Movable)?;
+        let h = self.rmap.register(pfn);
+        Some((h, cost + Cost::instr(40) + Cost::mem(3)))
+    }
+
+    /// Frees a movable page by handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown handle.
+    pub fn free_movable(&mut self, h: PageHandle) -> Cost {
+        let pfn = self.rmap.unregister(h);
+        self.buddy.free_pages(pfn) + Cost::instr(30) + Cost::mem(2)
+    }
+
+    /// Evacuates every allocated page out of `[start, start+npages)` so the
+    /// range can be removed (balloon inflation, §6.2).
+    ///
+    /// Movable pages are migrated to replacement frames outside the range
+    /// (a page copy each); unmovable pages make the evacuation fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending frame if an unmovable or unregistered page is
+    /// in the range, or if no replacement frame exists outside it.
+    pub fn evacuate_range(&mut self, start: Pfn, npages: u64) -> Result<Cost, Pfn> {
+        let mut cost = Cost::ZERO;
+        for (head, info) in self.buddy.allocated_in(start, npages) {
+            if info.migrate != MigrateType::Movable || info.order != 0 {
+                return Err(head);
+            }
+            let Some(handle) = self.rmap.handle_of(head) else {
+                return Err(head);
+            };
+            // Replacement frame, guaranteed outside the range being
+            // reclaimed (as Linux's CMA migration target allocator does).
+            let (new_pfn, alloc_cost) = self
+                .buddy
+                .alloc_pages_excluding(0, MigrateType::Movable, Some((start, npages)))
+                .ok_or(head)?;
+            cost += alloc_cost;
+            cost += Cost::bulk(PAGE_SIZE as u64) + Cost::instr(300) + Cost::mem(12);
+            self.rmap.migrate(handle, new_pfn);
+            cost += self.buddy.free_pages(head);
+            self.stats.pages_migrated += 1;
+        }
+        Ok(cost)
+    }
+
+    /// The cost of one thread context switch (the paper cites 3–4 µs on the
+    /// strong core).
+    pub fn context_switch(&mut self) -> Cost {
+        self.stats.context_switches += 1;
+        Cost::instr(k2_soc::calib::CONTEXT_SWITCH_INSTRUCTIONS) + Cost::mem(20)
+    }
+}
+
+/// The shadowed services: one logical instance shared by all kernels.
+#[derive(Debug)]
+pub struct SharedServices {
+    /// The ext2 filesystem (on a ramdisk in §9.2's configuration, or on a
+    /// flash-like device for IO-bound experiments).
+    pub fs: Ext2Fs<Disk>,
+    /// Per-process file-descriptor tables (the "opened files" state that
+    /// a process's threads share across domains, §4.3).
+    pub vfs: crate::fs::vfs::Vfs,
+    /// The UDP network stack.
+    pub net: NetStack,
+    /// The DMA device driver.
+    pub dma: DmaDriver,
+    /// The sensor-hub driver (the weak domain's flagship client, §2.1).
+    pub sensor: SensorDriver,
+}
+
+impl SharedServices {
+    /// Creates the bundle with a freshly formatted `fs_blocks`-block
+    /// ramdisk filesystem (the paper's configuration).
+    pub fn new(fs_blocks: u64) -> Self {
+        Self::with_disk(Disk::Ram(RamDisk::new(fs_blocks)))
+    }
+
+    /// Creates the bundle with a flash-backed filesystem, whose device
+    /// latency produces the IO-bound idle gaps of §2.1.
+    pub fn new_on_flash(fs_blocks: u64) -> Self {
+        Self::with_disk(Disk::Flash(FlashDisk::new(fs_blocks)))
+    }
+
+    fn with_disk(disk: Disk) -> Self {
+        let mut cx = OpCx::new();
+        SharedServices {
+            fs: Ext2Fs::format(disk, 1024, &mut cx),
+            vfs: crate::fs::vfs::Vfs::new(),
+            net: NetStack::new(),
+            dma: DmaDriver::new(),
+            sensor: SensorDriver::new(),
+        }
+    }
+}
+
+/// The world shared by every task in a simulated system: the kernels, the
+/// shadowed services, and the global process table.
+#[derive(Debug)]
+pub struct SystemWorld {
+    /// Per-domain kernels (index = domain index). The Linux baseline has
+    /// one; K2 has one per domain.
+    pub kernels: Vec<Kernel>,
+    /// The shadowed services.
+    pub services: SharedServices,
+    /// The single-system-image process table.
+    pub processes: ProcessTable,
+}
+
+impl SystemWorld {
+    /// Creates a world with `n_kernels` kernels and default-sized services.
+    pub fn new(n_kernels: usize) -> Self {
+        SystemWorld {
+            kernels: (0..n_kernels)
+                .map(|i| Kernel::new(DomainId(i as u8)))
+                .collect(),
+            services: SharedServices::new(8192), // 32 MB filesystem
+            processes: ProcessTable::new(),
+        }
+    }
+
+    /// The kernel instance of a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has no kernel (e.g. the weak domain under the
+    /// Linux baseline).
+    pub fn kernel(&mut self, dom: DomainId) -> &mut Kernel {
+        let k = self
+            .kernels
+            .get_mut(dom.index())
+            .unwrap_or_else(|| panic!("no kernel for {dom}"));
+        assert_eq!(k.domain, dom);
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_with_memory() -> Kernel {
+        let mut k = Kernel::new(DomainId::STRONG);
+        k.buddy.add_range(Pfn(0x100), 1024);
+        k
+    }
+
+    #[test]
+    fn movable_page_lifecycle() {
+        let mut k = kernel_with_memory();
+        let (h, _) = k.alloc_movable().unwrap();
+        let pfn = k.rmap.frame_of(h).unwrap();
+        assert!(k.buddy.is_allocated(pfn));
+        k.free_movable(h);
+        assert!(!k.buddy.is_allocated(pfn));
+    }
+
+    #[test]
+    fn evacuate_moves_movable_pages() {
+        let mut k = kernel_with_memory();
+        // Movable pages allocate from the top: 0x4ff downward.
+        let handles: Vec<PageHandle> = (0..8).map(|_| k.alloc_movable().unwrap().0).collect();
+        let top = Pfn(0x100 + 1024 - 16);
+        assert!(k.buddy.first_allocated_in(top, 16).is_some());
+        let cost = k.evacuate_range(top, 16).expect("all pages movable");
+        assert!(
+            cost.bulk_bytes >= 8 * PAGE_SIZE as u64,
+            "page copies charged"
+        );
+        assert!(k.buddy.is_range_free(top, 16));
+        // Handles still resolve, to frames outside the range.
+        for h in handles {
+            let pfn = k.rmap.frame_of(h).unwrap();
+            assert!(pfn.0 < top.0);
+        }
+        assert_eq!(k.stats.pages_migrated, 8);
+        k.buddy.check_invariants();
+    }
+
+    #[test]
+    fn evacuate_fails_on_unmovable_page() {
+        let mut k = kernel_with_memory();
+        let (pfn, _) = k.buddy.alloc_pages(0, MigrateType::Unmovable).unwrap();
+        assert_eq!(k.evacuate_range(Pfn(0x100), 64), Err(pfn));
+    }
+
+    #[test]
+    fn context_switch_counts_and_costs() {
+        let mut k = kernel_with_memory();
+        let c = k.context_switch();
+        assert!(c.instructions > 1000);
+        assert_eq!(k.stats.context_switches, 1);
+    }
+
+    #[test]
+    fn system_world_wires_kernels_to_domains() {
+        let mut w = SystemWorld::new(2);
+        assert_eq!(w.kernel(DomainId::STRONG).domain, DomainId::STRONG);
+        assert_eq!(w.kernel(DomainId::WEAK).domain, DomainId::WEAK);
+    }
+
+    #[test]
+    fn shared_services_start_functional() {
+        let mut s = SharedServices::new(256);
+        let mut cx = OpCx::new();
+        let ino = s.fs.create("/boot-check", &mut cx).unwrap();
+        s.fs.write(ino, 0, b"ok", &mut cx).unwrap();
+        let a = s.net.bind(None, &mut cx).unwrap();
+        let b = s.net.bind(None, &mut cx).unwrap();
+        s.net.send(a, b, b"up", &mut cx).unwrap();
+        assert_eq!(s.net.recv(b, &mut cx).unwrap().unwrap().payload, b"up");
+    }
+}

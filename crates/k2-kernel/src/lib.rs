@@ -1,0 +1,50 @@
+//! # k2-kernel — the Linux-like kernel substrate
+//!
+//! The OS services the K2 paper's evaluation exercises, implemented from
+//! scratch as *functional* models: a buddy page allocator with migrate
+//! types, a slab allocator, kernel page tables, processes/threads, an
+//! ext2-like filesystem on a block device, a UDP network stack, and a DMA
+//! device driver.
+//!
+//! Services mutate real data structures (files store real bytes, datagrams
+//! carry real payloads) and report their execution cost through
+//! [`cost::Cost`] and their shared-state page accesses through
+//! [`service::OpCx`]. The `k2` crate composes these into either a
+//! single-kernel Linux baseline or the two-kernel K2 system with DSM-backed
+//! shadowed services; this crate is deliberately ignorant of both.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_kernel::kernel::SystemWorld;
+//! use k2_kernel::service::OpCx;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut world = SystemWorld::new(2);
+//! let mut cx = OpCx::new();
+//! let ino = world.services.fs.create("/hello", &mut cx)?;
+//! world.services.fs.write(ino, 0, b"from the kernel substrate", &mut cx)?;
+//! assert!(!cx.cost().is_zero());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod drivers;
+pub mod fs;
+pub mod irqflow;
+pub mod kernel;
+pub mod mm;
+pub mod net;
+pub mod proc;
+pub mod sched;
+pub mod service;
+
+pub use cost::Cost;
+pub use irqflow::{BhPolicy, BhWork, BottomHalves};
+pub use kernel::{Kernel, KernelStats, SharedServices, SystemWorld};
+pub use proc::{Pid, ProcessTable, ThreadKind, ThreadState, Tid};
+pub use sched::RunQueue;
+pub use service::{OpCx, ServiceId, StatePage};

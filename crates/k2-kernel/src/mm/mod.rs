@@ -1,0 +1,14 @@
+//! Memory management: buddy allocator, slab allocator, reverse map, and
+//! kernel page tables.
+
+pub mod buddy;
+pub mod pagecache;
+pub mod pagetable;
+pub mod rmap;
+pub mod slab;
+
+pub use buddy::{BuddyAllocator, BuddyStats, MigrateType, MAX_ORDER};
+pub use pagecache::{PageCache, PageCacheStats};
+pub use pagetable::{Grain, KernelPageTable, Protection};
+pub use rmap::{MovableRegistry, PageHandle};
+pub use slab::{ObjRef, SlabAllocator};

@@ -1,0 +1,162 @@
+//! The page cache: file blocks cached in movable pages.
+//!
+//! Page-cache pages are the bulk of the *movable* memory that balloon
+//! inflation evacuates (§6.2: movable pages are 70–80 % of the total on
+//! mobile systems). Each kernel has its own cache — the pages come from
+//! its independent allocator — while the file *contents* live in the
+//! shadowed filesystem; the cache maps `(inode, block)` to the stable
+//! [`PageHandle`]s that survive migration.
+
+use crate::fs::ext2::InodeNo;
+use crate::mm::rmap::PageHandle;
+use std::collections::HashMap;
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Lookups that found a cached page.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Pages inserted.
+    pub inserts: u64,
+    /// Pages evicted or dropped.
+    pub evictions: u64,
+}
+
+/// A per-kernel page cache. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use k2_kernel::mm::pagecache::PageCache;
+/// use k2_kernel::mm::rmap::PageHandle;
+/// use k2_kernel::fs::ext2::InodeNo;
+///
+/// let mut pc = PageCache::new();
+/// pc.insert(InodeNo(3), 0, PageHandle(42));
+/// assert_eq!(pc.lookup(InodeNo(3), 0), Some(PageHandle(42)));
+/// assert_eq!(pc.lookup(InodeNo(3), 1), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct PageCache {
+    map: HashMap<(u32, u64), PageHandle>,
+    stats: PageCacheStats,
+}
+
+impl PageCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caches `page` as file `ino`'s block `blk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already cached (the caller should have hit).
+    pub fn insert(&mut self, ino: InodeNo, blk: u64, page: PageHandle) {
+        let prev = self.map.insert((ino.0, blk), page);
+        assert!(prev.is_none(), "block ({ino:?}, {blk}) cached twice");
+        self.stats.inserts += 1;
+    }
+
+    /// Looks up a cached block, counting a hit or miss.
+    pub fn lookup(&mut self, ino: InodeNo, blk: u64) -> Option<PageHandle> {
+        match self.map.get(&(ino.0, blk)) {
+            Some(&h) => {
+                self.stats.hits += 1;
+                Some(h)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops every cached page of one file (truncate/unlink), returning the
+    /// handles for the caller to free.
+    pub fn remove_file(&mut self, ino: InodeNo) -> Vec<PageHandle> {
+        let keys: Vec<(u32, u64)> = self
+            .map
+            .keys()
+            .filter(|(i, _)| *i == ino.0)
+            .copied()
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            out.push(self.map.remove(&k).expect("key just listed"));
+        }
+        self.stats.evictions += out.len() as u64;
+        out
+    }
+
+    /// Drops everything (`echo 3 > drop_caches`), returning the handles.
+    pub fn drop_all(&mut self) -> Vec<PageHandle> {
+        let out: Vec<PageHandle> = self.map.drain().map(|(_, h)| h).collect();
+        self.stats.evictions += out.len() as u64;
+        out
+    }
+
+    /// Cached pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PageCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut pc = PageCache::new();
+        pc.insert(InodeNo(1), 0, PageHandle(10));
+        assert!(pc.lookup(InodeNo(1), 0).is_some());
+        assert!(pc.lookup(InodeNo(1), 9).is_none());
+        let s = pc.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn remove_file_returns_only_that_files_pages() {
+        let mut pc = PageCache::new();
+        pc.insert(InodeNo(1), 0, PageHandle(10));
+        pc.insert(InodeNo(1), 1, PageHandle(11));
+        pc.insert(InodeNo(2), 0, PageHandle(20));
+        let freed = pc.remove_file(InodeNo(1));
+        assert_eq!(freed.len(), 2);
+        assert_eq!(pc.len(), 1);
+        assert!(pc.lookup(InodeNo(2), 0).is_some());
+    }
+
+    #[test]
+    fn drop_all_empties_the_cache() {
+        let mut pc = PageCache::new();
+        for b in 0..5 {
+            pc.insert(InodeNo(7), b, PageHandle(b));
+        }
+        assert_eq!(pc.drop_all().len(), 5);
+        assert!(pc.is_empty());
+        assert_eq!(pc.stats().evictions, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cached twice")]
+    fn double_insert_panics() {
+        let mut pc = PageCache::new();
+        pc.insert(InodeNo(1), 0, PageHandle(1));
+        pc.insert(InodeNo(1), 0, PageHandle(2));
+    }
+}

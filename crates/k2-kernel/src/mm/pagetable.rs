@@ -1,0 +1,254 @@
+//! Kernel page tables with mixed mapping granularity.
+//!
+//! ARM lets the kernel map memory with 4 KB pages, 1 MB sections or 16 MB
+//! supersections. K2 maps non-shared regions in large grains and demotes a
+//! section to 4 KB pages on demand, only when an address in it becomes
+//! DSM-shared (§6.3, "optimize memory footprint") — shrinking page tables
+//! and TLB pressure compared to mapping everything small.
+
+use crate::cost::Cost;
+use k2_soc::mem::PAGE_SIZE;
+use std::collections::BTreeMap;
+
+/// Mapping granularity of one entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Grain {
+    /// 4 KB page.
+    Page4K,
+    /// 1 MB section (256 pages).
+    Section1M,
+    /// 16 MB supersection (4096 pages).
+    Super16M,
+}
+
+impl Grain {
+    /// Pages covered by one entry of this grain.
+    pub fn pages(self) -> u64 {
+        match self {
+            Grain::Page4K => 1,
+            Grain::Section1M => 256,
+            Grain::Super16M => 4096,
+        }
+    }
+
+    /// Bytes covered by one entry of this grain.
+    pub fn bytes(self) -> u64 {
+        self.pages() * PAGE_SIZE as u64
+    }
+}
+
+/// Access protections on an entry (what the DSM toggles to trap accesses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protection {
+    /// Entry is valid: access proceeds.
+    Valid,
+    /// Entry is made ineffective: any access faults (the DSM's Invalid
+    /// state, §6.3).
+    Ineffective,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    grain: Grain,
+    prot: Protection,
+}
+
+/// A kernel page table tracking grains and protections per virtual page.
+///
+/// Keyed by VPN (virtual page number). Large-grain entries are stored at
+/// their first VPN and cover `grain.pages()` pages.
+#[derive(Debug, Default)]
+pub struct KernelPageTable {
+    entries: BTreeMap<u64, Entry>,
+}
+
+impl KernelPageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps `[vpn, vpn + grain.pages())` with one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is not aligned to the grain or overlaps an existing
+    /// entry.
+    pub fn map(&mut self, vpn: u64, grain: Grain) -> Cost {
+        assert_eq!(
+            vpn % grain.pages(),
+            0,
+            "vpn {vpn:#x} unaligned for {grain:?}"
+        );
+        assert!(
+            self.entry_covering(vpn).is_none(),
+            "vpn {vpn:#x} already mapped"
+        );
+        self.entries.insert(
+            vpn,
+            Entry {
+                grain,
+                prot: Protection::Valid,
+            },
+        );
+        Cost::instr(40) + Cost::mem(2)
+    }
+
+    /// The entry covering `vpn`, if mapped: `(first_vpn, grain, prot)`.
+    pub fn entry_covering(&self, vpn: u64) -> Option<(u64, Grain, Protection)> {
+        let (&base, e) = self.entries.range(..=vpn).next_back()?;
+        if vpn < base + e.grain.pages() {
+            Some((base, e.grain, e.prot))
+        } else {
+            None
+        }
+    }
+
+    /// Demotes the large-grain entry covering `vpn` into 4 KB entries
+    /// (needed before per-page DSM protection can apply). No-op for an
+    /// already-4K mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is unmapped.
+    pub fn split_to_pages(&mut self, vpn: u64) -> Cost {
+        let (base, grain, prot) = self
+            .entry_covering(vpn)
+            .unwrap_or_else(|| panic!("split of unmapped vpn {vpn:#x}"));
+        if grain == Grain::Page4K {
+            return Cost::ZERO;
+        }
+        self.entries.remove(&base);
+        for p in 0..grain.pages() {
+            self.entries.insert(
+                base + p,
+                Entry {
+                    grain: Grain::Page4K,
+                    prot,
+                },
+            );
+        }
+        // Writing a second-level table: one descriptor per page plus a TLB
+        // maintenance operation.
+        Cost::instr(12 * grain.pages()) + Cost::mem(grain.pages() / 8 + 4)
+    }
+
+    /// Sets the protection of the 4 KB entry at `vpn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is unmapped or still covered by a large grain (call
+    /// [`KernelPageTable::split_to_pages`] first).
+    pub fn set_protection(&mut self, vpn: u64, prot: Protection) -> Cost {
+        let e = self
+            .entries
+            .get_mut(&vpn)
+            .unwrap_or_else(|| panic!("protection change on unmapped/large vpn {vpn:#x}"));
+        assert_eq!(e.grain, Grain::Page4K, "protection is per-4K-page");
+        e.prot = prot;
+        // PTE write + TLB invalidate of one entry.
+        Cost::instr(30) + Cost::mem(2)
+    }
+
+    /// Number of page-table entries (a memory-footprint metric: the paper's
+    /// motivation for large-grain mappings).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total pages mapped.
+    pub fn mapped_pages(&self) -> u64 {
+        self.entries.values().map(|e| e.grain.pages()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grains_cover_expected_pages() {
+        assert_eq!(Grain::Page4K.pages(), 1);
+        assert_eq!(Grain::Section1M.pages(), 256);
+        assert_eq!(Grain::Super16M.pages(), 4096);
+        assert_eq!(Grain::Section1M.bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn map_and_lookup() {
+        let mut pt = KernelPageTable::new();
+        pt.map(0, Grain::Section1M);
+        assert_eq!(
+            pt.entry_covering(100),
+            Some((0, Grain::Section1M, Protection::Valid))
+        );
+        assert_eq!(pt.entry_covering(256), None);
+    }
+
+    #[test]
+    fn split_preserves_coverage_and_grows_entries() {
+        let mut pt = KernelPageTable::new();
+        pt.map(0, Grain::Section1M);
+        assert_eq!(pt.entry_count(), 1);
+        pt.split_to_pages(17);
+        assert_eq!(pt.entry_count(), 256);
+        assert_eq!(pt.mapped_pages(), 256);
+        assert_eq!(
+            pt.entry_covering(17),
+            Some((17, Grain::Page4K, Protection::Valid))
+        );
+    }
+
+    #[test]
+    fn split_of_4k_is_free() {
+        let mut pt = KernelPageTable::new();
+        pt.map(3, Grain::Page4K);
+        assert_eq!(pt.split_to_pages(3), Cost::ZERO);
+    }
+
+    #[test]
+    fn protection_toggles_after_split() {
+        let mut pt = KernelPageTable::new();
+        pt.map(0, Grain::Section1M);
+        pt.split_to_pages(5);
+        pt.set_protection(5, Protection::Ineffective);
+        assert_eq!(
+            pt.entry_covering(5),
+            Some((5, Grain::Page4K, Protection::Ineffective))
+        );
+        // Neighbouring pages keep their protection.
+        assert_eq!(
+            pt.entry_covering(6),
+            Some((6, Grain::Page4K, Protection::Valid))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "per-4K-page")]
+    fn protection_on_section_panics() {
+        let mut pt = KernelPageTable::new();
+        pt.map(0, Grain::Section1M);
+        pt.set_protection(0, Protection::Ineffective);
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn overlapping_map_panics() {
+        let mut pt = KernelPageTable::new();
+        pt.map(0, Grain::Section1M);
+        pt.map(128, Grain::Page4K);
+    }
+
+    #[test]
+    fn large_grain_footprint_is_smaller() {
+        // The §6.3 point: mapping 16 MB as one supersection vs 4096 PTEs.
+        let mut big = KernelPageTable::new();
+        big.map(0, Grain::Super16M);
+        let mut small = KernelPageTable::new();
+        for vpn in 0..4096 {
+            small.map(vpn, Grain::Page4K);
+        }
+        assert_eq!(big.mapped_pages(), small.mapped_pages());
+        assert!(big.entry_count() * 1000 < small.entry_count() * 1000 / 100);
+    }
+}

@@ -1,0 +1,174 @@
+//! Reverse mapping for movable pages.
+//!
+//! When a balloon inflates, K2 evacuates movable pages out of the requested
+//! page block (§6.2). Moving a page means its owner's reference must be
+//! updated — in Linux, via the reverse map. Here, every movable page is
+//! registered with a stable [`PageHandle`]; owners (page cache, user
+//! mappings) hold handles rather than raw frames, so migration is a table
+//! update plus a page copy.
+
+use k2_soc::mem::Pfn;
+use std::collections::HashMap;
+
+/// A stable identity for a movable page, preserved across migration.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PageHandle(pub u64);
+
+/// The movable-page registry (a miniature rmap).
+///
+/// # Examples
+///
+/// ```
+/// use k2_kernel::mm::rmap::MovableRegistry;
+/// use k2_soc::mem::Pfn;
+///
+/// let mut r = MovableRegistry::new();
+/// let h = r.register(Pfn(10));
+/// r.migrate(h, Pfn(99));
+/// assert_eq!(r.frame_of(h), Some(Pfn(99)));
+/// ```
+#[derive(Debug, Default)]
+pub struct MovableRegistry {
+    by_handle: HashMap<u64, u64>,
+    by_pfn: HashMap<u64, u64>,
+    next: u64,
+    migrations: u64,
+}
+
+impl MovableRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a newly allocated movable page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already registered.
+    pub fn register(&mut self, pfn: Pfn) -> PageHandle {
+        assert!(
+            !self.by_pfn.contains_key(&pfn.0),
+            "frame {pfn:?} already registered"
+        );
+        let h = self.next;
+        self.next += 1;
+        self.by_handle.insert(h, pfn.0);
+        self.by_pfn.insert(pfn.0, h);
+        PageHandle(h)
+    }
+
+    /// Unregisters a page (it is being freed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown handle.
+    pub fn unregister(&mut self, h: PageHandle) -> Pfn {
+        let pfn = self
+            .by_handle
+            .remove(&h.0)
+            .unwrap_or_else(|| panic!("unregister of unknown handle {h:?}"));
+        self.by_pfn.remove(&pfn);
+        Pfn(pfn)
+    }
+
+    /// The current frame of a handle.
+    pub fn frame_of(&self, h: PageHandle) -> Option<Pfn> {
+        self.by_handle.get(&h.0).map(|&p| Pfn(p))
+    }
+
+    /// The handle registered for a frame, if it is movable.
+    pub fn handle_of(&self, pfn: Pfn) -> Option<PageHandle> {
+        self.by_pfn.get(&pfn.0).map(|&h| PageHandle(h))
+    }
+
+    /// Re-points a handle at a new frame (migration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown handle or if the destination is registered.
+    pub fn migrate(&mut self, h: PageHandle, to: Pfn) {
+        let old = *self
+            .by_handle
+            .get(&h.0)
+            .unwrap_or_else(|| panic!("migrate of unknown handle {h:?}"));
+        assert!(
+            !self.by_pfn.contains_key(&to.0),
+            "destination {to:?} already registered"
+        );
+        self.by_pfn.remove(&old);
+        self.by_handle.insert(h.0, to.0);
+        self.by_pfn.insert(to.0, h.0);
+        self.migrations += 1;
+    }
+
+    /// Number of registered movable pages.
+    pub fn len(&self) -> usize {
+        self.by_handle.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_handle.is_empty()
+    }
+
+    /// Total migrations performed.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let mut r = MovableRegistry::new();
+        let h = r.register(Pfn(5));
+        assert_eq!(r.frame_of(h), Some(Pfn(5)));
+        assert_eq!(r.handle_of(Pfn(5)), Some(h));
+        assert_eq!(r.unregister(h), Pfn(5));
+        assert_eq!(r.frame_of(h), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn migrate_updates_both_directions() {
+        let mut r = MovableRegistry::new();
+        let h = r.register(Pfn(1));
+        r.migrate(h, Pfn(2));
+        assert_eq!(r.frame_of(h), Some(Pfn(2)));
+        assert_eq!(r.handle_of(Pfn(1)), None);
+        assert_eq!(r.handle_of(Pfn(2)), Some(h));
+        assert_eq!(r.migrations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn double_register_panics() {
+        let mut r = MovableRegistry::new();
+        r.register(Pfn(1));
+        r.register(Pfn(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "destination")]
+    fn migrate_onto_registered_frame_panics() {
+        let mut r = MovableRegistry::new();
+        let h = r.register(Pfn(1));
+        r.register(Pfn(2));
+        r.migrate(h, Pfn(2));
+    }
+
+    #[test]
+    fn handles_are_stable_identities() {
+        let mut r = MovableRegistry::new();
+        let h1 = r.register(Pfn(1));
+        let h2 = r.register(Pfn(2));
+        assert_ne!(h1, h2);
+        r.unregister(h1);
+        let h3 = r.register(Pfn(3));
+        assert_ne!(h3, h1, "handles are never reused");
+    }
+}

@@ -1,0 +1,219 @@
+//! A slab allocator (`kmalloc`) over the buddy allocator.
+//!
+//! Small kernel objects — socket buffers, dentries, inodes in flight — come
+//! from per-size-class slabs, each slab being one unmovable buddy page
+//! carved into equal objects. This is what makes kernel pages *unmovable*
+//! for the balloon driver: a page with live kmalloc objects cannot be
+//! migrated.
+
+use crate::cost::Cost;
+use crate::mm::buddy::{BuddyAllocator, MigrateType};
+use k2_soc::mem::{Pfn, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Size classes, in bytes.
+const CLASSES: [u32; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+
+/// A reference to a live kmalloc object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ObjRef {
+    /// The page frame holding the object's slab.
+    pub pfn: Pfn,
+    /// Object index within the slab.
+    pub index: u16,
+}
+
+#[derive(Debug)]
+struct Slab {
+    free: Vec<u16>,
+    inuse: u16,
+    class: u8,
+}
+
+/// The slab allocator.
+///
+/// # Examples
+///
+/// ```
+/// use k2_kernel::mm::buddy::BuddyAllocator;
+/// use k2_kernel::mm::slab::SlabAllocator;
+/// use k2_soc::mem::Pfn;
+///
+/// let mut buddy = BuddyAllocator::new();
+/// buddy.add_range(Pfn(0), 64);
+/// let mut slab = SlabAllocator::new();
+/// let (obj, _cost) = slab.kmalloc(100, &mut buddy).unwrap();
+/// slab.kfree(obj, &mut buddy);
+/// ```
+#[derive(Debug, Default)]
+pub struct SlabAllocator {
+    /// Partial (not-full) slab pages per class index.
+    partial: Vec<Vec<Pfn>>,
+    slabs: HashMap<u64, Slab>,
+    allocated_objs: u64,
+}
+
+impl SlabAllocator {
+    /// Creates an empty slab allocator.
+    pub fn new() -> Self {
+        SlabAllocator {
+            partial: vec![Vec::new(); CLASSES.len()],
+            slabs: HashMap::new(),
+            allocated_objs: 0,
+        }
+    }
+
+    /// Live object count.
+    pub fn allocated_objects(&self) -> u64 {
+        self.allocated_objs
+    }
+
+    /// Number of slab pages currently held from the buddy allocator.
+    pub fn slab_pages(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// Allocates an object of at least `size` bytes.
+    ///
+    /// Returns `None` if `size` exceeds the largest class (use the page
+    /// allocator directly) or the buddy allocator is out of memory.
+    pub fn kmalloc(&mut self, size: u32, buddy: &mut BuddyAllocator) -> Option<(ObjRef, Cost)> {
+        let class = CLASSES.iter().position(|&c| c >= size)? as u8;
+        let mut cost = Cost::instr(90) + Cost::mem(4);
+        let pfn = match self.partial[class as usize].last() {
+            Some(&p) => p,
+            None => {
+                // Grow: take an unmovable page from the buddy allocator.
+                let (p, alloc_cost) = buddy.alloc_pages(0, MigrateType::Unmovable)?;
+                cost += alloc_cost + Cost::instr(150) + Cost::mem(8);
+                let per_page = (PAGE_SIZE as u32 / CLASSES[class as usize]) as u16;
+                self.slabs.insert(
+                    p.0,
+                    Slab {
+                        free: (0..per_page).rev().collect(),
+                        inuse: 0,
+                        class,
+                    },
+                );
+                self.partial[class as usize].push(p);
+                p
+            }
+        };
+        let slab = self.slabs.get_mut(&pfn.0).expect("partial slab exists");
+        let index = slab.free.pop().expect("partial slab has a free object");
+        slab.inuse += 1;
+        if slab.free.is_empty() {
+            self.partial[class as usize].retain(|&p| p != pfn);
+        }
+        self.allocated_objs += 1;
+        Some((ObjRef { pfn, index }, cost))
+    }
+
+    /// Frees an object. Fully-free slab pages are returned to the buddy
+    /// allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown object or double free.
+    pub fn kfree(&mut self, obj: ObjRef, buddy: &mut BuddyAllocator) -> Cost {
+        let mut cost = Cost::instr(70) + Cost::mem(3);
+        let slab = self
+            .slabs
+            .get_mut(&obj.pfn.0)
+            .unwrap_or_else(|| panic!("kfree of unknown slab page {:?}", obj.pfn));
+        assert!(!slab.free.contains(&obj.index), "double kfree of {obj:?}");
+        let was_full = slab.free.is_empty();
+        slab.free.push(obj.index);
+        slab.inuse -= 1;
+        let class = slab.class;
+        self.allocated_objs -= 1;
+        if slab.inuse == 0 {
+            self.slabs.remove(&obj.pfn.0);
+            self.partial[class as usize].retain(|&p| p != obj.pfn);
+            cost += buddy.free_pages(obj.pfn);
+        } else if was_full {
+            self.partial[class as usize].push(obj.pfn);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SlabAllocator, BuddyAllocator) {
+        let mut b = BuddyAllocator::new();
+        b.add_range(Pfn(0), 256);
+        (SlabAllocator::new(), b)
+    }
+
+    #[test]
+    fn alloc_free_cycle_returns_pages() {
+        let (mut s, mut b) = setup();
+        let free0 = b.free_page_count();
+        let (o, _) = s.kmalloc(64, &mut b).unwrap();
+        assert_eq!(b.free_page_count(), free0 - 1);
+        s.kfree(o, &mut b);
+        assert_eq!(b.free_page_count(), free0);
+        assert_eq!(s.allocated_objects(), 0);
+    }
+
+    #[test]
+    fn objects_share_a_slab_page() {
+        let (mut s, mut b) = setup();
+        let (o1, _) = s.kmalloc(64, &mut b).unwrap();
+        let (o2, _) = s.kmalloc(64, &mut b).unwrap();
+        assert_eq!(o1.pfn, o2.pfn);
+        assert_ne!(o1.index, o2.index);
+        assert_eq!(s.slab_pages(), 1);
+    }
+
+    #[test]
+    fn size_classes_round_up() {
+        let (mut s, mut b) = setup();
+        let (o1, _) = s.kmalloc(33, &mut b).unwrap(); // -> 64-byte class
+        let (o2, _) = s.kmalloc(64, &mut b).unwrap();
+        assert_eq!(o1.pfn, o2.pfn, "33 and 64 share the 64-byte class");
+    }
+
+    #[test]
+    fn oversized_requests_refused() {
+        let (mut s, mut b) = setup();
+        assert!(s.kmalloc(4096, &mut b).is_none());
+    }
+
+    #[test]
+    fn full_slab_spawns_new_page() {
+        let (mut s, mut b) = setup();
+        let per_page = PAGE_SIZE / 2048;
+        let mut objs = Vec::new();
+        for _ in 0..per_page + 1 {
+            objs.push(s.kmalloc(2048, &mut b).unwrap().0);
+        }
+        assert_eq!(s.slab_pages(), 2);
+        // Freeing one object from the full page makes it partial again and
+        // the next allocation reuses it.
+        s.kfree(objs[0], &mut b);
+        let (o, _) = s.kmalloc(2048, &mut b).unwrap();
+        assert_eq!(o.pfn, objs[0].pfn);
+    }
+
+    #[test]
+    #[should_panic(expected = "double kfree")]
+    fn double_free_panics() {
+        let (mut s, mut b) = setup();
+        let (o1, _) = s.kmalloc(64, &mut b).unwrap();
+        let (_o2, _) = s.kmalloc(64, &mut b).unwrap(); // keep slab alive
+        s.kfree(o1, &mut b);
+        s.kfree(o1, &mut b);
+    }
+
+    #[test]
+    fn slab_pages_are_unmovable() {
+        let (mut s, mut b) = setup();
+        let (o, _) = s.kmalloc(128, &mut b).unwrap();
+        let info = b.alloc_info(o.pfn).expect("slab page is a buddy block");
+        assert_eq!(info.migrate, MigrateType::Unmovable);
+    }
+}

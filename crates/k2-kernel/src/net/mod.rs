@@ -1,0 +1,5 @@
+//! Network layer: the UDP stack with loopback delivery.
+
+pub mod udp;
+
+pub use udp::{Datagram, NetError, NetStack, Port};

@@ -1,0 +1,259 @@
+//! Processes and threads.
+//!
+//! The single system image means processes are global — one pid namespace
+//! across kernels — while each *thread* is pinned to a domain: normal
+//! threads run on the strong domain, NightWatch threads on the weak domain
+//! (paper §8). This module is the bookkeeping layer K2's NightWatch
+//! scheduling operates on; the actual suspend/resume protocol lives in the
+//! `k2` crate.
+
+use k2_soc::ids::DomainId;
+use std::collections::HashMap;
+
+/// Process identifier (global across kernels — the single system image).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u32);
+
+/// Thread identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tid(pub u32);
+
+/// The two thread flavours the paper distinguishes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadKind {
+    /// A normal thread: scheduled on the strong domain as in stock Linux.
+    Normal,
+    /// A NightWatch thread: pinned to the weak domain, only schedulable
+    /// when all normal threads of its process are suspended (§8).
+    NightWatch,
+}
+
+/// Scheduler-visible thread state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Currently on a core.
+    Running,
+    /// Blocked on I/O or an event.
+    Blocked,
+    /// A NightWatch thread flagged off the run queue by the SuspendNW
+    /// protocol (not a normal block: only ResumeNW clears it).
+    SuspendedNw,
+    /// Finished.
+    Exited,
+}
+
+/// One thread's record.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    /// Owning process.
+    pub pid: Pid,
+    /// Flavour.
+    pub kind: ThreadKind,
+    /// Scheduler state.
+    pub state: ThreadState,
+    /// Domain the thread is pinned to.
+    pub domain: DomainId,
+    /// Human-readable name for diagnostics.
+    pub name: String,
+}
+
+/// One process's record.
+#[derive(Clone, Debug, Default)]
+pub struct Process {
+    /// Threads belonging to this process.
+    pub threads: Vec<Tid>,
+    /// Process name.
+    pub name: String,
+}
+
+/// The global process/thread table (part of the single system image).
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    processes: HashMap<u32, Process>,
+    threads: HashMap<u32, Thread>,
+    next_pid: u32,
+    next_tid: u32,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a process with no threads.
+    pub fn create_process(&mut self, name: &str) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.processes.insert(
+            pid.0,
+            Process {
+                threads: Vec::new(),
+                name: name.to_owned(),
+            },
+        );
+        pid
+    }
+
+    /// Creates a thread in `pid`. Normal threads land on the strong domain,
+    /// NightWatch threads on the weak domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not exist.
+    pub fn create_thread(&mut self, pid: Pid, kind: ThreadKind, name: &str) -> Tid {
+        let domain = match kind {
+            ThreadKind::Normal => DomainId::STRONG,
+            ThreadKind::NightWatch => DomainId::WEAK,
+        };
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        self.threads.insert(
+            tid.0,
+            Thread {
+                pid,
+                kind,
+                state: ThreadState::Runnable,
+                domain,
+                name: name.to_owned(),
+            },
+        );
+        self.processes
+            .get_mut(&pid.0)
+            .unwrap_or_else(|| panic!("no such process {pid:?}"))
+            .threads
+            .push(tid);
+        tid
+    }
+
+    /// A thread's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tid.
+    pub fn thread(&self, tid: Tid) -> &Thread {
+        self.threads
+            .get(&tid.0)
+            .unwrap_or_else(|| panic!("no such thread {tid:?}"))
+    }
+
+    /// Mutable access to a thread's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tid.
+    pub fn thread_mut(&mut self, tid: Tid) -> &mut Thread {
+        self.threads
+            .get_mut(&tid.0)
+            .unwrap_or_else(|| panic!("no such thread {tid:?}"))
+    }
+
+    /// A process's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid.
+    pub fn process(&self, pid: Pid) -> &Process {
+        self.processes
+            .get(&pid.0)
+            .unwrap_or_else(|| panic!("no such process {pid:?}"))
+    }
+
+    /// All threads of `pid` with the given kind.
+    pub fn threads_of_kind(&self, pid: Pid, kind: ThreadKind) -> Vec<Tid> {
+        self.process(pid)
+            .threads
+            .iter()
+            .copied()
+            .filter(|t| self.thread(*t).kind == kind)
+            .collect()
+    }
+
+    /// `true` if every *normal* thread of `pid` is blocked or exited — the
+    /// paper's condition for NightWatch threads to become schedulable (§8).
+    pub fn all_normal_threads_suspended(&self, pid: Pid) -> bool {
+        self.threads_of_kind(pid, ThreadKind::Normal)
+            .iter()
+            .all(|&t| {
+                matches!(
+                    self.thread(t).state,
+                    ThreadState::Blocked | ThreadState::Exited
+                )
+            })
+    }
+
+    /// Total number of live threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+            .values()
+            .filter(|t| t.state != ThreadState::Exited)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_and_threads_round_trip() {
+        let mut pt = ProcessTable::new();
+        let pid = pt.create_process("email-sync");
+        let t1 = pt.create_thread(pid, ThreadKind::Normal, "ui");
+        let t2 = pt.create_thread(pid, ThreadKind::NightWatch, "bg-sync");
+        assert_eq!(pt.process(pid).threads, vec![t1, t2]);
+        assert_eq!(pt.thread(t1).domain, DomainId::STRONG);
+        assert_eq!(pt.thread(t2).domain, DomainId::WEAK);
+        assert_eq!(pt.thread_count(), 2);
+    }
+
+    #[test]
+    fn pids_and_tids_are_unique() {
+        let mut pt = ProcessTable::new();
+        let p1 = pt.create_process("a");
+        let p2 = pt.create_process("b");
+        assert_ne!(p1, p2);
+        let t1 = pt.create_thread(p1, ThreadKind::Normal, "x");
+        let t2 = pt.create_thread(p2, ThreadKind::Normal, "y");
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn nightwatch_gate_follows_normal_thread_states() {
+        let mut pt = ProcessTable::new();
+        let pid = pt.create_process("app");
+        let n = pt.create_thread(pid, ThreadKind::Normal, "main");
+        let _w = pt.create_thread(pid, ThreadKind::NightWatch, "nw");
+        assert!(!pt.all_normal_threads_suspended(pid), "normal runnable");
+        pt.thread_mut(n).state = ThreadState::Blocked;
+        assert!(pt.all_normal_threads_suspended(pid));
+        pt.thread_mut(n).state = ThreadState::Running;
+        assert!(!pt.all_normal_threads_suspended(pid));
+    }
+
+    #[test]
+    fn process_with_no_normal_threads_always_allows_nightwatch() {
+        let mut pt = ProcessTable::new();
+        let pid = pt.create_process("pure-bg");
+        pt.create_thread(pid, ThreadKind::NightWatch, "nw");
+        assert!(pt.all_normal_threads_suspended(pid));
+    }
+
+    #[test]
+    fn threads_of_kind_filters() {
+        let mut pt = ProcessTable::new();
+        let pid = pt.create_process("app");
+        pt.create_thread(pid, ThreadKind::Normal, "a");
+        let w = pt.create_thread(pid, ThreadKind::NightWatch, "b");
+        assert_eq!(pt.threads_of_kind(pid, ThreadKind::NightWatch), vec![w]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such process")]
+    fn thread_in_unknown_process_panics() {
+        let mut pt = ProcessTable::new();
+        pt.create_thread(Pid(9), ThreadKind::Normal, "x");
+    }
+}

@@ -1,0 +1,218 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered first by their firing time and then by insertion
+//! sequence number, so two events scheduled for the same instant always fire
+//! in the order they were scheduled. This tie-break is what makes the whole
+//! simulation reproducible run-to-run.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventKey(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+    cancelled: bool,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, with the sequence number as a deterministic tie-break.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timestamped events with stable FIFO ordering for ties.
+///
+/// # Examples
+///
+/// ```
+/// use k2_sim::queue::EventQueue;
+/// use k2_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(20), "later");
+/// q.schedule(SimTime::from_ns(10), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(20), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`, returning a key that can later be
+    /// passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            payload,
+            cancelled: false,
+        });
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event had
+    /// not yet fired (or been cancelled).
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is skipped when
+    /// popped, which keeps cancellation O(1).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(key.0)
+    }
+
+    /// The firing time of the next (non-cancelled) event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the next event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if top.cancelled || self.cancelled.contains(&top.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_time_sees_past_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+    }
+}

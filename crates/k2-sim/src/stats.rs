@@ -1,0 +1,319 @@
+//! Statistics accumulators used throughout the simulation.
+
+use crate::time::SimDuration;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use k2_sim::stats::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running mean / min / max / variance over `f64` samples (Welford's
+/// algorithm, numerically stable).
+///
+/// # Examples
+///
+/// ```
+/// use k2_sim::stats::Summary;
+///
+/// let mut s = Summary::default();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Summary {
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Records a duration sample in microseconds.
+    pub fn record_duration_us(&mut self, d: SimDuration) {
+        self.record(d.as_us_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean of the samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn min(&self) -> f64 {
+        assert!(self.n > 0, "min of empty summary");
+        self.min
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn max(&self) -> f64 {
+        assert!(self.n > 0, "max of empty summary");
+        self.max
+    }
+
+    /// Sample standard deviation (0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.n == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3} sd={:.3}",
+            self.n,
+            self.mean(),
+            self.min,
+            self.max,
+            self.stddev()
+        )
+    }
+}
+
+/// A fixed-bucket histogram over non-negative integer samples (e.g. latency
+/// in nanoseconds) with power-of-two bucket boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use k2_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(100);
+/// h.record(100_000);
+/// assert_eq!(h.count(), 2);
+/// assert!(h.percentile(0.5) <= 100_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records a sample. Bucket `i` holds samples whose bit length is `i`,
+    /// i.e. values in `[2^(i-1), 2^i)`.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        self.buckets[idx.min(63)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound for the requested percentile (`0.0..=1.0`), resolved to
+    /// the enclosing power-of-two bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.add(10);
+        c.incr();
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::default();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_mean_is_zero() {
+        assert_eq!(Summary::default().mean(), 0.0);
+        assert_eq!(Summary::default().stddev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min of empty")]
+    fn summary_empty_min_panics() {
+        let _ = Summary::default().min();
+    }
+
+    #[test]
+    fn summary_records_durations() {
+        let mut s = Summary::default();
+        s.record_duration_us(SimDuration::from_us(52));
+        assert!((s.mean() - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_mean_and_count() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        // p50 should resolve to the bucket containing 100 (i.e. <= 128).
+        assert!(h.percentile(0.5) <= 128);
+        // p100 must cover the outlier.
+        assert!(h.percentile(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! A bounded, typed event trace.
+//!
+//! Debugging a two-kernel system needs more than printfs: the trace records
+//! *what happened in what order* (power transitions, interrupt deliveries,
+//! task dispatches) so tests can assert on sequences and tools can dump a
+//! timeline. The buffer is a ring: recording never allocates after
+//! construction and never grows unboundedly in long simulations.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record: a timestamp, a subject (core/domain/task id), and an
+/// event kind with a small payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// What it was.
+    pub event: TraceEvent,
+}
+
+/// The kinds of events worth tracing at the platform level.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A core changed power state (0 = active, 1 = idle, 2 = inactive).
+    Power {
+        /// Core index.
+        core: u8,
+        /// New state code.
+        state: u8,
+    },
+    /// An interrupt was delivered to a domain.
+    Irq {
+        /// Line number.
+        line: u16,
+        /// Receiving domain index.
+        domain: u8,
+    },
+    /// A task started or finished a busy period.
+    Task {
+        /// Task id.
+        task: u32,
+        /// `true` at dispatch, `false` at completion.
+        start: bool,
+    },
+    /// A hardware mail was delivered.
+    Mail {
+        /// Destination domain index.
+        to: u8,
+        /// Raw payload.
+        payload: u32,
+    },
+    /// Free-form marker emitted by higher layers.
+    Marker(&'static str),
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Power { core, state } => {
+                let s = ["active", "idle", "inactive"][(*state as usize).min(2)];
+                write!(f, "cpu{core} -> {s}")
+            }
+            TraceEvent::Irq { line, domain } => write!(f, "irq{line} -> D{domain}"),
+            TraceEvent::Task { task, start } => {
+                write!(f, "task{task} {}", if *start { "dispatch" } else { "done" })
+            }
+            TraceEvent::Mail { to, payload } => write!(f, "mail {payload:#x} -> D{to}"),
+            TraceEvent::Marker(s) => f.write_str(s),
+        }
+    }
+}
+
+/// The bounded ring of trace records.
+///
+/// # Examples
+///
+/// ```
+/// use k2_sim::trace::{Trace, TraceEvent};
+/// use k2_sim::time::SimTime;
+///
+/// let mut t = Trace::new(128);
+/// t.record(SimTime::from_ns(10), TraceEvent::Marker("boot"));
+/// assert_eq!(t.len(), 1);
+/// assert!(t.iter().any(|r| r.event == TraceEvent::Marker("boot")));
+/// ```
+#[derive(Debug)]
+pub struct Trace {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` records (older records
+    /// are dropped first). Starts enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables recording (records are kept).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// `true` if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (dropping the oldest when full).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TraceRecord { at, event });
+    }
+
+    /// Records retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+
+    /// Finds the first retained record matching `pred`, with its index.
+    pub fn position<F: Fn(&TraceRecord) -> bool>(&self, pred: F) -> Option<usize> {
+        self.ring.iter().position(pred)
+    }
+
+    /// Renders the trace as a timeline, one record per line.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for r in &self.ring {
+            writeln!(s, "[{:?}] {}", r.at, r.event).unwrap();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new(8);
+        tr.record(t(1), TraceEvent::Marker("a"));
+        tr.record(t(2), TraceEvent::Marker("b"));
+        let events: Vec<_> = tr.iter().map(|r| r.at.as_ns()).collect();
+        assert_eq!(events, vec![1, 2]);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut tr = Trace::new(3);
+        for i in 0..5 {
+            tr.record(t(i), TraceEvent::Marker("x"));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        assert_eq!(tr.iter().next().unwrap().at, t(2));
+    }
+
+    #[test]
+    fn disable_stops_recording() {
+        let mut tr = Trace::new(4);
+        tr.set_enabled(false);
+        tr.record(t(0), TraceEvent::Marker("lost"));
+        assert!(tr.is_empty());
+        tr.set_enabled(true);
+        tr.record(t(1), TraceEvent::Marker("kept"));
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn position_finds_matches() {
+        let mut tr = Trace::new(8);
+        tr.record(t(0), TraceEvent::Power { core: 0, state: 2 });
+        tr.record(
+            t(1),
+            TraceEvent::Irq {
+                line: 12,
+                domain: 1,
+            },
+        );
+        let p = tr.position(|r| matches!(r.event, TraceEvent::Irq { line: 12, .. }));
+        assert_eq!(p, Some(1));
+    }
+
+    #[test]
+    fn dump_is_human_readable() {
+        let mut tr = Trace::new(4);
+        tr.record(t(1_000), TraceEvent::Power { core: 2, state: 0 });
+        tr.record(
+            t(2_000),
+            TraceEvent::Task {
+                task: 7,
+                start: true,
+            },
+        );
+        let d = tr.dump();
+        assert!(d.contains("cpu2 -> active"), "{d}");
+        assert!(d.contains("task7 dispatch"), "{d}");
+    }
+
+    #[test]
+    fn clear_resets_contents_not_drop_count() {
+        let mut tr = Trace::new(1);
+        tr.record(t(0), TraceEvent::Marker("a"));
+        tr.record(t(1), TraceEvent::Marker("b"));
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0);
+    }
+}

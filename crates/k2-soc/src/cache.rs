@@ -1,0 +1,129 @@
+//! Cache cost model.
+//!
+//! K2's software coherence replaces hardware snooping with explicit cache
+//! maintenance: before a page's ownership moves to the other domain, the
+//! owner must flush and invalidate the page from its local cache (paper
+//! §6.3). This module models the *cost* of those maintenance operations and
+//! of cold misses after an ownership transfer; it does not simulate cache
+//! contents line-by-line.
+
+use k2_sim::time::SimDuration;
+
+/// Geometry and latency parameters of one core's cache hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheParams {
+    /// L1 capacity in bytes.
+    pub l1_bytes: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Cycles to clean+invalidate one line ("flushing a L1 cache line takes
+    /// tens of cycles", §3).
+    pub flush_line_cycles: u32,
+    /// Cycles of stall for a cache miss serviced from RAM.
+    pub miss_cycles: u32,
+    /// L2 capacity in bytes (0 if no L2).
+    pub l2_bytes: u32,
+}
+
+impl CacheParams {
+    /// Cortex-A9 hierarchy: 64 KB L1, 1 MB L2, 32-byte lines (Table 1).
+    pub fn cortex_a9() -> Self {
+        CacheParams {
+            l1_bytes: 64 * 1024,
+            line_bytes: 32,
+            flush_line_cycles: 15,
+            miss_cycles: 50,
+            l2_bytes: 1024 * 1024,
+        }
+    }
+
+    /// Cortex-M3 on OMAP4: 32 KB unified cache, no L2 (Table 1).
+    pub fn cortex_m3() -> Self {
+        CacheParams {
+            l1_bytes: 32 * 1024,
+            line_bytes: 32,
+            flush_line_cycles: 24,
+            miss_cycles: 40,
+            l2_bytes: 0,
+        }
+    }
+
+    /// Number of lines covering `bytes` bytes (rounded up).
+    pub fn lines_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.line_bytes as u64)
+    }
+
+    /// Cycles to clean and invalidate a byte range from the local cache.
+    ///
+    /// Only lines that can actually be resident are charged: flushing a
+    /// region larger than the cache costs at most a whole-cache flush.
+    pub fn flush_range_cycles(&self, bytes: u64) -> u64 {
+        let resident_lines = (self.l1_bytes as u64 + self.l2_bytes as u64) / self.line_bytes as u64;
+        self.lines_for(bytes).min(resident_lines) * self.flush_line_cycles as u64
+    }
+
+    /// Cycles of cold-miss stalls when touching `bytes` bytes that were just
+    /// invalidated (e.g. a page re-acquired through the DSM).
+    pub fn cold_touch_cycles(&self, bytes: u64) -> u64 {
+        self.lines_for(bytes) * self.miss_cycles as u64
+    }
+
+    /// Wall-clock cost of flushing a 4 KB page at a given core frequency —
+    /// convenience used by the DSM latency breakdown (Table 5).
+    pub fn flush_page(&self, freq_hz: u64) -> SimDuration {
+        k2_sim::time::cycles_to_duration(self.flush_range_cycles(4096), freq_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometries() {
+        let a9 = CacheParams::cortex_a9();
+        assert_eq!(a9.l1_bytes, 64 * 1024);
+        assert_eq!(a9.l2_bytes, 1024 * 1024);
+        let m3 = CacheParams::cortex_m3();
+        assert_eq!(m3.l1_bytes, 32 * 1024);
+        assert_eq!(m3.l2_bytes, 0);
+    }
+
+    #[test]
+    fn lines_round_up() {
+        let a9 = CacheParams::cortex_a9();
+        assert_eq!(a9.lines_for(1), 1);
+        assert_eq!(a9.lines_for(32), 1);
+        assert_eq!(a9.lines_for(33), 2);
+        assert_eq!(a9.lines_for(4096), 128);
+    }
+
+    #[test]
+    fn page_flush_takes_tens_of_cycles_per_line() {
+        let a9 = CacheParams::cortex_a9();
+        // 128 lines * 15 cycles
+        assert_eq!(a9.flush_range_cycles(4096), 1920);
+    }
+
+    #[test]
+    fn flush_capped_at_cache_capacity() {
+        let m3 = CacheParams::cortex_m3();
+        let whole_cache_lines = (32 * 1024) / 32;
+        assert_eq!(
+            m3.flush_range_cycles(1 << 30),
+            whole_cache_lines * m3.flush_line_cycles as u64
+        );
+    }
+
+    #[test]
+    fn cold_touch_charges_misses() {
+        let m3 = CacheParams::cortex_m3();
+        assert_eq!(m3.cold_touch_cycles(4096), 128 * 40);
+    }
+
+    #[test]
+    fn page_flush_duration_is_microseconds_scale() {
+        let us = CacheParams::cortex_a9().flush_page(350_000_000).as_us_f64();
+        assert!((3.0..=20.0).contains(&us), "flush {us} us");
+    }
+}

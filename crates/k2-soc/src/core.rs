@@ -1,0 +1,229 @@
+//! Heterogeneous core models.
+//!
+//! The default platform reproduces Table 1 of the paper: a strong domain of
+//! Cortex-A9 cores (ARM ISA, 350–1200 MHz, 64 KB L1 + 1 MB L2) and a weak
+//! domain hosting a Cortex-M3 (Thumb-2 ISA, 100–200 MHz, 32 KB cache, and a
+//! non-standard MMU of two levels connected in series).
+
+use crate::cache::CacheParams;
+use crate::ids::{CoreId, DomainId};
+use crate::mmu::MmuKind;
+use crate::power::CorePowerParams;
+use k2_sim::time::{cycles_to_duration, SimDuration};
+
+/// Instruction-set architecture of a core.
+///
+/// Cores in different domains may use different ISAs (A9 runs ARM, M3 runs
+/// Thumb-2), which is why K2 needs the cross-ISA function-pointer dispatch
+/// mechanism (§5.4) and why process migration between domains is off the
+/// table (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Isa {
+    /// 32-bit ARM (Cortex-A9).
+    Arm,
+    /// Thumb-2 (Cortex-M3).
+    Thumb2,
+}
+
+/// The kind of core, selecting its microarchitectural parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CoreKind {
+    /// Performance-oriented out-of-order core (strong domain).
+    CortexA9,
+    /// Efficiency-oriented in-order microcontroller core (weak domain).
+    CortexM3,
+}
+
+impl CoreKind {
+    /// ISA executed by this kind of core.
+    pub fn isa(self) -> Isa {
+        match self {
+            CoreKind::CortexA9 => Isa::Arm,
+            CoreKind::CortexM3 => Isa::Thumb2,
+        }
+    }
+
+    /// Supported frequency range in Hz (Table 1).
+    pub fn freq_range(self) -> (u64, u64) {
+        match self {
+            CoreKind::CortexA9 => (350_000_000, 1_200_000_000),
+            CoreKind::CortexM3 => (100_000_000, 200_000_000),
+        }
+    }
+
+    /// Instructions per cycle on integer kernel-style code. The A9 is a
+    /// dual-issue out-of-order core; the M3 is single-issue in-order with a
+    /// shallow pipeline, so it also needs more instructions (Thumb-2) and
+    /// stalls more on memory.
+    pub fn ipc(self) -> f64 {
+        match self {
+            CoreKind::CortexA9 => 1.25,
+            CoreKind::CortexM3 => 0.85,
+        }
+    }
+
+    /// Sustained bulk-copy bandwidth in bytes per cycle, at kernel buffer
+    /// sizes that overflow the L1 (write-allocate traffic hits the outer
+    /// levels). The A9 sustains ~0.7 GB/s at 350 MHz; the M3 moves one
+    /// 32-bit word per couple of cycles.
+    pub fn copy_bytes_per_cycle(self) -> f64 {
+        match self {
+            CoreKind::CortexA9 => 2.0,
+            CoreKind::CortexM3 => 1.6,
+        }
+    }
+
+    /// Default cache configuration (Table 1).
+    pub fn cache(self) -> CacheParams {
+        match self {
+            CoreKind::CortexA9 => CacheParams::cortex_a9(),
+            CoreKind::CortexM3 => CacheParams::cortex_m3(),
+        }
+    }
+
+    /// Default MMU model (Table 1: one ARMv7-A MMU on the A9, two connected
+    /// in series on the M3).
+    pub fn mmu(self) -> MmuKind {
+        match self {
+            CoreKind::CortexA9 => MmuKind::ArmV7A,
+            CoreKind::CortexM3 => MmuKind::CascadedM3,
+        }
+    }
+
+    /// Power parameters at the frequency the paper benchmarks with (§9.2:
+    /// A9 fixed at its most efficient 350 MHz point, M3 at 200 MHz).
+    pub fn bench_power(self) -> CorePowerParams {
+        match self {
+            CoreKind::CortexA9 => CorePowerParams::cortex_a9_350mhz(),
+            CoreKind::CortexM3 => CorePowerParams::cortex_m3_200mhz(),
+        }
+    }
+}
+
+/// Static description of one core on the platform.
+#[derive(Clone, Debug)]
+pub struct CoreDesc {
+    /// Global core id.
+    pub id: CoreId,
+    /// The coherence domain the core belongs to.
+    pub domain: DomainId,
+    /// Microarchitecture.
+    pub kind: CoreKind,
+    /// Operating frequency in Hz.
+    pub freq_hz: u64,
+    /// Power parameters at this operating point.
+    pub power: CorePowerParams,
+}
+
+impl CoreDesc {
+    /// Creates a core description at a given operating frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is outside the core's supported range.
+    pub fn new(id: CoreId, domain: DomainId, kind: CoreKind, freq_hz: u64) -> Self {
+        let (lo, hi) = kind.freq_range();
+        assert!(
+            (lo..=hi).contains(&freq_hz),
+            "{kind:?} does not support {freq_hz} Hz (range {lo}..={hi})"
+        );
+        CoreDesc {
+            id,
+            domain,
+            kind,
+            freq_hz,
+            power: kind.bench_power(),
+        }
+    }
+
+    /// ISA executed by this core.
+    pub fn isa(&self) -> Isa {
+        self.kind.isa()
+    }
+
+    /// Converts a cycle count into wall time at this core's frequency.
+    pub fn cycles(&self, cycles: u64) -> SimDuration {
+        cycles_to_duration(cycles, self.freq_hz)
+    }
+
+    /// Cycles needed to execute `instructions` straight-line instructions.
+    pub fn instr_cycles(&self, instructions: u64) -> u64 {
+        ((instructions as f64) / self.kind.ipc()).ceil() as u64
+    }
+
+    /// Cycles needed to copy or clear `bytes` bytes with the CPU.
+    pub fn copy_cycles(&self, bytes: u64) -> u64 {
+        ((bytes as f64) / self.kind.copy_bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Effective integer throughput in millions of instructions per second,
+    /// used by Figure 1's performance axis.
+    pub fn mips(&self) -> f64 {
+        self.freq_hz as f64 * self.kind.ipc() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a9() -> CoreDesc {
+        CoreDesc::new(CoreId(0), DomainId::STRONG, CoreKind::CortexA9, 350_000_000)
+    }
+
+    fn m3() -> CoreDesc {
+        CoreDesc::new(CoreId(2), DomainId::WEAK, CoreKind::CortexM3, 200_000_000)
+    }
+
+    #[test]
+    fn isa_per_kind() {
+        assert_eq!(CoreKind::CortexA9.isa(), Isa::Arm);
+        assert_eq!(CoreKind::CortexM3.isa(), Isa::Thumb2);
+    }
+
+    #[test]
+    fn frequency_ranges_match_table1() {
+        assert_eq!(
+            CoreKind::CortexA9.freq_range(),
+            (350_000_000, 1_200_000_000)
+        );
+        assert_eq!(CoreKind::CortexM3.freq_range(), (100_000_000, 200_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn rejects_out_of_range_frequency() {
+        let _ = CoreDesc::new(CoreId(0), DomainId::WEAK, CoreKind::CortexM3, 400_000_000);
+    }
+
+    #[test]
+    fn weak_core_is_slower_per_instruction() {
+        // The paper observes the weak core delivers 20%-70% of the strong
+        // core's performance at 350 MHz; the pure-compute ratio must fall
+        // in that band.
+        let ratio = m3().mips() / a9().mips();
+        assert!(
+            (0.2..=0.7).contains(&ratio),
+            "compute ratio {ratio} outside the paper's 20%-70% band"
+        );
+    }
+
+    #[test]
+    fn cycles_scale_with_frequency() {
+        // Same cycle count takes longer on the slower core.
+        assert!(m3().cycles(1000) > a9().cycles(1000));
+        assert_eq!(a9().cycles(350), SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn copy_cycles_reflect_width() {
+        assert!(m3().copy_cycles(4096) > a9().copy_cycles(4096));
+        assert_eq!(a9().copy_cycles(4096), 2048);
+    }
+
+    #[test]
+    fn instr_cycles_use_ipc() {
+        assert_eq!(a9().instr_cycles(125), 100);
+        assert_eq!(m3().instr_cycles(85), 100);
+    }
+}

@@ -1,0 +1,145 @@
+//! Hardware spinlocks.
+//!
+//! OMAP4 provides a bank of memory-mapped test-and-set bits for inter-domain
+//! synchronisation (paper §5.1). K2 augments the locks of shadowed services
+//! with these so that kernels on incoherent domains can exclude each other
+//! (§5.3 step 4). Acquiring or releasing one costs an interconnect round
+//! trip, charged by the caller.
+
+use crate::ids::DomainId;
+use k2_sim::time::SimDuration;
+
+/// Cost of one hardware spinlock operation (an uncached interconnect
+/// access).
+pub const HWSPINLOCK_OP: SimDuration = SimDuration::from_ns(150);
+
+/// Index of a lock within the bank.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HwLockId(pub u16);
+
+/// The bank of hardware test-and-set locks.
+#[derive(Debug)]
+pub struct HwSpinlockBank {
+    owner: Vec<Option<DomainId>>,
+    acquisitions: u64,
+    contentions: u64,
+}
+
+impl HwSpinlockBank {
+    /// Creates a bank of `n` locks, all free.
+    pub fn new(n: usize) -> Self {
+        HwSpinlockBank {
+            owner: vec![None; n],
+            acquisitions: 0,
+            contentions: 0,
+        }
+    }
+
+    /// Number of locks in the bank.
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// `true` if the bank has no locks (never on real hardware).
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// Atomic test-and-set. Returns `true` if `dom` acquired the lock.
+    ///
+    /// The hardware permits recursive acquisition attempts by the owner; they
+    /// fail like any other contended attempt (the bit is already set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn try_acquire(&mut self, id: HwLockId, dom: DomainId) -> bool {
+        let slot = &mut self.owner[id.0 as usize];
+        if slot.is_none() {
+            *slot = Some(dom);
+            self.acquisitions += 1;
+            true
+        } else {
+            self.contentions += 1;
+            false
+        }
+    }
+
+    /// Releases a lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held by `dom` — releasing someone else's
+    /// hardware spinlock is a serious software bug worth failing loudly on.
+    pub fn release(&mut self, id: HwLockId, dom: DomainId) {
+        let slot = &mut self.owner[id.0 as usize];
+        assert_eq!(
+            *slot,
+            Some(dom),
+            "{dom} released hwspinlock {id:?} it does not hold"
+        );
+        *slot = None;
+    }
+
+    /// The current owner of a lock, if any.
+    pub fn holder(&self, id: HwLockId) -> Option<DomainId> {
+        self.owner[id.0 as usize]
+    }
+
+    /// Successful acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Failed (contended) acquisition attempts so far.
+    pub fn contentions(&self) -> u64 {
+        self.contentions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut b = HwSpinlockBank::new(32);
+        let l = HwLockId(3);
+        assert!(b.try_acquire(l, DomainId::STRONG));
+        assert_eq!(b.holder(l), Some(DomainId::STRONG));
+        b.release(l, DomainId::STRONG);
+        assert_eq!(b.holder(l), None);
+    }
+
+    #[test]
+    fn contended_acquire_fails() {
+        let mut b = HwSpinlockBank::new(32);
+        let l = HwLockId(0);
+        assert!(b.try_acquire(l, DomainId::STRONG));
+        assert!(!b.try_acquire(l, DomainId::WEAK));
+        assert_eq!(b.contentions(), 1);
+        assert_eq!(b.acquisitions(), 1);
+    }
+
+    #[test]
+    fn locks_are_independent() {
+        let mut b = HwSpinlockBank::new(4);
+        assert!(b.try_acquire(HwLockId(0), DomainId::STRONG));
+        assert!(b.try_acquire(HwLockId(1), DomainId::WEAK));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn wrong_domain_release_panics() {
+        let mut b = HwSpinlockBank::new(4);
+        b.try_acquire(HwLockId(0), DomainId::STRONG);
+        b.release(HwLockId(0), DomainId::WEAK);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn releasing_free_lock_panics() {
+        let mut b = HwSpinlockBank::new(4);
+        b.release(HwLockId(0), DomainId::STRONG);
+    }
+}

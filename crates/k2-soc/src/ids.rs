@@ -1,0 +1,121 @@
+//! Identifier newtypes for SoC components.
+
+use core::fmt;
+
+/// Identifies a cache-coherence domain on the SoC.
+///
+/// On the OMAP4 model, domain 0 is the *strong* domain (Cortex-A9 pair) and
+/// domain 1 is the *weak* domain (Cortex-M3). The paper's terminology
+/// ("strong"/"weak") is deliberately distinct from big.LITTLE's "big/little",
+/// which share one domain.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DomainId(pub u8);
+
+impl DomainId {
+    /// The strong (high-performance) domain on the default platform.
+    pub const STRONG: DomainId = DomainId(0);
+    /// The weak (low-power) domain on the default platform.
+    pub const WEAK: DomainId = DomainId(1);
+
+    /// The domain index as a usize, for indexing tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Identifies a core, globally across all domains.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// The core index as a usize, for indexing tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A platform-level interrupt line, shared by all domains.
+///
+/// Interrupt signals are physically wired to every domain's controller
+/// (paper §4.2); each domain masks or unmasks them independently, which is
+/// the hardware K2's interrupt-coordination rules (§7) drive.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IrqId(pub u16);
+
+impl IrqId {
+    /// DMA engine completion interrupt.
+    pub const DMA: IrqId = IrqId(12);
+    /// Mailbox interrupt targeting domain 0 (message pending for D0).
+    pub const MBOX_D0: IrqId = IrqId(26);
+    /// Mailbox interrupt targeting domain 1 (message pending for D1).
+    pub const MBOX_D1: IrqId = IrqId(27);
+    /// Platform 32 kHz timer interrupt.
+    pub const TIMER: IrqId = IrqId(37);
+    /// Block/storage device interrupt.
+    pub const BLOCK: IrqId = IrqId(44);
+    /// Network device interrupt.
+    pub const NET: IrqId = IrqId(52);
+    /// Sensor-hub FIFO watermark interrupt.
+    pub const SENSOR: IrqId = IrqId(60);
+
+    /// Mailbox interrupt for messages addressed to `dom`. Each domain has
+    /// its own line (26 + domain index), so a three-domain SoC gets a
+    /// third mailbox interrupt at line 28.
+    pub fn mailbox_for(dom: DomainId) -> IrqId {
+        IrqId(26 + dom.0 as u16)
+    }
+
+    /// The raw line number.
+    #[inline]
+    pub fn line(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for IrqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "irq{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DomainId::STRONG.to_string(), "D0");
+        assert_eq!(CoreId(2).to_string(), "cpu2");
+        assert_eq!(IrqId::DMA.to_string(), "irq12");
+    }
+
+    #[test]
+    fn mailbox_irq_routing() {
+        assert_eq!(IrqId::mailbox_for(DomainId::STRONG), IrqId::MBOX_D0);
+        assert_eq!(IrqId::mailbox_for(DomainId::WEAK), IrqId::MBOX_D1);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(CoreId(0));
+        s.insert(CoreId(1));
+        assert!(CoreId(0) < CoreId(1));
+        assert_eq!(s.len(), 2);
+    }
+}

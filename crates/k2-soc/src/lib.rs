@@ -1,0 +1,48 @@
+//! # k2-soc — the simulated multi-domain mobile SoC
+//!
+//! A discrete-event model of a TI OMAP4-class system-on-chip: heterogeneous
+//! cores in multiple cache-coherence domains, shared RAM and peripherals on
+//! a system interconnect, hardware mailboxes and spinlocks for inter-domain
+//! communication, per-domain interrupt controllers, a shared DMA engine, and
+//! per-core power states with energy metering.
+//!
+//! This crate substitutes for the physical hardware the K2 paper (ASPLOS
+//! 2014) was evaluated on; see `DESIGN.md` for the substitution argument.
+//! The centrepiece is [`platform::Machine`], the event-driven executor that
+//! the kernel substrate (`k2-kernel`) and K2 itself (`k2`) run on.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_soc::soc::SocBuilder;
+//! use k2_soc::ids::DomainId;
+//! use k2_soc::power::PowerState;
+//!
+//! let machine = SocBuilder::omap4().build::<()>();
+//! assert_eq!(machine.domain_count(), 2);
+//! assert_eq!(machine.domain_power_state(DomainId::WEAK), PowerState::Idle);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod calib;
+pub mod core;
+pub mod dma;
+pub mod hwspinlock;
+pub mod ids;
+pub mod irq;
+pub mod mailbox;
+pub mod mem;
+pub mod mmu;
+pub mod platform;
+pub mod power;
+pub mod soc;
+pub mod timer;
+
+pub use crate::core::{CoreDesc, CoreKind, Isa};
+pub use ids::{CoreId, DomainId, IrqId};
+pub use mem::{Pfn, PhysAddr, PAGE_SIZE};
+pub use platform::{IrqCx, Machine, Step, Task, TaskCx, TaskId};
+pub use power::{CorePowerParams, PowerState};
+pub use soc::SocBuilder;

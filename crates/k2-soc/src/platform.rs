@@ -1,0 +1,1504 @@
+//! The platform machine: cores, peripherals and the event loop.
+//!
+//! [`Machine`] is the discrete-event executor for the whole SoC. Simulated
+//! threads of execution implement [`Task`] as explicit state machines; the
+//! machine interleaves them across cores in simulated-time order, drives the
+//! peripherals (mailboxes, DMA, interrupt fabric), and maintains each core's
+//! power state — Active while stepping, Idle when its run queue drains, and
+//! Inactive after the idle timeout, with wake-up penalties on the way back.
+//!
+//! The machine is generic over a world type `W`: the OS state that tasks and
+//! interrupt hooks mutate. The k2 crates instantiate `W` with the two-kernel
+//! system; the machine itself knows nothing about operating systems.
+
+use crate::core::CoreDesc;
+use crate::dma::{DmaEngine, DmaXferId};
+use crate::hwspinlock::{HwLockId, HwSpinlockBank};
+use crate::ids::{CoreId, DomainId, IrqId};
+use crate::irq::IrqFabric;
+use crate::mailbox::{Envelope, Mail, MailboxBank, MAIL_LATENCY};
+use crate::mem::SharedRam;
+use crate::power::{EnergyMeter, PowerState};
+use k2_sim::queue::EventQueue;
+use k2_sim::time::{SimDuration, SimTime};
+use k2_sim::trace::{Trace, TraceEvent};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// What a [`Task`] asks the machine to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Execute for `cycles` core cycles, then step again.
+    Compute {
+        /// Core cycles to burn.
+        cycles: u64,
+    },
+    /// Execute for a fixed duration (already converted from cycles), then
+    /// step again.
+    ComputeTime {
+        /// Busy duration.
+        dur: SimDuration,
+    },
+    /// Park for a duration; the core may run other tasks or go idle.
+    Sleep {
+        /// How long to sleep.
+        dur: SimDuration,
+    },
+    /// Park until the given interrupt is delivered to this task's domain.
+    WaitIrq {
+        /// The line to wait for.
+        irq: IrqId,
+    },
+    /// Park until another task or hook calls [`Machine::wake`].
+    Block,
+    /// Go to the back of this core's run queue.
+    Yield,
+    /// The task has finished; it is dropped.
+    Done,
+}
+
+/// Identifies a spawned task.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u32);
+
+/// Context handed to every [`Task::step`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskCx {
+    /// The stepping task's id.
+    pub task: TaskId,
+    /// The core the task is pinned to.
+    pub core: CoreId,
+    /// The domain of that core.
+    pub domain: DomainId,
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+/// A simulated thread of execution, written as a state machine.
+///
+/// Each call to [`Task::step`] performs the *logic* of the next slice of
+/// work instantly (mutating the world `W` and the machine's peripherals) and
+/// returns how much simulated time that slice costs, or how the task parks.
+pub trait Task<W> {
+    /// Advances the task and returns the next scheduling action.
+    fn step(&mut self, w: &mut W, m: &mut Machine<W>, cx: TaskCx) -> Step;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "task"
+    }
+}
+
+/// Context handed to interrupt hooks.
+#[derive(Clone, Copy, Debug)]
+pub struct IrqCx {
+    /// The interrupt line being handled.
+    pub irq: IrqId,
+    /// The domain whose controller accepted it.
+    pub domain: DomainId,
+    /// The core the handler runs on.
+    pub core: CoreId,
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+/// An interrupt service hook: runs the handler's logic and returns its cost
+/// in core cycles, which the machine charges to the handling core.
+pub type IrqHook<W> = Box<dyn FnMut(&mut W, &mut Machine<W>, IrqCx) -> u64>;
+
+/// Observer invoked on every core power-state transition (what K2 hooks to
+/// re-route shared interrupts, §7).
+pub type PowerObserver<W> = Box<dyn FnMut(&mut W, &mut Machine<W>, CoreId, PowerState)>;
+
+#[derive(Debug)]
+enum Event {
+    StepDone { core: CoreId, epoch: u64 },
+    InactiveTimeout { core: CoreId, epoch: u64 },
+    MailDeliver { to: DomainId, env: Envelope },
+    DmaTick { generation: u64 },
+    TaskWake { task: TaskId },
+    RaiseIrq { irq: IrqId },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TaskState {
+    Ready,
+    Running,
+    Parked,
+}
+
+struct TaskSlot<W> {
+    task: Option<Box<dyn Task<W>>>,
+    core: CoreId,
+    state: TaskState,
+    name: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CoreMode {
+    Busy,
+    Idle,
+    Inactive,
+}
+
+struct CoreRt {
+    desc: CoreDesc,
+    meter: EnergyMeter,
+    mode: CoreMode,
+    running: Option<TaskId>,
+    rq: VecDeque<TaskId>,
+    epoch: u64,
+    extra: SimDuration,
+    /// The core was woken from the inactive state only to service an
+    /// interrupt or a remote charge; with nothing to run afterwards it
+    /// re-enters the inactive state immediately (cpuidle-style), instead
+    /// of paying the shallow-idle power for the whole inactive timeout.
+    woke_for_service: bool,
+    /// When a *task* last executed here. The inactive timeout counts from
+    /// this point: servicing stray interrupts for another domain does not
+    /// keep a core in shallow idle (a governor gates on its own load).
+    task_activity_at: SimTime,
+}
+
+/// The SoC-wide discrete-event machine. See the module docs.
+pub struct Machine<W> {
+    now: SimTime,
+    queue: EventQueue<Event>,
+    cores: Vec<CoreRt>,
+    domains: Vec<Vec<CoreId>>,
+    /// Shared RAM, directly accessible to tasks and kernel code.
+    pub ram: SharedRam,
+    mailboxes: MailboxBank,
+    hwlocks: HwSpinlockBank,
+    irq_fabric: IrqFabric,
+    dma: DmaEngine,
+    dma_pending: Vec<crate::dma::DmaCompletion>,
+    tasks: Vec<Option<TaskSlot<W>>>,
+    waiters: HashMap<(DomainId, IrqId), Vec<TaskId>>,
+    hooks: HashMap<(DomainId, IrqId), Option<IrqHook<W>>>,
+    power_observers: Vec<PowerObserver<W>>,
+    live_tasks: u64,
+    completed_tasks: u64,
+    trace: Trace,
+    trace_stderr: bool,
+}
+
+impl<W> fmt::Debug for Machine<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("cores", &self.cores.len())
+            .field("live_tasks", &self.live_tasks)
+            .finish()
+    }
+}
+
+impl<W> Machine<W> {
+    /// Builds a machine from core descriptions and RAM size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty or core ids are not `0..n` in order.
+    pub fn new(cores: Vec<CoreDesc>, ram_bytes: u64) -> Self {
+        assert!(!cores.is_empty(), "a machine needs at least one core");
+        let n_domains = cores.iter().map(|c| c.domain.index()).max().unwrap() + 1;
+        let mut domains = vec![Vec::new(); n_domains];
+        for (i, c) in cores.iter().enumerate() {
+            assert_eq!(c.id.index(), i, "core ids must be dense and ordered");
+            domains[c.domain.index()].push(c.id);
+        }
+        let mut queue = EventQueue::new();
+        let core_rts: Vec<CoreRt> = cores
+            .into_iter()
+            .map(|desc| {
+                let meter = EnergyMeter::new(desc.power, PowerState::Idle);
+                CoreRt {
+                    desc,
+                    meter,
+                    mode: CoreMode::Idle,
+                    running: None,
+                    rq: VecDeque::new(),
+                    epoch: 0,
+                    extra: SimDuration::ZERO,
+                    woke_for_service: false,
+                    task_activity_at: SimTime::ZERO,
+                }
+            })
+            .collect();
+        for c in &core_rts {
+            queue.schedule(
+                SimTime::ZERO + c.desc.power.inactive_timeout,
+                Event::InactiveTimeout {
+                    core: c.desc.id,
+                    epoch: 0,
+                },
+            );
+        }
+        Machine {
+            now: SimTime::ZERO,
+            queue,
+            cores: core_rts,
+            domains,
+            ram: SharedRam::new(ram_bytes),
+            mailboxes: MailboxBank::new(n_domains, 64),
+            hwlocks: HwSpinlockBank::new(32),
+            irq_fabric: IrqFabric::new(n_domains),
+            dma: DmaEngine::new(crate::calib::DMA_BANDWIDTH_BPS),
+            dma_pending: Vec::new(),
+            tasks: Vec::new(),
+            waiters: HashMap::new(),
+            hooks: HashMap::new(),
+            power_observers: Vec::new(),
+            live_tasks: 0,
+            completed_tasks: 0,
+            trace: {
+                let mut t = Trace::new(4096);
+                t.set_enabled(false);
+                t
+            },
+            trace_stderr: false,
+        }
+    }
+
+    /// Enables or disables the bounded in-memory event trace (see
+    /// [`Machine::trace`]).
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Additionally echoes every raw event to stderr (debugging).
+    pub fn set_trace_stderr(&mut self, on: bool) {
+        self.trace_stderr = on;
+    }
+
+    /// The recorded event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Emits a free-form marker into the trace.
+    pub fn trace_marker(&mut self, label: &'static str) {
+        self.trace.record(self.now, TraceEvent::Marker(label));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Static description of a core.
+    pub fn core_desc(&self, core: CoreId) -> &CoreDesc {
+        &self.cores[core.index()].desc
+    }
+
+    /// The cores of a domain, lowest id first.
+    pub fn domain_cores(&self, dom: DomainId) -> &[CoreId] {
+        &self.domains[dom.index()]
+    }
+
+    /// Number of domains on the platform.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// `true` if the core is running a task or has tasks queued —
+    /// distinguishes real work from interrupt-service blips (used by K2's
+    /// interrupt coordination to apply §7 rule 2 only to genuine wake-ups).
+    pub fn core_has_task_work(&self, core: CoreId) -> bool {
+        let rt = &self.cores[core.index()];
+        rt.running.is_some() || !rt.rq.is_empty()
+    }
+
+    /// A core's current power state.
+    pub fn core_power_state(&self, core: CoreId) -> PowerState {
+        match self.cores[core.index()].mode {
+            CoreMode::Busy => PowerState::Active,
+            CoreMode::Idle => PowerState::Idle,
+            CoreMode::Inactive => PowerState::Inactive,
+        }
+    }
+
+    /// A domain's power state: Active if any core is active, otherwise Idle
+    /// if any is idle, otherwise Inactive.
+    pub fn domain_power_state(&self, dom: DomainId) -> PowerState {
+        let mut state = PowerState::Inactive;
+        for &c in self.domain_cores(dom) {
+            match self.core_power_state(c) {
+                PowerState::Active => return PowerState::Active,
+                PowerState::Idle => state = PowerState::Idle,
+                PowerState::Inactive => {}
+            }
+        }
+        state
+    }
+
+    /// Energy consumed by a domain so far, in millijoules.
+    pub fn domain_energy_mj(&self, dom: DomainId) -> f64 {
+        self.domain_cores(dom)
+            .iter()
+            .map(|&c| self.cores[c.index()].meter.energy_mj_at(self.now))
+            .sum()
+    }
+
+    /// Energy consumed by every domain, in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        (0..self.domain_count())
+            .map(|d| self.domain_energy_mj(DomainId(d as u8)))
+            .sum()
+    }
+
+    /// The energy meter of one core (read-only).
+    pub fn core_meter(&self, core: CoreId) -> &EnergyMeter {
+        &self.cores[core.index()].meter
+    }
+
+    /// Changes a core's operating point (frequency and power parameters).
+    pub fn set_operating_point(
+        &mut self,
+        core: CoreId,
+        freq_hz: u64,
+        power: crate::power::CorePowerParams,
+    ) {
+        let rt = &mut self.cores[core.index()];
+        let (lo, hi) = rt.desc.kind.freq_range();
+        assert!((lo..=hi).contains(&freq_hz), "frequency out of range");
+        rt.desc.freq_hz = freq_hz;
+        rt.desc.power = power;
+        rt.meter.set_params(self.now, power);
+    }
+
+    // ------------------------------------------------------------------
+    // Tasks
+    // ------------------------------------------------------------------
+
+    /// Spawns a task pinned to `core`. It runs when the core dispatches it.
+    pub fn spawn(&mut self, core: CoreId, task: Box<dyn Task<W>>, w: &mut W) -> TaskId {
+        let name = task.name().to_owned();
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Some(TaskSlot {
+            task: Some(task),
+            core,
+            state: TaskState::Ready,
+            name,
+        }));
+        self.live_tasks += 1;
+        self.cores[core.index()].rq.push_back(id);
+        self.kick(core, w);
+        id
+    }
+
+    /// Wakes a parked task (no-op for ready/running tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task id is unknown or already finished.
+    pub fn wake(&mut self, task: TaskId, w: &mut W) {
+        let slot = self.tasks[task.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("wake of finished task {task:?}"));
+        if slot.state != TaskState::Parked {
+            return;
+        }
+        slot.state = TaskState::Ready;
+        let core = slot.core;
+        self.cores[core.index()].rq.push_back(task);
+        self.kick(core, w);
+    }
+
+    /// Schedules a wake for `task` after `dur` (a kernel timer).
+    pub fn wake_after(&mut self, task: TaskId, dur: SimDuration) {
+        self.queue
+            .schedule(self.now + dur, Event::TaskWake { task });
+    }
+
+    /// Number of tasks that have run to completion.
+    pub fn completed_tasks(&self) -> u64 {
+        self.completed_tasks
+    }
+
+    /// Number of tasks still live.
+    pub fn live_tasks(&self) -> u64 {
+        self.live_tasks
+    }
+
+    // ------------------------------------------------------------------
+    // Peripherals
+    // ------------------------------------------------------------------
+
+    /// Sends a 32-bit hardware mail from one domain to another. Delivery
+    /// takes the interconnect latency, then raises the receiver's mailbox
+    /// interrupt.
+    pub fn mailbox_send(&mut self, from: DomainId, to: DomainId, mail: Mail) {
+        let env = Envelope { from, mail };
+        self.queue
+            .schedule(self.now + MAIL_LATENCY, Event::MailDeliver { to, env });
+    }
+
+    /// Pops the oldest pending mail for `dom` (called from mailbox ISRs).
+    pub fn mailbox_recv(&mut self, dom: DomainId) -> Option<Envelope> {
+        self.mailboxes.receive(dom)
+    }
+
+    /// Total mails delivered so far (statistics).
+    pub fn mailbox_delivered(&self) -> u64 {
+        self.mailboxes.delivered_count()
+    }
+
+    /// Hardware test-and-set. Returns `true` on acquisition.
+    pub fn hwlock_try_acquire(&mut self, id: HwLockId, dom: DomainId) -> bool {
+        self.hwlocks.try_acquire(id, dom)
+    }
+
+    /// Releases a hardware spinlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dom` does not hold the lock.
+    pub fn hwlock_release(&mut self, id: HwLockId, dom: DomainId) {
+        self.hwlocks.release(id, dom)
+    }
+
+    /// The hardware spinlock bank (statistics).
+    pub fn hwlocks(&self) -> &HwSpinlockBank {
+        &self.hwlocks
+    }
+
+    /// Submits a DMA transfer; the engine raises [`IrqId::DMA`] when it
+    /// completes and the bytes have been copied in [`Machine::ram`].
+    pub fn dma_submit(
+        &mut self,
+        src: crate::mem::PhysAddr,
+        dst: crate::mem::PhysAddr,
+        len: u64,
+    ) -> DmaXferId {
+        self.dma_submit_after(src, dst, len, SimDuration::ZERO)
+    }
+
+    /// Submits a DMA transfer whose data movement starts only after `lead`
+    /// (the submitting CPU's preparation time).
+    pub fn dma_submit_after(
+        &mut self,
+        src: crate::mem::PhysAddr,
+        dst: crate::mem::PhysAddr,
+        len: u64,
+        lead: SimDuration,
+    ) -> DmaXferId {
+        let id = self.dma.submit_after(self.now, src, dst, len, lead);
+        self.schedule_dma_tick();
+        id
+    }
+
+    /// Completions whose interrupt has fired but which no driver has
+    /// collected yet. Drivers call this from their DMA ISR.
+    pub fn dma_take_completions(&mut self) -> Vec<crate::dma::DmaCompletion> {
+        std::mem::take(&mut self.dma_pending)
+    }
+
+    /// The DMA engine (statistics).
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+
+    /// Masks `irq` in `dom`'s interrupt controller.
+    pub fn irq_mask(&mut self, dom: DomainId, irq: IrqId) {
+        self.irq_fabric.controller_mut(dom).mask(irq);
+    }
+
+    /// Unmasks `irq` in `dom`'s controller; a pended interrupt is delivered
+    /// immediately.
+    pub fn irq_unmask(&mut self, dom: DomainId, irq: IrqId, w: &mut W) {
+        if self.irq_fabric.controller_mut(dom).unmask(irq) {
+            self.deliver_irq(dom, irq, w);
+        }
+    }
+
+    /// `true` if `dom` currently unmasks `irq`.
+    pub fn irq_is_unmasked(&self, dom: DomainId, irq: IrqId) -> bool {
+        self.irq_fabric.controller(dom).is_unmasked(irq)
+    }
+
+    /// Domains that would handle `irq` right now.
+    pub fn irq_handlers_of(&self, irq: IrqId) -> Vec<DomainId> {
+        self.irq_fabric.handlers_of(irq)
+    }
+
+    /// Raises an interrupt line (peripheral models call this).
+    pub fn raise_irq(&mut self, irq: IrqId, w: &mut W) {
+        let targets = self.irq_fabric.raise(irq);
+        for dom in targets {
+            self.deliver_irq(dom, irq, w);
+        }
+    }
+
+    /// Raises an interrupt after a delay (for simulated peripherals).
+    pub fn raise_irq_after(&mut self, irq: IrqId, dur: SimDuration) {
+        self.queue.schedule(self.now + dur, Event::RaiseIrq { irq });
+    }
+
+    /// Installs the ISR hook for `(dom, irq)`; at most one per pair.
+    pub fn set_irq_hook(&mut self, dom: DomainId, irq: IrqId, hook: IrqHook<W>) {
+        self.hooks.insert((dom, irq), Some(hook));
+    }
+
+    /// Registers an observer of core power-state transitions.
+    pub fn add_power_observer(&mut self, obs: PowerObserver<W>) {
+        self.power_observers.push(obs);
+    }
+
+    /// Charges `dur` of execution to a core that is not running any task
+    /// (e.g. the remote side of a DSM fault). A busy core is delayed, an
+    /// idle core blips active, an inactive core is woken first. Returns the
+    /// extra latency a *requester* should add on top of its own costs
+    /// (non-zero only when the remote core had to wake up).
+    pub fn charge_remote(&mut self, core: CoreId, dur: SimDuration, w: &mut W) -> SimDuration {
+        match self.cores[core.index()].mode {
+            CoreMode::Busy => {
+                self.cores[core.index()].extra += dur;
+                SimDuration::ZERO
+            }
+            CoreMode::Idle => {
+                self.begin_busy(core, dur, w);
+                SimDuration::ZERO
+            }
+            CoreMode::Inactive => {
+                let wake = self.cores[core.index()].desc.power.wake_latency;
+                self.cores[core.index()].woke_for_service = true;
+                self.begin_busy(core, wake + dur, w);
+                wake
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Runs until every spawned task has completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock: live tasks remain but no event can wake them.
+    pub fn run_until_idle(&mut self, w: &mut W) -> SimTime {
+        while self.live_tasks > 0 {
+            match self.queue.pop() {
+                Some((at, ev)) => {
+                    debug_assert!(at >= self.now);
+                    self.now = at;
+                    self.handle(ev, w);
+                }
+                None => self.deadlock_panic(),
+            }
+        }
+        self.now
+    }
+
+    /// Processes every event up to and including `until`, then advances the
+    /// clock to `until` (so energy reads integrate the trailing interval).
+    pub fn run_until(&mut self, until: SimTime, w: &mut W) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked event exists");
+            self.now = at;
+            self.handle(ev, w);
+        }
+        assert!(until >= self.now, "run_until target in the past");
+        self.now = until;
+    }
+
+    fn deadlock_panic(&self) -> ! {
+        let parked: Vec<String> = self
+            .tasks
+            .iter()
+            .flatten()
+            .filter(|s| s.state != TaskState::Running)
+            .map(|s| format!("{} on {}", s.name, s.core))
+            .collect();
+        panic!(
+            "simulation deadlock at {:?}: {} live task(s), no pending events; parked: {:?}",
+            self.now, self.live_tasks, parked
+        );
+    }
+
+    fn handle(&mut self, ev: Event, w: &mut W) {
+        if self.trace_stderr {
+            eprintln!("[{:?}] {:?}", self.now, ev);
+        }
+        match ev {
+            Event::StepDone { core, epoch } => {
+                if self.cores[core.index()].epoch != epoch {
+                    return;
+                }
+                let extra = std::mem::take(&mut self.cores[core.index()].extra);
+                if !extra.is_zero() {
+                    self.begin_busy_keep_running(core, extra, w);
+                    return;
+                }
+                match self.cores[core.index()].running {
+                    Some(task) => self.step_task(core, task, w),
+                    None => self.dispatch(core, w),
+                }
+            }
+            Event::InactiveTimeout { core, epoch } => {
+                let rt = &mut self.cores[core.index()];
+                if rt.epoch != epoch || rt.mode != CoreMode::Idle {
+                    return;
+                }
+                rt.mode = CoreMode::Inactive;
+                rt.meter.set_state(self.now, PowerState::Inactive);
+                self.notify_power(core, PowerState::Inactive, w);
+            }
+            Event::MailDeliver { to, env } => {
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Mail {
+                        to: to.0,
+                        payload: env.mail.0,
+                    },
+                );
+                if !self.mailboxes.deliver(to, env) {
+                    panic!("mailbox FIFO overflow for {to}");
+                }
+                self.raise_irq(IrqId::mailbox_for(to), w);
+            }
+            Event::DmaTick { generation } => {
+                if generation != self.dma.generation() {
+                    return;
+                }
+                let completions = self.dma.advance(self.now);
+                if !completions.is_empty() {
+                    for c in &completions {
+                        self.ram.copy(c.src, c.dst, c.len as usize);
+                    }
+                    self.dma_pending.extend(completions);
+                    self.raise_irq(IrqId::DMA, w);
+                }
+                self.schedule_dma_tick();
+            }
+            Event::TaskWake { task } => {
+                if self.tasks.get(task.0 as usize).is_some_and(Option::is_some) {
+                    self.wake(task, w);
+                }
+            }
+            Event::RaiseIrq { irq } => self.raise_irq(irq, w),
+        }
+    }
+
+    fn schedule_dma_tick(&mut self) {
+        if let Some(at) = self.dma.next_event_time(self.now) {
+            self.queue.schedule(
+                at,
+                Event::DmaTick {
+                    generation: self.dma.generation(),
+                },
+            );
+        }
+    }
+
+    /// Delivers `irq` to `dom`: runs the hook on the domain's first core,
+    /// charges its cost, and wakes any tasks waiting for this line.
+    fn deliver_irq(&mut self, dom: DomainId, irq: IrqId, w: &mut W) {
+        self.trace.record(
+            self.now,
+            TraceEvent::Irq {
+                line: irq.0,
+                domain: dom.0,
+            },
+        );
+        let core = self.domains[dom.index()][0];
+        // Run the hook's logic now; charge its time to the core.
+        let mut cycles = crate::calib::IRQ_ENTRY_INSTRUCTIONS;
+        if let Some(hook_slot) = self.hooks.get_mut(&(dom, irq)) {
+            let mut hook = hook_slot.take().expect("irq hook re-entered");
+            let cx = IrqCx {
+                irq,
+                domain: dom,
+                core,
+                now: self.now,
+            };
+            cycles += hook(w, self, cx);
+            // Re-install unless the hook replaced itself.
+            let slot = self.hooks.get_mut(&(dom, irq)).expect("hook slot exists");
+            if slot.is_none() {
+                *slot = Some(hook);
+            }
+        }
+        let dur = self.cores[core.index()].desc.cycles(cycles);
+        match self.cores[core.index()].mode {
+            CoreMode::Busy => self.cores[core.index()].extra += dur,
+            CoreMode::Idle => self.begin_busy(core, dur, w),
+            CoreMode::Inactive => {
+                let wake = self.cores[core.index()].desc.power.wake_latency;
+                self.cores[core.index()].woke_for_service = true;
+                self.begin_busy(core, wake + dur, w);
+            }
+        }
+        // Wake waiters of this (domain, irq).
+        if let Some(list) = self.waiters.remove(&(dom, irq)) {
+            for t in list {
+                self.wake(t, w);
+            }
+        }
+    }
+
+    /// Starts (or extends) a busy period on a core with no change to its
+    /// running task.
+    fn begin_busy(&mut self, core: CoreId, dur: SimDuration, w: &mut W) {
+        let was = self.core_power_state(core);
+        {
+            let rt = &mut self.cores[core.index()];
+            rt.mode = CoreMode::Busy;
+            rt.meter.set_state(self.now, PowerState::Active);
+            rt.epoch += 1;
+            let epoch = rt.epoch;
+            self.queue
+                .schedule(self.now + dur, Event::StepDone { core, epoch });
+        }
+        if was != PowerState::Active {
+            self.notify_power(core, PowerState::Active, w);
+        }
+    }
+
+    fn begin_busy_keep_running(&mut self, core: CoreId, dur: SimDuration, w: &mut W) {
+        self.begin_busy(core, dur, w);
+    }
+
+    /// If `core` can start executing (it is idle or inactive with queued
+    /// work), begin dispatching.
+    fn kick(&mut self, core: CoreId, w: &mut W) {
+        match self.cores[core.index()].mode {
+            CoreMode::Busy => {}
+            CoreMode::Idle => self.dispatch(core, w),
+            CoreMode::Inactive => {
+                let wake = self.cores[core.index()].desc.power.wake_latency;
+                // Wake up, then dispatch from the StepDone.
+                self.begin_busy(core, wake, w);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, core: CoreId, w: &mut W) {
+        match self.cores[core.index()].rq.pop_front() {
+            Some(task) => {
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Task {
+                        task: task.0,
+                        start: true,
+                    },
+                );
+                self.cores[core.index()].woke_for_service = false;
+                self.cores[core.index()].task_activity_at = self.now;
+                self.cores[core.index()].running = Some(task);
+                if let Some(slot) = self.tasks[task.0 as usize].as_mut() {
+                    slot.state = TaskState::Running;
+                }
+                // Mark busy *before* stepping so re-entrant spawns/wakes on
+                // this core enqueue instead of re-dispatching.
+                self.begin_busy(core, SimDuration::ZERO, w);
+                // The zero-length busy period ends with a StepDone that
+                // will find `running` set and step the task.
+            }
+            None => {
+                let was = self.core_power_state(core);
+                let rt = &mut self.cores[core.index()];
+                rt.running = None;
+                rt.epoch += 1;
+                if std::mem::take(&mut rt.woke_for_service) {
+                    // Nothing to run after a service-only wake-up: drop
+                    // straight back into the deep state.
+                    rt.mode = CoreMode::Inactive;
+                    rt.meter.set_state(self.now, PowerState::Inactive);
+                    if was != PowerState::Inactive {
+                        self.notify_power(core, PowerState::Inactive, w);
+                    }
+                    return;
+                }
+                // The timeout counts from the last *task* activity; a core
+                // that only serviced interrupts since then power-gates as
+                // soon as its queue drains past the deadline.
+                let deadline = rt.task_activity_at + rt.desc.power.inactive_timeout;
+                if deadline <= self.now {
+                    rt.mode = CoreMode::Inactive;
+                    rt.meter.set_state(self.now, PowerState::Inactive);
+                    if was != PowerState::Inactive {
+                        self.notify_power(core, PowerState::Inactive, w);
+                    }
+                    return;
+                }
+                rt.mode = CoreMode::Idle;
+                rt.meter.set_state(self.now, PowerState::Idle);
+                let epoch = rt.epoch;
+                self.queue
+                    .schedule(deadline, Event::InactiveTimeout { core, epoch });
+                if was != PowerState::Idle {
+                    self.notify_power(core, PowerState::Idle, w);
+                }
+            }
+        }
+    }
+
+    fn step_task(&mut self, core: CoreId, task: TaskId, w: &mut W) {
+        self.cores[core.index()].task_activity_at = self.now;
+        let mut boxed = {
+            let slot = self.tasks[task.0 as usize]
+                .as_mut()
+                .expect("running task exists");
+            slot.task.take().expect("task body present")
+        };
+        let cx = TaskCx {
+            task,
+            core,
+            domain: self.cores[core.index()].desc.domain,
+            now: self.now,
+        };
+        let step = boxed.step(w, self, cx);
+        // Put the body back (it may have been observed absent by wake()).
+        if let Some(slot) = self.tasks[task.0 as usize].as_mut() {
+            slot.task = Some(boxed);
+        }
+        match step {
+            Step::Compute { cycles } => {
+                let dur = self.cores[core.index()].desc.cycles(cycles);
+                self.begin_busy(core, dur, w);
+            }
+            Step::ComputeTime { dur } => self.begin_busy(core, dur, w),
+            Step::Sleep { dur } => {
+                self.park(core, task);
+                self.queue
+                    .schedule(self.now + dur, Event::TaskWake { task });
+                self.dispatch(core, w);
+            }
+            Step::WaitIrq { irq } => {
+                let dom = self.cores[core.index()].desc.domain;
+                self.park(core, task);
+                self.waiters.entry((dom, irq)).or_default().push(task);
+                self.dispatch(core, w);
+            }
+            Step::Block => {
+                self.park(core, task);
+                self.dispatch(core, w);
+            }
+            Step::Yield => {
+                let rt = &mut self.cores[core.index()];
+                rt.running = None;
+                rt.rq.push_back(task);
+                if let Some(slot) = self.tasks[task.0 as usize].as_mut() {
+                    slot.state = TaskState::Ready;
+                }
+                self.dispatch(core, w);
+            }
+            Step::Done => {
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Task {
+                        task: task.0,
+                        start: false,
+                    },
+                );
+                self.cores[core.index()].running = None;
+                self.tasks[task.0 as usize] = None;
+                self.live_tasks -= 1;
+                self.completed_tasks += 1;
+                self.dispatch(core, w);
+            }
+        }
+    }
+
+    fn park(&mut self, core: CoreId, task: TaskId) {
+        self.cores[core.index()].running = None;
+        if let Some(slot) = self.tasks[task.0 as usize].as_mut() {
+            slot.state = TaskState::Parked;
+        }
+    }
+
+    fn notify_power(&mut self, core: CoreId, state: PowerState, w: &mut W) {
+        let code = match state {
+            PowerState::Active => 0,
+            PowerState::Idle => 1,
+            PowerState::Inactive => 2,
+        };
+        self.trace.record(
+            self.now,
+            TraceEvent::Power {
+                core: core.0,
+                state: code,
+            },
+        );
+        if self.power_observers.is_empty() {
+            return;
+        }
+        let mut observers = std::mem::take(&mut self.power_observers);
+        for obs in &mut observers {
+            obs(w, self, core, state);
+        }
+        // Observers registered during notification (rare) are appended.
+        let added = std::mem::take(&mut self.power_observers);
+        self.power_observers = observers;
+        self.power_observers.extend(added);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{CoreDesc, CoreKind};
+
+    type M = Machine<World>;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    fn omap4_cores() -> Vec<CoreDesc> {
+        vec![
+            CoreDesc::new(CoreId(0), DomainId::STRONG, CoreKind::CortexA9, 350_000_000),
+            CoreDesc::new(CoreId(1), DomainId::STRONG, CoreKind::CortexA9, 350_000_000),
+            CoreDesc::new(CoreId(2), DomainId::WEAK, CoreKind::CortexM3, 200_000_000),
+        ]
+    }
+
+    fn machine() -> M {
+        Machine::new(omap4_cores(), 64 * 1024 * 1024)
+    }
+
+    type StepHook = Box<dyn FnMut(&mut World, &mut M, TaskCx, usize)>;
+
+    /// Runs a closure sequence: each step call pops the next action.
+    struct Script {
+        name: &'static str,
+        steps: Vec<Step>,
+        on_step: Option<StepHook>,
+        i: usize,
+    }
+
+    impl Script {
+        fn new(name: &'static str, steps: Vec<Step>) -> Box<Self> {
+            Box::new(Script {
+                name,
+                steps,
+                on_step: None,
+                i: 0,
+            })
+        }
+    }
+
+    impl Task<World> for Script {
+        fn step(&mut self, w: &mut World, m: &mut M, cx: TaskCx) -> Step {
+            if let Some(f) = &mut self.on_step {
+                f(w, m, cx, self.i);
+            }
+            w.log.push((cx.now.as_ns(), self.name));
+            let s = self.steps.get(self.i).copied().unwrap_or(Step::Done);
+            self.i += 1;
+            s
+        }
+
+        fn name(&self) -> &str {
+            self.name
+        }
+    }
+
+    #[test]
+    fn compute_advances_time_by_cycles() {
+        let mut m = machine();
+        let mut w = World::default();
+        m.spawn(
+            CoreId(0),
+            Script::new("t", vec![Step::Compute { cycles: 350_000 }]),
+            &mut w,
+        );
+        let end = m.run_until_idle(&mut w);
+        // 350k cycles at 350 MHz = 1 ms.
+        assert_eq!(end.as_ns(), 1_000_000);
+        assert_eq!(m.completed_tasks(), 1);
+    }
+
+    #[test]
+    fn same_cycles_take_longer_on_weak_core() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(2),
+            Script::new("t", vec![Step::Compute { cycles: 350_000 }]),
+            &mut w,
+        );
+        let end = m.run_until_idle(&mut w);
+        assert_eq!(end.as_ns(), 1_750_000); // 350k cycles at 200 MHz
+    }
+
+    #[test]
+    fn tasks_on_different_cores_run_concurrently() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(0),
+            Script::new(
+                "a",
+                vec![Step::ComputeTime {
+                    dur: SimDuration::from_ms(2),
+                }],
+            ),
+            &mut w,
+        );
+        m.spawn(
+            CoreId(2),
+            Script::new(
+                "b",
+                vec![Step::ComputeTime {
+                    dur: SimDuration::from_ms(2),
+                }],
+            ),
+            &mut w,
+        );
+        let end = m.run_until_idle(&mut w);
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_ms(2));
+    }
+
+    #[test]
+    fn tasks_on_same_core_serialise() {
+        let mut w = World::default();
+        let mut m = machine();
+        for n in ["a", "b"] {
+            m.spawn(
+                CoreId(0),
+                Script::new(
+                    n,
+                    vec![Step::ComputeTime {
+                        dur: SimDuration::from_ms(1),
+                    }],
+                ),
+                &mut w,
+            );
+        }
+        let end = m.run_until_idle(&mut w);
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_ms(2));
+    }
+
+    #[test]
+    fn sleep_lets_core_idle_and_wakes() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(0),
+            Script::new(
+                "s",
+                vec![
+                    Step::Sleep {
+                        dur: SimDuration::from_ms(5),
+                    },
+                    Step::Compute { cycles: 350 },
+                ],
+            ),
+            &mut w,
+        );
+        let end = m.run_until_idle(&mut w);
+        assert_eq!(end.as_ns(), 5_000_000 + 1_000);
+        // While sleeping the core was idle: energy must reflect idle power.
+        let idle_time = m.core_meter(CoreId(0)).time_in(PowerState::Idle);
+        assert!(idle_time >= SimDuration::from_ms(4));
+    }
+
+    #[test]
+    fn idle_core_goes_inactive_after_timeout() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.run_until(SimTime::ZERO + SimDuration::from_secs(6), &mut w);
+        assert_eq!(m.core_power_state(CoreId(0)), PowerState::Inactive);
+        assert_eq!(m.domain_power_state(DomainId::STRONG), PowerState::Inactive);
+    }
+
+    #[test]
+    fn activity_resets_inactive_timeout() {
+        let mut w = World::default();
+        let mut m = machine();
+        // Busy for 4 s via many compute steps would be simplest, but a
+        // single long compute works: after it finishes at 4 s, the timeout
+        // re-arms, so at 8 s the core is still idle; at 9.1 s it is not.
+        m.spawn(
+            CoreId(0),
+            Script::new(
+                "t",
+                vec![Step::ComputeTime {
+                    dur: SimDuration::from_secs(4),
+                }],
+            ),
+            &mut w,
+        );
+        m.run_until(SimTime::ZERO + SimDuration::from_secs(8), &mut w);
+        assert_eq!(m.core_power_state(CoreId(0)), PowerState::Idle);
+        m.run_until(SimTime::ZERO + SimDuration::from_millis_9_1(), &mut w);
+        assert_eq!(m.core_power_state(CoreId(0)), PowerState::Inactive);
+    }
+
+    // Small helper so the test above reads clearly.
+    trait MillisExt {
+        fn from_millis_9_1() -> SimDuration;
+    }
+    impl MillisExt for SimDuration {
+        fn from_millis_9_1() -> SimDuration {
+            SimDuration::from_ms(9_100)
+        }
+    }
+
+    #[test]
+    fn mailbox_send_raises_receiver_irq_and_wakes_waiter() {
+        let mut w = World::default();
+        let mut m = machine();
+        // Weak domain unmasks its mailbox line.
+        m.irq_unmask(DomainId::WEAK, IrqId::MBOX_D1, &mut w);
+        struct Sender;
+        impl Task<World> for Sender {
+            fn step(&mut self, _w: &mut World, m: &mut M, _cx: TaskCx) -> Step {
+                m.mailbox_send(DomainId::STRONG, DomainId::WEAK, Mail(0xbeef));
+                Step::Done
+            }
+        }
+        let receiver = Script::new(
+            "rx",
+            vec![
+                Step::WaitIrq {
+                    irq: IrqId::MBOX_D1,
+                },
+                Step::Done,
+            ],
+        );
+        let mut rx = receiver;
+        rx.on_step = Some(Box::new(|w: &mut World, m: &mut M, _cx, i| {
+            if i == 1 {
+                let env = m.mailbox_recv(DomainId::WEAK).expect("mail present");
+                assert_eq!(env.mail, Mail(0xbeef));
+                w.log.push((0, "got-mail"));
+            }
+        }));
+        m.spawn(CoreId(2), rx, &mut w);
+        m.spawn(CoreId(0), Box::new(Sender), &mut w);
+        m.run_until_idle(&mut w);
+        assert!(w.log.iter().any(|(_, s)| *s == "got-mail"));
+        assert_eq!(m.mailbox_delivered(), 1);
+    }
+
+    #[test]
+    fn irq_hook_runs_and_charges_core() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.irq_unmask(DomainId::WEAK, IrqId::NET, &mut w);
+        m.set_irq_hook(
+            DomainId::WEAK,
+            IrqId::NET,
+            Box::new(|w: &mut World, _m, cx| {
+                w.log.push((cx.now.as_ns(), "isr"));
+                2_000 // cycles
+            }),
+        );
+        m.raise_irq_after(IrqId::NET, SimDuration::from_us(10));
+        m.run_until(SimTime::ZERO + SimDuration::from_ms(1), &mut w);
+        assert_eq!(w.log, vec![(10_000, "isr")]);
+        // The weak core blipped active for the ISR.
+        assert!(m.core_meter(CoreId(2)).time_in(PowerState::Active) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn masked_irq_pends_until_unmask() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.set_irq_hook(
+            DomainId::WEAK,
+            IrqId::BLOCK,
+            Box::new(|w: &mut World, _m, cx| {
+                w.log.push((cx.now.as_ns(), "blk"));
+                100
+            }),
+        );
+        m.raise_irq(IrqId::BLOCK, &mut w);
+        assert!(w.log.is_empty(), "masked everywhere: must pend");
+        m.irq_unmask(DomainId::WEAK, IrqId::BLOCK, &mut w);
+        assert_eq!(w.log.len(), 1, "pended interrupt delivered on unmask");
+    }
+
+    #[test]
+    fn dma_transfer_copies_bytes_and_interrupts() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.irq_unmask(DomainId::STRONG, IrqId::DMA, &mut w);
+        m.ram.write(crate::mem::PhysAddr(0x1000), b"payload!");
+        struct Driver {
+            state: u8,
+        }
+        impl Task<World> for Driver {
+            fn step(&mut self, w: &mut World, m: &mut M, _cx: TaskCx) -> Step {
+                match self.state {
+                    0 => {
+                        self.state = 1;
+                        m.dma_submit(
+                            crate::mem::PhysAddr(0x1000),
+                            crate::mem::PhysAddr(0x8000),
+                            8,
+                        );
+                        Step::WaitIrq { irq: IrqId::DMA }
+                    }
+                    _ => {
+                        let done = m.dma_take_completions();
+                        assert_eq!(done.len(), 1);
+                        let mut buf = [0u8; 8];
+                        m.ram.read(crate::mem::PhysAddr(0x8000), &mut buf);
+                        assert_eq!(&buf, b"payload!");
+                        w.log.push((0, "copied"));
+                        Step::Done
+                    }
+                }
+            }
+        }
+        m.spawn(CoreId(0), Box::new(Driver { state: 0 }), &mut w);
+        m.run_until_idle(&mut w);
+        assert!(w.log.iter().any(|(_, s)| *s == "copied"));
+    }
+
+    #[test]
+    fn charge_remote_delays_busy_core() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(0),
+            Script::new(
+                "long",
+                vec![Step::ComputeTime {
+                    dur: SimDuration::from_ms(1),
+                }],
+            ),
+            &mut w,
+        );
+        // Let the dispatch happen, then preempt.
+        m.run_until(SimTime::ZERO + SimDuration::from_us(10), &mut w);
+        assert_eq!(m.core_power_state(CoreId(0)), PowerState::Active);
+        let extra = m.charge_remote(CoreId(0), SimDuration::from_us(24), &mut w);
+        assert_eq!(extra, SimDuration::ZERO);
+        let end = m.run_until_idle(&mut w);
+        assert_eq!(end.as_ns(), 1_000_000 + 24_000);
+    }
+
+    #[test]
+    fn charge_remote_wakes_inactive_core() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.run_until(SimTime::ZERO + SimDuration::from_secs(6), &mut w);
+        assert_eq!(m.core_power_state(CoreId(2)), PowerState::Inactive);
+        let extra = m.charge_remote(CoreId(2), SimDuration::from_us(7), &mut w);
+        assert_eq!(extra, CorePowerParamsWake::wake(&m));
+        assert_eq!(m.core_power_state(CoreId(2)), PowerState::Active);
+        assert_eq!(m.core_meter(CoreId(2)).wakeups(), 1);
+    }
+
+    struct CorePowerParamsWake;
+    impl CorePowerParamsWake {
+        fn wake(m: &M) -> SimDuration {
+            m.core_desc(CoreId(2)).power.wake_latency
+        }
+    }
+
+    #[test]
+    fn power_observer_sees_transitions() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.add_power_observer(Box::new(|w: &mut World, _m, core, state| {
+            if core == CoreId(0) && state == PowerState::Inactive {
+                w.log.push((0, "c0-inactive"));
+            }
+        }));
+        m.run_until(SimTime::ZERO + SimDuration::from_secs(6), &mut w);
+        assert!(w.log.iter().any(|(_, s)| *s == "c0-inactive"));
+    }
+
+    #[test]
+    fn yield_round_robins() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(0),
+            Script::new("a", vec![Step::Yield, Step::Compute { cycles: 350 }]),
+            &mut w,
+        );
+        m.spawn(
+            CoreId(0),
+            Script::new("b", vec![Step::Compute { cycles: 350 }]),
+            &mut w,
+        );
+        m.run_until_idle(&mut w);
+        let names: Vec<&str> = w.log.iter().map(|(_, s)| *s).collect();
+        // "a" yields, "b" runs to completion (compute step + the step that
+        // returns Done), then "a" resumes.
+        assert_eq!(names, vec!["a", "b", "b", "a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn blocked_forever_is_deadlock() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(CoreId(0), Script::new("stuck", vec![Step::Block]), &mut w);
+        m.run_until_idle(&mut w);
+    }
+
+    #[test]
+    fn block_and_explicit_wake() {
+        let mut w = World::default();
+        let mut m = machine();
+        let blocked = m.spawn(
+            CoreId(2),
+            Script::new("blocked", vec![Step::Block, Step::Done]),
+            &mut w,
+        );
+        struct Waker(TaskId);
+        impl Task<World> for Waker {
+            fn step(&mut self, w: &mut World, m: &mut M, _cx: TaskCx) -> Step {
+                m.wake(self.0, w);
+                Step::Done
+            }
+        }
+        // Give the blocked task time to park first.
+        m.run_until(SimTime::ZERO + SimDuration::from_us(1), &mut w);
+        m.spawn(CoreId(0), Box::new(Waker(blocked)), &mut w);
+        m.run_until_idle(&mut w);
+        assert_eq!(m.completed_tasks(), 2);
+    }
+
+    #[test]
+    fn two_cores_of_one_domain_run_concurrently() {
+        // The strong domain has two A9s; K2 "can (almost) transparently
+        // scale with these additional cores" (§11).
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(0),
+            Script::new(
+                "a",
+                vec![Step::ComputeTime {
+                    dur: SimDuration::from_ms(3),
+                }],
+            ),
+            &mut w,
+        );
+        m.spawn(
+            CoreId(1),
+            Script::new(
+                "b",
+                vec![Step::ComputeTime {
+                    dur: SimDuration::from_ms(3),
+                }],
+            ),
+            &mut w,
+        );
+        let end = m.run_until_idle(&mut w);
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_ms(3));
+        assert_eq!(m.domain_power_state(DomainId::STRONG), PowerState::Idle);
+    }
+
+    #[test]
+    fn preemption_charges_are_exact() {
+        // Three remote charges land mid-compute; the task finishes exactly
+        // that much later.
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(2),
+            Script::new(
+                "t",
+                vec![Step::ComputeTime {
+                    dur: SimDuration::from_ms(2),
+                }],
+            ),
+            &mut w,
+        );
+        m.run_until(SimTime::ZERO + SimDuration::from_us(100), &mut w);
+        for _ in 0..3 {
+            m.charge_remote(CoreId(2), SimDuration::from_us(50), &mut w);
+        }
+        let end = m.run_until_idle(&mut w);
+        assert_eq!(end.as_ns(), 2_000_000 + 3 * 50_000);
+    }
+
+    #[test]
+    fn wake_after_fires_like_a_kernel_timer() {
+        let mut w = World::default();
+        let mut m = machine();
+        let t = m.spawn(
+            CoreId(0),
+            Script::new("sleeper", vec![Step::Block, Step::Done]),
+            &mut w,
+        );
+        m.run_until(SimTime::ZERO + SimDuration::from_us(1), &mut w);
+        m.wake_after(t, SimDuration::from_ms(5));
+        let end = m.run_until_idle(&mut w);
+        assert!(end >= SimTime::ZERO + SimDuration::from_ms(5));
+        assert_eq!(m.completed_tasks(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_boundary() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(0),
+            Script::new(
+                "late",
+                vec![
+                    Step::Sleep {
+                        dur: SimDuration::from_ms(10),
+                    },
+                    Step::Compute { cycles: 350 },
+                ],
+            ),
+            &mut w,
+        );
+        m.run_until(SimTime::ZERO + SimDuration::from_ms(5), &mut w);
+        // The wake event at 10 ms has not fired; the task is still live.
+        assert_eq!(m.live_tasks(), 1);
+        assert_eq!(m.now(), SimTime::ZERO + SimDuration::from_ms(5));
+        m.run_until_idle(&mut w);
+        assert_eq!(m.completed_tasks(), 1);
+    }
+
+    #[test]
+    fn trace_records_dispatch_and_power() {
+        use k2_sim::trace::TraceEvent;
+        let mut w = World::default();
+        let mut m = machine();
+        m.set_trace(true);
+        m.spawn(
+            CoreId(0),
+            Script::new("t", vec![Step::Compute { cycles: 350 }]),
+            &mut w,
+        );
+        m.run_until_idle(&mut w);
+        assert!(m
+            .trace()
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Task { start: true, .. })));
+        assert!(m
+            .trace()
+            .iter()
+            .any(|r| r.event == TraceEvent::Power { core: 0, state: 0 }));
+    }
+
+    #[test]
+    fn energy_accounting_across_run() {
+        let mut w = World::default();
+        let mut m = machine();
+        m.spawn(
+            CoreId(2),
+            Script::new(
+                "t",
+                vec![Step::ComputeTime {
+                    dur: SimDuration::from_secs(1),
+                }],
+            ),
+            &mut w,
+        );
+        m.run_until(SimTime::ZERO + SimDuration::from_secs(2), &mut w);
+        let e = m.domain_energy_mj(DomainId::WEAK);
+        // 1 s active at 21.1 mW + 1 s idle at 3.8 mW.
+        assert!((e - (21.1 + 3.8)).abs() < 0.2, "e={e}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Core power states and energy accounting.
+//!
+//! Reproduces the measurement setup of the paper's §9.2: each coherence
+//! domain sits on its own power rail, and energy is the integral of the
+//! state-dependent power draw over time. The default parameters are the
+//! paper's Table 3 (OMAP4460, measured on the PandaBoard rails).
+
+use k2_sim::time::{SimDuration, SimTime};
+
+/// The activity state of a core, which selects its power draw.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PowerState {
+    /// Executing instructions.
+    Active,
+    /// Clock-gated (WFI): woken by any interrupt with negligible latency.
+    Idle,
+    /// Power-gated after the inactive timeout: waking costs real latency and
+    /// energy (the paper's first source of inefficiency for strong cores).
+    Inactive,
+}
+
+/// Static power/latency parameters of one core.
+///
+/// # Examples
+///
+/// ```
+/// use k2_soc::power::CorePowerParams;
+///
+/// let m3 = CorePowerParams::cortex_m3_200mhz();
+/// assert!(m3.active_mw < CorePowerParams::cortex_a9_350mhz().active_mw);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorePowerParams {
+    /// Power draw while executing, in milliwatts.
+    pub active_mw: f64,
+    /// Power draw while idle (WFI), in milliwatts.
+    pub idle_mw: f64,
+    /// Power draw while inactive (power-gated), in milliwatts.
+    pub inactive_mw: f64,
+    /// How long a core must stay idle before transitioning to inactive.
+    /// The paper uses 5 s, from a study of real device power management.
+    pub inactive_timeout: SimDuration,
+    /// Latency to wake from the inactive state.
+    pub wake_latency: SimDuration,
+    /// Extra energy burned by a wake-up, in microjoules (regulator ramp,
+    /// cache refill and so on), beyond the active power during the latency.
+    pub wake_energy_uj: f64,
+}
+
+impl CorePowerParams {
+    /// Cortex-M3 at 200 MHz: Table 3 row 1 (21.1 mW active, 3.8 mW idle).
+    pub fn cortex_m3_200mhz() -> Self {
+        CorePowerParams {
+            active_mw: 21.1,
+            idle_mw: 3.8,
+            inactive_mw: 0.1,
+            inactive_timeout: SimDuration::from_secs(5),
+            wake_latency: SimDuration::from_us(300),
+            wake_energy_uj: 8.0,
+        }
+    }
+
+    /// Cortex-A9 at 350 MHz: Table 3 row 2 (79.8 mW active, 25.2 mW idle).
+    pub fn cortex_a9_350mhz() -> Self {
+        CorePowerParams {
+            active_mw: 79.8,
+            idle_mw: 25.2,
+            inactive_mw: 0.1,
+            inactive_timeout: SimDuration::from_secs(5),
+            wake_latency: SimDuration::from_ms(2),
+            wake_energy_uj: 120.0,
+        }
+    }
+
+    /// Cortex-A9 at 1200 MHz: Table 3 row 3 (672 mW active, 25.2 mW idle).
+    pub fn cortex_a9_1200mhz() -> Self {
+        CorePowerParams {
+            active_mw: 672.0,
+            idle_mw: 25.2,
+            ..Self::cortex_a9_350mhz()
+        }
+    }
+
+    /// Power draw (mW) in a given state.
+    pub fn power_mw(&self, state: PowerState) -> f64 {
+        match state {
+            PowerState::Active => self.active_mw,
+            PowerState::Idle => self.idle_mw,
+            PowerState::Inactive => self.inactive_mw,
+        }
+    }
+}
+
+/// Interpolated Cortex-A9 active power (mW) at an arbitrary operating
+/// frequency, with quadratic voltage scaling pinned to the two measured
+/// Table 3 points (79.8 mW @ 350 MHz, 672 mW @ 1.2 GHz).
+///
+/// # Examples
+///
+/// ```
+/// use k2_soc::power::a9_active_mw;
+/// assert!((a9_active_mw(350_000_000) - 79.8).abs() < 0.1);
+/// assert!((a9_active_mw(1_200_000_000) - 672.0).abs() < 1.0);
+/// ```
+pub fn a9_active_mw(freq_hz: u64) -> f64 {
+    let f = freq_hz as f64 / 1e6;
+    let (f0, p0): (f64, f64) = (350.0, 79.8);
+    let (f1, p1): (f64, f64) = (1200.0, 672.0);
+    // P = p0 * (f/f0) * (V/V0)^2 with V linear in f; solve V1/V0 from the
+    // pinned endpoints.
+    let vr = ((p1 / p0) / (f1 / f0)).sqrt();
+    let v = 1.0 + (vr - 1.0) * (f - f0) / (f1 - f0);
+    p0 * (f / f0) * v * v
+}
+
+/// Integrates energy over power-state changes for one core.
+///
+/// Call [`EnergyMeter::set_state`] at every transition; the meter charges the
+/// elapsed interval at the power of the *previous* state. Reads are
+/// non-destructive and may happen at any time via
+/// [`EnergyMeter::energy_mj_at`].
+#[derive(Clone, Debug)]
+pub struct EnergyMeter {
+    params: CorePowerParams,
+    state: PowerState,
+    last: SimTime,
+    energy_mj: f64,
+    /// Time spent in each state, for reporting: [active, idle, inactive].
+    state_time: [SimDuration; 3],
+    wakeups: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter starting in `state` at time zero.
+    pub fn new(params: CorePowerParams, state: PowerState) -> Self {
+        EnergyMeter {
+            params,
+            state,
+            last: SimTime::ZERO,
+            energy_mj: 0.0,
+            state_time: [SimDuration::ZERO; 3],
+            wakeups: 0,
+        }
+    }
+
+    /// The power parameters this meter integrates with.
+    pub fn params(&self) -> &CorePowerParams {
+        &self.params
+    }
+
+    /// Replaces the power parameters (used when a core changes its DVFS
+    /// operating point). The interval up to `now` is charged at the old
+    /// parameters first.
+    pub fn set_params(&mut self, now: SimTime, params: CorePowerParams) {
+        self.accumulate(now);
+        self.params = params;
+    }
+
+    /// Current power state.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Records a transition to `state` at time `now`.
+    ///
+    /// Transitions out of [`PowerState::Inactive`] additionally charge the
+    /// wake-up energy and count a wake-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous transition.
+    pub fn set_state(&mut self, now: SimTime, state: PowerState) {
+        assert!(
+            now >= self.last,
+            "time went backwards: {now:?} < {:?}",
+            self.last
+        );
+        self.accumulate(now);
+        if self.state == PowerState::Inactive && state != PowerState::Inactive {
+            self.energy_mj += self.params.wake_energy_uj / 1_000.0;
+            self.wakeups += 1;
+        }
+        self.state = state;
+    }
+
+    /// Total energy consumed up to `now`, in millijoules.
+    pub fn energy_mj_at(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.energy_mj + self.params.power_mw(self.state) * dt
+    }
+
+    /// Time spent in a state so far (not counting the open interval).
+    pub fn time_in(&self, state: PowerState) -> SimDuration {
+        self.state_time[Self::idx(state)]
+    }
+
+    /// Number of wake-ups from the inactive state.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    fn idx(state: PowerState) -> usize {
+        match state {
+            PowerState::Active => 0,
+            PowerState::Idle => 1,
+            PowerState::Inactive => 2,
+        }
+    }
+
+    fn accumulate(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last);
+        self.energy_mj += self.params.power_mw(self.state) * dt.as_secs_f64();
+        self.state_time[Self::idx(self.state)] += dt;
+        self.last = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_ns(ms * 1_000_000)
+    }
+
+    #[test]
+    fn table3_parameters() {
+        let m3 = CorePowerParams::cortex_m3_200mhz();
+        assert_eq!(m3.active_mw, 21.1);
+        assert_eq!(m3.idle_mw, 3.8);
+        let a9s = CorePowerParams::cortex_a9_350mhz();
+        assert_eq!(a9s.active_mw, 79.8);
+        assert_eq!(a9s.idle_mw, 25.2);
+        let a9f = CorePowerParams::cortex_a9_1200mhz();
+        assert_eq!(a9f.active_mw, 672.0);
+        assert_eq!(a9f.idle_mw, 25.2);
+        // "Both cores consume less than 0.1 mW when inactive."
+        assert!(m3.inactive_mw <= 0.1 && a9f.inactive_mw <= 0.1);
+    }
+
+    #[test]
+    fn integrates_active_power() {
+        let mut m = EnergyMeter::new(CorePowerParams::cortex_m3_200mhz(), PowerState::Active);
+        m.set_state(t(1000), PowerState::Idle);
+        // 21.1 mW for 1 s = 21.1 mJ.
+        assert!((m.energy_mj_at(t(1000)) - 21.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrates_mixed_states() {
+        let mut m = EnergyMeter::new(CorePowerParams::cortex_a9_350mhz(), PowerState::Active);
+        m.set_state(t(500), PowerState::Idle); // 0.5 s active
+        m.set_state(t(1500), PowerState::Inactive); // 1 s idle
+        let e = m.energy_mj_at(t(2500)); // 1 s inactive
+        let expect = 79.8 * 0.5 + 25.2 * 1.0 + 0.1 * 1.0;
+        assert!((e - expect).abs() < 1e-9, "e={e} expect={expect}");
+    }
+
+    #[test]
+    fn wakeup_charges_energy_and_counts() {
+        let p = CorePowerParams::cortex_a9_350mhz();
+        let mut m = EnergyMeter::new(p, PowerState::Inactive);
+        m.set_state(t(10), PowerState::Active);
+        assert_eq!(m.wakeups(), 1);
+        let e = m.energy_mj_at(t(10));
+        assert!((e - (0.1 * 0.01 + 0.120)).abs() < 1e-9, "e={e}");
+    }
+
+    #[test]
+    fn idle_to_active_is_not_a_wakeup() {
+        let mut m = EnergyMeter::new(CorePowerParams::cortex_m3_200mhz(), PowerState::Idle);
+        m.set_state(t(1), PowerState::Active);
+        assert_eq!(m.wakeups(), 0);
+    }
+
+    #[test]
+    fn tracks_time_in_state() {
+        let mut m = EnergyMeter::new(CorePowerParams::cortex_m3_200mhz(), PowerState::Active);
+        m.set_state(t(100), PowerState::Idle);
+        m.set_state(t(300), PowerState::Active);
+        assert_eq!(m.time_in(PowerState::Active), SimDuration::from_ms(100));
+        assert_eq!(m.time_in(PowerState::Idle), SimDuration::from_ms(200));
+    }
+
+    #[test]
+    fn read_is_nondestructive() {
+        let m = EnergyMeter::new(CorePowerParams::cortex_m3_200mhz(), PowerState::Active);
+        let e1 = m.energy_mj_at(t(100));
+        let e2 = m.energy_mj_at(t(100));
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn dvfs_change_charges_old_point_first() {
+        let mut m = EnergyMeter::new(CorePowerParams::cortex_a9_350mhz(), PowerState::Active);
+        m.set_params(t(1000), CorePowerParams::cortex_a9_1200mhz());
+        let e = m.energy_mj_at(t(2000));
+        assert!((e - (79.8 + 672.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_time_reversal() {
+        let mut m = EnergyMeter::new(CorePowerParams::cortex_m3_200mhz(), PowerState::Active);
+        m.set_state(t(10), PowerState::Idle);
+        m.set_state(t(5), PowerState::Active);
+    }
+}

@@ -1,0 +1,126 @@
+//! The platform timer.
+//!
+//! OMAP4's always-on 32 kHz synchronisation timer is what the paper's
+//! benchmarks use to measure elapsed time while cores are idle (§9.2). The
+//! model provides the same two services: a coarse clock source that keeps
+//! counting through every power state, and periodic tick arithmetic for
+//! background daemons.
+
+use k2_sim::time::{SimDuration, SimTime};
+
+/// The 32 kHz always-on counter frequency.
+pub const SYNC_TIMER_HZ: u64 = 32_768;
+
+/// Converts an instant to 32 kHz counter ticks (what software reads from
+/// the sync timer register).
+///
+/// # Examples
+///
+/// ```
+/// use k2_soc::timer::{counter_at, SYNC_TIMER_HZ};
+/// use k2_sim::time::SimTime;
+///
+/// assert_eq!(counter_at(SimTime::ZERO), 0);
+/// assert_eq!(counter_at(SimTime::from_ns(1_000_000_000)), SYNC_TIMER_HZ);
+/// ```
+pub fn counter_at(now: SimTime) -> u64 {
+    (now.as_ns() as u128 * SYNC_TIMER_HZ as u128 / 1_000_000_000) as u64
+}
+
+/// The measurement resolution of the 32 kHz counter (~30.5 µs) — the
+/// paper's idle-time measurements cannot see anything finer.
+pub fn resolution() -> SimDuration {
+    SimDuration::from_ns(1_000_000_000 / SYNC_TIMER_HZ)
+}
+
+/// A periodic deadline generator with catch-up semantics, for background
+/// daemons (e.g. the meta-level manager's pressure poll).
+#[derive(Clone, Debug)]
+pub struct PeriodicTimer {
+    period: SimDuration,
+    next: SimTime,
+}
+
+impl PeriodicTimer {
+    /// Creates a timer firing every `period`, first at `start + period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period.
+    pub fn new(start: SimTime, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        PeriodicTimer {
+            period,
+            next: start + period,
+        }
+    }
+
+    /// The next deadline.
+    pub fn next_deadline(&self) -> SimTime {
+        self.next
+    }
+
+    /// Advances past `now`, returning how many periods elapsed (0 if the
+    /// deadline is still in the future). A late caller catches up in one
+    /// call rather than firing a burst.
+    pub fn advance(&mut self, now: SimTime) -> u64 {
+        if now < self.next {
+            return 0;
+        }
+        let late = now.saturating_since(self.next);
+        let missed = late.as_ns() / self.period.as_ns();
+        let ticks = 1 + missed;
+        self.next += self.period * ticks;
+        ticks
+    }
+
+    /// Time remaining until the next deadline (zero if already due).
+    pub fn until_next(&self, now: SimTime) -> SimDuration {
+        self.next.saturating_since(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ms(ms)
+    }
+
+    #[test]
+    fn counter_counts_at_32768_hz() {
+        assert_eq!(counter_at(t(1000)), 32_768);
+        assert_eq!(counter_at(t(500)), 16_384);
+    }
+
+    #[test]
+    fn resolution_is_about_30_us() {
+        let us = resolution().as_us_f64();
+        assert!((30.0..31.0).contains(&us), "{us}");
+    }
+
+    #[test]
+    fn periodic_fires_once_per_period() {
+        let mut p = PeriodicTimer::new(SimTime::ZERO, SimDuration::from_ms(10));
+        assert_eq!(p.advance(t(5)), 0);
+        assert_eq!(p.advance(t(10)), 1);
+        assert_eq!(p.advance(t(19)), 0);
+        assert_eq!(p.advance(t(20)), 1);
+    }
+
+    #[test]
+    fn late_caller_catches_up_in_one_call() {
+        let mut p = PeriodicTimer::new(SimTime::ZERO, SimDuration::from_ms(10));
+        // 47 ms late: periods at 10,20,30,40 -> 4 ticks, next at 50.
+        assert_eq!(p.advance(t(47)), 4);
+        assert_eq!(p.next_deadline(), t(50));
+        assert_eq!(p.until_next(t(47)), SimDuration::from_ms(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = PeriodicTimer::new(SimTime::ZERO, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,32 @@
+//! # k2-workloads — benchmark workloads and measurement harnesses
+//!
+//! Everything needed to regenerate the paper's evaluation: the three §9.2
+//! light-task benchmarks (DMA, ext2, UDP loopback) as [`tasks`] that run
+//! identically under K2 and the Linux baseline, the measurement [`harness`]
+//! reproducing the wake-to-inactive energy window, [`micro`] harnesses for
+//! Tables 4 and 5, the Figure 1 [`trend`] reconstruction, and the §9.2
+//! standby-time [`usage`] estimate.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_workloads::harness::{run_energy_bench, Workload};
+//! use k2::system::SystemMode;
+//!
+//! let run = run_energy_bench(SystemMode::K2, Workload::Udp { batch: 4096, total: 8192 });
+//! assert_eq!(run.bytes, 8192);
+//! assert!(run.efficiency_mb_per_j() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod harness;
+pub mod micro;
+pub mod record;
+pub mod tasks;
+pub mod trend;
+pub mod usage;
+
+pub use harness::{compare_energy, run_energy_bench, run_shared_driver, Workload};
+pub use record::{EnergyRun, EnergySnapshot, SharedDriverRun};

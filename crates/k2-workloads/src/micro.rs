@@ -1,0 +1,271 @@
+//! Micro-benchmark harnesses for Tables 4 and 5.
+
+use k2::balloon::BalloonError;
+use k2::dsm::FaultBreakdown;
+use k2::system::{alloc_pages, free_pages, K2Machine, K2System, SystemConfig};
+use k2_sim::time::SimDuration;
+use k2_soc::ids::{CoreId, DomainId};
+
+/// One row of Table 4: allocation latencies in microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocLatencyRow {
+    /// Allocation size label in KB.
+    pub size_kb: u64,
+    /// Main-kernel latency (µs).
+    pub main_us: f64,
+    /// Shadow-kernel latency (µs).
+    pub shadow_us: f64,
+}
+
+/// Balloon-operation latencies (µs): `[deflate, inflate]` per kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct BalloonLatencyRow {
+    /// Main-kernel deflate and inflate (µs).
+    pub main_us: [f64; 2],
+    /// Shadow-kernel deflate and inflate (µs).
+    pub shadow_us: [f64; 2],
+}
+
+fn mean_alloc_us(
+    sys: &mut K2System,
+    m: &mut K2Machine,
+    core: CoreId,
+    order: u8,
+    iters: u32,
+) -> f64 {
+    let mut total = SimDuration::ZERO;
+    for _ in 0..iters {
+        let (pfn, d) = alloc_pages(sys, m, core, order, false);
+        total += d;
+        let pfn = pfn.expect("allocation succeeds");
+        free_pages(sys, m, core, pfn);
+    }
+    total.as_us_f64() / iters as f64
+}
+
+/// Measures the Table 4 allocation rows (4 KB / 256 KB / 1024 KB).
+pub fn table4_alloc_latencies() -> Vec<AllocLatencyRow> {
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    [(4u64, 0u8), (256, 6), (1024, 8)]
+        .into_iter()
+        .map(|(size_kb, order)| AllocLatencyRow {
+            size_kb,
+            main_us: mean_alloc_us(&mut sys, &mut m, strong, order, 50),
+            shadow_us: mean_alloc_us(&mut sys, &mut m, weak, order, 50),
+        })
+        .collect()
+}
+
+/// Measures the Table 4 balloon rows with a partially populated block (the
+/// realistic inflate case migrates some movable pages).
+pub fn table4_balloon_latencies() -> BalloonLatencyRow {
+    // Boot with no pre-deflated blocks so the block measured below is each
+    // kernel's frontier block (the one inflation reclaims).
+    let config = SystemConfig {
+        initial_main_blocks: 0,
+        initial_shadow_blocks: 0,
+        ..SystemConfig::k2()
+    };
+    let (m, mut sys) = K2System::boot(config);
+    let mut row = BalloonLatencyRow {
+        main_us: [0.0; 2],
+        shadow_us: [0.0; 2],
+    };
+    for dom in [DomainId::STRONG, DomainId::WEAK] {
+        let core = K2System::kernel_core(&m, dom);
+        let desc = m.core_desc(core).clone();
+        // Deflate a fresh block.
+        let op = {
+            let K2System { balloon, world, .. } = &mut sys;
+            balloon.deflate(world.kernel(dom)).expect("pool has blocks")
+        };
+        let deflate_us = (op.cost.time_on(&desc) + op.fixed).as_us_f64();
+        // Populate the frontier with some movable pages, then inflate.
+        for _ in 0..256 {
+            let (pfn, _) = sys
+                .world
+                .kernel(dom)
+                .buddy
+                .alloc_pages(0, k2_kernel::mm::buddy::MigrateType::Movable)
+                .expect("movable page");
+            sys.world.kernel(dom).rmap.register(pfn);
+        }
+        let op = {
+            let K2System { balloon, world, .. } = &mut sys;
+            match balloon.inflate(world.kernel(dom)) {
+                Ok(op) => op,
+                Err(BalloonError::Unmovable(_)) => panic!("only movable pages present"),
+                Err(e) => panic!("inflate failed: {e:?}"),
+            }
+        };
+        let inflate_us = (op.cost.time_on(&desc) + op.fixed).as_us_f64();
+        match dom {
+            DomainId::STRONG => row.main_us = [deflate_us, inflate_us],
+            _ => row.shadow_us = [deflate_us, inflate_us],
+        }
+    }
+    row
+}
+
+/// One direction of Table 5, in microseconds per phase.
+#[derive(Clone, Copy, Debug)]
+pub struct DsmLatencyRow {
+    /// "Main" or "Shadow" — who sends GetExclusive.
+    pub sender: &'static str,
+    /// Local fault handling.
+    pub local_us: f64,
+    /// Protocol execution.
+    pub protocol_us: f64,
+    /// Inter-domain communication.
+    pub comm_us: f64,
+    /// Servicing the request (on the owner).
+    pub service_us: f64,
+    /// Exit fault + cache miss.
+    pub exit_us: f64,
+}
+
+impl DsmLatencyRow {
+    /// Total latency (µs).
+    pub fn total_us(&self) -> f64 {
+        self.local_us + self.protocol_us + self.comm_us + self.service_us + self.exit_us
+    }
+}
+
+/// Computes both directions of Table 5 from the platform model.
+pub fn table5_dsm_breakdown() -> Vec<DsmLatencyRow> {
+    let (m, _sys) = K2System::boot(SystemConfig::k2());
+    let a9 = m
+        .core_desc(K2System::kernel_core(&m, DomainId::STRONG))
+        .clone();
+    let m3 = m
+        .core_desc(K2System::kernel_core(&m, DomainId::WEAK))
+        .clone();
+    let rows = [
+        ("Main", FaultBreakdown::compute(&a9, &m3, false)),
+        ("Shadow", FaultBreakdown::compute(&m3, &a9, false)),
+    ];
+    rows.into_iter()
+        .map(|(sender, b)| DsmLatencyRow {
+            sender,
+            local_us: b.local_fault.as_us_f64(),
+            protocol_us: b.protocol.as_us_f64(),
+            comm_us: b.communication.as_us_f64(),
+            service_us: b.servicing.as_us_f64(),
+            exit_us: b.exit_cache_miss.as_us_f64(),
+        })
+        .collect()
+}
+
+/// Measures a real end-to-end fault by ping-ponging one shared page
+/// between the kernels through the shadowed-service path. Returns the mean
+/// requester-observed latency per direction `(main_us, shadow_us)`.
+pub fn measured_fault_latency(iters: u32) -> (f64, f64) {
+    use k2::system::shadowed;
+    use k2_kernel::service::ServiceId;
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    // A UDP socket provides a single hot state page; binding it touches
+    // page 0 of the Net service from both sides alternately.
+    let mut main_total = SimDuration::ZERO;
+    let mut shadow_total = SimDuration::ZERO;
+    for _ in 0..iters {
+        let (_, d_shadow) = shadowed(&mut sys, &mut m, weak, ServiceId::Net, |s, cx| {
+            cx.write(0);
+            s.net.socket_count()
+        });
+        shadow_total += d_shadow;
+        // Let the servicing blips drain so neither kernel looks busy (a
+        // busy main kernel legitimately defers GetExclusive handling).
+        m.run_until(m.now() + SimDuration::from_ms(1), &mut sys);
+        let (_, d_main) = shadowed(&mut sys, &mut m, strong, ServiceId::Net, |s, cx| {
+            cx.write(0);
+            s.net.socket_count()
+        });
+        main_total += d_main;
+        m.run_until(m.now() + SimDuration::from_ms(1), &mut sys);
+    }
+    (
+        main_total.as_us_f64() / iters as f64,
+        shadow_total.as_us_f64() / iters as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_rows_have_the_papers_shape() {
+        let rows = table4_alloc_latencies();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.shadow_us > 3.0 * r.main_us,
+                "{} KB: shadow {:.1} vs main {:.1}",
+                r.size_kb,
+                r.shadow_us,
+                r.main_us
+            );
+        }
+        // Latency grows with size on both kernels.
+        assert!(rows[2].main_us > rows[0].main_us);
+        assert!(rows[2].shadow_us > rows[0].shadow_us);
+        // Paper anchors: main 1/5/13 us, shadow 12/45/146 us.
+        assert!((0.4..4.0).contains(&rows[0].main_us), "{}", rows[0].main_us);
+        assert!(
+            (70.0..260.0).contains(&rows[2].shadow_us),
+            "{}",
+            rows[2].shadow_us
+        );
+    }
+
+    #[test]
+    fn table4_balloon_is_milliseconds_scale() {
+        let b = table4_balloon_latencies();
+        for us in b.main_us.iter().chain(b.shadow_us.iter()) {
+            assert!((5_000.0..40_000.0).contains(us), "balloon op {us} us");
+        }
+        // Inflate costs more than deflate (it migrates pages).
+        assert!(b.main_us[1] > b.main_us[0]);
+        assert!(b.shadow_us[1] > b.shadow_us[0]);
+        // The shadow kernel is slower at both.
+        assert!(b.shadow_us[0] > b.main_us[0]);
+    }
+
+    #[test]
+    fn table5_totals_near_paper() {
+        let rows = table5_dsm_breakdown();
+        let main = rows.iter().find(|r| r.sender == "Main").unwrap();
+        let shadow = rows.iter().find(|r| r.sender == "Shadow").unwrap();
+        assert!(
+            (40.0..70.0).contains(&main.total_us()),
+            "{}",
+            main.total_us()
+        );
+        assert!(
+            (35.0..60.0).contains(&shadow.total_us()),
+            "{}",
+            shadow.total_us()
+        );
+    }
+
+    #[test]
+    fn measured_faults_match_the_model() {
+        let (main_us, shadow_us) = measured_fault_latency(20);
+        let rows = table5_dsm_breakdown();
+        let model_main = rows[0].total_us();
+        let model_shadow = rows[1].total_us();
+        // The end-to-end path adds the op's own cost; within 2x of model.
+        assert!(
+            main_us >= model_main * 0.8 && main_us < model_main * 2.5,
+            "{main_us} vs {model_main}"
+        );
+        assert!(
+            shadow_us >= model_shadow * 0.8 && shadow_us < model_shadow * 2.5,
+            "{shadow_us} vs {model_shadow}"
+        );
+    }
+}

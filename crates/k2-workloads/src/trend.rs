@@ -1,0 +1,132 @@
+//! Figure 1: the mobile SoC architecture trend.
+//!
+//! Reconstructs the paper's conceptual power-vs-performance chart from the
+//! platform's core models: the strong core's DVFS curve, a coherent
+//! big.LITTLE companion point, and the incoherent weak domain. Both axes
+//! are logarithmic in the paper; the point of the figure is the *range*
+//! each technique covers — DVFS < coherent heterogeneity < incoherent
+//! heterogeneity.
+
+use k2_soc::core::{CoreDesc, CoreKind};
+use k2_soc::ids::{CoreId, DomainId};
+use k2_soc::power::CorePowerParams;
+
+/// One point of the Figure 1 scatter.
+#[derive(Clone, Debug)]
+pub struct TrendPoint {
+    /// Technique group ("DVFS", "big.LITTLE", "Multi-domain").
+    pub group: &'static str,
+    /// Point label.
+    pub label: String,
+    /// Performance in MIPS.
+    pub mips: f64,
+    /// Active power in mW.
+    pub active_mw: f64,
+    /// Idle power in mW.
+    pub idle_mw: f64,
+}
+
+/// Interpolated A9 active power between the two measured operating points
+/// (Table 3). See [`k2_soc::power::a9_active_mw`].
+pub fn a9_power_mw(freq_hz: u64) -> f64 {
+    k2_soc::power::a9_active_mw(freq_hz)
+}
+
+/// Generates the Figure 1 point set.
+pub fn figure1_points() -> Vec<TrendPoint> {
+    let mut pts = Vec::new();
+    // DVFS on the strong core.
+    for f_mhz in [350u64, 600, 800, 1000, 1200] {
+        let f = f_mhz * 1_000_000;
+        let desc = CoreDesc::new(CoreId(0), DomainId::STRONG, CoreKind::CortexA9, f);
+        pts.push(TrendPoint {
+            group: "DVFS",
+            label: format!("A9 @ {f_mhz} MHz"),
+            mips: desc.mips(),
+            active_mw: a9_power_mw(f),
+            idle_mw: CorePowerParams::cortex_a9_350mhz().idle_mw,
+        });
+    }
+    // Coherent heterogeneity: a little in-order companion core sharing the
+    // strong coherence domain (big.LITTLE). Hardware coherence limits how
+    // weak it can be — the paper: same-domain cores differ by up to ~6x in
+    // lowest power, across domains by up to ~20x.
+    pts.push(TrendPoint {
+        group: "big.LITTLE",
+        label: "little companion (same domain)".to_owned(),
+        mips: 500.0,
+        // The companion core cannot drop below the power floor of the
+        // shared coherence domain (L2 + snoop fabric kept up): its active
+        // power sits well above the incoherent weak domain's (§2.2).
+        active_mw: 45.0,
+        idle_mw: 12.0,
+    });
+    // Incoherent heterogeneity: the weak domain.
+    let m3 = CoreDesc::new(CoreId(2), DomainId::WEAK, CoreKind::CortexM3, 200_000_000);
+    pts.push(TrendPoint {
+        group: "Multi-domain",
+        label: "M3 (weak domain)".to_owned(),
+        mips: m3.mips(),
+        active_mw: CorePowerParams::cortex_m3_200mhz().active_mw,
+        idle_mw: CorePowerParams::cortex_m3_200mhz().idle_mw,
+    });
+    pts
+}
+
+/// The dynamic range (max/min active power) covered by each technique
+/// cumulatively — the quantity Figure 1 visualises.
+pub fn power_ranges() -> Vec<(&'static str, f64)> {
+    let pts = figure1_points();
+    let max = pts.iter().map(|p| p.active_mw).fold(f64::MIN, f64::max);
+    let min_of = |group: &str| {
+        pts.iter()
+            .filter(|p| p.group == group)
+            .map(|p| p.active_mw)
+            .fold(f64::MAX, f64::min)
+    };
+    vec![
+        ("DVFS", max / min_of("DVFS")),
+        ("big.LITTLE", max / min_of("big.LITTLE")),
+        ("Multi-domain", max / min_of("Multi-domain")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a9_power_pins_table3_endpoints() {
+        assert!((a9_power_mw(350_000_000) - 79.8).abs() < 0.1);
+        assert!((a9_power_mw(1_200_000_000) - 672.0).abs() < 1.0);
+        // Monotone in between.
+        assert!(a9_power_mw(600_000_000) > 79.8);
+        assert!(a9_power_mw(600_000_000) < 672.0);
+    }
+
+    #[test]
+    fn ranges_grow_along_the_trend() {
+        let ranges = power_ranges();
+        let dvfs = ranges[0].1;
+        let bl = ranges[1].1;
+        let md = ranges[2].1;
+        assert!(
+            dvfs < bl && bl < md,
+            "trend must widen: {dvfs:.1} {bl:.1} {md:.1}"
+        );
+        // §2.2: same-domain power floor differs ~6x, across domains up to
+        // ~20x or more relative to the big core's low point; against the
+        // 1.2 GHz point the multi-domain range is >30x.
+        assert!(md > 20.0, "multi-domain range {md:.1}");
+    }
+
+    #[test]
+    fn weak_core_is_weak_and_frugal() {
+        let pts = figure1_points();
+        let m3 = pts.iter().find(|p| p.group == "Multi-domain").unwrap();
+        let a9 = pts.iter().find(|p| p.label.contains("350")).unwrap();
+        assert!(m3.mips < a9.mips);
+        assert!(m3.active_mw < a9.active_mw / 3.0);
+        assert!(m3.idle_mw < a9.idle_mw / 5.0);
+    }
+}

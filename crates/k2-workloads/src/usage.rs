@@ -1,0 +1,127 @@
+//! Standby-time estimation (§9.2).
+//!
+//! The paper estimates, from its benchmark results and the device-usage
+//! numbers of the background-email study it cites, that K2 extends standby
+//! time by 59 % — from 5.9 to 9.4 days. The estimate here follows the same
+//! construction:
+//!
+//! * A device's standby drain splits into a fixed share (radio, RAM
+//!   refresh, PMIC) and a share attributable to light-task OS work — the
+//!   periodic syncs, sensing and cloud keep-alives of §2.1.
+//! * The light-task share improves by the energy ratio *measured* with
+//!   this reproduction's sync benchmark; the fixed share does not change.
+//!
+//! The fixed/variable split is calibrated so the Linux baseline lands at
+//! the study's 5.9 days; the K2 figure then *emerges* from the measured
+//! ratio.
+
+use crate::harness::{run_energy_bench, Workload};
+use k2::system::SystemMode;
+
+/// Parameters of the standby model.
+#[derive(Clone, Copy, Debug)]
+pub struct UsageModel {
+    /// Battery capacity in mWh (1500 mAh at 3.7 V, a 2013 phone).
+    pub battery_mwh: f64,
+    /// Standby time of the Linux baseline in days (from the cited study).
+    pub linux_days: f64,
+    /// Fraction of standby drain attributable to light-task OS execution
+    /// that K2 can move to the weak domain.
+    pub light_task_share: f64,
+}
+
+impl Default for UsageModel {
+    fn default() -> Self {
+        UsageModel {
+            battery_mwh: 1500.0 * 3.7,
+            linux_days: 5.9,
+            light_task_share: 0.44,
+        }
+    }
+}
+
+/// The estimate's result.
+#[derive(Clone, Copy, Debug)]
+pub struct StandbyEstimate {
+    /// Linux baseline (calibration input), days.
+    pub linux_days: f64,
+    /// K2, days.
+    pub k2_days: f64,
+    /// Measured sync-energy ratio `E_k2 / E_linux`.
+    pub energy_ratio: f64,
+}
+
+impl StandbyEstimate {
+    /// Standby-time extension in percent.
+    pub fn extension_pct(&self) -> f64 {
+        (self.k2_days / self.linux_days - 1.0) * 100.0
+    }
+}
+
+/// The representative background sync: a small cloud fetch (UDP) whose
+/// result is persisted (ext2) — the §2.1 workload mix.
+fn sync_energy_mj(mode: SystemMode) -> f64 {
+    // Fetch over a 3G-class link (RTT-dominated idle gaps), then persist.
+    let net = run_energy_bench(
+        mode,
+        Workload::Cloud {
+            fetches: 4,
+            reply: 16 << 10,
+            rtt_ms: 40,
+        },
+    );
+    let fs = run_energy_bench(
+        mode,
+        Workload::Ext2 {
+            file_size: 64 << 10,
+            files: 2,
+        },
+    );
+    net.energy_mj + fs.energy_mj
+}
+
+/// Runs both systems' sync benchmarks and produces the standby estimate.
+pub fn estimate_standby(model: UsageModel) -> StandbyEstimate {
+    let e_linux = sync_energy_mj(SystemMode::LinuxBaseline);
+    let e_k2 = sync_energy_mj(SystemMode::K2);
+    let ratio = e_k2 / e_linux;
+    // P_avg,linux = battery / linux_days; split into fixed + light-task
+    // share; scale the light-task share by the measured ratio.
+    let p_linux = model.battery_mwh / (model.linux_days * 24.0);
+    let p_fixed = p_linux * (1.0 - model.light_task_share);
+    let p_light_k2 = p_linux * model.light_task_share * ratio;
+    let k2_days = model.battery_mwh / ((p_fixed + p_light_k2) * 24.0);
+    StandbyEstimate {
+        linux_days: model.linux_days,
+        k2_days,
+        energy_ratio: ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_lands_near_the_papers_estimate() {
+        let est = estimate_standby(UsageModel::default());
+        assert!(est.energy_ratio < 0.5, "K2 syncs must be much cheaper");
+        let ext = est.extension_pct();
+        // Paper: 59% (5.9 -> 9.4 days). Same order, same direction.
+        assert!(
+            (25.0..=90.0).contains(&ext),
+            "extension {ext:.0}% (k2 {:.1} days)",
+            est.k2_days
+        );
+        assert!(est.k2_days > est.linux_days);
+    }
+
+    #[test]
+    fn zero_share_means_no_extension() {
+        let est = estimate_standby(UsageModel {
+            light_task_share: 0.0,
+            ..UsageModel::default()
+        });
+        assert!((est.extension_pct()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Ablations of K2's design decisions.
+//!
+//! Two negative results from the paper, reproduced as executable
+//! experiments:
+//!
+//! * **§9.3 — the page allocator cannot be a shadowed service.** Sharing
+//!   allocator state behind the DSM costs four to five page faults per
+//!   allocation under inter-domain contention, a ~200x slowdown (plus
+//!   frequent lockups the authors could not debug). The function here
+//!   models exactly that configuration so the `ablation_shadowed_alloc`
+//!   bench can print the slowdown.
+//! * **§6.3 — the three-state protocol thrashes the M3's TLB.** Exercised
+//!   via [`crate::dsm::ProtocolChoice::ThreeState`]; see
+//!   `ablation_three_state`.
+
+use crate::dsm::FaultBreakdown;
+use k2_kernel::cost::Cost;
+use k2_sim::time::SimDuration;
+use k2_soc::core::CoreDesc;
+
+/// State pages of the Linux page allocator that a single allocation
+/// touches: zone counters, per-order free lists walked during the split
+/// chain, and the per-cpu page lists. The paper measured "four to five DSM
+/// page faults in every allocation" when both domains allocate.
+pub const ALLOCATOR_HOT_PAGES: u64 = 5;
+
+/// Latency of one order-0 allocation if the allocator were a *shadowed*
+/// service and the other domain allocates concurrently (so every hot page
+/// has been stolen since the last allocation).
+///
+/// Returns `(shadowed_latency, independent_latency)` for a requester on
+/// `requester` whose peer runs on `owner`.
+pub fn shadowed_allocator_latency(
+    requester: &CoreDesc,
+    owner: &CoreDesc,
+) -> (SimDuration, SimDuration) {
+    // The independent design: a local allocation (Table 4 row 1 costs).
+    let independent = (Cost::instr(260 + 12) + Cost::mem(31)).time_on(requester);
+    // The shadowed design: the same work plus 4-5 coherence faults.
+    let fault = FaultBreakdown::compute(requester, owner, false).total();
+    let shadowed = independent + fault * ALLOCATOR_HOT_PAGES;
+    (shadowed, independent)
+}
+
+/// The slowdown factor of the shadowed-allocator design under contention.
+pub fn shadowed_allocator_slowdown(requester: &CoreDesc, owner: &CoreDesc) -> f64 {
+    let (shadowed, independent) = shadowed_allocator_latency(requester, owner);
+    shadowed.as_ns() as f64 / independent.as_ns() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_soc::core::CoreKind;
+    use k2_soc::ids::{CoreId, DomainId};
+
+    fn a9() -> CoreDesc {
+        CoreDesc::new(CoreId(0), DomainId::STRONG, CoreKind::CortexA9, 350_000_000)
+    }
+
+    fn m3() -> CoreDesc {
+        CoreDesc::new(CoreId(2), DomainId::WEAK, CoreKind::CortexM3, 200_000_000)
+    }
+
+    #[test]
+    fn shadowed_allocator_is_orders_of_magnitude_slower() {
+        // Paper §9.3: "leading to a 200x slowdown".
+        let slow = shadowed_allocator_slowdown(&a9(), &m3());
+        assert!(
+            (100.0..400.0).contains(&slow),
+            "main-kernel slowdown {slow:.0}x outside the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn slowdown_holds_in_both_directions() {
+        let s1 = shadowed_allocator_slowdown(&a9(), &m3());
+        let s2 = shadowed_allocator_slowdown(&m3(), &a9());
+        assert!(s1 > 50.0 && s2 > 10.0, "s1={s1:.0} s2={s2:.0}");
+    }
+
+    #[test]
+    fn faults_dominate_the_shadowed_latency() {
+        let (shadowed, independent) = shadowed_allocator_latency(&a9(), &m3());
+        assert!(shadowed.as_ns() > 50 * independent.as_ns());
+    }
+}

@@ -1,0 +1,136 @@
+//! The shadow-kernel bootstrap sequence.
+//!
+//! Table 2 counts "Bootstrap" among K2's new components (1,306 SLoC): the
+//! main kernel must bring the weak domain's kernel up — load its Thumb-2
+//! image into the shadow local region, release the core from reset, and
+//! complete a mailbox handshake before the shadow kernel can take work.
+//! This module models those phases with their costs, so the boot timeline
+//! is a measurable part of the system rather than an instantaneous
+//! assumption.
+
+use k2_kernel::cost::Cost;
+use k2_sim::time::SimDuration;
+
+/// The phases of bringing up one shadow kernel, in order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BootPhase {
+    /// Main kernel copies the shadow image into the shadow local region.
+    LoadImage,
+    /// Main kernel programs the weak domain's reset/clock registers.
+    ReleaseReset,
+    /// Shadow kernel initialises its private services (exceptions, its
+    /// allocator over the local region, mailbox driver).
+    ShadowInit,
+    /// Mailbox handshake: shadow announces readiness, main acknowledges.
+    Handshake,
+}
+
+/// All phases in boot order.
+pub const BOOT_PHASES: [BootPhase; 4] = [
+    BootPhase::LoadImage,
+    BootPhase::ReleaseReset,
+    BootPhase::ShadowInit,
+    BootPhase::Handshake,
+];
+
+/// Size of the shadow kernel image (a lean kernel: ~2.5 MB of Thumb-2
+/// text+data, §5.2's "lean shadow kernel").
+pub const SHADOW_IMAGE_BYTES: u64 = 2_500_000;
+
+impl BootPhase {
+    /// The phase's CPU cost, and which side runs it (`true` = main kernel).
+    pub fn cost(self) -> (Cost, bool) {
+        match self {
+            // Streaming the image into the local region.
+            BootPhase::LoadImage => (
+                Cost::bulk(SHADOW_IMAGE_BYTES) + Cost::instr(20_000) + Cost::mem(400),
+                true,
+            ),
+            // PRCM register pokes and a settle delay's worth of polling.
+            BootPhase::ReleaseReset => (Cost::instr(8_000) + Cost::mem(300), true),
+            // The shadow side: vectors, local allocator over the 16 MB
+            // region, mailbox driver, dispatch-table fixups.
+            BootPhase::ShadowInit => (Cost::instr(900_000) + Cost::mem(20_000), false),
+            // One mail each way plus handlers.
+            BootPhase::Handshake => (Cost::instr(1_200) + Cost::mem(30), false),
+        }
+    }
+}
+
+/// A computed boot timeline: per-phase durations and the total.
+#[derive(Clone, Debug)]
+pub struct BootTimeline {
+    /// `(phase, duration)` in boot order.
+    pub phases: Vec<(BootPhase, SimDuration)>,
+}
+
+impl BootTimeline {
+    /// Computes the timeline for bringing up the shadow kernel, given the
+    /// two cores involved.
+    pub fn compute(main: &k2_soc::core::CoreDesc, shadow: &k2_soc::core::CoreDesc) -> Self {
+        let mut phases = Vec::with_capacity(BOOT_PHASES.len());
+        for p in BOOT_PHASES {
+            let (cost, on_main) = p.cost();
+            let core = if on_main { main } else { shadow };
+            let mut dur = cost.time_on(core);
+            if p == BootPhase::Handshake {
+                dur += k2_soc::mailbox::MAIL_LATENCY * 2;
+            }
+            phases.push((p, dur));
+        }
+        BootTimeline { phases }
+    }
+
+    /// Total wall time of the sequence (phases are serial).
+    pub fn total(&self) -> SimDuration {
+        self.phases
+            .iter()
+            .fold(SimDuration::ZERO, |acc, (_, d)| acc + *d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_soc::core::{CoreDesc, CoreKind};
+    use k2_soc::ids::{CoreId, DomainId};
+
+    fn timeline() -> BootTimeline {
+        let a9 = CoreDesc::new(CoreId(0), DomainId::STRONG, CoreKind::CortexA9, 350_000_000);
+        let m3 = CoreDesc::new(CoreId(2), DomainId::WEAK, CoreKind::CortexM3, 200_000_000);
+        BootTimeline::compute(&a9, &m3)
+    }
+
+    #[test]
+    fn phases_are_ordered_and_complete() {
+        let t = timeline();
+        let order: Vec<BootPhase> = t.phases.iter().map(|(p, _)| *p).collect();
+        assert_eq!(order, BOOT_PHASES);
+    }
+
+    #[test]
+    fn boot_takes_milliseconds_not_seconds() {
+        // A shadow-kernel bring-up must be cheap enough to consider doing
+        // at run time; the dominant phase is streaming the 2.5 MB image.
+        let total = timeline().total().as_ms_f64();
+        assert!((2.0..200.0).contains(&total), "boot {total:.1} ms");
+    }
+
+    #[test]
+    fn image_load_is_a_major_phase() {
+        let t = timeline();
+        let load = t.phases[0].1;
+        assert!(
+            load.as_ns() * 5 > t.total().as_ns(),
+            "image streaming must be at least a fifth of the boot time"
+        );
+    }
+
+    #[test]
+    fn shadow_init_runs_on_the_weak_core() {
+        let (_, on_main) = BootPhase::ShadowInit.cost();
+        assert!(!on_main);
+        let (_, on_main) = BootPhase::LoadImage.cost();
+        assert!(on_main);
+    }
+}

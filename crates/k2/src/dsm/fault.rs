@@ -1,0 +1,226 @@
+//! The DSM fault latency model (paper Table 5).
+//!
+//! A coherence fault unfolds in five phases, each charged to the core that
+//! performs it:
+//!
+//! 1. **Local fault handling** — the requester takes the page fault
+//!    exception and enters the DSM.
+//! 2. **Protocol execution** — the requester looks up the page's state and
+//!    builds the `GetExclusive` message.
+//! 3. **Inter-domain communication** — hardware mail each way plus the
+//!    receiver's interrupt entry. When the *shadow* kernel is the
+//!    requester, the main kernel handles the request in a bottom half,
+//!    adding scheduling delay (the paper's asymmetric priority rule,
+//!    §6.3); the shadow kernel services requests before any other pending
+//!    interrupt, so the reverse direction pays no such delay.
+//! 4. **Servicing the request** — the *owner* flushes and invalidates the
+//!    page from its cache and acknowledges with `PutExclusive`.
+//! 5. **Exit fault, cache miss** — the requester returns from the fault and
+//!    re-executes the access, taking cold misses on the transferred page.
+//!
+//! The component constants are instruction/memory-reference counts run
+//! through the same [`Cost`] model as the rest of the kernel, so the totals
+//! *derive* from core parameters rather than being hard-coded; a test pins
+//! them to Table 5 within tolerance.
+
+use k2_kernel::cost::Cost;
+use k2_sim::time::{SimDuration, SimTime};
+use k2_soc::core::{CoreDesc, CoreKind};
+use k2_soc::mailbox::MAIL_LATENCY;
+
+/// Fault-entry + DSM-entry work on the requesting core.
+const LOCAL_FAULT: Cost = Cost {
+    instructions: 1_200,
+    mem_refs: 30,
+    bulk_bytes: 0,
+    flush_bytes: 0,
+};
+
+/// Protocol execution (state lookup, message construction) on the
+/// requester.
+const PROTOCOL: Cost = Cost {
+    instructions: 700,
+    mem_refs: 20,
+    bulk_bytes: 0,
+    flush_bytes: 0,
+};
+
+/// Handler work on the servicing core, beyond the cache flush.
+const SERVICE_HANDLER: Cost = Cost {
+    instructions: 500,
+    mem_refs: 14,
+    bulk_bytes: 0,
+    flush_bytes: 0,
+};
+
+/// Extra delay when the main kernel defers `GetExclusive` handling to a
+/// bottom half (it prioritises its own work; §6.3).
+const MAIN_BOTTOM_HALF_DELAY: SimDuration = SimDuration::from_us(4);
+
+/// Deferral when the main kernel is *busy* at request time: the bottom
+/// half waits for the current scheduling quantum (HZ=100 tick). This is
+/// what starves the shadow kernel's driver at small batch sizes in the
+/// Table 6 experiment, as the paper reports (0.1 MB/s at a 4 KB batch).
+pub const MAIN_BUSY_DEFERRAL: SimDuration = SimDuration::from_ms(10);
+
+/// Receiver-side interrupt entry latency within the communication phase.
+const IRQ_ENTRY: SimDuration = SimDuration::from_ns(1_400);
+
+/// Lines the requester re-touches cold after the transfer: the A9's
+/// prefetchers stream the whole page; the in-order M3 only fetches what the
+/// faulting access needs.
+fn cold_lines(kind: CoreKind) -> u64 {
+    match kind {
+        CoreKind::CortexA9 => 128,
+        CoreKind::CortexM3 => 16,
+    }
+}
+
+/// One fault's latency, broken down as in Table 5 (all on the requester's
+/// clock except `servicing`, which also runs on the owner's core).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultBreakdown {
+    /// Phase 1 on the requester.
+    pub local_fault: SimDuration,
+    /// Phase 2 on the requester.
+    pub protocol: SimDuration,
+    /// Phase 3: wire + interrupt entry + any bottom-half delay.
+    pub communication: SimDuration,
+    /// Phase 4 on the owner (the requester spins for this long too).
+    pub servicing: SimDuration,
+    /// Phase 5 on the requester.
+    pub exit_cache_miss: SimDuration,
+    /// Extra wake-up latency if the owner's core was inactive.
+    pub owner_wake: SimDuration,
+}
+
+impl FaultBreakdown {
+    /// Computes the breakdown for a fault where `requester` asks `owner`
+    /// for a page. `owner_inactive` adds the owner's wake latency.
+    pub fn compute(requester: &CoreDesc, owner: &CoreDesc, owner_inactive: bool) -> Self {
+        let local_fault = LOCAL_FAULT.time_on(requester);
+        let protocol = PROTOCOL.time_on(requester);
+        let mut communication = MAIL_LATENCY * 2 + IRQ_ENTRY;
+        // Asymmetric priorities: the main kernel defers servicing to a
+        // bottom half; the shadow kernel services immediately.
+        if owner.kind == CoreKind::CortexA9 {
+            communication += MAIN_BOTTOM_HALF_DELAY;
+        }
+        let owner_cache = owner.kind.cache();
+        let flush_cycles = owner_cache.flush_range_cycles(4096);
+        let servicing = owner.cycles(flush_cycles + SERVICE_HANDLER.cycles_on(owner));
+        let req_cache = requester.kind.cache();
+        let miss_cycles = cold_lines(requester.kind) * req_cache.miss_cycles as u64;
+        let exit_cache_miss = requester.cycles(miss_cycles);
+        let owner_wake = if owner_inactive {
+            owner.power.wake_latency
+        } else {
+            SimDuration::ZERO
+        };
+        FaultBreakdown {
+            local_fault,
+            protocol,
+            communication,
+            servicing,
+            exit_cache_miss,
+            owner_wake,
+        }
+    }
+
+    /// Total latency seen by the requester (it spins through all phases).
+    pub fn total(&self) -> SimDuration {
+        self.local_fault
+            + self.protocol
+            + self.communication
+            + self.servicing
+            + self.exit_cache_miss
+            + self.owner_wake
+    }
+
+    /// The busy time to charge to the owner's core, and the offset from
+    /// fault start at which it begins.
+    pub fn owner_charge(&self) -> (SimDuration, SimDuration) {
+        let offset = self.local_fault + self.protocol + self.communication + self.owner_wake;
+        (self.servicing, offset)
+    }
+
+    /// When within a fault starting at `start` the owner begins servicing.
+    pub fn owner_service_start(&self, start: SimTime) -> SimTime {
+        start + self.owner_charge().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_soc::core::CoreKind;
+    use k2_soc::ids::{CoreId, DomainId};
+
+    fn a9() -> CoreDesc {
+        CoreDesc::new(CoreId(0), DomainId::STRONG, CoreKind::CortexA9, 350_000_000)
+    }
+
+    fn m3() -> CoreDesc {
+        CoreDesc::new(CoreId(2), DomainId::WEAK, CoreKind::CortexM3, 200_000_000)
+    }
+
+    /// Asserts `measured` is within `tol` (fraction) of `paper` µs.
+    fn close(measured: SimDuration, paper_us: f64, tol: f64) {
+        let m = measured.as_us_f64();
+        assert!(
+            (m - paper_us).abs() <= paper_us * tol + 1.5,
+            "measured {m:.1} us vs paper {paper_us} us"
+        );
+    }
+
+    #[test]
+    fn table5_main_as_sender() {
+        // Main (A9) requests, shadow (M3) owns and services.
+        let b = FaultBreakdown::compute(&a9(), &m3(), false);
+        close(b.local_fault, 3.0, 0.5);
+        close(b.protocol, 2.0, 0.5);
+        close(b.communication, 5.0, 0.5);
+        close(b.servicing, 24.0, 0.35);
+        close(b.exit_cache_miss, 18.0, 0.35);
+        close(b.total(), 52.0, 0.25);
+    }
+
+    #[test]
+    fn table5_shadow_as_sender() {
+        // Shadow (M3) requests, main (A9) owns and services.
+        let b = FaultBreakdown::compute(&m3(), &a9(), false);
+        close(b.local_fault, 17.0, 0.35);
+        close(b.protocol, 13.0, 0.5);
+        close(b.communication, 9.0, 0.5);
+        close(b.servicing, 7.0, 0.5);
+        close(b.exit_cache_miss, 2.0, 0.9);
+        close(b.total(), 48.0, 0.25);
+    }
+
+    #[test]
+    fn inactive_owner_adds_wake_latency() {
+        let awake = FaultBreakdown::compute(&a9(), &m3(), false);
+        let asleep = FaultBreakdown::compute(&a9(), &m3(), true);
+        assert_eq!(asleep.total() - awake.total(), m3().power.wake_latency);
+    }
+
+    #[test]
+    fn owner_charge_lands_after_communication() {
+        let b = FaultBreakdown::compute(&a9(), &m3(), false);
+        let (dur, offset) = b.owner_charge();
+        assert_eq!(dur, b.servicing);
+        assert!(offset >= b.local_fault + b.protocol);
+        assert!(offset + dur <= b.total());
+    }
+
+    #[test]
+    fn totals_are_asymmetric_in_favour_of_main() {
+        // Requester-side work is much cheaper on the A9, so with the M3
+        // servicing quickly-enough the totals end up comparable — as the
+        // paper found (52 vs 48 us).
+        let main_sender = FaultBreakdown::compute(&a9(), &m3(), false).total();
+        let shadow_sender = FaultBreakdown::compute(&m3(), &a9(), false).total();
+        let ratio = main_sender.as_us_f64() / shadow_sender.as_us_f64();
+        assert!((0.8..=1.4).contains(&ratio), "ratio {ratio}");
+    }
+}

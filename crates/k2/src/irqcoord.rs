@@ -1,0 +1,139 @@
+//! Interrupt coordination across kernels (paper §7).
+//!
+//! Every shared interrupt is physically wired to all domains; K2 must
+//! ensure exactly one kernel handles each. Two rules:
+//!
+//! 1. For energy: shared interrupts never wake the strong domain from the
+//!    inactive state — the shadow kernel handles them.
+//! 2. For performance: while the strong domain is awake, the main kernel
+//!    handles all shared interrupts.
+//!
+//! Implemented exactly as in the paper: hooks on power transitions flip the
+//! mask bits in the per-domain interrupt controllers. When the strong
+//! domain goes inactive, shared lines are unmasked on the weak domain and
+//! masked on the strong; when it wakes, the operations reverse.
+
+use k2_soc::ids::{DomainId, IrqId};
+
+/// The shared interrupt lines K2 coordinates on the OMAP4 model.
+pub const SHARED_IRQS: [IrqId; 4] = [IrqId::DMA, IrqId::BLOCK, IrqId::NET, IrqId::SENSOR];
+
+/// Pure policy state machine: tracks which domain currently owns the shared
+/// lines and emits re-masking commands on strong-domain power transitions.
+///
+/// The system layer applies the commands to the machine's interrupt fabric;
+/// keeping the policy pure makes the §7 invariant directly testable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrqCoordinator {
+    handler: DomainId,
+    switches: u64,
+}
+
+/// A re-masking command: unmask the lines on `to`, mask them on `from`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Handoff {
+    /// Domain losing the shared lines.
+    pub from: DomainId,
+    /// Domain gaining them.
+    pub to: DomainId,
+}
+
+impl IrqCoordinator {
+    /// Boot state: the shadow kernel masks all shared interrupts locally
+    /// (§7), so the main kernel starts as the handler.
+    pub fn new() -> Self {
+        IrqCoordinator {
+            handler: DomainId::STRONG,
+            switches: 0,
+        }
+    }
+
+    /// The domain currently handling shared interrupts.
+    pub fn handler(&self) -> DomainId {
+        self.handler
+    }
+
+    /// Number of hand-offs so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The strong domain became entirely inactive: hand shared interrupts
+    /// to the weak domain, unless it already holds them.
+    pub fn on_strong_inactive(&mut self) -> Option<Handoff> {
+        self.hand_to(DomainId::WEAK)
+    }
+
+    /// The strong domain woke up: take the shared interrupts back.
+    pub fn on_strong_active(&mut self) -> Option<Handoff> {
+        self.hand_to(DomainId::STRONG)
+    }
+
+    fn hand_to(&mut self, to: DomainId) -> Option<Handoff> {
+        if self.handler == to {
+            return None;
+        }
+        let from = self.handler;
+        self.handler = to;
+        self.switches += 1;
+        Some(Handoff { from, to })
+    }
+}
+
+impl Default for IrqCoordinator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boots_with_main_as_handler() {
+        let c = IrqCoordinator::new();
+        assert_eq!(c.handler(), DomainId::STRONG);
+    }
+
+    #[test]
+    fn strong_inactive_hands_to_weak() {
+        let mut c = IrqCoordinator::new();
+        let h = c.on_strong_inactive().expect("handoff");
+        assert_eq!(
+            h,
+            Handoff {
+                from: DomainId::STRONG,
+                to: DomainId::WEAK
+            }
+        );
+        assert_eq!(c.handler(), DomainId::WEAK);
+    }
+
+    #[test]
+    fn wake_hands_back() {
+        let mut c = IrqCoordinator::new();
+        c.on_strong_inactive();
+        let h = c.on_strong_active().expect("handoff");
+        assert_eq!(h.to, DomainId::STRONG);
+        assert_eq!(c.switches(), 2);
+    }
+
+    #[test]
+    fn repeated_transitions_are_idempotent() {
+        let mut c = IrqCoordinator::new();
+        assert!(c.on_strong_active().is_none(), "already the handler");
+        c.on_strong_inactive();
+        assert!(c.on_strong_inactive().is_none());
+        assert_eq!(c.switches(), 1);
+    }
+
+    #[test]
+    fn shared_lines_cover_io_peripherals() {
+        assert!(SHARED_IRQS.contains(&IrqId::DMA));
+        assert!(SHARED_IRQS.contains(&IrqId::NET));
+        // Mailbox interrupts are domain-private, never coordinated.
+        assert!(!SHARED_IRQS.contains(&IrqId::MBOX_D0));
+        assert!(!SHARED_IRQS.contains(&IrqId::MBOX_D1));
+    }
+}

@@ -1,0 +1,250 @@
+//! The unified kernel virtual address space (paper §6.1).
+//!
+//! K2 arranges physical memory so that both kernels can keep Linux's linear
+//! ("direct") kernel mapping with *identical* virtual-to-physical offsets,
+//! which is what makes shared memory objects appear at the same virtual
+//! address in both kernels. The constraints, from the paper:
+//!
+//! 1. Shared objects have identical virtual addresses in both kernels, and
+//!    private objects live in non-overlapping ranges.
+//! 2. The linear-mapping assumption holds for all direct-mapped memory.
+//! 3. Contiguous physical memory is maximised for the main kernel.
+//!
+//! K2's solution: local regions first (shadow kernel's at the bottom, main
+//! kernel's immediately before the global region), the global region
+//! spanning to the end of RAM. Putting the main local region adjacent to
+//! the global region avoids memory holes in the main kernel.
+
+use k2_soc::ids::DomainId;
+use k2_soc::mem::{Pfn, PhysAddr, PAGE_SIZE};
+
+/// The shared virtual-to-physical offset of the direct mapping (Linux ARM's
+/// `PAGE_OFFSET` of 0xC000_0000 lowered to 0x8000_0000 — K2 grows the
+/// kernel split to 2 GB so that 1 GB of RAM direct-maps without highmem,
+/// §6.1's workaround).
+pub const DIRECT_MAP_VIRT_BASE: u64 = 0x8000_0000;
+
+/// One physically contiguous region of the layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Region {
+    /// First page frame.
+    pub start: Pfn,
+    /// Length in pages.
+    pub pages: u64,
+}
+
+impl Region {
+    /// The frame one past the end.
+    pub fn end(&self) -> Pfn {
+        Pfn(self.start.0 + self.pages)
+    }
+
+    /// `true` if the frame lies inside the region.
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        pfn >= self.start && pfn < self.end()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.pages * PAGE_SIZE as u64
+    }
+}
+
+/// The full address-space arrangement for a two-kernel K2 system.
+///
+/// # Examples
+///
+/// ```
+/// use k2::layout::KernelLayout;
+///
+/// let l = KernelLayout::omap4_default();
+/// // The main kernel's local region sits immediately before the global
+/// // region: no holes in the main kernel's memory.
+/// assert_eq!(l.local(k2_soc::ids::DomainId::STRONG).end(), l.global.start);
+/// l.validate();
+/// ```
+#[derive(Clone, Debug)]
+pub struct KernelLayout {
+    /// Per-domain local regions (kernel code, static private/independent
+    /// state), indexed by domain.
+    pub locals: Vec<Region>,
+    /// The global region: shared OS service state plus all dynamically
+    /// allocated pages, owned by K2's balloon manager at boot.
+    pub global: Region,
+    /// Total RAM pages.
+    pub ram_pages: u64,
+}
+
+impl KernelLayout {
+    /// Builds the layout: shadow local region first, then the main local
+    /// region, then the global region to the end of RAM.
+    ///
+    /// `locals_pages[i]` is the local-region size of domain `i`; domain 0
+    /// (strong/main) is placed right before the global region, all other
+    /// domains from the bottom in index order — the paper's arrangement
+    /// generalised to N domains (§11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local regions do not fit in RAM.
+    pub fn new(ram_pages: u64, locals_pages: &[u64]) -> Self {
+        let total_local: u64 = locals_pages.iter().sum();
+        assert!(total_local < ram_pages, "local regions exceed RAM");
+        let mut locals = vec![
+            Region {
+                start: Pfn(0),
+                pages: 0
+            };
+            locals_pages.len()
+        ];
+        // Non-main domains from the bottom of RAM.
+        let mut cursor = 0u64;
+        for (i, &pages) in locals_pages.iter().enumerate().skip(1) {
+            locals[i] = Region {
+                start: Pfn(cursor),
+                pages,
+            };
+            cursor += pages;
+        }
+        // Main local region directly before the global region.
+        locals[0] = Region {
+            start: Pfn(cursor),
+            pages: locals_pages[0],
+        };
+        cursor += locals_pages[0];
+        let global = Region {
+            start: Pfn(cursor),
+            pages: ram_pages - cursor,
+        };
+        KernelLayout {
+            locals,
+            global,
+            ram_pages,
+        }
+    }
+
+    /// The paper's configuration on 1 GB of RAM: 32 MB main local region,
+    /// 16 MB shadow local region.
+    pub fn omap4_default() -> Self {
+        let ram_pages = (1u64 << 30) / PAGE_SIZE as u64;
+        KernelLayout::new(ram_pages, &[8192, 4096])
+    }
+
+    /// The local region of a domain.
+    pub fn local(&self, dom: DomainId) -> Region {
+        self.locals[dom.index()]
+    }
+
+    /// The kernel virtual address of a physical address under the unified
+    /// direct mapping — identical in every kernel (constraint 1).
+    pub fn virt_of(&self, pa: PhysAddr) -> u64 {
+        DIRECT_MAP_VIRT_BASE + pa.0
+    }
+
+    /// The physical address of a direct-mapped kernel virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is below the direct-map base or beyond RAM.
+    pub fn phys_of(&self, va: u64) -> PhysAddr {
+        assert!(va >= DIRECT_MAP_VIRT_BASE, "not a direct-mapped address");
+        let pa = va - DIRECT_MAP_VIRT_BASE;
+        assert!(pa < self.ram_pages * PAGE_SIZE as u64, "address beyond RAM");
+        PhysAddr(pa)
+    }
+
+    /// Checks the §6.1 constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if regions overlap, leave holes, or the main local region is
+    /// not adjacent to the global region.
+    pub fn validate(&self) {
+        let mut regions: Vec<Region> = self.locals.clone();
+        regions.push(self.global);
+        regions.sort_by_key(|r| r.start.0);
+        let mut cursor = 0u64;
+        for r in &regions {
+            assert_eq!(r.start.0, cursor, "hole or overlap at {:?}", r.start);
+            cursor += r.pages;
+        }
+        assert_eq!(cursor, self.ram_pages, "layout does not cover RAM");
+        assert_eq!(
+            self.locals[0].end(),
+            self.global.start,
+            "main local region must abut the global region"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_is_valid() {
+        let l = KernelLayout::omap4_default();
+        l.validate();
+        assert_eq!(l.ram_pages, 262_144);
+        assert_eq!(l.local(DomainId::WEAK).start, Pfn(0));
+        assert_eq!(l.local(DomainId::WEAK).pages, 4096);
+        assert_eq!(l.local(DomainId::STRONG).start, Pfn(4096));
+        assert_eq!(l.global.start, Pfn(12_288));
+        assert_eq!(l.global.end(), Pfn(262_144));
+    }
+
+    #[test]
+    fn virt_phys_round_trip_shared_offset() {
+        let l = KernelLayout::omap4_default();
+        let pa = PhysAddr(0x1234_5000);
+        let va = l.virt_of(pa);
+        assert_eq!(l.phys_of(va), pa);
+        // Identical offset means any two physical addresses map at the same
+        // distance in virtual space — the linear-mapping property.
+        assert_eq!(
+            l.virt_of(PhysAddr(0x2000)) - l.virt_of(PhysAddr(0x1000)),
+            0x1000
+        );
+    }
+
+    #[test]
+    fn local_regions_do_not_overlap() {
+        let l = KernelLayout::omap4_default();
+        let a = l.local(DomainId::STRONG);
+        let b = l.local(DomainId::WEAK);
+        assert!(a.end() <= b.start || b.end() <= a.start);
+    }
+
+    #[test]
+    fn three_domain_extension() {
+        // §11: for N domains the address space hosts N local regions.
+        let l = KernelLayout::new(262_144, &[8192, 4096, 4096]);
+        l.validate();
+        assert_eq!(l.locals.len(), 3);
+        assert_eq!(l.local(DomainId(2)).start, Pfn(4096));
+        assert_eq!(l.local(DomainId::STRONG).start, Pfn(8192));
+    }
+
+    #[test]
+    fn region_helpers() {
+        let r = Region {
+            start: Pfn(10),
+            pages: 5,
+        };
+        assert!(r.contains(Pfn(10)) && r.contains(Pfn(14)));
+        assert!(!r.contains(Pfn(15)));
+        assert_eq!(r.bytes(), 5 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed RAM")]
+    fn oversized_locals_panic() {
+        let _ = KernelLayout::new(100, &[60, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a direct-mapped address")]
+    fn user_address_rejected() {
+        KernelLayout::omap4_default().phys_of(0x1000);
+    }
+}

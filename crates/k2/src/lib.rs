@@ -1,0 +1,58 @@
+//! # k2 — a shared-most multikernel for heterogeneous coherence domains
+//!
+//! A Rust reproduction of **K2** (Lin, Wang & Zhong, ASPLOS 2014): an
+//! operating system that spans the multiple cache-coherence domains of a
+//! mobile SoC by running one kernel per domain under a single system image.
+//! The *shared-most* model classifies OS services (§5.3):
+//!
+//! * **shadowed** services (drivers, filesystem, network stack) run from
+//!   one logical state instance kept coherent transparently by a software
+//!   [DSM](dsm) with a two-state protocol;
+//! * **independent** services (the page allocator, interrupt management,
+//!   scheduling) get per-domain instances with *no* shared state,
+//!   coordinated at the meta level by [balloon] drivers, the
+//!   [interrupt coordinator](irqcoord), and [NightWatch](nightwatch)
+//!   scheduling;
+//! * **private** services stay per-kernel.
+//!
+//! The hardware substrate is the simulated OMAP4-class SoC of `k2-soc`;
+//! the kernel services come from `k2-kernel`. [`system::K2System`] wires
+//! everything together and also boots the paper's Linux baseline for
+//! comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2::system::{K2System, SystemConfig, shadowed};
+//! use k2_kernel::service::ServiceId;
+//! use k2_soc::ids::DomainId;
+//!
+//! let (mut machine, mut sys) = K2System::boot(SystemConfig::k2());
+//! // A filesystem call from the weak domain: same API, same state, with
+//! // coherence handled transparently.
+//! let weak = K2System::kernel_core(&machine, DomainId::WEAK);
+//! let (ino, cost) = shadowed(&mut sys, &mut machine, weak, ServiceId::Fs, |s, cx| {
+//!     s.fs.create("/from-the-weak-domain", cx).unwrap()
+//! });
+//! assert!(cost.as_us_f64() > 0.0);
+//! let _ = ino;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod balloon;
+pub mod bootseq;
+pub mod dispatch;
+pub mod dsm;
+pub mod irqcoord;
+pub mod layout;
+pub mod nightwatch;
+pub mod services;
+pub mod system;
+
+pub use balloon::{BalloonManager, PAGE_BLOCK_PAGES};
+pub use dsm::{Dsm, ProtocolChoice};
+pub use layout::KernelLayout;
+pub use nightwatch::NightWatch;
+pub use system::{K2Machine, K2System, SystemConfig, SystemMode};

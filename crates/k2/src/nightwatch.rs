@@ -1,0 +1,200 @@
+//! NightWatch threads (paper §8).
+//!
+//! The developer-facing abstraction for light tasks: a NightWatch thread is
+//! an ordinary thread pinned to the weak domain, schedulable **only while
+//! every normal thread of the same process is suspended**. K2 enforces this
+//! with three hardware mails:
+//!
+//! * `SuspendNW` — the main kernel is about to schedule-in a normal thread
+//!   of process P; the shadow kernel must flag P's NightWatch threads off
+//!   its run queue.
+//! * `AckSuspendNW` — the shadow kernel confirms (it answers before any
+//!   other pending interrupt).
+//! * `ResumeNW` — all normal threads of P blocked; NightWatch threads may
+//!   run again.
+//!
+//! To hide the mail round trip, the main kernel overlaps the wait for the
+//! acknowledgement with the context switch itself, leaving only 1–2 µs of
+//! extra latency per switch (§8).
+
+use k2_kernel::proc::Pid;
+use k2_sim::stats::Summary;
+use k2_sim::time::SimDuration;
+use k2_soc::mailbox::MAIL_LATENCY;
+use std::collections::{HashMap, HashSet};
+
+/// NightWatch protocol message kinds, packed into hardware mails.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NwMsg {
+    /// Flag process' NightWatch threads off the run queue.
+    SuspendNw(Pid),
+    /// Confirmation from the shadow kernel.
+    AckSuspendNw(Pid),
+    /// Clear the flags.
+    ResumeNw(Pid),
+}
+
+impl NwMsg {
+    /// Encodes into a 32-bit hardware mail (type in the low byte).
+    pub fn encode(self) -> u32 {
+        match self {
+            NwMsg::SuspendNw(p) => 0x10 | (p.0 << 8),
+            NwMsg::AckSuspendNw(p) => 0x11 | (p.0 << 8),
+            NwMsg::ResumeNw(p) => 0x12 | (p.0 << 8),
+        }
+    }
+
+    /// Decodes a hardware mail.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-NightWatch mail.
+    pub fn decode(mail: u32) -> NwMsg {
+        let pid = Pid(mail >> 8);
+        match mail & 0xFF {
+            0x10 => NwMsg::SuspendNw(pid),
+            0x11 => NwMsg::AckSuspendNw(pid),
+            0x12 => NwMsg::ResumeNw(pid),
+            t => panic!("not a NightWatch mail: type {t:#x}"),
+        }
+    }
+}
+
+/// The NightWatch gate state kept by the shadow kernel, plus protocol
+/// statistics.
+#[derive(Debug, Default)]
+pub struct NightWatch {
+    /// Processes whose NightWatch threads are currently flagged off the
+    /// run queue.
+    suspended: HashSet<u32>,
+    /// Outstanding SuspendNW requests awaiting acknowledgement.
+    pending_ack: HashMap<u32, ()>,
+    suspends: u64,
+    resumes: u64,
+    /// Extra context-switch latency on the main kernel (µs).
+    pub switch_overhead_us: Summary,
+}
+
+impl NightWatch {
+    /// Creates the gate with nothing suspended.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// May process `pid`'s NightWatch threads be scheduled right now?
+    pub fn can_run(&self, pid: Pid) -> bool {
+        !self.suspended.contains(&pid.0)
+    }
+
+    /// Shadow-kernel handling of `SuspendNW`: flag the process. Returns the
+    /// acknowledgement to send back.
+    pub fn handle_suspend(&mut self, pid: Pid) -> NwMsg {
+        self.suspended.insert(pid.0);
+        self.suspends += 1;
+        NwMsg::AckSuspendNw(pid)
+    }
+
+    /// Shadow-kernel handling of `ResumeNW`: clear the flag. Returns
+    /// whether anything was actually resumed.
+    pub fn handle_resume(&mut self, pid: Pid) -> bool {
+        self.resumes += 1;
+        self.suspended.remove(&pid.0)
+    }
+
+    /// Main-kernel bookkeeping: a SuspendNW was sent; the ack is pending.
+    pub fn note_suspend_sent(&mut self, pid: Pid) {
+        self.pending_ack.insert(pid.0, ());
+    }
+
+    /// Main-kernel bookkeeping: the ack arrived.
+    pub fn note_ack(&mut self, pid: Pid) {
+        self.pending_ack.remove(&pid.0);
+    }
+
+    /// Protocol round counts `(suspends, resumes)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.suspends, self.resumes)
+    }
+
+    /// The extra latency a schedule-in of a normal thread pays: the mail
+    /// round trip minus the overlapped context switch (§8: "the extra
+    /// overhead for the main kernel is 1–2 µs for every context switch").
+    ///
+    /// `ctx_switch` is the context switch the wait overlaps with;
+    /// `shadow_turnaround` is the shadow kernel's interrupt-to-ack time.
+    pub fn suspend_overlap_overhead(
+        ctx_switch: SimDuration,
+        shadow_turnaround: SimDuration,
+    ) -> SimDuration {
+        let round_trip = MAIL_LATENCY * 2 + shadow_turnaround;
+        round_trip.saturating_sub(ctx_switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mail_encoding_round_trips() {
+        for msg in [
+            NwMsg::SuspendNw(Pid(0)),
+            NwMsg::AckSuspendNw(Pid(77)),
+            NwMsg::ResumeNw(Pid(0xFFFF)),
+        ] {
+            assert_eq!(NwMsg::decode(msg.encode()), msg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a NightWatch mail")]
+    fn bad_mail_panics() {
+        NwMsg::decode(0x03);
+    }
+
+    #[test]
+    fn gate_follows_protocol() {
+        let mut nw = NightWatch::new();
+        let pid = Pid(4);
+        assert!(nw.can_run(pid));
+        let ack = nw.handle_suspend(pid);
+        assert_eq!(ack, NwMsg::AckSuspendNw(pid));
+        assert!(!nw.can_run(pid));
+        assert!(nw.handle_resume(pid));
+        assert!(nw.can_run(pid));
+    }
+
+    #[test]
+    fn suspension_is_per_process() {
+        let mut nw = NightWatch::new();
+        nw.handle_suspend(Pid(1));
+        assert!(!nw.can_run(Pid(1)));
+        assert!(nw.can_run(Pid(2)), "other processes unaffected (§4.3)");
+    }
+
+    #[test]
+    fn duplicate_resume_is_noop() {
+        let mut nw = NightWatch::new();
+        nw.handle_suspend(Pid(1));
+        assert!(nw.handle_resume(Pid(1)));
+        assert!(!nw.handle_resume(Pid(1)));
+    }
+
+    #[test]
+    fn overlap_leaves_one_to_two_us() {
+        // Paper: mail round trip ~5 us, context switch 3-4 us, leaving
+        // 1-2 us of visible overhead.
+        let ctx = SimDuration::from_ns(3_500);
+        let shadow_turnaround = SimDuration::from_ns(1_600);
+        let extra = NightWatch::suspend_overlap_overhead(ctx, shadow_turnaround);
+        let us = extra.as_us_f64();
+        assert!((0.5..=2.5).contains(&us), "overhead {us} us");
+    }
+
+    #[test]
+    fn long_context_switch_hides_wait_entirely() {
+        let extra =
+            NightWatch::suspend_overlap_overhead(SimDuration::from_us(10), SimDuration::from_us(1));
+        assert_eq!(extra, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,101 @@
+//! Memory rebalancing between kernels: balloons and the meta-level
+//! manager (§6.2).
+//!
+//! The shadow kernel's workload develops memory pressure; the meta-level
+//! manager's probes notice and deflate a 16 MB page block into its
+//! allocator. Later, pressure moves to the main kernel while K2's pool is
+//! empty, so a block is reclaimed from the shadow kernel by inflation —
+//! migrating the movable pages that live in it.
+//!
+//! ```text
+//! cargo run --example memory_balance
+//! ```
+
+use k2::balloon::Pressure;
+use k2::system::{self, K2System, SystemConfig};
+use k2_soc::ids::DomainId;
+
+fn report(sys: &K2System, when: &str) {
+    println!("{when}:");
+    for dom in [DomainId::STRONG, DomainId::WEAK] {
+        let k = &sys.world.kernels[dom.index()];
+        println!(
+            "  {dom}: {:>6} / {:>6} pages free, {} balloon blocks",
+            k.buddy.free_page_count(),
+            k.buddy.managed_page_count(),
+            sys.balloon.owned_blocks(dom),
+        );
+    }
+    println!("  K2 pool: {} free blocks", sys.balloon.free_blocks());
+}
+
+fn main() {
+    // Start small so pressure develops quickly.
+    let config = SystemConfig {
+        initial_main_blocks: 1,
+        initial_shadow_blocks: 1,
+        ..SystemConfig::k2()
+    };
+    let (mut m, mut sys) = K2System::boot(config);
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    report(&sys, "at boot");
+
+    // The shadow kernel's workload eats memory (page-cache pages).
+    let mut held = Vec::new();
+    while sys.balloon.pressure_of(&sys.world.kernels[1]) != Pressure::Low {
+        let (pfn, _) = system::alloc_pages(&mut sys, &mut m, weak, 0, true);
+        held.push(pfn.expect("memory available"));
+    }
+    report(&sys, "after the shadow kernel's workload grows");
+
+    // The meta-level manager reacts in the background.
+    let dur = system::meta_poll(&mut sys, &mut m, weak);
+    println!(
+        "meta manager deflated a block to the shadow kernel in {:.1} ms",
+        dur.as_ms_f64()
+    );
+    report(&sys, "after deflate");
+    let (deflates, inflates) = sys.balloon.op_counts();
+    println!("balloon ops so far: {deflates} deflates, {inflates} inflates");
+
+    // Release the transient working set, then grow a smaller persistent one
+    // that spills into the freshly deflated frontier block.
+    for pfn in held.drain(..) {
+        system::free_pages(&mut sys, &mut m, weak, pfn);
+    }
+    for _ in 0..4096 + 512 {
+        let (pfn, _) = system::alloc_pages(&mut sys, &mut m, weak, 0, true);
+        held.push(pfn.expect("memory available"));
+    }
+    // Squeeze the pool dry from the main side; reclaiming now requires
+    // inflating the shadow kernel's frontier block, migrating the movable
+    // pages that spilled into it.
+    while sys.balloon.free_blocks() > 0 {
+        let K2System { balloon, world, .. } = &mut sys;
+        balloon.deflate(world.kernel(DomainId::STRONG)).unwrap();
+    }
+    let op = {
+        let K2System { balloon, world, .. } = &mut sys;
+        balloon
+            .inflate(world.kernel(DomainId::WEAK))
+            .expect("movable pages migrate")
+    };
+    report(
+        &sys,
+        "after the pool ran dry and a block was reclaimed by inflation",
+    );
+    let weak_desc = m.core_desc(weak).clone();
+    println!(
+        "inflate took {:.1} ms on the weak core; {} pages migrated out of block {:?}",
+        (op.cost.time_on(&weak_desc) + op.fixed).as_ms_f64(),
+        sys.world.kernels[1].stats.pages_migrated,
+        op.block.start,
+    );
+    // Every held page survived the migration: the reverse map still tracks
+    // exactly one frame per page, and none of them lives in the reclaimed
+    // block any more.
+    assert_eq!(sys.world.kernels[1].rmap.len(), held.len());
+    sys.world.kernels[1].buddy.check_invariants();
+    sys.world.kernels[0].buddy.check_invariants();
+    println!("allocator invariants hold in both kernels.");
+}

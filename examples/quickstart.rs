@@ -1,0 +1,85 @@
+//! Quickstart: boot K2 on the simulated OMAP4, run one light task as a
+//! NightWatch thread on the weak domain, and read the power rails.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use k2::system::{K2System, SystemConfig, SystemMode};
+use k2_workloads::harness::{run_energy_bench, Workload};
+use k2_workloads::micro;
+
+fn main() {
+    // The platform: two coherence domains, Table 1 of the paper.
+    println!(
+        "{}",
+        k2_soc::soc::table1_description(&k2_soc::SocBuilder::omap4())
+    );
+
+    // Boot the two-kernel system and show the address-space layout (§6.1).
+    let (machine, sys) = K2System::boot(SystemConfig::k2());
+    let l = &sys.layout;
+    println!("unified kernel address space:");
+    for (i, r) in l.locals.iter().enumerate() {
+        println!(
+            "  local region D{i}: pfn {:#x}..{:#x} ({} MB)",
+            r.start.0,
+            r.end().0,
+            r.bytes() >> 20
+        );
+    }
+    println!(
+        "  global region:   pfn {:#x}..{:#x} ({} MB, balloon-managed)\n",
+        l.global.start.0,
+        l.global.end().0,
+        l.global.bytes() >> 20
+    );
+
+    // One background cloud-sync, as a NightWatch thread under K2 and as a
+    // normal thread under the Linux baseline.
+    let workload = Workload::Udp {
+        batch: 16 << 10,
+        total: 64 << 10,
+    };
+    let k2_run = run_energy_bench(SystemMode::K2, workload);
+    let linux_run = run_energy_bench(SystemMode::LinuxBaseline, workload);
+    println!("light task: 64 KB UDP loopback sync");
+    println!(
+        "  K2    (weak domain):   {:>7.2} mJ -> {:>6.2} MB/J",
+        k2_run.energy_mj,
+        k2_run.efficiency_mb_per_j()
+    );
+    println!(
+        "  Linux (strong domain): {:>7.2} mJ -> {:>6.2} MB/J",
+        linux_run.energy_mj,
+        linux_run.efficiency_mb_per_j()
+    );
+    println!(
+        "  improvement: {:.1}x\n",
+        k2_run.efficiency_mb_per_j() / linux_run.efficiency_mb_per_j()
+    );
+
+    // The coherence machinery underneath: one DSM fault per direction.
+    let rows = micro::table5_dsm_breakdown();
+    println!(
+        "DSM fault latency: main sender {:.0} us, shadow sender {:.0} us\n",
+        rows[0].total_us(),
+        rows[1].total_us()
+    );
+
+    // How long bringing the shadow kernel up takes.
+    let strong_core = K2System::kernel_core(&machine, k2_soc::ids::DomainId::STRONG);
+    let weak_core = K2System::kernel_core(&machine, k2_soc::ids::DomainId::WEAK);
+    let boot = k2::bootseq::BootTimeline::compute(
+        machine.core_desc(strong_core),
+        machine.core_desc(weak_core),
+    );
+    println!("shadow kernel bring-up: {:.1} ms", boot.total().as_ms_f64());
+    for (phase, dur) in &boot.phases {
+        println!("  {phase:?}: {dur}");
+    }
+    println!();
+
+    // The /proc-style view of the booted (idle) system.
+    println!("{}", sys.status_report(&machine));
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the K2 reproduction workspace.
+//!
+//! Re-exports every member crate so the repository-level `examples/` and
+//! `tests/` can reach the full API through one dependency. Start with
+//! [`k2::system::K2System`] — see the README for the tour.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_repro::k2::system::{K2System, SystemConfig};
+//!
+//! let (machine, sys) = K2System::boot(SystemConfig::k2());
+//! assert_eq!(machine.domain_count(), 2);
+//! assert_eq!(sys.world.kernels.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use k2;
+pub use k2_kernel as kernel;
+pub use k2_sim as sim;
+pub use k2_soc as soc;
+pub use k2_workloads as workloads;

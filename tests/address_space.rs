@@ -1,0 +1,97 @@
+//! Integration: the unified kernel address space (§6.1) as the booted
+//! system actually uses it.
+
+use k2::layout::KernelLayout;
+use k2::system::{K2System, SystemConfig};
+use k2_soc::ids::DomainId;
+use k2_soc::mem::{Pfn, PhysAddr, PAGE_SIZE};
+
+#[test]
+fn shared_objects_have_identical_virtual_addresses() {
+    // Constraint 1: a shared memory object (any global-region frame) maps
+    // at the same virtual address in every kernel — there is exactly one
+    // offset, so the property is structural; verify it end to end against
+    // frames each kernel actually owns.
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let (a, _) = k2::system::alloc_pages(&mut sys, &mut m, strong, 0, false);
+    let (b, _) = k2::system::alloc_pages(&mut sys, &mut m, weak, 0, false);
+    let l = &sys.layout;
+    for pfn in [a.unwrap(), b.unwrap()] {
+        let va = l.virt_of(pfn.base());
+        // Same translation regardless of which kernel asks (one function,
+        // one offset) and invertible.
+        assert_eq!(l.phys_of(va), pfn.base());
+        assert!(va >= k2::layout::DIRECT_MAP_VIRT_BASE);
+    }
+}
+
+#[test]
+fn private_regions_do_not_overlap_in_virtual_space() {
+    // Constraint 1, second half: private (local) objects live in
+    // non-overlapping ranges, "to help catch software bugs".
+    let l = KernelLayout::omap4_default();
+    let strong = l.local(DomainId::STRONG);
+    let weak = l.local(DomainId::WEAK);
+    let sv = (
+        l.virt_of(strong.start.base()),
+        l.virt_of(strong.end().base()),
+    );
+    let wv = (l.virt_of(weak.start.base()), l.virt_of(weak.end().base()));
+    assert!(sv.1 <= wv.0 || wv.1 <= sv.0, "{sv:?} vs {wv:?}");
+}
+
+#[test]
+fn linear_mapping_holds_across_the_entire_direct_map() {
+    // Constraint 2: virtual-to-physical differs by one constant everywhere.
+    let l = KernelLayout::omap4_default();
+    let offset = l.virt_of(PhysAddr(0));
+    for pfn in [0u64, 1, 4096, 12_288, 100_000, 262_143] {
+        let pa = Pfn(pfn).base();
+        assert_eq!(l.virt_of(pa) - pa.0, offset);
+    }
+}
+
+#[test]
+fn global_region_is_page_block_aligned_and_maximal() {
+    // Constraint 3: the main kernel's contiguous memory is maximised — its
+    // local region abuts the global region, and the global region runs to
+    // the end of RAM.
+    let (_m, sys) = K2System::boot(SystemConfig::k2());
+    let l = &sys.layout;
+    assert_eq!(l.local(DomainId::STRONG).end(), l.global.start);
+    assert_eq!(l.global.end().0, l.ram_pages);
+    assert_eq!(
+        l.global.pages % k2::balloon::PAGE_BLOCK_PAGES,
+        l.global.pages % 4096
+    );
+    // The very first deflated block continues the main kernel's run.
+    let first_block_start = l.global.start;
+    assert!(
+        sys.world.kernels[0]
+            .buddy
+            .is_range_free(first_block_start, 1)
+            || sys.world.kernels[0].buddy.managed_page_count() > 0
+    );
+}
+
+#[test]
+fn baseline_and_k2_share_the_same_direct_map_base() {
+    // The single system image includes addresses: a pointer value printed
+    // under the baseline means the same thing under K2.
+    let (_m1, s1) = K2System::boot(SystemConfig::k2());
+    let (_m2, s2) = K2System::boot(SystemConfig::linux());
+    let pa = PhysAddr(0x1234_0000);
+    assert_eq!(s1.layout.virt_of(pa), s2.layout.virt_of(pa));
+}
+
+#[test]
+fn ram_is_fully_tiled_for_every_domain_count() {
+    for domains in 2u8..=4 {
+        let mut locals = vec![8192u64];
+        locals.extend(std::iter::repeat_n(4096, domains as usize - 1));
+        let l = KernelLayout::new((1u64 << 30) / PAGE_SIZE as u64, &locals);
+        l.validate();
+    }
+}

@@ -1,0 +1,53 @@
+//! Integration: the simulation is deterministic (DESIGN.md §5.5).
+//!
+//! Every run with the same configuration must produce bit-identical
+//! results — times, energies, fault counts. This is what makes the
+//! regenerated tables trustworthy and the benchmarks comparable.
+
+use k2::system::SystemMode;
+use k2_sim::time::SimDuration;
+use k2_workloads::harness::{run_energy_bench, run_shared_driver, Workload};
+
+#[test]
+fn energy_runs_are_bit_identical() {
+    let w = Workload::Udp {
+        batch: 8 << 10,
+        total: 32 << 10,
+    };
+    let a = run_energy_bench(SystemMode::K2, w);
+    let b = run_energy_bench(SystemMode::K2, w);
+    assert_eq!(a.bytes, b.bytes);
+    assert_eq!(a.active_time, b.active_time);
+    assert_eq!(a.window, b.window);
+    assert_eq!(a.energy_mj.to_bits(), b.energy_mj.to_bits());
+}
+
+#[test]
+fn shared_driver_runs_are_bit_identical() {
+    let a = run_shared_driver(SystemMode::K2, 128 << 10, SimDuration::from_ms(250));
+    let b = run_shared_driver(SystemMode::K2, 128 << 10, SimDuration::from_ms(250));
+    assert_eq!(a.dsm_faults, b.dsm_faults);
+    assert_eq!(a.main_mbps.to_bits(), b.main_mbps.to_bits());
+    assert_eq!(a.shadow_mbps.to_bits(), b.shadow_mbps.to_bits());
+}
+
+#[test]
+fn table_regeneration_is_stable() {
+    // The micro harnesses drive full system boots; rendering them twice
+    // must yield identical text.
+    let a = format!("{:?}", k2_workloads::micro::table4_alloc_latencies());
+    let b = format!("{:?}", k2_workloads::micro::table4_alloc_latencies());
+    assert_eq!(a, b);
+    let a = format!("{:?}", k2_workloads::micro::table5_dsm_breakdown());
+    let b = format!("{:?}", k2_workloads::micro::table5_dsm_breakdown());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sim_rng_streams_are_reproducible() {
+    let mut a = k2_sim::SimRng::seed_from_u64(2014);
+    let mut b = k2_sim::SimRng::seed_from_u64(2014);
+    let va: Vec<u64> = (0..10_000).map(|_| a.next_u64()).collect();
+    let vb: Vec<u64> = (0..10_000).map(|_| b.next_u64()).collect();
+    assert_eq!(va, vb);
+}

@@ -1,0 +1,149 @@
+//! Failure injection: the system's behaviour at its documented limits.
+
+use k2::balloon::BalloonError;
+use k2::system::{alloc_pages, K2System, SystemConfig};
+use k2_soc::ids::DomainId;
+
+#[test]
+fn allocator_oom_is_reported_not_hidden() {
+    // A kernel with no balloon help eventually returns None; the system
+    // never fabricates memory.
+    let config = SystemConfig {
+        initial_shadow_blocks: 0,
+        ..SystemConfig::k2()
+    };
+    let (mut m, mut sys) = K2System::boot(config);
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let mut got = 0u64;
+    loop {
+        let (pfn, _) = alloc_pages(&mut sys, &mut m, weak, 0, false);
+        if pfn.is_none() {
+            break;
+        }
+        got += 1;
+        assert!(got <= 4096, "cannot exceed the 16 MB local region");
+    }
+    assert_eq!(got, 4096, "every local page was allocatable first");
+    assert!(sys.world.kernels[1].buddy.stats().failures >= 1);
+}
+
+#[test]
+fn balloon_inflate_reports_the_pinning_page() {
+    let (mut m, mut sys) = K2System::boot(SystemConfig {
+        initial_shadow_blocks: 1,
+        ..SystemConfig::k2()
+    });
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    // Exhaust all memory with unmovable pages: the balloon's block is
+    // pinned and inflation must name a culprit rather than corrupt state.
+    while alloc_pages(&mut sys, &mut m, weak, 0, false).0.is_some() {}
+    let before = sys.world.kernels[1].buddy.managed_page_count();
+    let err = {
+        let K2System { balloon, world, .. } = &mut sys;
+        balloon.inflate(world.kernel(DomainId::WEAK)).unwrap_err()
+    };
+    assert!(matches!(err, BalloonError::Unmovable(_)), "{err:?}");
+    // Nothing changed.
+    assert_eq!(sys.world.kernels[1].buddy.managed_page_count(), before);
+    sys.world.kernels[1].buddy.check_invariants();
+}
+
+#[test]
+fn fs_survives_running_completely_full() {
+    use k2::system::shadowed;
+    use k2_kernel::fs::ext2::FsError;
+    use k2_kernel::service::ServiceId;
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+    // Fill the filesystem to ENOSPC, then verify existing data is intact
+    // and deleting recovers space.
+    let (ino, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+        let keep = s.fs.create("/keep", cx).unwrap();
+        s.fs.write(keep, 0, b"survives enospc", cx).unwrap();
+        let hog = s.fs.create("/hog", cx).unwrap();
+        let chunk = vec![0u8; 1 << 20];
+        let mut off = 0u64;
+        loop {
+            match s.fs.write(hog, off, &chunk, cx) {
+                Ok(()) => off += chunk.len() as u64,
+                Err(FsError::NoSpace) | Err(FsError::TooBig) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        keep
+    });
+    let (content, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+        let mut buf = [0u8; 15];
+        s.fs.read(ino, 0, &mut buf, cx).unwrap();
+        // Deleting the hog recovers space for new files.
+        s.fs.unlink("/hog", cx).unwrap();
+        s.fs.create("/after", cx).unwrap();
+        buf
+    });
+    assert_eq!(&content, b"survives enospc");
+}
+
+#[test]
+fn dma_channel_exhaustion_is_an_error_not_a_hang() {
+    use k2_kernel::drivers::dma::{DmaDriver, DmaError, CHANNELS_PER_DOMAIN};
+    use k2_kernel::service::OpCx;
+    use k2_soc::mem::PhysAddr;
+    let mut d = DmaDriver::new();
+    for _ in 0..CHANNELS_PER_DOMAIN {
+        d.submit(
+            DomainId::WEAK,
+            PhysAddr(0),
+            PhysAddr(0x1000),
+            64,
+            &mut OpCx::new(),
+        )
+        .unwrap();
+    }
+    assert_eq!(
+        d.submit(
+            DomainId::WEAK,
+            PhysAddr(0),
+            PhysAddr(0x1000),
+            64,
+            &mut OpCx::new()
+        ),
+        Err(DmaError::NoChannel)
+    );
+}
+
+#[test]
+fn dropping_caches_returns_every_page() {
+    use k2::system::SystemMode;
+    use k2_workloads::harness::{run_energy_bench, Workload};
+    // Run an ext2 workload (populates the weak kernel's page cache), then
+    // verify a fresh system's cache drains cleanly — and on a live system,
+    // drop_caches frees exactly the cached count.
+    let _ = run_energy_bench(
+        SystemMode::K2,
+        Workload::Ext2 {
+            file_size: 64 << 10,
+            files: 1,
+        },
+    );
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    // Populate a cache by hand.
+    for blk in 0..32u64 {
+        let (pfn, _) = alloc_pages(&mut sys, &mut m, weak, 0, true);
+        let k = &mut sys.world.kernels[1];
+        let h = k.rmap.handle_of(pfn.unwrap()).unwrap();
+        k.pagecache.insert(k2_kernel::fs::InodeNo(9), blk, h);
+    }
+    let free_before = sys.world.kernels[1].buddy.free_page_count();
+    let k = &mut sys.world.kernels[1];
+    let handles = k.pagecache.drop_all();
+    assert_eq!(handles.len(), 32);
+    for h in handles {
+        k.free_movable(h);
+    }
+    assert_eq!(
+        sys.world.kernels[1].buddy.free_page_count(),
+        free_before + 32
+    );
+    sys.world.kernels[1].buddy.check_invariants();
+}

@@ -1,0 +1,519 @@
+//! Property-based tests over the core data structures and protocols.
+
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Buddy allocator
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum BuddyOp {
+    Alloc { order: u8, movable: bool },
+    Free { index: usize },
+}
+
+fn buddy_ops() -> impl Strategy<Value = Vec<BuddyOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..=4, any::<bool>()).prop_map(|(order, movable)| BuddyOp::Alloc { order, movable }),
+            (0usize..64).prop_map(|index| BuddyOp::Free { index }),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free sequences never violate the allocator's internal
+    /// invariants (no overlap, correct counters, managed coverage), and a
+    /// full drain restores every page.
+    #[test]
+    fn buddy_invariants_under_random_ops(ops in buddy_ops()) {
+        use k2_kernel::mm::buddy::{BuddyAllocator, MigrateType};
+        use k2_soc::mem::Pfn;
+        let mut b = BuddyAllocator::new();
+        b.add_range(Pfn(16), 1 << 12);
+        let total = b.free_page_count();
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                BuddyOp::Alloc { order, movable } => {
+                    let mt = if movable { MigrateType::Movable } else { MigrateType::Unmovable };
+                    if let Some((pfn, _)) = b.alloc_pages(order, mt) {
+                        live.push(pfn);
+                    }
+                }
+                BuddyOp::Free { index } => {
+                    if !live.is_empty() {
+                        let pfn = live.swap_remove(index % live.len());
+                        b.free_pages(pfn);
+                    }
+                }
+            }
+        }
+        b.check_invariants();
+        for pfn in live {
+            b.free_pages(pfn);
+        }
+        b.check_invariants();
+        prop_assert_eq!(b.free_page_count(), total);
+        // Full merge: the arena is power-of-two sized and aligned.
+        prop_assert_eq!(b.largest_free_order(), Some(10));
+    }
+
+    /// Balloon-style add/remove of sub-ranges preserves invariants and
+    /// conservation.
+    #[test]
+    fn buddy_range_surgery(blocks in prop::collection::vec(0u64..8, 1..20)) {
+        use k2_kernel::mm::buddy::BuddyAllocator;
+        use k2_soc::mem::Pfn;
+        let mut b = BuddyAllocator::new();
+        b.add_range(Pfn(0), 1024);
+        let block_pages = 128;
+        let mut present = [true; 8];
+        for blk in blocks {
+            let start = Pfn(blk * block_pages);
+            if present[blk as usize] {
+                prop_assert!(b.remove_range(start, block_pages).is_ok());
+                present[blk as usize] = false;
+            } else {
+                b.add_range(start, block_pages);
+                present[blk as usize] = true;
+            }
+            b.check_invariants();
+        }
+        let expect: u64 = present.iter().filter(|&&p| p).count() as u64 * block_pages;
+        prop_assert_eq!(b.free_page_count(), expect);
+    }
+}
+
+// ----------------------------------------------------------------------
+// ext2 against a reference model
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum FsOp {
+    Create(u8),
+    Write { file: u8, offset: u16, len: u16 },
+    Unlink(u8),
+}
+
+fn fs_ops() -> impl Strategy<Value = Vec<FsOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..8).prop_map(FsOp::Create),
+            (0u8..8, 0u16..20_000, 1u16..5_000).prop_map(|(file, offset, len)| FsOp::Write {
+                file,
+                offset,
+                len
+            }),
+            (0u8..8).prop_map(FsOp::Unlink),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The filesystem agrees with an in-memory reference model under
+    /// random create/write/unlink sequences, including full content.
+    #[test]
+    fn ext2_matches_reference_model(ops in fs_ops()) {
+        use k2_kernel::fs::block::RamDisk;
+        use k2_kernel::fs::ext2::{Ext2Fs, FsError};
+        use k2_kernel::service::OpCx;
+        use std::collections::HashMap;
+        let mut cx = OpCx::new();
+        let mut fs = Ext2Fs::format(RamDisk::new(4096), 64, &mut cx);
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let mut cx = OpCx::new();
+            match op {
+                FsOp::Create(f) => {
+                    let r = fs.create(&format!("/{f}"), &mut cx);
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(f) {
+                        prop_assert!(r.is_ok());
+                        e.insert(Vec::new());
+                    } else {
+                        prop_assert_eq!(r, Err(FsError::Exists));
+                    }
+                }
+                FsOp::Write { file, offset, len } => {
+                    let Some(content) = model.get_mut(&file) else {
+                        continue;
+                    };
+                    let ino = fs.lookup(&format!("/{file}"), &mut cx).unwrap();
+                    let data: Vec<u8> = (0..len).map(|j| (i as u16 + j) as u8).collect();
+                    if fs.write(ino, offset as u64, &data, &mut cx).is_ok() {
+                        let end = offset as usize + data.len();
+                        if content.len() < end {
+                            content.resize(end, 0);
+                        }
+                        content[offset as usize..end].copy_from_slice(&data);
+                    }
+                }
+                FsOp::Unlink(f) => {
+                    let r = fs.unlink(&format!("/{f}"), &mut cx);
+                    if model.remove(&f).is_some() {
+                        prop_assert!(r.is_ok());
+                    } else {
+                        prop_assert_eq!(r, Err(FsError::NotFound));
+                    }
+                }
+            }
+        }
+        // Final check: every model file exists with identical content.
+        for (f, content) in &model {
+            let mut cx = OpCx::new();
+            let ino = fs.lookup(&format!("/{f}"), &mut cx).unwrap();
+            prop_assert_eq!(fs.size(ino, &mut cx), content.len() as u64);
+            let mut buf = vec![0u8; content.len()];
+            fs.read(ino, 0, &mut buf, &mut cx).unwrap();
+            prop_assert_eq!(&buf, content);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// DSM protocols
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two-state protocol: after any access the accessor owns the page;
+    /// there is never more than one owner; message counts balance.
+    #[test]
+    fn two_state_one_writer(trace in prop::collection::vec((0u8..2, 0u32..16), 1..300)) {
+        use k2::dsm::protocol::{DsmPage, TwoStateProtocol};
+        use k2_kernel::service::ServiceId;
+        use k2_soc::ids::DomainId;
+        let mut p = TwoStateProtocol::new(DomainId::STRONG);
+        for (dom, page) in trace {
+            let dom = DomainId(dom);
+            let page = DsmPage::new(ServiceId::Fs, page);
+            p.access(dom, page);
+            prop_assert_eq!(p.owner_of(page), dom, "accessor must own the page");
+        }
+        p.check_one_writer_invariant();
+        let s = p.stats();
+        prop_assert_eq!(s.get_exclusive, s.put_exclusive);
+        prop_assert!(s.faults <= s.accesses);
+    }
+
+    /// MSI: a write always leaves the writer as the sole holder; reads
+    /// after a read-share hit until someone writes.
+    #[test]
+    fn msi_write_serialises(trace in prop::collection::vec((0u8..2, 0u32..8, any::<bool>()), 1..300)) {
+        use k2::dsm::msi::{MsiAccess, MsiProtocol};
+        use k2::dsm::protocol::DsmPage;
+        use k2_kernel::service::ServiceId;
+        use k2_soc::ids::DomainId;
+        let mut p = MsiProtocol::new(DomainId::STRONG);
+        for (dom, page, is_write) in trace {
+            let dom = DomainId(dom);
+            let page = DsmPage::new(ServiceId::Net, page);
+            if is_write {
+                p.write(dom, page);
+                // Immediately after a write, the writer hits on both kinds.
+                prop_assert_eq!(p.write(dom, page), MsiAccess::Hit);
+                prop_assert_eq!(p.read(dom, page), MsiAccess::Hit);
+            } else {
+                p.read(dom, page);
+                prop_assert_eq!(p.read(dom, page), MsiAccess::Hit);
+            }
+            p.check_invariant();
+        }
+    }
+
+    /// DSM coherence mails survive encode/decode for all field values.
+    #[test]
+    fn dsm_mail_round_trip(pfn in 0u32..(1 << 20), seq in 0u16..(1 << 9), get in any::<bool>()) {
+        use k2::dsm::protocol::{decode_mail, encode_mail, MsgType};
+        let t = if get { MsgType::GetExclusive } else { MsgType::PutExclusive };
+        let (t2, p2, s2) = decode_mail(encode_mail(t, pfn, seq));
+        prop_assert_eq!((t2, p2, s2), (t, pfn, seq));
+    }
+
+    /// NightWatch mails survive encode/decode for any 24-bit pid.
+    #[test]
+    fn nw_mail_round_trip(pid in 0u32..(1 << 24), kind in 0u8..3) {
+        use k2::nightwatch::NwMsg;
+        use k2_kernel::proc::Pid;
+        let msg = match kind {
+            0 => NwMsg::SuspendNw(Pid(pid)),
+            1 => NwMsg::AckSuspendNw(Pid(pid)),
+            _ => NwMsg::ResumeNw(Pid(pid)),
+        };
+        prop_assert_eq!(NwMsg::decode(msg.encode()), msg);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared RAM and the movable-page registry
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SharedRam agrees with a flat byte-array model under random writes,
+    /// fills and copies.
+    #[test]
+    fn shared_ram_matches_model(
+        ops in prop::collection::vec(
+            (0u64..60_000, 1usize..5_000, any::<u8>(), 0u8..3),
+            1..40,
+        )
+    ) {
+        use k2_soc::mem::{PhysAddr, SharedRam};
+        const SIZE: usize = 1 << 16;
+        let mut ram = SharedRam::new(SIZE as u64);
+        let mut model = vec![0u8; SIZE];
+        for (addr, len, byte, kind) in ops {
+            let addr = addr % (SIZE as u64);
+            let len = len.min(SIZE - addr as usize);
+            if len == 0 { continue; }
+            match kind {
+                0 => {
+                    let data = vec![byte; len];
+                    ram.write(PhysAddr(addr), &data);
+                    model[addr as usize..addr as usize + len].fill(byte);
+                }
+                1 => {
+                    ram.fill(PhysAddr(addr), len, byte);
+                    model[addr as usize..addr as usize + len].fill(byte);
+                }
+                _ => {
+                    let dst = (addr as usize + len) % (SIZE - len).max(1);
+                    ram.copy(PhysAddr(addr), PhysAddr(dst as u64), len);
+                    let src_copy = model[addr as usize..addr as usize + len].to_vec();
+                    model[dst..dst + len].copy_from_slice(&src_copy);
+                }
+            }
+        }
+        let mut buf = vec![0u8; SIZE];
+        ram.read(PhysAddr(0), &mut buf);
+        prop_assert_eq!(buf, model);
+    }
+
+    /// The movable-page registry stays a bijection under random
+    /// register/migrate/unregister sequences.
+    #[test]
+    fn rmap_stays_bijective(ops in prop::collection::vec((0u8..3, 0u64..64), 1..200)) {
+        use k2_kernel::mm::rmap::MovableRegistry;
+        use k2_soc::mem::Pfn;
+        let mut r = MovableRegistry::new();
+        let mut handles = Vec::new();
+        for (kind, frame) in ops {
+            match kind {
+                0 if r.handle_of(Pfn(frame)).is_none() => {
+                    handles.push(r.register(Pfn(frame)));
+                }
+                1 if !handles.is_empty() && r.handle_of(Pfn(frame)).is_none() => {
+                    let h = handles[frame as usize % handles.len()];
+                    r.migrate(h, Pfn(frame));
+                }
+                2 if !handles.is_empty() => {
+                    let h = handles.swap_remove(frame as usize % handles.len());
+                    r.unregister(h);
+                }
+                _ => {}
+            }
+            // Bijection: every live handle resolves to a distinct frame
+            // that resolves back.
+            let mut seen = std::collections::HashSet::new();
+            for &h in &handles {
+                let pfn = r.frame_of(h).expect("live handle resolves");
+                prop_assert!(seen.insert(pfn.0), "two handles share a frame");
+                prop_assert_eq!(r.handle_of(pfn), Some(h));
+            }
+            prop_assert_eq!(r.len(), handles.len());
+        }
+    }
+
+    /// The event queue dequeues in non-decreasing time order, FIFO within
+    /// a timestamp.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..50, 1..200)) {
+        use k2_sim::queue::EventQueue;
+        use k2_sim::time::SimTime;
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at.as_ns() >= lt);
+                if at.as_ns() == lt {
+                    prop_assert!(idx > lidx, "FIFO within equal timestamps");
+                }
+            }
+            prop_assert_eq!(times[idx], at.as_ns());
+            last = Some((at.as_ns(), idx));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Address-space layout
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any feasible layout validates: regions tile RAM with the main local
+    /// region abutting the global region.
+    #[test]
+    fn layout_always_validates(
+        ram_extra in 1u64..100_000,
+        locals in prop::collection::vec(1u64..5_000, 1..4),
+    ) {
+        use k2::layout::KernelLayout;
+        let total: u64 = locals.iter().sum();
+        let l = KernelLayout::new(total + ram_extra, &locals);
+        l.validate();
+        // Virtual addresses are a single shared linear map.
+        let pa = k2_soc::mem::PhysAddr(4096);
+        prop_assert_eq!(l.phys_of(l.virt_of(pa)), pa);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Kernel page tables
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mapping sections, splitting some to 4 KB and toggling protections
+    /// keeps total coverage constant and entries resolvable.
+    #[test]
+    fn pagetable_coverage_is_preserved(
+        sections in prop::collection::vec(0u64..16, 1..10),
+        splits in prop::collection::vec((0u64..16, 0u64..256), 0..10),
+        prots in prop::collection::vec((0u64..16, 0u64..256), 0..10),
+    ) {
+        use k2_kernel::mm::pagetable::{Grain, KernelPageTable, Protection};
+        use std::collections::HashSet;
+        let mut pt = KernelPageTable::new();
+        let mut mapped: HashSet<u64> = HashSet::new();
+        for s in sections {
+            if mapped.insert(s) {
+                pt.map(s * 256, Grain::Section1M);
+            }
+        }
+        let total = pt.mapped_pages();
+        for (s, off) in splits {
+            if mapped.contains(&s) {
+                pt.split_to_pages(s * 256 + off);
+            }
+        }
+        prop_assert_eq!(pt.mapped_pages(), total, "splits preserve coverage");
+        for (s, off) in prots {
+            if mapped.contains(&s) {
+                let vpn = s * 256 + off;
+                pt.split_to_pages(vpn);
+                pt.set_protection(vpn, Protection::Ineffective);
+                let (base, _, prot) = pt.entry_covering(vpn).expect("still mapped");
+                prop_assert_eq!(base, vpn);
+                prop_assert_eq!(prot, Protection::Ineffective);
+            }
+        }
+        // Every mapped section's pages are still covered.
+        for &s in &mapped {
+            for off in [0u64, 128, 255] {
+                prop_assert!(pt.entry_covering(s * 256 + off).is_some());
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// VFS against a reference model
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The VFS descriptor layer agrees with a reference model of
+    /// (path, offset) cursors under random open/write/read/seek/close.
+    #[test]
+    fn vfs_matches_reference_model(
+        ops in prop::collection::vec((0u8..5, 0u8..4, 0u16..5_000), 1..80)
+    ) {
+        use k2_kernel::fs::block::RamDisk;
+        use k2_kernel::fs::ext2::Ext2Fs;
+        use k2_kernel::fs::vfs::{Fd, Vfs};
+        use k2_kernel::proc::Pid;
+        use k2_kernel::service::OpCx;
+        use std::collections::HashMap;
+        let mut cx = OpCx::new();
+        let mut fs = Ext2Fs::format(RamDisk::new(4096), 64, &mut cx);
+        let mut vfs = Vfs::new();
+        let pid = Pid(1);
+        // Model: fd -> (file id, offset); file id -> content bytes.
+        let mut open_model: HashMap<u32, (u8, u64)> = HashMap::new();
+        let mut content: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut fds: Vec<Fd> = Vec::new();
+        for (kind, file, arg) in ops {
+            let mut cx = OpCx::new();
+            match kind {
+                0 => {
+                    // open (create).
+                    let fd = vfs.open(&mut fs, pid, &format!("/{file}"), true, &mut cx).unwrap();
+                    content.entry(file).or_default();
+                    open_model.insert(fd.0, (file, 0));
+                    fds.push(fd);
+                }
+                1 if !fds.is_empty() => {
+                    // write `arg` bytes at the cursor.
+                    let fd = fds[file as usize % fds.len()];
+                    let Some(&(fid, off)) = open_model.get(&fd.0) else { continue };
+                    let data: Vec<u8> = (0..arg).map(|j| (j % 199) as u8).collect();
+                    if vfs.write(&mut fs, pid, fd, &data, &mut cx).is_ok() {
+                        let c = content.get_mut(&fid).expect("file exists");
+                        let end = off as usize + data.len();
+                        if c.len() < end { c.resize(end, 0); }
+                        c[off as usize..end].copy_from_slice(&data);
+                        open_model.insert(fd.0, (fid, off + data.len() as u64));
+                    }
+                }
+                2 if !fds.is_empty() => {
+                    // read up to `arg` bytes at the cursor.
+                    let fd = fds[file as usize % fds.len()];
+                    let Some(&(fid, off)) = open_model.get(&fd.0) else { continue };
+                    let mut buf = vec![0u8; arg as usize];
+                    let n = vfs.read(&fs, pid, fd, &mut buf, &mut cx).unwrap();
+                    let c = &content[&fid];
+                    let expect_n = arg.min(c.len().saturating_sub(off as usize) as u16) as usize;
+                    prop_assert_eq!(n, expect_n);
+                    if n > 0 {
+                        prop_assert_eq!(&buf[..n], &c[off as usize..off as usize + n]);
+                    }
+                    open_model.insert(fd.0, (fid, off + n as u64));
+                }
+                3 if !fds.is_empty() => {
+                    // seek.
+                    let fd = fds[file as usize % fds.len()];
+                    if let Some(&(fid, _)) = open_model.get(&fd.0) {
+                        vfs.seek(pid, fd, arg as u64, &mut cx).unwrap();
+                        open_model.insert(fd.0, (fid, arg as u64));
+                    }
+                }
+                4 if !fds.is_empty() => {
+                    // close.
+                    let i = file as usize % fds.len();
+                    let fd = fds.swap_remove(i);
+                    if open_model.remove(&fd.0).is_some() {
+                        vfs.close(pid, fd, &mut cx).unwrap();
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(vfs.open_count(pid), open_model.len());
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration: the single system image across coherence domains.
+//!
+//! The paper's first design goal — applications (and here, tests) must see
+//! one namespace and one state no matter which domain executes the call.
+
+use k2::system::{shadowed, K2System, SystemConfig};
+use k2_kernel::service::ServiceId;
+use k2_soc::ids::DomainId;
+
+fn cores(m: &k2::system::K2Machine) -> (k2_soc::ids::CoreId, k2_soc::ids::CoreId) {
+    (
+        K2System::kernel_core(m, DomainId::STRONG),
+        K2System::kernel_core(m, DomainId::WEAK),
+    )
+}
+
+#[test]
+fn file_written_on_weak_domain_is_read_on_strong() {
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let (strong, weak) = cores(&m);
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+    let (ino, _) = shadowed(&mut sys, &mut m, weak, ServiceId::Fs, |s, cx| {
+        let ino = s.fs.create("/shared.bin", cx).unwrap();
+        s.fs.write(ino, 0, &data, cx).unwrap();
+        ino
+    });
+    let (read_back, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+        let mut buf = vec![0u8; data.len()];
+        let n = s.fs.read(ino, 0, &mut buf, cx).unwrap();
+        buf.truncate(n);
+        buf
+    });
+    assert_eq!(read_back, data, "bytes identical across domains");
+}
+
+#[test]
+fn directory_tree_is_one_namespace() {
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let (strong, weak) = cores(&m);
+    shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+        s.fs.mkdir("/from-main", cx).unwrap();
+    });
+    shadowed(&mut sys, &mut m, weak, ServiceId::Fs, |s, cx| {
+        s.fs.mkdir("/from-shadow", cx).unwrap();
+    });
+    let (listing, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+        s.fs.readdir("/", cx).unwrap()
+    });
+    assert!(listing.contains(&"from-main".to_owned()));
+    assert!(listing.contains(&"from-shadow".to_owned()));
+}
+
+#[test]
+fn datagram_crosses_domains() {
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let (strong, weak) = cores(&m);
+    // Weak domain binds and sends; strong domain receives from the same
+    // socket table.
+    let ((tx, rx), _) = shadowed(&mut sys, &mut m, weak, ServiceId::Net, |s, cx| {
+        let tx = s.net.bind(None, cx).unwrap();
+        let rx = s.net.bind(None, cx).unwrap();
+        s.net.send(tx, rx, b"across domains", cx).unwrap();
+        (tx, rx)
+    });
+    let (dg, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Net, |s, cx| {
+        s.net.recv(rx, cx).unwrap().unwrap()
+    });
+    assert_eq!(dg.payload, b"across domains");
+    assert_eq!(dg.src, tx);
+}
+
+#[test]
+fn process_table_is_global() {
+    let (_m, mut sys) = K2System::boot(SystemConfig::k2());
+    let pid = sys.world.processes.create_process("app");
+    let n = sys
+        .world
+        .processes
+        .create_thread(pid, k2_kernel::proc::ThreadKind::Normal, "ui");
+    let w = sys
+        .world
+        .processes
+        .create_thread(pid, k2_kernel::proc::ThreadKind::NightWatch, "bg");
+    // One pid owns threads pinned to different domains.
+    assert_eq!(sys.world.processes.thread(n).domain, DomainId::STRONG);
+    assert_eq!(sys.world.processes.thread(w).domain, DomainId::WEAK);
+    assert_eq!(sys.world.processes.process(pid).threads.len(), 2);
+}
+
+#[test]
+fn dispatch_table_resolves_shared_symbols_per_isa() {
+    use k2::dispatch::SymbolEntry;
+    let (m, mut sys) = K2System::boot(SystemConfig::k2());
+    let sym = sys.dispatch.register(
+        "ext2_file_write",
+        SymbolEntry {
+            arm_addr: 0xC000_8000,
+            thumb_addr: 0x0400_8001,
+        },
+    );
+    let (strong, weak) = cores(&m);
+    let main_isa = m.core_desc(strong).isa();
+    let shadow_isa = m.core_desc(weak).isa();
+    let a = sys.dispatch.resolve(sym, main_isa).unwrap();
+    let b = sys.dispatch.resolve(sym, shadow_isa).unwrap();
+    assert_ne!(a, b, "same symbol, per-ISA addresses");
+    assert_eq!(sys.dispatch.traps(), 1, "only the Thumb-2 side traps");
+}
+
+#[test]
+fn coherence_is_transparent_to_service_code() {
+    // The same closure body runs on either domain: nothing in the service
+    // API mentions domains, faults or protocols.
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let (strong, weak) = cores(&m);
+    for (i, core) in [strong, weak, strong, weak].into_iter().enumerate() {
+        let path = format!("/f{i}");
+        let (_, dur) = shadowed(&mut sys, &mut m, core, ServiceId::Fs, |s, cx| {
+            s.fs.create(&path, cx).unwrap()
+        });
+        assert!(dur.as_us_f64() > 0.0);
+    }
+    assert!(sys.dsm.total_faults() > 0, "ownership really ping-ponged");
+    // And the state ends up consistent.
+    let (listing, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+        s.fs.readdir("/", cx).unwrap()
+    });
+    for i in 0..4 {
+        assert!(listing.contains(&format!("f{i}")));
+    }
+}
+
+#[test]
+fn file_descriptors_are_shared_process_state_across_domains() {
+    // §4.3's motivating example made concrete: one process, one descriptor
+    // table, operated on from both domains (serially — the NightWatch gate
+    // is what prevents doing this *concurrently*).
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let (strong, weak) = cores(&m);
+    let pid = sys.world.processes.create_process("app");
+    // The NightWatch thread (weak domain) opens and writes.
+    let (fd, _) = shadowed(&mut sys, &mut m, weak, ServiceId::Fs, |s, cx| {
+        let SharedParts { fs, vfs } = split(s);
+        let fd = vfs.open(fs, pid, "/state.db", true, cx).unwrap();
+        vfs.write(fs, pid, fd, b"checkpoint-1", cx).unwrap();
+        fd
+    });
+    // The normal thread (strong domain) seeks the *same descriptor* back
+    // and reads what was written — offset state travelled too.
+    let (content, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+        let SharedParts { fs, vfs } = split(s);
+        vfs.seek(pid, fd, 0, cx).unwrap();
+        let mut buf = [0u8; 12];
+        let n = vfs.read(fs, pid, fd, &mut buf, cx).unwrap();
+        buf[..n].to_vec()
+    });
+    assert_eq!(content, b"checkpoint-1");
+    assert!(
+        sys.dsm.total_faults() > 0,
+        "the descriptor table page moved between domains"
+    );
+}
+
+/// Helper: borrow the fs and vfs fields of the shared services at once.
+struct SharedParts<'a> {
+    fs: &'a mut k2_kernel::fs::Ext2Fs<k2_kernel::fs::Disk>,
+    vfs: &'a mut k2_kernel::fs::Vfs,
+}
+
+fn split(s: &mut k2_kernel::kernel::SharedServices) -> SharedParts<'_> {
+    SharedParts {
+        fs: &mut s.fs,
+        vfs: &mut s.vfs,
+    }
+}

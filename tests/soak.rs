@@ -1,0 +1,128 @@
+//! Soak test: minutes of randomised background activity against a live K2
+//! system, with invariant checks throughout.
+
+use k2::system::{K2System, SystemConfig};
+use k2_kernel::proc::ThreadKind;
+use k2_sim::time::SimDuration;
+use k2_soc::ids::DomainId;
+use k2_workloads::generator::{generate_mix, MixParams};
+use k2_workloads::harness::Workload;
+use k2_workloads::tasks::{new_report, DmaBenchTask, Ext2BenchTask, TaskIdentity, UdpBenchTask};
+
+#[test]
+fn randomised_mix_soak() {
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    // Settle past the boot idle window (the strong domain's cores burn
+    // their one-time 5 s shallow-idle there), then measure.
+    m.run_until(m.now() + SimDuration::from_secs(6), &mut sys);
+    let baseline = k2_workloads::record::EnergySnapshot::take(&m);
+    let mix = generate_mix(2014, 40, MixParams::default());
+    let mut reports = Vec::new();
+    let mut expected_bytes = 0u64;
+    for (i, arrival) in mix.iter().enumerate() {
+        m.run_until(m.now() + arrival.gap, &mut sys);
+        let pid = sys.world.processes.create_process(&format!("soak{i}"));
+        sys.world
+            .processes
+            .create_thread(pid, ThreadKind::NightWatch, "t");
+        let id = TaskIdentity {
+            pid,
+            nightwatch: true,
+        };
+        let report = new_report();
+        expected_bytes += arrival.workload.bytes();
+        let task: Box<dyn k2_soc::platform::Task<K2System>> = match arrival.workload {
+            Workload::Dma { batch, total } => {
+                DmaBenchTask::new(id, batch, total, None, report.clone())
+            }
+            Workload::Ext2 { file_size, files } => {
+                Ext2BenchTask::new(id, files, file_size, i as u32, report.clone())
+            }
+            Workload::Udp { batch, total } => UdpBenchTask::new(id, batch, total, report.clone()),
+            Workload::Cloud {
+                fetches,
+                reply,
+                rtt_ms,
+            } => k2_workloads::tasks::CloudFetchTask::new(
+                id,
+                fetches,
+                reply,
+                SimDuration::from_ms(rtt_ms),
+                report.clone(),
+            ),
+        };
+        m.spawn(weak, task, &mut sys);
+        m.run_until_idle(&mut sys);
+        reports.push(report);
+        // Invariants hold after every task.
+        sys.world.kernels[0].buddy.check_invariants();
+        sys.world.kernels[1].buddy.check_invariants();
+    }
+    // Every task processed exactly its payload.
+    let done: u64 = reports.iter().map(|r| r.borrow().bytes).sum();
+    assert_eq!(done, expected_bytes);
+    assert!(reports.iter().all(|r| r.borrow().finished_at.is_some()));
+    // The strong domain did essentially nothing: its energy over the mix
+    // is a sliver of the weak domain's.
+    let after = k2_workloads::record::EnergySnapshot::take(&m);
+    let strong = after.strong_mj - baseline.strong_mj;
+    let weak_e = after.weak_mj - baseline.weak_mj;
+    assert!(
+        strong < weak_e / 3.0,
+        "strong {strong:.1} mJ vs weak {weak_e:.1} mJ"
+    );
+    // And the run was long enough to mean something.
+    assert!(m.now().as_secs_f64() > 10.0);
+}
+
+#[test]
+fn soak_is_deterministic_end_to_end() {
+    let run = || {
+        let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+        let weak = K2System::kernel_core(&m, DomainId::WEAK);
+        for (i, arrival) in generate_mix(7, 12, MixParams::default()).iter().enumerate() {
+            m.run_until(m.now() + arrival.gap, &mut sys);
+            let pid = sys.world.processes.create_process("t");
+            sys.world
+                .processes
+                .create_thread(pid, ThreadKind::NightWatch, "t");
+            let id = TaskIdentity {
+                pid,
+                nightwatch: true,
+            };
+            let report = new_report();
+            let task: Box<dyn k2_soc::platform::Task<K2System>> = match arrival.workload {
+                Workload::Dma { batch, total } => {
+                    DmaBenchTask::new(id, batch, total, None, report.clone())
+                }
+                Workload::Ext2 { file_size, files } => {
+                    Ext2BenchTask::new(id, files, file_size, i as u32, report.clone())
+                }
+                Workload::Udp { batch, total } => {
+                    UdpBenchTask::new(id, batch, total, report.clone())
+                }
+                Workload::Cloud {
+                    fetches,
+                    reply,
+                    rtt_ms,
+                } => k2_workloads::tasks::CloudFetchTask::new(
+                    id,
+                    fetches,
+                    reply,
+                    SimDuration::from_ms(rtt_ms),
+                    report.clone(),
+                ),
+            };
+            m.spawn(weak, task, &mut sys);
+            m.run_until_idle(&mut sys);
+        }
+        (
+            m.now(),
+            m.total_energy_mj().to_bits(),
+            sys.dsm.total_faults(),
+            m.mailbox_delivered(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,141 @@
+//! Integration: the machine's event trace captures the causal timeline a
+//! K2 run produces — the evidence behind the §7 and §8 protocols.
+
+use k2::system::{schedule_in_normal, K2System, SystemConfig, SystemMode};
+use k2_kernel::proc::ThreadKind;
+use k2_sim::time::SimDuration;
+use k2_sim::trace::TraceEvent;
+use k2_soc::ids::DomainId;
+use k2_workloads::tasks::{new_report, DmaBenchTask, TaskIdentity};
+
+#[test]
+fn dma_run_timeline_has_the_expected_shape() {
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    m.set_trace(true);
+    m.run_until(m.now() + SimDuration::from_secs(6), &mut sys);
+    m.trace_marker("settled");
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let pid = sys.world.processes.create_process("light");
+    sys.world
+        .processes
+        .create_thread(pid, ThreadKind::NightWatch, "t");
+    let report = new_report();
+    m.spawn(
+        weak,
+        DmaBenchTask::new(
+            TaskIdentity {
+                pid,
+                nightwatch: true,
+            },
+            16 << 10,
+            64 << 10,
+            None,
+            report,
+        ),
+        &mut sys,
+    );
+    m.run_until_idle(&mut sys);
+    let trace = m.trace();
+    // The marker precedes everything the workload did.
+    let settle = trace
+        .position(|r| r.event == TraceEvent::Marker("settled"))
+        .expect("marker recorded");
+    // After the marker: the weak core (cpu2) goes active.
+    let weak_active = trace
+        .position(|r| r.event == TraceEvent::Power { core: 2, state: 0 })
+        .expect("weak core activates");
+    assert!(weak_active > settle);
+    // DMA interrupts were delivered to the *weak* domain (rule 1 of §7:
+    // the strong domain was inactive).
+    let dma_irqs: Vec<u8> = trace
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Irq { line: 12, domain } => Some(domain),
+            _ => None,
+        })
+        .collect();
+    assert!(!dma_irqs.is_empty(), "completion interrupts recorded");
+    assert!(
+        dma_irqs.iter().all(|&d| d == 1),
+        "all DMA interrupts must go to the weak domain: {dma_irqs:?}"
+    );
+    // The task dispatched and completed.
+    let dispatch = trace
+        .position(|r| matches!(r.event, TraceEvent::Task { start: true, .. }))
+        .expect("task dispatched");
+    let done = trace
+        .position(|r| matches!(r.event, TraceEvent::Task { start: false, .. }))
+        .expect("task completed");
+    assert!(dispatch < done);
+}
+
+#[test]
+fn suspend_mail_lands_before_nightwatch_stops() {
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    m.set_trace(true);
+    let pid = sys.world.processes.create_process("app");
+    let tid = sys
+        .world
+        .processes
+        .create_thread(pid, ThreadKind::Normal, "ui");
+    sys.world
+        .processes
+        .create_thread(pid, ThreadKind::NightWatch, "nw");
+    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+    schedule_in_normal(&mut sys, &mut m, strong, pid, tid);
+    m.run_until(m.now() + SimDuration::from_ms(1), &mut sys);
+    // The SuspendNW mail (type 0x10) reached the weak domain, and the
+    // acknowledgement (0x11) came back to the strong domain.
+    let suspend = m.trace().position(
+        |r| matches!(r.event, TraceEvent::Mail { to: 1, payload } if payload & 0xFF == 0x10),
+    );
+    let ack = m.trace().position(
+        |r| matches!(r.event, TraceEvent::Mail { to: 0, payload } if payload & 0xFF == 0x11),
+    );
+    let (s, a) = (suspend.expect("SuspendNW sent"), ack.expect("Ack returned"));
+    assert!(s < a, "request precedes acknowledgement");
+}
+
+#[test]
+fn baseline_trace_shows_no_weak_domain_activity() {
+    use k2_workloads::harness::{run_energy_bench, Workload};
+    // Sanity through the harness: baseline runs never touch cpu2. (The
+    // harness builds its own machine; check the equivalent property via a
+    // manual baseline run here.)
+    let _ = run_energy_bench(
+        SystemMode::LinuxBaseline,
+        Workload::Udp {
+            batch: 4 << 10,
+            total: 8 << 10,
+        },
+    );
+    let (mut m, mut sys) = K2System::boot(SystemConfig::linux());
+    m.set_trace(true);
+    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+    let pid = sys.world.processes.create_process("fg");
+    sys.world
+        .processes
+        .create_thread(pid, ThreadKind::Normal, "t");
+    let report = new_report();
+    m.spawn(
+        strong,
+        DmaBenchTask::new(
+            TaskIdentity {
+                pid,
+                nightwatch: false,
+            },
+            16 << 10,
+            64 << 10,
+            None,
+            report,
+        ),
+        &mut sys,
+    );
+    m.run_until_idle(&mut sys);
+    let weak_activations = m
+        .trace()
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::Power { core: 2, state: 0 }))
+        .count();
+    assert_eq!(weak_activations, 0, "the baseline never uses the weak core");
+}
