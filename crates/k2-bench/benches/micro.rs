@@ -1,106 +1,118 @@
-//! Criterion micro-benchmarks of the simulator's hot paths (host
-//! performance, not simulated time): the buddy allocator, the DSM access
-//! planner, the event queue, the filesystem, and a full energy-benchmark
-//! run per table/figure family.
+//! Micro-benchmarks of the simulator's hot paths (host performance, not
+//! simulated time): the buddy allocator, the DSM access planner, the event
+//! queue, the filesystem, and a full energy-benchmark run per table/figure
+//! family. Plain main (no external bench framework): each benchmark is
+//! timed with `std::time::Instant` and reported as ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_buddy(c: &mut Criterion) {
+/// Times `iters` calls of `f` and prints mean ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    // Warm-up: a tenth of the measured iterations.
+    for _ in 0..(iters / 10).max(1) {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = t0.elapsed();
+    println!(
+        "{name:32} {:>12.1} ns/iter ({iters} iters)",
+        elapsed.as_nanos() as f64 / iters as f64
+    );
+}
+
+fn bench_buddy() {
     use k2_kernel::mm::buddy::{BuddyAllocator, MigrateType};
     use k2_soc::mem::Pfn;
-    c.bench_function("buddy_alloc_free_4k", |b| {
+    {
         let mut buddy = BuddyAllocator::new();
         buddy.add_range(Pfn(0), 1 << 16);
-        b.iter(|| {
+        bench("buddy_alloc_free_4k", 100_000, || {
             let (p, _) = buddy.alloc_pages(0, MigrateType::Unmovable).unwrap();
             buddy.free_pages(black_box(p));
         });
-    });
-    c.bench_function("buddy_alloc_free_1m", |b| {
+    }
+    {
         let mut buddy = BuddyAllocator::new();
         buddy.add_range(Pfn(0), 1 << 16);
-        b.iter(|| {
+        bench("buddy_alloc_free_1m", 100_000, || {
             let (p, _) = buddy.alloc_pages(8, MigrateType::Movable).unwrap();
             buddy.free_pages(black_box(p));
         });
-    });
+    }
 }
 
-fn bench_dsm(c: &mut Criterion) {
+fn bench_dsm() {
     use k2::dsm::{Dsm, ProtocolChoice};
     use k2_kernel::service::{ServiceId, StatePage};
     use k2_soc::ids::DomainId;
     use k2_soc::mmu::MmuKind;
-    c.bench_function("dsm_plan_ping_pong", |b| {
-        let mut dsm = Dsm::new(
-            ProtocolChoice::TwoState,
-            DomainId::STRONG,
-            &[MmuKind::ArmV7A, MmuKind::CascadedM3],
-        );
-        let pages = [StatePage(0), StatePage(1), StatePage(2)];
-        let mut side = 0u8;
-        b.iter(|| {
-            side ^= 1;
-            let dom = DomainId(side);
-            black_box(dsm.plan_accesses(dom, ServiceId::DmaDriver, &pages, &pages));
-        });
+    let mut dsm = Dsm::new(
+        ProtocolChoice::TwoState,
+        DomainId::STRONG,
+        &[MmuKind::ArmV7A, MmuKind::CascadedM3],
+    );
+    let pages = [StatePage(0), StatePage(1), StatePage(2)];
+    let mut side = 0u8;
+    bench("dsm_plan_ping_pong", 100_000, || {
+        side ^= 1;
+        let dom = DomainId(side);
+        black_box(dsm.plan_accesses(dom, ServiceId::DmaDriver, &pages, &pages));
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
+fn bench_event_queue() {
     use k2_sim::queue::EventQueue;
     use k2_sim::time::SimTime;
-    c.bench_function("event_queue_schedule_pop", |b| {
-        let mut q = EventQueue::new();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1;
-            q.schedule(SimTime::from_ns(t ^ 0x5a5a), t);
-            black_box(q.pop());
-        });
+    let mut q = EventQueue::new();
+    let mut t = 0u64;
+    bench("event_queue_schedule_pop", 1_000_000, || {
+        t += 1;
+        q.schedule(SimTime::from_ns(t ^ 0x5a5a), t);
+        black_box(q.pop());
     });
 }
 
-fn bench_ext2(c: &mut Criterion) {
+fn bench_ext2() {
     use k2_kernel::fs::block::RamDisk;
     use k2_kernel::fs::ext2::Ext2Fs;
     use k2_kernel::service::OpCx;
-    c.bench_function("ext2_write_4k", |b| {
+    let mut cx = OpCx::new();
+    let mut fs = Ext2Fs::format(RamDisk::new(8192), 64, &mut cx);
+    let ino = fs.create("/bench", &mut cx).unwrap();
+    let data = vec![7u8; 4096];
+    bench("ext2_write_4k", 50_000, || {
         let mut cx = OpCx::new();
-        let mut fs = Ext2Fs::format(RamDisk::new(8192), 64, &mut cx);
-        let ino = fs.create("/bench", &mut cx).unwrap();
-        let data = vec![7u8; 4096];
-        b.iter(|| {
-            let mut cx = OpCx::new();
-            fs.write(ino, 0, &data, &mut cx).unwrap();
-            black_box(cx.cost());
-        });
+        fs.write(ino, 0, &data, &mut cx).unwrap();
+        black_box(cx.cost());
     });
 }
 
-fn bench_k2_paths(c: &mut Criterion) {
+fn bench_k2_paths() {
     use k2::system::{normal_blocked, schedule_in_normal, shadowed, K2System, SystemConfig};
     use k2_kernel::proc::ThreadKind;
     use k2_kernel::service::ServiceId;
     use k2_soc::ids::DomainId;
     // alloc_latency: the independent-allocator fast path through the API.
-    c.bench_function("alloc_latency", |b| {
+    {
         let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
         let strong = K2System::kernel_core(&m, DomainId::STRONG);
-        b.iter(|| {
+        bench("alloc_latency", 50_000, || {
             let (pfn, d) = k2::system::alloc_pages(&mut sys, &mut m, strong, 0, false);
             k2::system::free_pages(&mut sys, &mut m, strong, pfn.unwrap());
             black_box(d);
         });
-    });
+    }
     // dsm_fault: a shared page ping-ponging between kernels.
-    c.bench_function("dsm_fault", |b| {
+    {
         let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
         let strong = K2System::kernel_core(&m, DomainId::STRONG);
         let weak = K2System::kernel_core(&m, DomainId::WEAK);
         let mut flip = false;
-        b.iter(|| {
+        bench("dsm_fault", 50_000, || {
             flip = !flip;
             let core = if flip { weak } else { strong };
             let (_, d) = shadowed(&mut sys, &mut m, core, ServiceId::Net, |s, cx| {
@@ -109,9 +121,9 @@ fn bench_k2_paths(c: &mut Criterion) {
             });
             black_box(d);
         });
-    });
+    }
     // nightwatch: one suspend/resume protocol round.
-    c.bench_function("nightwatch", |b| {
+    {
         let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
         let strong = K2System::kernel_core(&m, DomainId::STRONG);
         let pid = sys.world.processes.create_process("app");
@@ -122,62 +134,51 @@ fn bench_k2_paths(c: &mut Criterion) {
         sys.world
             .processes
             .create_thread(pid, ThreadKind::NightWatch, "nw");
-        b.iter(|| {
+        bench("nightwatch", 10_000, || {
             let d1 = schedule_in_normal(&mut sys, &mut m, strong, pid, tid);
             let d2 = normal_blocked(&mut sys, &mut m, strong, pid, tid);
             m.run_until(m.now() + k2_sim::time::SimDuration::from_ms(1), &mut sys);
             black_box((d1, d2));
         });
-    });
+    }
 }
 
-fn bench_full_runs(c: &mut Criterion) {
+fn bench_full_runs() {
     use k2::system::SystemMode;
     use k2_sim::time::SimDuration;
     use k2_workloads::harness::{run_energy_bench, run_shared_driver, Workload};
-    let mut g = c.benchmark_group("simulation_runs");
-    g.sample_size(10);
-    g.bench_function("energy_dma_k2", |b| {
-        b.iter(|| {
-            black_box(run_energy_bench(
-                SystemMode::K2,
-                Workload::Dma {
-                    batch: 4 << 10,
-                    total: 64 << 10,
-                },
-            ))
-        });
+    bench("energy_dma_k2", 10, || {
+        black_box(run_energy_bench(
+            SystemMode::K2,
+            Workload::Dma {
+                batch: 4 << 10,
+                total: 64 << 10,
+            },
+        ));
     });
-    g.bench_function("energy_udp_linux", |b| {
-        b.iter(|| {
-            black_box(run_energy_bench(
-                SystemMode::LinuxBaseline,
-                Workload::Udp {
-                    batch: 4 << 10,
-                    total: 16 << 10,
-                },
-            ))
-        });
+    bench("energy_udp_linux", 10, || {
+        black_box(run_energy_bench(
+            SystemMode::LinuxBaseline,
+            Workload::Udp {
+                batch: 4 << 10,
+                total: 16 << 10,
+            },
+        ));
     });
-    g.bench_function("shared_driver_128k", |b| {
-        b.iter(|| {
-            black_box(run_shared_driver(
-                SystemMode::K2,
-                128 << 10,
-                SimDuration::from_ms(200),
-            ))
-        });
+    bench("shared_driver_128k", 10, || {
+        black_box(run_shared_driver(
+            SystemMode::K2,
+            128 << 10,
+            SimDuration::from_ms(200),
+        ));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_buddy,
-    bench_dsm,
-    bench_event_queue,
-    bench_ext2,
-    bench_k2_paths,
-    bench_full_runs
-);
-criterion_main!(benches);
+fn main() {
+    bench_buddy();
+    bench_dsm();
+    bench_event_queue();
+    bench_ext2();
+    bench_k2_paths();
+    bench_full_runs();
+}

@@ -39,6 +39,7 @@ pub mod kernel;
 pub mod mm;
 pub mod net;
 pub mod proc;
+pub mod reliable;
 pub mod sched;
 pub mod service;
 

@@ -366,39 +366,58 @@ impl BuddyAllocator {
     /// Panics if free lists overlap each other, overlap allocations, or the
     /// free-page counter is inconsistent.
     pub fn check_invariants(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking invariant check: free lists must not overlap each
+    /// other or allocations, the free-page counter must match the lists,
+    /// and every block must lie in a managed range. Returns the first
+    /// inconsistency found. The system-wide invariant auditor runs this
+    /// after simulation steps.
+    pub fn validate(&self) -> Result<(), String> {
         let mut covered: BTreeMap<u64, u64> = BTreeMap::new(); // start -> end
-        let mut add = |s: u64, e: u64| {
+        let mut add = |s: u64, e: u64| -> Result<(), String> {
             if let Some((_, &pe)) = covered.range(..=s).next_back() {
-                assert!(pe <= s, "block [{s:#x},{e:#x}) overlaps previous");
+                if pe > s {
+                    return Err(format!("block [{s:#x},{e:#x}) overlaps previous"));
+                }
             }
             if let Some((&ns, _)) = covered.range(s + 1..).next() {
-                assert!(e <= ns, "block [{s:#x},{e:#x}) overlaps next");
+                if e > ns {
+                    return Err(format!("block [{s:#x},{e:#x}) overlaps next"));
+                }
             }
             covered.insert(s, e);
+            Ok(())
         };
         let mut free_total = 0u64;
         for (o, list) in self.free.iter().enumerate() {
             for &head in list {
-                assert_eq!(
-                    head % (1 << o),
-                    0,
-                    "unaligned free block {head:#x} order {o}"
-                );
-                add(head, head + (1 << o));
+                if head % (1 << o) != 0 {
+                    return Err(format!("unaligned free block {head:#x} order {o}"));
+                }
+                add(head, head + (1 << o))?;
                 free_total += 1 << o;
             }
         }
         for (&head, info) in &self.allocated {
-            add(head, head + (1u64 << info.order));
+            add(head, head + (1u64 << info.order))?;
         }
-        assert_eq!(free_total, self.free_pages, "free-page counter drifted");
+        if free_total != self.free_pages {
+            return Err(format!(
+                "free-page counter drifted: lists hold {free_total}, counter says {}",
+                self.free_pages
+            ));
+        }
         // Everything covered must be managed.
         for (&s, &e) in &covered {
-            assert!(
-                self.managed_contig(s, e - s),
-                "block [{s:#x},{e:#x}) outside managed ranges"
-            );
+            if !self.managed_contig(s, e - s) {
+                return Err(format!("block [{s:#x},{e:#x}) outside managed ranges"));
+            }
         }
+        Ok(())
     }
 
     fn insert_free(&mut self, head: u64, order: u8) {

@@ -1,0 +1,318 @@
+//! Reliable messaging over unreliable mailboxes.
+//!
+//! The paper's §6 argues inter-domain links must be treated like a lossy
+//! network: K2's DSM carries sequence numbers in its coherence messages and
+//! retries. This module is the kernel-side state machine for that — pure
+//! bookkeeping with no simulator dependencies, so it is unit-testable and
+//! reusable by any protocol that rides the mailboxes:
+//!
+//! * **sender**: every message gets a per-link sequence number and an ack
+//!   deadline; unacked messages are retransmitted with bounded exponential
+//!   backoff, giving up after [`ReliableLink::MAX_ATTEMPTS`];
+//! * **receiver**: acks every message and deduplicates by sequence number,
+//!   so retransmissions and interconnect duplicates are delivered to the
+//!   protocol exactly once.
+//!
+//! The caller (the `k2` system layer) owns the actual send and the timer:
+//! this type only decides *what* to do at each deadline.
+
+use k2_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashSet};
+
+/// A sent-but-possibly-unacked message: what to retransmit and when next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SendTicket {
+    /// Sequence number on this link.
+    pub seq: u32,
+    /// When to check for an ack and retransmit if none arrived.
+    pub deadline: SimTime,
+}
+
+/// Outcome of a retransmission deadline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetryVerdict {
+    /// The message was acked (or already resolved); nothing to do.
+    Settled,
+    /// Retransmit now and check again at the new ticket's deadline.
+    Retry(SendTicket),
+    /// Attempts exhausted; the message is abandoned and counted.
+    GaveUp,
+}
+
+/// Counters for one link (or a merged view of many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages originated (first transmissions).
+    pub sent: u64,
+    /// Retransmissions triggered by missed ack deadlines.
+    pub retransmits: u64,
+    /// Messages confirmed by an ack.
+    pub acked: u64,
+    /// Messages abandoned after [`ReliableLink::MAX_ATTEMPTS`].
+    pub gave_up: u64,
+    /// Receiver-side: messages delivered to the protocol (first copies).
+    pub accepted: u64,
+    /// Receiver-side: duplicate copies suppressed by sequence dedup.
+    pub duplicates_dropped: u64,
+}
+
+impl LinkStats {
+    /// Accumulates another link's counters into this view.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.sent += other.sent;
+        self.retransmits += other.retransmits;
+        self.acked += other.acked;
+        self.gave_up += other.gave_up;
+        self.accepted += other.accepted;
+        self.duplicates_dropped += other.duplicates_dropped;
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    payload: u32,
+    attempts: u32,
+}
+
+/// One direction of a reliable channel between two domains.
+///
+/// # Examples
+///
+/// ```
+/// use k2_kernel::reliable::{ReliableLink, RetryVerdict};
+/// use k2_sim::time::SimTime;
+///
+/// let mut link = ReliableLink::new();
+/// let t0 = SimTime::from_ns(0);
+/// let ticket = link.send(0xBEEF, t0);
+/// // The ack never arrives: the deadline asks for a retransmission.
+/// match link.due(ticket.seq, ticket.deadline) {
+///     RetryVerdict::Retry(next) => assert!(next.deadline > ticket.deadline),
+///     v => panic!("expected retry, got {v:?}"),
+/// }
+/// // The (retransmitted) message finally gets through.
+/// assert!(link.on_ack(ticket.seq));
+/// assert_eq!(link.stats().acked, 1);
+/// ```
+#[derive(Debug)]
+pub struct ReliableLink {
+    next_seq: u32,
+    pending: BTreeMap<u32, Pending>,
+    /// Receiver-side dedup. A real implementation keeps a sliding window;
+    /// the model keeps the full set — sequence spaces here are small.
+    seen: HashSet<u32>,
+    base_timeout: SimDuration,
+    stats: LinkStats,
+}
+
+impl Default for ReliableLink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReliableLink {
+    /// Default ack deadline: two mailbox RTTs (~5 µs each, paper Table 3)
+    /// plus ISR slack on a busy receiver.
+    pub const DEFAULT_TIMEOUT: SimDuration = SimDuration::from_us(12);
+
+    /// Transmissions per message before giving up.
+    pub const MAX_ATTEMPTS: u32 = 12;
+
+    /// Backoff ceiling between retransmissions.
+    pub const MAX_BACKOFF: SimDuration = SimDuration::from_ms(1);
+
+    /// Creates a link with the default ack deadline.
+    pub fn new() -> Self {
+        Self::with_timeout(Self::DEFAULT_TIMEOUT)
+    }
+
+    /// Creates a link with a custom base ack deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_timeout` is zero.
+    pub fn with_timeout(base_timeout: SimDuration) -> Self {
+        assert!(!base_timeout.is_zero(), "ack deadline must be positive");
+        ReliableLink {
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            seen: HashSet::new(),
+            base_timeout,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Registers a new outgoing message; returns its sequence number and
+    /// first ack deadline. The caller transmits it.
+    pub fn send(&mut self, payload: u32, now: SimTime) -> SendTicket {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(
+            seq,
+            Pending {
+                payload,
+                attempts: 1,
+            },
+        );
+        self.stats.sent += 1;
+        SendTicket {
+            seq,
+            deadline: now + self.base_timeout,
+        }
+    }
+
+    /// Processes an incoming ack. Returns `true` if it settled a pending
+    /// message (duplicate acks are ignored).
+    pub fn on_ack(&mut self, seq: u32) -> bool {
+        if self.pending.remove(&seq).is_some() {
+            self.stats.acked += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The payload of a still-pending message (for retransmission).
+    pub fn payload_of(&self, seq: u32) -> Option<u32> {
+        self.pending.get(&seq).map(|p| p.payload)
+    }
+
+    /// Called when a retransmission deadline fires. Decides whether to
+    /// retransmit (with exponential backoff) or give up.
+    pub fn due(&mut self, seq: u32, now: SimTime) -> RetryVerdict {
+        let Some(p) = self.pending.get_mut(&seq) else {
+            return RetryVerdict::Settled;
+        };
+        if p.attempts >= Self::MAX_ATTEMPTS {
+            self.pending.remove(&seq);
+            self.stats.gave_up += 1;
+            return RetryVerdict::GaveUp;
+        }
+        p.attempts += 1;
+        let shift = (p.attempts - 1).min(16);
+        let backoff_ns = (self.base_timeout.as_ns() << shift).min(Self::MAX_BACKOFF.as_ns());
+        self.stats.retransmits += 1;
+        RetryVerdict::Retry(SendTicket {
+            seq,
+            deadline: now + SimDuration::from_ns(backoff_ns),
+        })
+    }
+
+    /// Receiver side: `true` if `seq` is new and should be delivered to
+    /// the protocol; `false` for a duplicate to suppress (the ack is sent
+    /// either way — the sender may have missed the first one).
+    pub fn accept(&mut self, seq: u32) -> bool {
+        if self.seen.insert(seq) {
+            self.stats.accepted += 1;
+            true
+        } else {
+            self.stats.duplicates_dropped += 1;
+            false
+        }
+    }
+
+    /// Messages awaiting an ack.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// This link's counters.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn ack_settles_message() {
+        let mut l = ReliableLink::new();
+        let tk = l.send(7, t(0));
+        assert_eq!(l.in_flight(), 1);
+        assert!(l.on_ack(tk.seq));
+        assert!(!l.on_ack(tk.seq), "duplicate ack ignored");
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.due(tk.seq, tk.deadline), RetryVerdict::Settled);
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let mut l = ReliableLink::new();
+        let a = l.send(1, t(0));
+        let b = l.send(2, t(0));
+        assert_eq!(b.seq, a.seq + 1);
+        assert_eq!(l.payload_of(a.seq), Some(1));
+        assert_eq!(l.payload_of(b.seq), Some(2));
+    }
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let mut l = ReliableLink::new();
+        let tk = l.send(1, t(0));
+        let mut deadline = tk.deadline;
+        let mut gaps = Vec::new();
+        let mut now = deadline;
+        loop {
+            match l.due(tk.seq, now) {
+                RetryVerdict::Retry(next) => {
+                    gaps.push((next.deadline - now).as_ns());
+                    deadline = next.deadline;
+                    now = deadline;
+                }
+                RetryVerdict::GaveUp => break,
+                RetryVerdict::Settled => panic!("never acked"),
+            }
+        }
+        assert_eq!(gaps.len() as u32 + 1, ReliableLink::MAX_ATTEMPTS);
+        assert!(gaps.windows(2).all(|w| w[1] >= w[0]), "monotone backoff");
+        assert_eq!(
+            *gaps.last().unwrap(),
+            ReliableLink::MAX_BACKOFF.as_ns(),
+            "capped"
+        );
+        assert_eq!(l.stats().gave_up, 1);
+        assert_eq!(
+            l.stats().retransmits,
+            (ReliableLink::MAX_ATTEMPTS - 1) as u64
+        );
+    }
+
+    #[test]
+    fn receiver_dedups_by_sequence() {
+        let mut l = ReliableLink::new();
+        assert!(l.accept(0));
+        assert!(!l.accept(0));
+        assert!(l.accept(1));
+        assert!(!l.accept(0));
+        assert_eq!(l.stats().accepted, 2);
+        assert_eq!(l.stats().duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = LinkStats {
+            sent: 1,
+            retransmits: 2,
+            acked: 3,
+            gave_up: 4,
+            accepted: 5,
+            duplicates_dropped: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.sent, 2);
+        assert_eq!(a.duplicates_dropped, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_timeout_rejected() {
+        let _ = ReliableLink::with_timeout(SimDuration::ZERO);
+    }
+}

@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use audit::{InvariantAuditor, Violation};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Summary};

@@ -51,6 +51,15 @@ pub enum TraceEvent {
         /// Raw payload.
         payload: u32,
     },
+    /// An injected hardware fault fired (kind codes are defined by the
+    /// platform layer's fault plan; `arg` identifies the victim — a mail
+    /// payload, lock id, DMA transfer id, core or domain index).
+    Fault {
+        /// Fault-class code.
+        kind: u8,
+        /// Victim identifier.
+        arg: u32,
+    },
     /// Free-form marker emitted by higher layers.
     Marker(&'static str),
 }
@@ -67,6 +76,7 @@ impl fmt::Display for TraceEvent {
                 write!(f, "task{task} {}", if *start { "dispatch" } else { "done" })
             }
             TraceEvent::Mail { to, payload } => write!(f, "mail {payload:#x} -> D{to}"),
+            TraceEvent::Fault { kind, arg } => write!(f, "fault[{kind}] {arg:#x}"),
             TraceEvent::Marker(s) => f.write_str(s),
         }
     }

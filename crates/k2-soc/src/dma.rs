@@ -18,6 +18,21 @@ use k2_sim::time::{SimDuration, SimTime};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct DmaXferId(pub u64);
 
+/// Hardware-reported outcome of a transfer, as a driver would read it from
+/// the channel status register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DmaStatus {
+    /// All bytes moved.
+    #[default]
+    Ok,
+    /// The channel faulted; only a prefix of the data (possibly none)
+    /// reached the destination. Drivers must verify and re-submit.
+    Error {
+        /// Bytes that did land before the fault.
+        bytes_copied: u64,
+    },
+}
+
 /// A finished transfer, ready to be materialised and signalled.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DmaCompletion {
@@ -29,6 +44,9 @@ pub struct DmaCompletion {
     pub dst: PhysAddr,
     /// Length in bytes.
     pub len: u64,
+    /// Channel status at completion. The engine always reports [`DmaStatus::Ok`];
+    /// the platform layer downgrades it when a fault plan fails the transfer.
+    pub status: DmaStatus,
 }
 
 #[derive(Clone, Debug)]
@@ -155,6 +173,7 @@ impl DmaEngine {
                 src: a.src,
                 dst: a.dst,
                 len: a.len,
+                status: DmaStatus::Ok,
             })
             .collect();
         if !done.is_empty() {

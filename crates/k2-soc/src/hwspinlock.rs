@@ -95,6 +95,13 @@ impl HwSpinlockBank {
     pub fn contentions(&self) -> u64 {
         self.contentions
     }
+
+    /// Counts a contended attempt that never reached the bank — used by the
+    /// platform when an injected fault holds the lock bit stuck, so the
+    /// contention statistics still reflect what software observed.
+    pub fn note_contention(&mut self) {
+        self.contentions += 1;
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,13 @@ impl IrqController {
         self.pending.contains(&irq.0)
     }
 
+    /// All lines latched pending, sorted (for deterministic audit output).
+    pub fn pending_lines(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.pending.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Interrupts delivered through this controller so far.
     pub fn delivered(&self) -> u64 {
         self.delivered

@@ -29,6 +29,7 @@ pub mod cache;
 pub mod calib;
 pub mod core;
 pub mod dma;
+pub mod fault;
 pub mod hwspinlock;
 pub mod ids;
 pub mod irq;
@@ -41,6 +42,7 @@ pub mod soc;
 pub mod timer;
 
 pub use crate::core::{CoreDesc, CoreKind, Isa};
+pub use fault::{FaultClass, FaultPlan, FaultStats};
 pub use ids::{CoreId, DomainId, IrqId};
 pub use mem::{Pfn, PhysAddr, PAGE_SIZE};
 pub use platform::{IrqCx, Machine, Step, Task, TaskCx, TaskId};

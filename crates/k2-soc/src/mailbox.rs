@@ -28,6 +28,21 @@ pub const MAIL_LATENCY: SimDuration = SimDuration::from_ns(1_800);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Mail(pub u32);
 
+/// Transport metadata for reliable messaging: a logical channel and a
+/// sequence number, carried *beside* the 32-bit payload.
+///
+/// On real hardware this would be packed into the payload word; modelling
+/// it out-of-band keeps the existing payload encodings (DSM coherence
+/// messages, NightWatch protocol, free-redirect hints) untouched while the
+/// reliability layer adds acknowledgements and deduplication on top.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkTag {
+    /// Logical channel (protocol) the message belongs to.
+    pub chan: u8,
+    /// Per-link sequence number for acks and receive-side dedup.
+    pub seq: u32,
+}
+
 /// A mail queued for (or delivered to) a domain, tagged with its sender.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Envelope {
@@ -35,6 +50,8 @@ pub struct Envelope {
     pub from: DomainId,
     /// The 32-bit payload.
     pub mail: Mail,
+    /// Reliable-messaging metadata; `None` for fire-and-forget mails.
+    pub tag: Option<LinkTag>,
 }
 
 /// The mailbox FIFO bank: one inbox per domain.
@@ -47,6 +64,7 @@ pub struct MailboxBank {
     fifo_depth: usize,
     sent: u64,
     dropped: u64,
+    received: u64,
 }
 
 impl MailboxBank {
@@ -58,6 +76,7 @@ impl MailboxBank {
             fifo_depth,
             sent: 0,
             dropped: 0,
+            received: 0,
         }
     }
 
@@ -78,7 +97,11 @@ impl MailboxBank {
     /// Pops the oldest pending mail for `dom`, if any (what the receiving
     /// kernel's mailbox ISR does).
     pub fn receive(&mut self, dom: DomainId) -> Option<Envelope> {
-        self.inboxes[dom.index()].pop_front()
+        let env = self.inboxes[dom.index()].pop_front();
+        if env.is_some() {
+            self.received += 1;
+        }
+        env
     }
 
     /// Number of undelivered mails pending for `dom`.
@@ -95,6 +118,12 @@ impl MailboxBank {
     pub fn dropped_count(&self) -> u64 {
         self.dropped
     }
+
+    /// Total mails popped by receivers so far. Conservation law:
+    /// `delivered_count == received_count + Σ pending` at all times.
+    pub fn received_count(&self) -> u64 {
+        self.received
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +134,7 @@ mod tests {
         Envelope {
             from: DomainId(from),
             mail: Mail(v),
+            tag: None,
         }
     }
 
@@ -134,6 +164,19 @@ mod tests {
         assert!(!b.deliver(DomainId::WEAK, env(0, 3)));
         assert_eq!(b.dropped_count(), 1);
         assert_eq!(b.delivered_count(), 2);
+    }
+
+    #[test]
+    fn conservation_of_mails() {
+        let mut b = MailboxBank::new(2, 8);
+        b.deliver(DomainId::WEAK, env(0, 1));
+        b.deliver(DomainId::WEAK, env(0, 2));
+        b.receive(DomainId::WEAK);
+        let pending: u64 = (0..2).map(|d| b.pending(DomainId(d)) as u64).sum();
+        assert_eq!(b.delivered_count(), b.received_count() + pending);
+        // Receiving from an empty inbox does not count.
+        b.receive(DomainId::STRONG);
+        assert_eq!(b.received_count(), 1);
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! system; the machine itself knows nothing about operating systems.
 
 use crate::core::CoreDesc;
-use crate::dma::{DmaEngine, DmaXferId};
+use crate::dma::{DmaEngine, DmaStatus, DmaXferId};
+use crate::fault::{DmaFate, FaultClass, FaultPlan, FaultStats, MailFate};
 use crate::hwspinlock::{HwLockId, HwSpinlockBank};
 use crate::ids::{CoreId, DomainId, IrqId};
 use crate::irq::IrqFabric;
-use crate::mailbox::{Envelope, Mail, MailboxBank, MAIL_LATENCY};
+use crate::mailbox::{Envelope, LinkTag, Mail, MailboxBank, MAIL_LATENCY};
 use crate::mem::SharedRam;
 use crate::power::{EnergyMeter, PowerState};
+use k2_sim::audit::InvariantAuditor;
 use k2_sim::queue::EventQueue;
 use k2_sim::time::{SimDuration, SimTime};
 use k2_sim::trace::{Trace, TraceEvent};
@@ -110,6 +112,15 @@ pub type IrqHook<W> = Box<dyn FnMut(&mut W, &mut Machine<W>, IrqCx) -> u64>;
 /// re-route shared interrupts, §7).
 pub type PowerObserver<W> = Box<dyn FnMut(&mut W, &mut Machine<W>, CoreId, PowerState)>;
 
+/// A deferred callback scheduled with [`Machine::call_after`]: kernel-side
+/// timer work (retransmit checks, watchdogs) that runs in event order
+/// without needing a live task.
+pub type DeferredCall<W> = Box<dyn FnOnce(&mut W, &mut Machine<W>)>;
+
+/// A world-state conservation law registered with
+/// [`Machine::add_invariant_check`], audited after simulation steps.
+pub type WorldCheck<W> = Box<dyn Fn(&W) -> Result<(), String>>;
+
 #[derive(Debug)]
 enum Event {
     StepDone { core: CoreId, epoch: u64 },
@@ -118,6 +129,7 @@ enum Event {
     DmaTick { generation: u64 },
     TaskWake { task: TaskId },
     RaiseIrq { irq: IrqId },
+    Call { id: u64 },
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -181,6 +193,11 @@ pub struct Machine<W> {
     completed_tasks: u64,
     trace: Trace,
     trace_stderr: bool,
+    fault_plan: Option<FaultPlan>,
+    auditor: InvariantAuditor,
+    world_checks: Vec<(&'static str, WorldCheck<W>)>,
+    deferred: HashMap<u64, DeferredCall<W>>,
+    next_call_id: u64,
 }
 
 impl<W> fmt::Debug for Machine<W> {
@@ -257,6 +274,11 @@ impl<W> Machine<W> {
                 t
             },
             trace_stderr: false,
+            fault_plan: None,
+            auditor: InvariantAuditor::new(),
+            world_checks: Vec::new(),
+            deferred: HashMap::new(),
+            next_call_id: 0,
         }
     }
 
@@ -279,6 +301,59 @@ impl<W> Machine<W> {
     /// Emits a free-form marker into the trace.
     pub fn trace_marker(&mut self, label: &'static str) {
         self.trace.record(self.now, TraceEvent::Marker(label));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and auditing
+    // ------------------------------------------------------------------
+
+    /// Installs a fault plan. From now on the machine consults it on every
+    /// mail send, lock acquisition, DMA completion, and task step.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// `true` when a fault plan is installed — kernel layers use this to
+    /// activate their reliability paths (acks, retries, dedup) so that
+    /// unfaulted runs stay byte-identical to the calibrated model.
+    pub fn fault_injection_active(&self) -> bool {
+        self.fault_plan.is_some()
+    }
+
+    /// Counts of faults injected so far, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault_plan.as_ref().map(|p| p.stats())
+    }
+
+    /// The invariant auditor (read-only).
+    pub fn auditor(&self) -> &InvariantAuditor {
+        &self.auditor
+    }
+
+    /// Switches the invariant auditor on, checking every `stride`-th step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn enable_audit(&mut self, stride: u64) {
+        self.auditor.set_stride(stride);
+        self.auditor.set_enabled(true);
+    }
+
+    /// Registers a world-state conservation law; audited together with the
+    /// platform's own invariants whenever the auditor is enabled.
+    pub fn add_invariant_check(&mut self, name: &'static str, check: WorldCheck<W>) {
+        self.world_checks.push((name, check));
+    }
+
+    /// Schedules `f` to run once, `dur` from now, in event order — the
+    /// machine's equivalent of a kernel timer callback. Used by reliability
+    /// layers for retransmit deadlines and watchdogs.
+    pub fn call_after(&mut self, dur: SimDuration, f: DeferredCall<W>) {
+        let id = self.next_call_id;
+        self.next_call_id += 1;
+        self.deferred.insert(id, f);
+        self.queue.schedule(self.now + dur, Event::Call { id });
     }
 
     /// Current simulated time.
@@ -429,9 +504,60 @@ impl<W> Machine<W> {
     /// takes the interconnect latency, then raises the receiver's mailbox
     /// interrupt.
     pub fn mailbox_send(&mut self, from: DomainId, to: DomainId, mail: Mail) {
-        let env = Envelope { from, mail };
-        self.queue
-            .schedule(self.now + MAIL_LATENCY, Event::MailDeliver { to, env });
+        self.mailbox_send_tagged(from, to, mail, None);
+    }
+
+    /// Like [`Machine::mailbox_send`], carrying reliable-messaging metadata.
+    /// An installed fault plan may drop, duplicate, or delay the message
+    /// here — the interconnect is the unreliable element.
+    pub fn mailbox_send_tagged(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        mail: Mail,
+        tag: Option<LinkTag>,
+    ) {
+        let env = Envelope { from, mail, tag };
+        let mut deliveries = [Some(MAIL_LATENCY), None];
+        if let Some(plan) = &mut self.fault_plan {
+            match plan.mail_fate() {
+                MailFate::Deliver => {}
+                MailFate::Drop => {
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::Fault {
+                            kind: FaultClass::MailDrop.code(),
+                            arg: mail.0,
+                        },
+                    );
+                    return;
+                }
+                MailFate::Duplicate => {
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::Fault {
+                            kind: FaultClass::MailDuplicate.code(),
+                            arg: mail.0,
+                        },
+                    );
+                    deliveries[1] = Some(MAIL_LATENCY);
+                }
+                MailFate::Delay(extra) => {
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::Fault {
+                            kind: FaultClass::MailDelay.code(),
+                            arg: mail.0,
+                        },
+                    );
+                    deliveries[0] = Some(MAIL_LATENCY + extra);
+                }
+            }
+        }
+        for lat in deliveries.into_iter().flatten() {
+            self.queue
+                .schedule(self.now + lat, Event::MailDeliver { to, env });
+        }
     }
 
     /// Pops the oldest pending mail for `dom` (called from mailbox ISRs).
@@ -444,8 +570,35 @@ impl<W> Machine<W> {
         self.mailboxes.delivered_count()
     }
 
+    /// Total mails popped by receivers so far (statistics).
+    pub fn mailbox_received(&self) -> u64 {
+        self.mailboxes.received_count()
+    }
+
     /// Hardware test-and-set. Returns `true` on acquisition.
     pub fn hwlock_try_acquire(&mut self, id: HwLockId, dom: DomainId) -> bool {
+        self.hwlock_try_acquire_at(id, dom, self.now)
+    }
+
+    /// Hardware test-and-set as observed at (virtual) time `at` — callers
+    /// modelling a spin loop pass the time each poll would happen, so an
+    /// injected stuck-bit window expires on the right attempt even though
+    /// the whole loop executes within one simulation step. Returns `true`
+    /// on acquisition.
+    pub fn hwlock_try_acquire_at(&mut self, id: HwLockId, dom: DomainId, at: SimTime) -> bool {
+        if let Some(plan) = &mut self.fault_plan {
+            if plan.lock_attempt(id, at) {
+                self.hwlocks.note_contention();
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Fault {
+                        kind: FaultClass::LockStuck.code(),
+                        arg: id.0 as u32,
+                    },
+                );
+                return false;
+            }
+        }
         self.hwlocks.try_acquire(id, dom)
     }
 
@@ -585,6 +738,7 @@ impl<W> Machine<W> {
                     debug_assert!(at >= self.now);
                     self.now = at;
                     self.handle(ev, w);
+                    self.after_event(w);
                 }
                 None => self.deadlock_panic(),
             }
@@ -602,9 +756,85 @@ impl<W> Machine<W> {
             let (at, ev) = self.queue.pop().expect("peeked event exists");
             self.now = at;
             self.handle(ev, w);
+            self.after_event(w);
         }
         assert!(until >= self.now, "run_until target in the past");
         self.now = until;
+    }
+
+    /// Post-event work: asynchronous fault injection (spurious wake-ups,
+    /// which are not tied to any software action) and the invariant audit.
+    fn after_event(&mut self, w: &mut W) {
+        if let Some(plan) = &mut self.fault_plan {
+            if let Some(target) = plan.spurious_wake() {
+                let dom = target.unwrap_or(DomainId((self.domains.len() - 1) as u8));
+                self.trace.record(
+                    self.now,
+                    TraceEvent::Fault {
+                        kind: FaultClass::SpuriousWake.code(),
+                        arg: dom.0 as u32,
+                    },
+                );
+                // A glitching mailbox line: the IRQ fires, the ISR finds the
+                // FIFO empty and must cope.
+                self.raise_irq(IrqId::mailbox_for(dom), w);
+            }
+        }
+        if self.auditor.begin_step() {
+            self.audit_step(w);
+        }
+    }
+
+    /// Checks the platform's conservation laws plus every registered world
+    /// check, recording violations in the auditor.
+    fn audit_step(&mut self, w: &mut W) {
+        let now = self.now;
+        // Energy meters are monotone per core.
+        for (i, rt) in self.cores.iter().enumerate() {
+            let e = rt.meter.energy_mj_at(now);
+            self.auditor.check_monotone(now, "core-energy", i as u32, e);
+        }
+        // Mailbox conservation: every delivered mail is either received or
+        // still pending in a FIFO.
+        let pending: u64 = (0..self.domains.len())
+            .map(|d| self.mailboxes.pending(DomainId(d as u8)) as u64)
+            .sum();
+        let delivered = self.mailboxes.delivered_count();
+        let received = self.mailboxes.received_count();
+        self.auditor.affirm(
+            now,
+            "mailbox-conservation",
+            delivered == received + pending,
+            || format!("delivered={delivered} != received={received} + pending={pending}"),
+        );
+        // No interrupt raised-but-lost: a latched-pending line must be
+        // masked (an unmasked raise delivers immediately).
+        for d in 0..self.domains.len() {
+            let ctl = self.irq_fabric.controller(DomainId(d as u8));
+            for line in ctl.pending_lines() {
+                self.auditor.affirm(
+                    now,
+                    "irq-pending-implies-masked",
+                    !ctl.is_unmasked(IrqId(line)),
+                    || format!("irq{line} pending AND unmasked in D{d}"),
+                );
+            }
+        }
+        // Hardware spinlock holders must be real domains.
+        for l in 0..self.hwlocks.len() {
+            if let Some(h) = self.hwlocks.holder(HwLockId(l as u16)) {
+                self.auditor.affirm(
+                    now,
+                    "hwlock-holder-valid",
+                    h.index() < self.domains.len(),
+                    || format!("lock {l} held by nonexistent {h}"),
+                );
+            }
+        }
+        // World-state laws registered by the OS layers.
+        for (name, check) in &self.world_checks {
+            self.auditor.check_result(now, name, check(w));
+        }
     }
 
     fn deadlock_panic(&self) -> ! {
@@ -666,10 +896,44 @@ impl<W> Machine<W> {
                 if generation != self.dma.generation() {
                     return;
                 }
-                let completions = self.dma.advance(self.now);
+                let mut completions = self.dma.advance(self.now);
                 if !completions.is_empty() {
-                    for c in &completions {
-                        self.ram.copy(c.src, c.dst, c.len as usize);
+                    for c in &mut completions {
+                        let fate = match &mut self.fault_plan {
+                            Some(plan) => plan.dma_fate(),
+                            None => DmaFate::Ok,
+                        };
+                        match fate {
+                            DmaFate::Ok => {
+                                self.ram.copy(c.src, c.dst, c.len as usize);
+                            }
+                            DmaFate::Fail => {
+                                c.status = DmaStatus::Error { bytes_copied: 0 };
+                                self.trace.record(
+                                    self.now,
+                                    TraceEvent::Fault {
+                                        kind: FaultClass::DmaFail.code(),
+                                        arg: c.id.0 as u32,
+                                    },
+                                );
+                            }
+                            DmaFate::Partial(f) => {
+                                let n = if c.len > 1 {
+                                    ((c.len as f64 * f) as u64).clamp(1, c.len - 1)
+                                } else {
+                                    0
+                                };
+                                self.ram.copy(c.src, c.dst, n as usize);
+                                c.status = DmaStatus::Error { bytes_copied: n };
+                                self.trace.record(
+                                    self.now,
+                                    TraceEvent::Fault {
+                                        kind: FaultClass::DmaPartial.code(),
+                                        arg: c.id.0 as u32,
+                                    },
+                                );
+                            }
+                        }
                     }
                     self.dma_pending.extend(completions);
                     self.raise_irq(IrqId::DMA, w);
@@ -682,6 +946,10 @@ impl<W> Machine<W> {
                 }
             }
             Event::RaiseIrq { irq } => self.raise_irq(irq, w),
+            Event::Call { id } => {
+                let f = self.deferred.remove(&id).expect("deferred call fires once");
+                f(w, self);
+            }
         }
     }
 
@@ -840,6 +1108,24 @@ impl<W> Machine<W> {
     }
 
     fn step_task(&mut self, core: CoreId, task: TaskId, w: &mut W) {
+        // An injected stall (thermal throttle, invisible hypervisor) burns
+        // active time on this core before the task's next step executes;
+        // the pending step re-fires when the stall's busy period ends.
+        let stall = match &mut self.fault_plan {
+            Some(plan) => plan.core_stall(self.cores[core.index()].desc.domain),
+            None => None,
+        };
+        if let Some(dur) = stall {
+            self.trace.record(
+                self.now,
+                TraceEvent::Fault {
+                    kind: FaultClass::CoreStall.code(),
+                    arg: core.0 as u32,
+                },
+            );
+            self.begin_busy(core, dur, w);
+            return;
+        }
         self.cores[core.index()].task_activity_at = self.now;
         let mut boxed = {
             let slot = self.tasks[task.0 as usize]

@@ -69,6 +69,10 @@ pub struct DsmStats {
     pub fault_latency_us: [Summary; 4],
     /// Hardware mails that the protocol exchanged.
     pub messages: u64,
+    /// Protocol mails confirmed delivered by the mailbox ISR. Under fault
+    /// injection this lags [`DsmStats::messages`] until retransmissions
+    /// land; it never exceeds it.
+    pub messages_delivered: u64,
     /// 1 MB sections demoted to 4 KB mappings.
     pub sections_split: u64,
 }
@@ -210,6 +214,30 @@ impl Dsm {
         let i = requester.index().min(3);
         self.stats.faults_by_requester[i] += 1;
         self.stats.fault_latency_us[i].record(latency_us);
+    }
+
+    /// Records one protocol mail confirmed delivered by the mailbox ISR
+    /// (first copies only — retransmitted duplicates are deduped upstream).
+    pub fn note_delivered(&mut self) {
+        self.stats.messages_delivered += 1;
+    }
+
+    /// Audits the DSM's conservation laws: the protocol's single-writer
+    /// invariant, and delivery never exceeding sends.
+    pub fn validate(&self) -> Result<(), String> {
+        match &self.protocol {
+            ProtocolImpl::Two(p) => p.validate_one_writer()?,
+            // The MSI map distinguishes states internally; its invariant is
+            // exercised by its own unit tests.
+            ProtocolImpl::Three(_) => {}
+        }
+        if self.stats.messages_delivered > self.stats.messages {
+            return Err(format!(
+                "delivered {} protocol mails but only {} were sent",
+                self.stats.messages_delivered, self.stats.messages
+            ));
+        }
+        Ok(())
     }
 
     /// Statistics so far.

@@ -170,15 +170,27 @@ impl TwoStateProtocol {
     /// Checks the one-writer invariant: every page has exactly one owner.
     /// (Trivially true by construction with an owner map — the check guards
     /// against future refactors splitting state.)
+    ///
+    /// # Panics
+    ///
+    /// Panics on a violation; see [`TwoStateProtocol::validate_one_writer`]
+    /// for the non-panicking form used by the invariant auditor.
     pub fn check_one_writer_invariant(&self) {
-        // With an owner map the invariant is structural; verify the map has
-        // no sentinel values that would mean "shared".
-        for (&page, &owner) in &self.owner {
-            assert!(
-                owner == DomainId::STRONG || owner.0 < 8,
-                "page {page:?} has invalid owner {owner}"
-            );
+        if let Err(e) = self.validate_one_writer() {
+            panic!("{e}");
         }
+    }
+
+    /// Non-panicking form of [`TwoStateProtocol::check_one_writer_invariant`]:
+    /// verifies the owner map has no sentinel values that would mean
+    /// "shared", reporting the first violation instead of aborting.
+    pub fn validate_one_writer(&self) -> Result<(), String> {
+        for (&page, &owner) in &self.owner {
+            if !(owner == DomainId::STRONG || owner.0 < 8) {
+                return Err(format!("page {page:?} has invalid owner {owner}"));
+            }
+        }
+        Ok(())
     }
 }
 

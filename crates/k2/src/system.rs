@@ -14,7 +14,7 @@
 
 use crate::balloon::{BalloonError, BalloonManager, BalloonOp, Pressure};
 use crate::dispatch::DispatchTable;
-use crate::dsm::{Dsm, FaultBreakdown, ProtocolChoice};
+use crate::dsm::{Dsm, FaultBreakdown, MsgType, ProtocolChoice};
 use crate::irqcoord::{Handoff, IrqCoordinator, SHARED_IRQS};
 use crate::layout::KernelLayout;
 use crate::nightwatch::NightWatch;
@@ -22,12 +22,14 @@ use k2_kernel::cost::Cost;
 use k2_kernel::drivers::dma::Channel;
 use k2_kernel::kernel::{SharedServices, SystemWorld};
 use k2_kernel::proc::{Pid, ThreadState, Tid};
+use k2_kernel::reliable::{LinkStats, ReliableLink, RetryVerdict, SendTicket};
 use k2_kernel::service::{OpCx, ServiceId};
 use k2_sim::time::SimDuration;
 use k2_soc::core::Isa;
-use k2_soc::dma::DmaXferId;
+use k2_soc::dma::{DmaStatus, DmaXferId};
 use k2_soc::hwspinlock::{HwLockId, HWSPINLOCK_OP};
 use k2_soc::ids::{CoreId, DomainId, IrqId};
+use k2_soc::mailbox::{Envelope, LinkTag, Mail};
 use k2_soc::mem::{Pfn, PhysAddr};
 use k2_soc::mmu::MmuKind;
 use k2_soc::platform::{Machine, TaskId};
@@ -111,6 +113,13 @@ pub struct SystemStats {
     pub allocs: [u64; 2],
     /// Frees redirected to the other kernel (the §6.2 thin wrapper).
     pub redirected_frees: u64,
+    /// Hardware-spinlock acquisition deadlines that expired (abort-and-retry
+    /// recoveries from a stuck bank bit).
+    pub hwlock_aborts: u64,
+    /// DMA transfers re-submitted after a failed or partial completion.
+    pub dma_retries: u64,
+    /// DMA transfers abandoned after exhausting resubmissions.
+    pub dma_gave_up: u64,
 }
 
 /// The world: see the module docs.
@@ -134,6 +143,13 @@ pub struct K2System {
     pub dispatch: DispatchTable,
     /// In-flight DMA transfers: engine id -> (driver channel, waiter task).
     dma_xfers: HashMap<u64, (Channel, Option<TaskId>)>,
+    /// Reliable mailbox links keyed by (sender domain, receiver domain,
+    /// channel). One entry carries both endpoints of that directed stream:
+    /// the sender's unacked messages and the receiver's dedup window.
+    /// Populated only under fault injection (§6 reliable messaging).
+    links: HashMap<(u8, u8, u8), ReliableLink>,
+    /// Resubmission counts for DMA channels currently in recovery.
+    dma_retry: HashMap<u8, u32>,
     /// NightWatch tasks parked by the gate, per pid.
     nw_parked: HashMap<u32, Vec<TaskId>>,
     /// Sensor-batch inbox and its waiters.
@@ -227,6 +243,8 @@ impl K2System {
             irq_coord: IrqCoordinator::new(),
             dispatch: DispatchTable::new(),
             dma_xfers: HashMap::new(),
+            links: HashMap::new(),
+            dma_retry: HashMap::new(),
             nw_parked: HashMap::new(),
             sensor_inbox: std::collections::VecDeque::new(),
             sensor_waiters: Vec::new(),
@@ -257,7 +275,34 @@ impl K2System {
             install_sensor_hook(&mut machine, DomainId::STRONG);
             install_net_hook(&mut machine, DomainId::STRONG);
         }
+        // Conservation laws the platform's invariant auditor enforces when
+        // enabled, alongside its own (energy, mail, irq, lock) checks.
+        machine.add_invariant_check(
+            "buddy-accounting",
+            Box::new(|w: &K2System| {
+                for k in &w.world.kernels {
+                    k.buddy
+                        .validate()
+                        .map_err(|e| format!("kernel {}: {e}", k.domain))?;
+                }
+                Ok(())
+            }),
+        );
+        machine.add_invariant_check(
+            "dsm-single-writer",
+            Box::new(|w: &K2System| w.dsm.validate()),
+        );
         (machine, sys)
+    }
+
+    /// Merged reliable-messaging counters across every link (empty unless
+    /// fault injection activated the reliability paths).
+    pub fn link_stats(&self) -> LinkStats {
+        let mut s = LinkStats::default();
+        for l in self.links.values() {
+            s.merge(l.stats());
+        }
+        s
     }
 
     /// The first core of a domain (where its kernel handles interrupts).
@@ -343,7 +388,8 @@ fn install_hooks(machine: &mut K2Machine, domains: &[DomainId]) {
         install_sensor_hook(machine, dom);
         install_net_hook(machine, dom);
     }
-    // Mailbox ISRs: NightWatch protocol messages.
+    // Mailbox ISRs: protocol messages (NightWatch, DSM notifications,
+    // reliable-link acks, free redirects).
     for &dom in domains {
         machine.set_irq_hook(
             dom,
@@ -352,7 +398,7 @@ fn install_hooks(machine: &mut K2Machine, domains: &[DomainId]) {
                 let mut cycles = 0u64;
                 while let Some(env) = m.mailbox_recv(dom) {
                     cycles += k2_soc::calib::MAILBOX_ISR_INSTRUCTIONS;
-                    cycles += handle_nw_mail(w, m, dom, env.mail.0);
+                    cycles += handle_mail(w, m, dom, env);
                 }
                 cycles
             }),
@@ -448,6 +494,11 @@ fn install_sensor_hook(machine: &mut K2Machine, dom: DomainId) {
     );
 }
 
+/// Resubmissions of a faulted DMA transfer before the driver gives up.
+const DMA_MAX_RETRIES: u32 = 8;
+/// Driver instructions to verify a completion and re-program the channel.
+const DMA_RESUBMIT_INSTRUCTIONS: u64 = 400;
+
 fn install_dma_hook(machine: &mut K2Machine, dom: DomainId) {
     machine.set_irq_hook(
         dom,
@@ -459,6 +510,25 @@ fn install_dma_hook(machine: &mut K2Machine, dom: DomainId) {
                 let Some((channel, waiter)) = w.dma_xfers.remove(&c.id.0) else {
                     continue;
                 };
+                // Completion verification: a failed or partial transfer is
+                // re-programmed on the same driver channel, bounded by
+                // DMA_MAX_RETRIES resubmissions.
+                if let DmaStatus::Error { .. } = c.status {
+                    let tries = w.dma_retry.entry(channel.0).or_insert(0);
+                    if *tries < DMA_MAX_RETRIES {
+                        *tries += 1;
+                        w.stats.dma_retries += 1;
+                        let lead = m.core_desc(cx.core).cycles(DMA_RESUBMIT_INSTRUCTIONS);
+                        let xfer = m.dma_submit_after(c.src, c.dst, c.len, lead);
+                        w.dma_xfers.insert(xfer.0, (channel, waiter));
+                        cycles += DMA_RESUBMIT_INSTRUCTIONS;
+                        continue;
+                    }
+                    // Exhausted: complete the channel anyway so the driver
+                    // is not wedged; the waiter observes stale data.
+                    w.stats.dma_gave_up += 1;
+                }
+                w.dma_retry.remove(&channel.0);
                 let (res, dur) = shadowed(w, m, cx.core, ServiceId::DmaDriver, |s, opcx| {
                     s.dma.complete(channel, opcx)
                 });
@@ -473,6 +543,135 @@ fn install_dma_hook(machine: &mut K2Machine, dom: DomainId) {
     );
 }
 
+// ----------------------------------------------------------------------
+// Reliable inter-domain messaging (§6: the interconnect is lossy)
+// ----------------------------------------------------------------------
+
+/// Reliable-link channel carrying NightWatch protocol messages.
+const CHAN_NW: u8 = 0;
+/// Reliable-link channel carrying DSM coherence notifications.
+const CHAN_DSM: u8 = 1;
+/// Ack mails: `0xAC` prefix, 2-bit channel, 22-bit sequence. Acks travel
+/// untagged (acking acks would regress infinitely); a lost ack is healed
+/// by the sender retransmitting and the receiver re-acking.
+const ACK_PREFIX: u32 = 0xAC00_0000;
+
+fn encode_ack(tag: LinkTag) -> u32 {
+    ACK_PREFIX | ((tag.chan as u32 & 0x3) << 22) | (tag.seq & 0x3F_FFFF)
+}
+
+fn decode_ack(mail: u32) -> (u8, u32) {
+    (((mail >> 22) & 0x3) as u8, mail & 0x3F_FFFF)
+}
+
+/// Sends a protocol mail `from → to`. Under fault injection it rides the
+/// reliable link on `chan` (sequence tag, ack deadline, retransmission);
+/// otherwise it is a bare hardware mail, keeping unfaulted runs
+/// byte-identical to the calibrated model.
+fn send_protocol_mail(
+    w: &mut K2System,
+    m: &mut K2Machine,
+    from: DomainId,
+    to: DomainId,
+    chan: u8,
+    payload: u32,
+) {
+    if m.fault_injection_active() {
+        reliable_send(w, m, from, to, chan, payload);
+    } else {
+        m.mailbox_send(from, to, Mail(payload));
+    }
+}
+
+/// Registers `payload` with the link's sender state, transmits it tagged,
+/// and arms the retransmission timer.
+fn reliable_send(
+    w: &mut K2System,
+    m: &mut K2Machine,
+    from: DomainId,
+    to: DomainId,
+    chan: u8,
+    payload: u32,
+) {
+    let link = w.links.entry((from.0, to.0, chan)).or_default();
+    let ticket = link.send(payload, m.now());
+    let tag = LinkTag {
+        chan,
+        seq: ticket.seq,
+    };
+    m.mailbox_send_tagged(from, to, Mail(payload), Some(tag));
+    schedule_retry(m, from, to, chan, ticket);
+}
+
+/// Arms the ack deadline for one in-flight message. When it fires the link
+/// decides: settled (acked meanwhile), retransmit with exponential backoff,
+/// or give up after [`ReliableLink::MAX_ATTEMPTS`].
+fn schedule_retry(m: &mut K2Machine, from: DomainId, to: DomainId, chan: u8, ticket: SendTicket) {
+    let wait = ticket.deadline - m.now();
+    m.call_after(
+        wait,
+        Box::new(move |w: &mut K2System, m: &mut K2Machine| {
+            let Some(link) = w.links.get_mut(&(from.0, to.0, chan)) else {
+                return;
+            };
+            match link.due(ticket.seq, m.now()) {
+                RetryVerdict::Settled | RetryVerdict::GaveUp => {}
+                RetryVerdict::Retry(next) => {
+                    let payload = link
+                        .payload_of(ticket.seq)
+                        .expect("retrying mail is pending");
+                    let tag = LinkTag {
+                        chan,
+                        seq: ticket.seq,
+                    };
+                    m.mailbox_send_tagged(from, to, Mail(payload), Some(tag));
+                    schedule_retry(m, from, to, chan, next);
+                }
+            }
+        }),
+    );
+}
+
+/// Dispatches one received envelope. Tagged mails ride a reliable link:
+/// ack first (even for duplicates — the sender may have missed the earlier
+/// ack), dedup by sequence number, then hand the payload to its channel's
+/// protocol. Untagged mails are acks or the legacy unreliable encodings.
+fn handle_mail(w: &mut K2System, m: &mut K2Machine, dom: DomainId, env: Envelope) -> u64 {
+    let mail = env.mail.0;
+    if let Some(tag) = env.tag {
+        m.mailbox_send(dom, env.from, Mail(encode_ack(tag)));
+        let link = w.links.entry((env.from.0, dom.0, tag.chan)).or_default();
+        if !link.accept(tag.seq) {
+            return 80; // retransmitted duplicate: re-acked, payload dropped
+        }
+        let dispatch = match tag.chan {
+            CHAN_DSM => handle_dsm_mail(w, mail),
+            _ => handle_nw_mail(w, m, dom, mail),
+        };
+        return 40 + dispatch;
+    }
+    if mail & 0xFF00_0000 == ACK_PREFIX {
+        let (chan, seq) = decode_ack(mail);
+        // The ack settles the reverse-direction stream: this domain sent
+        // the message being acknowledged.
+        if let Some(link) = w.links.get_mut(&(dom.0, env.from.0, chan)) {
+            link.on_ack(seq);
+        }
+        return 60;
+    }
+    handle_nw_mail(w, m, dom, mail)
+}
+
+/// A DSM coherence notification (GetExclusive/PutExclusive) delivered over
+/// the reliable channel. Ownership already moved synchronously during
+/// [`shadowed`]'s planning; the mail is §6.3's message made observable on
+/// the wire, counted so tests can assert none is permanently lost.
+fn handle_dsm_mail(w: &mut K2System, mail: u32) -> u64 {
+    let _ = crate::dsm::protocol::decode_mail(mail);
+    w.dsm.note_delivered();
+    90
+}
+
 fn handle_nw_mail(w: &mut K2System, m: &mut K2Machine, dom: DomainId, mail: u32) -> u64 {
     use crate::nightwatch::NwMsg;
     // Mail namespace: 0xFxxx_xxxx are asynchronous free-redirect
@@ -484,7 +683,7 @@ fn handle_nw_mail(w: &mut K2System, m: &mut K2Machine, dom: DomainId, mail: u32)
     match NwMsg::decode(mail) {
         NwMsg::SuspendNw(pid) => {
             let ack = w.nightwatch.handle_suspend(pid);
-            m.mailbox_send(dom, DomainId::STRONG, k2_soc::mailbox::Mail(ack.encode()));
+            send_protocol_mail(w, m, dom, DomainId::STRONG, CHAN_NW, ack.encode());
             300
         }
         NwMsg::AckSuspendNw(pid) => {
@@ -545,13 +744,32 @@ pub fn shadowed<R>(
     if w.config.mode == SystemMode::LinuxBaseline {
         return (r, dur);
     }
-    // §5.3 step 4: locks augmented with hardware spinlocks.
+    // §5.3 step 4: locks augmented with hardware spinlocks. A stuck bank
+    // bit (fault injection, or a crashed remote holder) would spin forever,
+    // so acquisition carries a deadline: spin until it expires, abort, back
+    // off, retry. Polls are timestamped at their virtual offset into this
+    // operation so an injected stuck window expires on the right attempt.
     let lock = HwLockId(service_lock(service));
-    if m.hwlock_try_acquire(lock, dom) {
-        m.hwlock_release(lock, dom);
+    let mut at = dur;
+    let mut attempts = 0u32;
+    loop {
+        if m.hwlock_try_acquire_at(lock, dom, m.now() + at) {
+            m.hwlock_release(lock, dom);
+            break;
+        }
+        attempts += 1;
+        assert!(
+            attempts < HWLOCK_MAX_ATTEMPTS,
+            "hwspinlock {} stuck beyond every deadline",
+            lock.0
+        );
+        w.stats.hwlock_aborts += 1;
+        let backoff =
+            (HWLOCK_BACKOFF_BASE.as_ns() << (attempts - 1).min(8)).min(HWLOCK_BACKOFF_MAX.as_ns());
+        at += HWLOCK_DEADLINE + SimDuration::from_ns(backoff);
     }
     w.stats.hwlock_ops += 1;
-    dur += HWSPINLOCK_OP * 2;
+    dur = at + HWSPINLOCK_OP * 2;
     // §5.4: function-pointer dispatch traps on the weak (Thumb-2) domain.
     if desc.isa() == Isa::Thumb2 {
         dur += DispatchTable::overhead_for(cost.instructions).time_on(&desc);
@@ -588,9 +806,32 @@ pub fn shadowed<R>(
         let total = b.total() + wake_extra + deferral + bh_extra;
         w.dsm.record_fault(dom, total.as_us_f64());
         dur += total;
+        // §6.3's message pair made observable: under fault injection the
+        // GetExclusive/PutExclusive notifications ride the reliable DSM
+        // channel, so a dropped mail is retransmitted instead of wedging
+        // the requester waiting for a grant that never comes.
+        if m.fault_injection_active() {
+            let pfn20 = fault.page.page.0 & 0xF_FFFF;
+            let seq = (w.dsm.total_faults() & 0x1FF) as u16;
+            let get = crate::dsm::protocol::encode_mail(MsgType::GetExclusive, pfn20, seq);
+            let put = crate::dsm::protocol::encode_mail(MsgType::PutExclusive, pfn20, seq);
+            reliable_send(w, m, dom, fault.from, CHAN_DSM, get);
+            reliable_send(w, m, fault.from, dom, CHAN_DSM, put);
+        }
     }
     (r, dur)
 }
+
+/// Deadline one hwspinlock poll burst spins before aborting: ten bus
+/// round-trips at [`HWSPINLOCK_OP`] cost.
+const HWLOCK_DEADLINE: SimDuration = SimDuration::from_ns(1_500);
+/// First retry backoff after an expired deadline; doubles per attempt.
+const HWLOCK_BACKOFF_BASE: SimDuration = SimDuration::from_us(2);
+/// Backoff ceiling between lock retries.
+const HWLOCK_BACKOFF_MAX: SimDuration = SimDuration::from_us(64);
+/// Abort-and-retry attempts before declaring the lock dead (a real system
+/// would escalate to a watchdog reset).
+const HWLOCK_MAX_ATTEMPTS: u32 = 64;
 
 /// Cycle-to-duration helper on a core description.
 trait CyclesDur {
@@ -866,10 +1107,13 @@ pub fn schedule_in_normal(
     }
     // Send SuspendNW; the shadow's mailbox ISR sets the gate and acks.
     let msg = crate::nightwatch::NwMsg::SuspendNw(pid);
-    m.mailbox_send(
+    send_protocol_mail(
+        w,
+        m,
         DomainId::STRONG,
         DomainId::WEAK,
-        k2_soc::mailbox::Mail(msg.encode()),
+        CHAN_NW,
+        msg.encode(),
     );
     w.nightwatch.note_suspend_sent(pid);
     // Overlap: proceed with the context switch, wait for the ack after.
@@ -899,10 +1143,13 @@ pub fn normal_blocked(
     }
     if w.world.processes.all_normal_threads_suspended(pid) {
         let msg = crate::nightwatch::NwMsg::ResumeNw(pid);
-        m.mailbox_send(
+        send_protocol_mail(
+            w,
+            m,
             DomainId::STRONG,
             DomainId::WEAK,
-            k2_soc::mailbox::Mail(msg.encode()),
+            CHAN_NW,
+            msg.encode(),
         );
     }
     Cost::instr(150).time_on(m.core_desc(K2System::kernel_core(m, DomainId::STRONG)))

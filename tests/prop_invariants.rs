@@ -1,55 +1,53 @@
-//! Property-based tests over the core data structures and protocols.
+//! Randomized (property-style) tests over the core data structures and
+//! protocols.
+//!
+//! Inputs are generated from the repo's own deterministic [`SimRng`]
+//! rather than an external property-testing crate: every case is seeded,
+//! so a failure report (`seed=N case=M`) reproduces exactly.
 
-use proptest::prelude::*;
+use k2_sim::SimRng;
+
+/// Runs `cases` generated inputs through `f`, seeding each case
+/// deterministically and labelling failures with the case number.
+fn run_cases(cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    for case in 0..cases {
+        let mut rng = SimRng::seed_from_u64(0xC0FFEE ^ (case.wrapping_mul(0x9E37_79B9)));
+        f(&mut rng);
+    }
+}
 
 // ----------------------------------------------------------------------
 // Buddy allocator
 // ----------------------------------------------------------------------
 
-#[derive(Clone, Debug)]
-enum BuddyOp {
-    Alloc { order: u8, movable: bool },
-    Free { index: usize },
-}
-
-fn buddy_ops() -> impl Strategy<Value = Vec<BuddyOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..=4, any::<bool>()).prop_map(|(order, movable)| BuddyOp::Alloc { order, movable }),
-            (0usize..64).prop_map(|index| BuddyOp::Free { index }),
-        ],
-        1..200,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random alloc/free sequences never violate the allocator's internal
-    /// invariants (no overlap, correct counters, managed coverage), and a
-    /// full drain restores every page.
-    #[test]
-    fn buddy_invariants_under_random_ops(ops in buddy_ops()) {
-        use k2_kernel::mm::buddy::{BuddyAllocator, MigrateType};
-        use k2_soc::mem::Pfn;
+/// Random alloc/free sequences never violate the allocator's internal
+/// invariants (no overlap, correct counters, managed coverage), and a
+/// full drain restores every page.
+#[test]
+fn buddy_invariants_under_random_ops() {
+    use k2_kernel::mm::buddy::{BuddyAllocator, MigrateType};
+    use k2_soc::mem::Pfn;
+    run_cases(64, |rng| {
         let mut b = BuddyAllocator::new();
         b.add_range(Pfn(16), 1 << 12);
         let total = b.free_page_count();
         let mut live = Vec::new();
-        for op in ops {
-            match op {
-                BuddyOp::Alloc { order, movable } => {
-                    let mt = if movable { MigrateType::Movable } else { MigrateType::Unmovable };
-                    if let Some((pfn, _)) = b.alloc_pages(order, mt) {
-                        live.push(pfn);
-                    }
+        let n_ops = 1 + rng.gen_range(199) as usize;
+        for _ in 0..n_ops {
+            if rng.gen_bool(0.5) {
+                let order = rng.gen_range(5) as u8;
+                let mt = if rng.gen_bool(0.5) {
+                    MigrateType::Movable
+                } else {
+                    MigrateType::Unmovable
+                };
+                if let Some((pfn, _)) = b.alloc_pages(order, mt) {
+                    live.push(pfn);
                 }
-                BuddyOp::Free { index } => {
-                    if !live.is_empty() {
-                        let pfn = live.swap_remove(index % live.len());
-                        b.free_pages(pfn);
-                    }
-                }
+            } else if !live.is_empty() {
+                let index = rng.gen_range(64) as usize;
+                let pfn = live.swap_remove(index % live.len());
+                b.free_pages(pfn);
             }
         }
         b.check_invariants();
@@ -57,25 +55,29 @@ proptest! {
             b.free_pages(pfn);
         }
         b.check_invariants();
-        prop_assert_eq!(b.free_page_count(), total);
+        assert_eq!(b.free_page_count(), total);
         // Full merge: the arena is power-of-two sized and aligned.
-        prop_assert_eq!(b.largest_free_order(), Some(10));
-    }
+        assert_eq!(b.largest_free_order(), Some(10));
+    });
+}
 
-    /// Balloon-style add/remove of sub-ranges preserves invariants and
-    /// conservation.
-    #[test]
-    fn buddy_range_surgery(blocks in prop::collection::vec(0u64..8, 1..20)) {
-        use k2_kernel::mm::buddy::BuddyAllocator;
-        use k2_soc::mem::Pfn;
+/// Balloon-style add/remove of sub-ranges preserves invariants and
+/// conservation.
+#[test]
+fn buddy_range_surgery() {
+    use k2_kernel::mm::buddy::BuddyAllocator;
+    use k2_soc::mem::Pfn;
+    run_cases(64, |rng| {
         let mut b = BuddyAllocator::new();
         b.add_range(Pfn(0), 1024);
         let block_pages = 128;
         let mut present = [true; 8];
-        for blk in blocks {
+        let n_blocks = 1 + rng.gen_range(19) as usize;
+        for _ in 0..n_blocks {
+            let blk = rng.gen_range(8);
             let start = Pfn(blk * block_pages);
             if present[blk as usize] {
-                prop_assert!(b.remove_range(start, block_pages).is_ok());
+                assert!(b.remove_range(start, block_pages).is_ok());
                 present[blk as usize] = false;
             } else {
                 b.add_range(start, block_pages);
@@ -84,63 +86,44 @@ proptest! {
             b.check_invariants();
         }
         let expect: u64 = present.iter().filter(|&&p| p).count() as u64 * block_pages;
-        prop_assert_eq!(b.free_page_count(), expect);
-    }
+        assert_eq!(b.free_page_count(), expect);
+    });
 }
 
 // ----------------------------------------------------------------------
 // ext2 against a reference model
 // ----------------------------------------------------------------------
 
-#[derive(Clone, Debug)]
-enum FsOp {
-    Create(u8),
-    Write { file: u8, offset: u16, len: u16 },
-    Unlink(u8),
-}
-
-fn fs_ops() -> impl Strategy<Value = Vec<FsOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..8).prop_map(FsOp::Create),
-            (0u8..8, 0u16..20_000, 1u16..5_000).prop_map(|(file, offset, len)| FsOp::Write {
-                file,
-                offset,
-                len
-            }),
-            (0u8..8).prop_map(FsOp::Unlink),
-        ],
-        1..60,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The filesystem agrees with an in-memory reference model under
-    /// random create/write/unlink sequences, including full content.
-    #[test]
-    fn ext2_matches_reference_model(ops in fs_ops()) {
-        use k2_kernel::fs::block::RamDisk;
-        use k2_kernel::fs::ext2::{Ext2Fs, FsError};
-        use k2_kernel::service::OpCx;
-        use std::collections::HashMap;
+/// The filesystem agrees with an in-memory reference model under random
+/// create/write/unlink sequences, including full content.
+#[test]
+fn ext2_matches_reference_model() {
+    use k2_kernel::fs::block::RamDisk;
+    use k2_kernel::fs::ext2::{Ext2Fs, FsError};
+    use k2_kernel::service::OpCx;
+    use std::collections::HashMap;
+    run_cases(48, |rng| {
         let mut cx = OpCx::new();
         let mut fs = Ext2Fs::format(RamDisk::new(4096), 64, &mut cx);
         let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
-        for (i, op) in ops.into_iter().enumerate() {
+        let n_ops = 1 + rng.gen_range(59) as usize;
+        for i in 0..n_ops {
             let mut cx = OpCx::new();
-            match op {
-                FsOp::Create(f) => {
+            match rng.gen_range(3) {
+                0 => {
+                    let f = rng.gen_range(8) as u8;
                     let r = fs.create(&format!("/{f}"), &mut cx);
                     if let std::collections::hash_map::Entry::Vacant(e) = model.entry(f) {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         e.insert(Vec::new());
                     } else {
-                        prop_assert_eq!(r, Err(FsError::Exists));
+                        assert_eq!(r, Err(FsError::Exists));
                     }
                 }
-                FsOp::Write { file, offset, len } => {
+                1 => {
+                    let file = rng.gen_range(8) as u8;
+                    let offset = rng.gen_range(20_000) as u16;
+                    let len = 1 + rng.gen_range(4_999) as u16;
                     let Some(content) = model.get_mut(&file) else {
                         continue;
                     };
@@ -154,12 +137,13 @@ proptest! {
                         content[offset as usize..end].copy_from_slice(&data);
                     }
                 }
-                FsOp::Unlink(f) => {
+                _ => {
+                    let f = rng.gen_range(8) as u8;
                     let r = fs.unlink(&format!("/{f}"), &mut cx);
                     if model.remove(&f).is_some() {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                     } else {
-                        prop_assert_eq!(r, Err(FsError::NotFound));
+                        assert_eq!(r, Err(FsError::NotFound));
                     }
                 }
             }
@@ -168,114 +152,124 @@ proptest! {
         for (f, content) in &model {
             let mut cx = OpCx::new();
             let ino = fs.lookup(&format!("/{f}"), &mut cx).unwrap();
-            prop_assert_eq!(fs.size(ino, &mut cx), content.len() as u64);
+            assert_eq!(fs.size(ino, &mut cx), content.len() as u64);
             let mut buf = vec![0u8; content.len()];
             fs.read(ino, 0, &mut buf, &mut cx).unwrap();
-            prop_assert_eq!(&buf, content);
+            assert_eq!(&buf, content);
         }
-    }
+    });
 }
 
 // ----------------------------------------------------------------------
 // DSM protocols
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Two-state protocol: after any access the accessor owns the page;
-    /// there is never more than one owner; message counts balance.
-    #[test]
-    fn two_state_one_writer(trace in prop::collection::vec((0u8..2, 0u32..16), 1..300)) {
-        use k2::dsm::protocol::{DsmPage, TwoStateProtocol};
-        use k2_kernel::service::ServiceId;
-        use k2_soc::ids::DomainId;
+/// Two-state protocol: after any access the accessor owns the page;
+/// there is never more than one owner; message counts balance.
+#[test]
+fn two_state_one_writer() {
+    use k2::dsm::protocol::{DsmPage, TwoStateProtocol};
+    use k2_kernel::service::ServiceId;
+    use k2_soc::ids::DomainId;
+    run_cases(128, |rng| {
         let mut p = TwoStateProtocol::new(DomainId::STRONG);
-        for (dom, page) in trace {
-            let dom = DomainId(dom);
-            let page = DsmPage::new(ServiceId::Fs, page);
+        let n = 1 + rng.gen_range(299) as usize;
+        for _ in 0..n {
+            let dom = DomainId(rng.gen_range(2) as u8);
+            let page = DsmPage::new(ServiceId::Fs, rng.gen_range(16) as u32);
             p.access(dom, page);
-            prop_assert_eq!(p.owner_of(page), dom, "accessor must own the page");
+            assert_eq!(p.owner_of(page), dom, "accessor must own the page");
         }
         p.check_one_writer_invariant();
         let s = p.stats();
-        prop_assert_eq!(s.get_exclusive, s.put_exclusive);
-        prop_assert!(s.faults <= s.accesses);
-    }
+        assert_eq!(s.get_exclusive, s.put_exclusive);
+        assert!(s.faults <= s.accesses);
+    });
+}
 
-    /// MSI: a write always leaves the writer as the sole holder; reads
-    /// after a read-share hit until someone writes.
-    #[test]
-    fn msi_write_serialises(trace in prop::collection::vec((0u8..2, 0u32..8, any::<bool>()), 1..300)) {
-        use k2::dsm::msi::{MsiAccess, MsiProtocol};
-        use k2::dsm::protocol::DsmPage;
-        use k2_kernel::service::ServiceId;
-        use k2_soc::ids::DomainId;
+/// MSI: a write always leaves the writer as the sole holder; reads after
+/// a read-share hit until someone writes.
+#[test]
+fn msi_write_serialises() {
+    use k2::dsm::msi::{MsiAccess, MsiProtocol};
+    use k2::dsm::protocol::DsmPage;
+    use k2_kernel::service::ServiceId;
+    use k2_soc::ids::DomainId;
+    run_cases(128, |rng| {
         let mut p = MsiProtocol::new(DomainId::STRONG);
-        for (dom, page, is_write) in trace {
-            let dom = DomainId(dom);
-            let page = DsmPage::new(ServiceId::Net, page);
-            if is_write {
+        let n = 1 + rng.gen_range(299) as usize;
+        for _ in 0..n {
+            let dom = DomainId(rng.gen_range(2) as u8);
+            let page = DsmPage::new(ServiceId::Net, rng.gen_range(8) as u32);
+            if rng.gen_bool(0.5) {
                 p.write(dom, page);
                 // Immediately after a write, the writer hits on both kinds.
-                prop_assert_eq!(p.write(dom, page), MsiAccess::Hit);
-                prop_assert_eq!(p.read(dom, page), MsiAccess::Hit);
+                assert_eq!(p.write(dom, page), MsiAccess::Hit);
+                assert_eq!(p.read(dom, page), MsiAccess::Hit);
             } else {
                 p.read(dom, page);
-                prop_assert_eq!(p.read(dom, page), MsiAccess::Hit);
+                assert_eq!(p.read(dom, page), MsiAccess::Hit);
             }
             p.check_invariant();
         }
-    }
+    });
+}
 
-    /// DSM coherence mails survive encode/decode for all field values.
-    #[test]
-    fn dsm_mail_round_trip(pfn in 0u32..(1 << 20), seq in 0u16..(1 << 9), get in any::<bool>()) {
-        use k2::dsm::protocol::{decode_mail, encode_mail, MsgType};
-        let t = if get { MsgType::GetExclusive } else { MsgType::PutExclusive };
+/// DSM coherence mails survive encode/decode for all field values.
+#[test]
+fn dsm_mail_round_trip() {
+    use k2::dsm::protocol::{decode_mail, encode_mail, MsgType};
+    run_cases(256, |rng| {
+        let pfn = rng.gen_range(1 << 20) as u32;
+        let seq = rng.gen_range(1 << 9) as u16;
+        let t = if rng.gen_bool(0.5) {
+            MsgType::GetExclusive
+        } else {
+            MsgType::PutExclusive
+        };
         let (t2, p2, s2) = decode_mail(encode_mail(t, pfn, seq));
-        prop_assert_eq!((t2, p2, s2), (t, pfn, seq));
-    }
+        assert_eq!((t2, p2, s2), (t, pfn, seq));
+    });
+}
 
-    /// NightWatch mails survive encode/decode for any 24-bit pid.
-    #[test]
-    fn nw_mail_round_trip(pid in 0u32..(1 << 24), kind in 0u8..3) {
-        use k2::nightwatch::NwMsg;
-        use k2_kernel::proc::Pid;
-        let msg = match kind {
+/// NightWatch mails survive encode/decode for any 24-bit pid.
+#[test]
+fn nw_mail_round_trip() {
+    use k2::nightwatch::NwMsg;
+    use k2_kernel::proc::Pid;
+    run_cases(256, |rng| {
+        let pid = rng.gen_range(1 << 24) as u32;
+        let msg = match rng.gen_range(3) {
             0 => NwMsg::SuspendNw(Pid(pid)),
             1 => NwMsg::AckSuspendNw(Pid(pid)),
             _ => NwMsg::ResumeNw(Pid(pid)),
         };
-        prop_assert_eq!(NwMsg::decode(msg.encode()), msg);
-    }
+        assert_eq!(NwMsg::decode(msg.encode()), msg);
+    });
 }
 
 // ----------------------------------------------------------------------
 // Shared RAM and the movable-page registry
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SharedRam agrees with a flat byte-array model under random writes,
-    /// fills and copies.
-    #[test]
-    fn shared_ram_matches_model(
-        ops in prop::collection::vec(
-            (0u64..60_000, 1usize..5_000, any::<u8>(), 0u8..3),
-            1..40,
-        )
-    ) {
-        use k2_soc::mem::{PhysAddr, SharedRam};
-        const SIZE: usize = 1 << 16;
+/// SharedRam agrees with a flat byte-array model under random writes,
+/// fills and copies.
+#[test]
+fn shared_ram_matches_model() {
+    use k2_soc::mem::{PhysAddr, SharedRam};
+    const SIZE: usize = 1 << 16;
+    run_cases(64, |rng| {
         let mut ram = SharedRam::new(SIZE as u64);
         let mut model = vec![0u8; SIZE];
-        for (addr, len, byte, kind) in ops {
-            let addr = addr % (SIZE as u64);
-            let len = len.min(SIZE - addr as usize);
-            if len == 0 { continue; }
-            match kind {
+        let n = 1 + rng.gen_range(39) as usize;
+        for _ in 0..n {
+            let addr = rng.gen_range(60_000) % (SIZE as u64);
+            let len = (1 + rng.gen_range(4_999) as usize).min(SIZE - addr as usize);
+            let byte = rng.gen_range(256) as u8;
+            if len == 0 {
+                continue;
+            }
+            match rng.gen_range(3) {
                 0 => {
                     let data = vec![byte; len];
                     ram.write(PhysAddr(addr), &data);
@@ -295,18 +289,23 @@ proptest! {
         }
         let mut buf = vec![0u8; SIZE];
         ram.read(PhysAddr(0), &mut buf);
-        prop_assert_eq!(buf, model);
-    }
+        assert_eq!(buf, model);
+    });
+}
 
-    /// The movable-page registry stays a bijection under random
-    /// register/migrate/unregister sequences.
-    #[test]
-    fn rmap_stays_bijective(ops in prop::collection::vec((0u8..3, 0u64..64), 1..200)) {
-        use k2_kernel::mm::rmap::MovableRegistry;
-        use k2_soc::mem::Pfn;
+/// The movable-page registry stays a bijection under random
+/// register/migrate/unregister sequences.
+#[test]
+fn rmap_stays_bijective() {
+    use k2_kernel::mm::rmap::MovableRegistry;
+    use k2_soc::mem::Pfn;
+    run_cases(64, |rng| {
         let mut r = MovableRegistry::new();
         let mut handles = Vec::new();
-        for (kind, frame) in ops {
+        let n = 1 + rng.gen_range(199) as usize;
+        for _ in 0..n {
+            let kind = rng.gen_range(3);
+            let frame = rng.gen_range(64);
             match kind {
                 0 if r.handle_of(Pfn(frame)).is_none() => {
                     handles.push(r.register(Pfn(frame)));
@@ -326,19 +325,23 @@ proptest! {
             let mut seen = std::collections::HashSet::new();
             for &h in &handles {
                 let pfn = r.frame_of(h).expect("live handle resolves");
-                prop_assert!(seen.insert(pfn.0), "two handles share a frame");
-                prop_assert_eq!(r.handle_of(pfn), Some(h));
+                assert!(seen.insert(pfn.0), "two handles share a frame");
+                assert_eq!(r.handle_of(pfn), Some(h));
             }
-            prop_assert_eq!(r.len(), handles.len());
+            assert_eq!(r.len(), handles.len());
         }
-    }
+    });
+}
 
-    /// The event queue dequeues in non-decreasing time order, FIFO within
-    /// a timestamp.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..50, 1..200)) {
-        use k2_sim::queue::EventQueue;
-        use k2_sim::time::SimTime;
+/// The event queue dequeues in non-decreasing time order, FIFO within a
+/// timestamp.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    use k2_sim::queue::EventQueue;
+    use k2_sim::time::SimTime;
+    run_cases(64, |rng| {
+        let n = 1 + rng.gen_range(199) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(50)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_ns(t), i);
@@ -346,110 +349,102 @@ proptest! {
         let mut last: Option<(u64, usize)> = None;
         while let Some((at, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(at.as_ns() >= lt);
+                assert!(at.as_ns() >= lt);
                 if at.as_ns() == lt {
-                    prop_assert!(idx > lidx, "FIFO within equal timestamps");
+                    assert!(idx > lidx, "FIFO within equal timestamps");
                 }
             }
-            prop_assert_eq!(times[idx], at.as_ns());
+            assert_eq!(times[idx], at.as_ns());
             last = Some((at.as_ns(), idx));
         }
-    }
+    });
 }
 
 // ----------------------------------------------------------------------
 // Address-space layout
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any feasible layout validates: regions tile RAM with the main local
-    /// region abutting the global region.
-    #[test]
-    fn layout_always_validates(
-        ram_extra in 1u64..100_000,
-        locals in prop::collection::vec(1u64..5_000, 1..4),
-    ) {
-        use k2::layout::KernelLayout;
+/// Any feasible layout validates: regions tile RAM with the main local
+/// region abutting the global region.
+#[test]
+fn layout_always_validates() {
+    use k2::layout::KernelLayout;
+    run_cases(64, |rng| {
+        let ram_extra = 1 + rng.gen_range(99_999);
+        let n_locals = 1 + rng.gen_range(3) as usize;
+        let locals: Vec<u64> = (0..n_locals).map(|_| 1 + rng.gen_range(4_999)).collect();
         let total: u64 = locals.iter().sum();
         let l = KernelLayout::new(total + ram_extra, &locals);
         l.validate();
         // Virtual addresses are a single shared linear map.
         let pa = k2_soc::mem::PhysAddr(4096);
-        prop_assert_eq!(l.phys_of(l.virt_of(pa)), pa);
-    }
+        assert_eq!(l.phys_of(l.virt_of(pa)), pa);
+    });
 }
 
 // ----------------------------------------------------------------------
 // Kernel page tables
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Mapping sections, splitting some to 4 KB and toggling protections
-    /// keeps total coverage constant and entries resolvable.
-    #[test]
-    fn pagetable_coverage_is_preserved(
-        sections in prop::collection::vec(0u64..16, 1..10),
-        splits in prop::collection::vec((0u64..16, 0u64..256), 0..10),
-        prots in prop::collection::vec((0u64..16, 0u64..256), 0..10),
-    ) {
-        use k2_kernel::mm::pagetable::{Grain, KernelPageTable, Protection};
-        use std::collections::HashSet;
+/// Mapping sections, splitting some to 4 KB and toggling protections
+/// keeps total coverage constant and entries resolvable.
+#[test]
+fn pagetable_coverage_is_preserved() {
+    use k2_kernel::mm::pagetable::{Grain, KernelPageTable, Protection};
+    use std::collections::HashSet;
+    run_cases(64, |rng| {
         let mut pt = KernelPageTable::new();
         let mut mapped: HashSet<u64> = HashSet::new();
-        for s in sections {
+        let n_sections = 1 + rng.gen_range(9) as usize;
+        for _ in 0..n_sections {
+            let s = rng.gen_range(16);
             if mapped.insert(s) {
                 pt.map(s * 256, Grain::Section1M);
             }
         }
         let total = pt.mapped_pages();
-        for (s, off) in splits {
+        for _ in 0..rng.gen_range(10) {
+            let (s, off) = (rng.gen_range(16), rng.gen_range(256));
             if mapped.contains(&s) {
                 pt.split_to_pages(s * 256 + off);
             }
         }
-        prop_assert_eq!(pt.mapped_pages(), total, "splits preserve coverage");
-        for (s, off) in prots {
+        assert_eq!(pt.mapped_pages(), total, "splits preserve coverage");
+        for _ in 0..rng.gen_range(10) {
+            let (s, off) = (rng.gen_range(16), rng.gen_range(256));
             if mapped.contains(&s) {
                 let vpn = s * 256 + off;
                 pt.split_to_pages(vpn);
                 pt.set_protection(vpn, Protection::Ineffective);
                 let (base, _, prot) = pt.entry_covering(vpn).expect("still mapped");
-                prop_assert_eq!(base, vpn);
-                prop_assert_eq!(prot, Protection::Ineffective);
+                assert_eq!(base, vpn);
+                assert_eq!(prot, Protection::Ineffective);
             }
         }
         // Every mapped section's pages are still covered.
         for &s in &mapped {
             for off in [0u64, 128, 255] {
-                prop_assert!(pt.entry_covering(s * 256 + off).is_some());
+                assert!(pt.entry_covering(s * 256 + off).is_some());
             }
         }
-    }
+    });
 }
 
 // ----------------------------------------------------------------------
 // VFS against a reference model
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The VFS descriptor layer agrees with a reference model of
-    /// (path, offset) cursors under random open/write/read/seek/close.
-    #[test]
-    fn vfs_matches_reference_model(
-        ops in prop::collection::vec((0u8..5, 0u8..4, 0u16..5_000), 1..80)
-    ) {
-        use k2_kernel::fs::block::RamDisk;
-        use k2_kernel::fs::ext2::Ext2Fs;
-        use k2_kernel::fs::vfs::{Fd, Vfs};
-        use k2_kernel::proc::Pid;
-        use k2_kernel::service::OpCx;
-        use std::collections::HashMap;
+/// The VFS descriptor layer agrees with a reference model of
+/// (path, offset) cursors under random open/write/read/seek/close.
+#[test]
+fn vfs_matches_reference_model() {
+    use k2_kernel::fs::block::RamDisk;
+    use k2_kernel::fs::ext2::Ext2Fs;
+    use k2_kernel::fs::vfs::{Fd, Vfs};
+    use k2_kernel::proc::Pid;
+    use k2_kernel::service::OpCx;
+    use std::collections::HashMap;
+    run_cases(48, |rng| {
         let mut cx = OpCx::new();
         let mut fs = Ext2Fs::format(RamDisk::new(4096), 64, &mut cx);
         let mut vfs = Vfs::new();
@@ -458,12 +453,18 @@ proptest! {
         let mut open_model: HashMap<u32, (u8, u64)> = HashMap::new();
         let mut content: HashMap<u8, Vec<u8>> = HashMap::new();
         let mut fds: Vec<Fd> = Vec::new();
-        for (kind, file, arg) in ops {
+        let n = 1 + rng.gen_range(79) as usize;
+        for _ in 0..n {
+            let kind = rng.gen_range(5) as u8;
+            let file = rng.gen_range(4) as u8;
+            let arg = rng.gen_range(5_000) as u16;
             let mut cx = OpCx::new();
             match kind {
                 0 => {
                     // open (create).
-                    let fd = vfs.open(&mut fs, pid, &format!("/{file}"), true, &mut cx).unwrap();
+                    let fd = vfs
+                        .open(&mut fs, pid, &format!("/{file}"), true, &mut cx)
+                        .unwrap();
                     content.entry(file).or_default();
                     open_model.insert(fd.0, (file, 0));
                     fds.push(fd);
@@ -471,12 +472,16 @@ proptest! {
                 1 if !fds.is_empty() => {
                     // write `arg` bytes at the cursor.
                     let fd = fds[file as usize % fds.len()];
-                    let Some(&(fid, off)) = open_model.get(&fd.0) else { continue };
+                    let Some(&(fid, off)) = open_model.get(&fd.0) else {
+                        continue;
+                    };
                     let data: Vec<u8> = (0..arg).map(|j| (j % 199) as u8).collect();
                     if vfs.write(&mut fs, pid, fd, &data, &mut cx).is_ok() {
                         let c = content.get_mut(&fid).expect("file exists");
                         let end = off as usize + data.len();
-                        if c.len() < end { c.resize(end, 0); }
+                        if c.len() < end {
+                            c.resize(end, 0);
+                        }
                         c[off as usize..end].copy_from_slice(&data);
                         open_model.insert(fd.0, (fid, off + data.len() as u64));
                     }
@@ -484,14 +489,16 @@ proptest! {
                 2 if !fds.is_empty() => {
                     // read up to `arg` bytes at the cursor.
                     let fd = fds[file as usize % fds.len()];
-                    let Some(&(fid, off)) = open_model.get(&fd.0) else { continue };
+                    let Some(&(fid, off)) = open_model.get(&fd.0) else {
+                        continue;
+                    };
                     let mut buf = vec![0u8; arg as usize];
                     let n = vfs.read(&fs, pid, fd, &mut buf, &mut cx).unwrap();
                     let c = &content[&fid];
                     let expect_n = arg.min(c.len().saturating_sub(off as usize) as u16) as usize;
-                    prop_assert_eq!(n, expect_n);
+                    assert_eq!(n, expect_n);
                     if n > 0 {
-                        prop_assert_eq!(&buf[..n], &c[off as usize..off as usize + n]);
+                        assert_eq!(&buf[..n], &c[off as usize..off as usize + n]);
                     }
                     open_model.insert(fd.0, (fid, off + n as u64));
                 }
@@ -514,6 +521,6 @@ proptest! {
                 _ => {}
             }
         }
-        prop_assert_eq!(vfs.open_count(pid), open_model.len());
-    }
+        assert_eq!(vfs.open_count(pid), open_model.len());
+    });
 }

@@ -1,7 +1,17 @@
-//! Property-based tests at the system level: random workload schedules
-//! against the whole machine, and randomized DSM access plans.
+//! Randomized (property-style) tests at the system level: random workload
+//! schedules against the whole machine, and randomized DSM access plans.
+//!
+//! Inputs come from the deterministic [`SimRng`]; each case is seeded so
+//! failures reproduce exactly.
 
-use proptest::prelude::*;
+use k2_sim::SimRng;
+
+fn run_cases(cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    for case in 0..cases {
+        let mut rng = SimRng::seed_from_u64(0xD15C0 ^ (case.wrapping_mul(0x9E37_79B9)));
+        f(&mut rng);
+    }
+}
 
 /// A small random program for a machine task.
 #[derive(Clone, Debug)]
@@ -11,96 +21,107 @@ enum Op {
     Yield,
 }
 
-fn programs() -> impl Strategy<Value = Vec<Vec<Op>>> {
-    prop::collection::vec(
-        prop::collection::vec(
-            prop_oneof![
-                (1u32..200_000).prop_map(Op::Compute),
-                (1u32..2_000).prop_map(Op::SleepUs),
-                Just(Op::Yield),
-            ],
-            1..12,
-        ),
-        1..8,
-    )
+fn gen_programs(rng: &mut SimRng) -> Vec<Vec<Op>> {
+    let n_progs = 1 + rng.gen_range(7) as usize;
+    (0..n_progs)
+        .map(|_| {
+            let n_ops = 1 + rng.gen_range(11) as usize;
+            (0..n_ops)
+                .map(|_| match rng.gen_range(3) {
+                    0 => Op::Compute(1 + rng.gen_range(199_999) as u32),
+                    1 => Op::SleepUs(1 + rng.gen_range(1_999) as u32),
+                    _ => Op::Yield,
+                })
+                .collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Any set of random task programs, spread over all cores, runs to
+/// completion (no deadlock, no lost wake-ups), advances time, consumes
+/// energy monotonically, and is bit-for-bit deterministic across runs.
+#[test]
+fn machine_runs_random_schedules_deterministically() {
+    use k2_sim::time::SimDuration;
+    use k2_soc::ids::CoreId;
+    use k2_soc::platform::{Machine, Step, Task, TaskCx};
+    use k2_soc::soc::SocBuilder;
 
-    /// Any set of random task programs, spread over all cores, runs to
-    /// completion (no deadlock, no lost wake-ups), advances time, consumes
-    /// energy monotonically, and is bit-for-bit deterministic across runs.
-    #[test]
-    fn machine_runs_random_schedules_deterministically(progs in programs()) {
-        use k2_soc::platform::{Machine, Step, Task, TaskCx};
-        use k2_soc::soc::SocBuilder;
-        use k2_soc::ids::CoreId;
-        use k2_sim::time::SimDuration;
-
-        struct P {
-            ops: Vec<Op>,
-            i: usize,
-        }
-        impl Task<()> for P {
-            fn step(&mut self, _w: &mut (), _m: &mut Machine<()>, _cx: TaskCx) -> Step {
-                let op = self.ops.get(self.i).cloned();
-                self.i += 1;
-                match op {
-                    Some(Op::Compute(c)) => Step::Compute { cycles: c as u64 },
-                    Some(Op::SleepUs(us)) => Step::Sleep {
-                        dur: SimDuration::from_us(us as u64),
-                    },
-                    Some(Op::Yield) => Step::Yield,
-                    None => Step::Done,
-                }
+    struct P {
+        ops: Vec<Op>,
+        i: usize,
+    }
+    impl Task<()> for P {
+        fn step(&mut self, _w: &mut (), _m: &mut Machine<()>, _cx: TaskCx) -> Step {
+            let op = self.ops.get(self.i).cloned();
+            self.i += 1;
+            match op {
+                Some(Op::Compute(c)) => Step::Compute { cycles: c as u64 },
+                Some(Op::SleepUs(us)) => Step::Sleep {
+                    dur: SimDuration::from_us(us as u64),
+                },
+                Some(Op::Yield) => Step::Yield,
+                None => Step::Done,
             }
         }
+    }
 
+    run_cases(32, |rng| {
+        let progs = gen_programs(rng);
         let run = |progs: &[Vec<Op>]| {
             let mut m: Machine<()> = SocBuilder::omap4().build();
             let mut w = ();
             for (i, p) in progs.iter().enumerate() {
                 let core = CoreId((i % 3) as u8);
-                m.spawn(core, Box::new(P { ops: p.clone(), i: 0 }), &mut w);
+                m.spawn(
+                    core,
+                    Box::new(P {
+                        ops: p.clone(),
+                        i: 0,
+                    }),
+                    &mut w,
+                );
             }
             let end = m.run_until_idle(&mut w);
             (end, m.total_energy_mj(), m.completed_tasks())
         };
         let (end1, e1, done1) = run(&progs);
         let (end2, e2, done2) = run(&progs);
-        prop_assert_eq!(done1, progs.len() as u64);
-        prop_assert_eq!(end1, end2);
-        prop_assert_eq!(e1.to_bits(), e2.to_bits());
-        prop_assert_eq!(done1, done2);
-        prop_assert!(e1 > 0.0, "running tasks consumes energy");
-        prop_assert!(end1.as_ns() > 0);
-    }
+        assert_eq!(done1, progs.len() as u64);
+        assert_eq!(end1, end2);
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        assert_eq!(done1, done2);
+        assert!(e1 > 0.0, "running tasks consumes energy");
+        assert!(end1.as_ns() > 0);
+    });
+}
 
-    /// The DSM plans faults exactly when the requester does not own the
-    /// page, for arbitrary interleaved access traces, and never for fresh
-    /// pages.
-    #[test]
-    fn dsm_plans_match_ownership(trace in prop::collection::vec(
-        (0u8..2, prop::collection::vec(0u32..24, 1..6), any::<bool>()),
-        1..80,
-    )) {
-        use k2::dsm::{Dsm, ProtocolChoice};
-        use k2::dsm::protocol::DsmPage;
-        use k2_kernel::service::{ServiceId, StatePage};
-        use k2_soc::ids::DomainId;
-        use k2_soc::mmu::MmuKind;
-        use std::collections::HashMap;
+/// The DSM plans faults exactly when the requester does not own the page,
+/// for arbitrary interleaved access traces, and never for fresh pages.
+#[test]
+fn dsm_plans_match_ownership() {
+    use k2::dsm::protocol::DsmPage;
+    use k2::dsm::{Dsm, ProtocolChoice};
+    use k2_kernel::service::{ServiceId, StatePage};
+    use k2_soc::ids::DomainId;
+    use k2_soc::mmu::MmuKind;
+    use std::collections::HashMap;
 
+    run_cases(80, |rng| {
         let mut dsm = Dsm::new(
             ProtocolChoice::TwoState,
             DomainId::STRONG,
             &[MmuKind::ArmV7A, MmuKind::CascadedM3],
         );
         let mut owner: HashMap<u32, DomainId> = HashMap::new();
-        for (dom, pages, mark_fresh) in trace {
-            let dom = DomainId(dom);
-            let sp: Vec<StatePage> = pages.iter().map(|&p| StatePage(p)).collect();
+        let n = 1 + rng.gen_range(79) as usize;
+        for _ in 0..n {
+            let dom = DomainId(rng.gen_range(2) as u8);
+            let n_pages = 1 + rng.gen_range(5) as usize;
+            let sp: Vec<StatePage> = (0..n_pages)
+                .map(|_| StatePage(rng.gen_range(24) as u32))
+                .collect();
+            let mark_fresh = rng.gen_bool(0.5);
             let fresh: Vec<StatePage> = if mark_fresh { vec![sp[0]] } else { Vec::new() };
             let expected_faults = {
                 // Model: a page faults iff its current owner differs and it
@@ -113,32 +134,38 @@ proptest! {
                     .count()
             };
             let plan = dsm.plan_accesses_with_fresh(dom, ServiceId::Fs, &sp, &sp, &fresh);
-            prop_assert_eq!(plan.faults.len(), expected_faults);
+            assert_eq!(plan.faults.len(), expected_faults);
             for p in &sp {
                 owner.insert(p.0, dom);
             }
             // Faults reference the previous owner.
             for f in &plan.faults {
-                prop_assert_ne!(f.from, dom);
-                prop_assert_eq!(f.page.service, ServiceId::Fs);
+                assert_ne!(f.from, dom);
+                assert_eq!(f.page.service, ServiceId::Fs);
             }
             let _ = DsmPage::new(ServiceId::Fs, 0);
         }
-    }
+    });
+}
 
-    /// The slab allocator round-trips arbitrary size/lifetime mixes
-    /// without leaking buddy pages.
-    #[test]
-    fn slab_conserves_pages(ops in prop::collection::vec((1u32..2_048, 0usize..32, any::<bool>()), 1..200)) {
-        use k2_kernel::mm::buddy::BuddyAllocator;
-        use k2_kernel::mm::slab::SlabAllocator;
-        use k2_soc::mem::Pfn;
+/// The slab allocator round-trips arbitrary size/lifetime mixes without
+/// leaking buddy pages.
+#[test]
+fn slab_conserves_pages() {
+    use k2_kernel::mm::buddy::BuddyAllocator;
+    use k2_kernel::mm::slab::SlabAllocator;
+    use k2_soc::mem::Pfn;
+    run_cases(64, |rng| {
         let mut buddy = BuddyAllocator::new();
         buddy.add_range(Pfn(0), 512);
         let total = buddy.free_page_count();
         let mut slab = SlabAllocator::new();
         let mut live = Vec::new();
-        for (size, pick, do_alloc) in ops {
+        let n = 1 + rng.gen_range(199) as usize;
+        for _ in 0..n {
+            let size = 1 + rng.gen_range(2_047) as u32;
+            let pick = rng.gen_range(32) as usize;
+            let do_alloc = rng.gen_bool(0.5);
             if do_alloc || live.is_empty() {
                 if let Some((obj, _)) = slab.kmalloc(size, &mut buddy) {
                     live.push(obj);
@@ -151,27 +178,31 @@ proptest! {
         for obj in live {
             slab.kfree(obj, &mut buddy);
         }
-        prop_assert_eq!(slab.allocated_objects(), 0);
-        prop_assert_eq!(buddy.free_page_count(), total, "no leaked slab pages");
+        assert_eq!(slab.allocated_objects(), 0);
+        assert_eq!(buddy.free_page_count(), total, "no leaked slab pages");
         buddy.check_invariants();
-    }
+    });
+}
 
-    /// Periodic timers never drift: after any advance pattern the deadline
-    /// is aligned to the period grid.
-    #[test]
-    fn periodic_timer_stays_on_grid(steps in prop::collection::vec(1u64..100_000, 1..60)) {
-        use k2_soc::timer::PeriodicTimer;
-        use k2_sim::time::{SimDuration, SimTime};
+/// Periodic timers never drift: after any advance pattern the deadline is
+/// aligned to the period grid.
+#[test]
+fn periodic_timer_stays_on_grid() {
+    use k2_sim::time::{SimDuration, SimTime};
+    use k2_soc::timer::PeriodicTimer;
+    run_cases(64, |rng| {
         let period = SimDuration::from_us(700);
         let mut p = PeriodicTimer::new(SimTime::ZERO, period);
         let mut now = SimTime::ZERO;
         let mut total_ticks = 0u64;
-        for s in steps {
+        let n = 1 + rng.gen_range(59) as usize;
+        for _ in 0..n {
+            let s = 1 + rng.gen_range(99_999);
             now += SimDuration::from_us(s);
             total_ticks += p.advance(now);
-            prop_assert!(p.next_deadline() > now);
-            prop_assert_eq!(p.next_deadline().as_ns() % period.as_ns(), 0);
+            assert!(p.next_deadline() > now);
+            assert_eq!(p.next_deadline().as_ns() % period.as_ns(), 0);
         }
-        prop_assert_eq!(total_ticks, now.as_ns() / period.as_ns());
-    }
+        assert_eq!(total_ticks, now.as_ns() / period.as_ns());
+    });
 }

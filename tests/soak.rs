@@ -126,3 +126,90 @@ fn soak_is_deterministic_end_to_end() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn randomised_fault_soak() {
+    // The same randomised mix, now with the fault layer armed: mails are
+    // dropped, duplicated and delayed, locks stick, DMA transfers fail
+    // short, and the weak core stalls — yet every task must still finish
+    // its exact payload with the invariant auditor running throughout.
+    use k2_soc::FaultPlan;
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    m.set_fault_plan(
+        FaultPlan::builder(97)
+            .mail_drop(0.15)
+            .mail_duplicate(0.05)
+            .mail_delay(0.05, SimDuration::from_us(30))
+            .lock_stuck(0.02, SimDuration::from_us(10))
+            .dma_fail(0.2)
+            .dma_partial(0.05)
+            .core_stall(0.01, SimDuration::from_us(50), Some(DomainId::WEAK))
+            .spurious_wake(0.005, None)
+            .build(),
+    );
+    m.enable_audit(64);
+    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let mix = generate_mix(97, 24, MixParams::default());
+    let mut reports = Vec::new();
+    let mut expected_bytes = 0u64;
+    for (i, arrival) in mix.iter().enumerate() {
+        m.run_until(m.now() + arrival.gap, &mut sys);
+        let pid = sys.world.processes.create_process(&format!("fsoak{i}"));
+        sys.world
+            .processes
+            .create_thread(pid, ThreadKind::NightWatch, "t");
+        let id = TaskIdentity {
+            pid,
+            nightwatch: true,
+        };
+        let report = new_report();
+        expected_bytes += arrival.workload.bytes();
+        let task: Box<dyn k2_soc::platform::Task<K2System>> = match arrival.workload {
+            Workload::Dma { batch, total } => {
+                DmaBenchTask::new(id, batch, total, None, report.clone())
+            }
+            Workload::Ext2 { file_size, files } => {
+                Ext2BenchTask::new(id, files, file_size, i as u32, report.clone())
+            }
+            Workload::Udp { batch, total } => UdpBenchTask::new(id, batch, total, report.clone()),
+            Workload::Cloud {
+                fetches,
+                reply,
+                rtt_ms,
+            } => k2_workloads::tasks::CloudFetchTask::new(
+                id,
+                fetches,
+                reply,
+                SimDuration::from_ms(rtt_ms),
+                report.clone(),
+            ),
+        };
+        m.spawn(weak, task, &mut sys);
+        m.run_until_idle(&mut sys);
+        reports.push(report);
+        sys.world.kernels[0].buddy.check_invariants();
+        sys.world.kernels[1].buddy.check_invariants();
+    }
+    // Every task processed exactly its payload despite the faults.
+    let done: u64 = reports.iter().map(|r| r.borrow().bytes).sum();
+    assert_eq!(done, expected_bytes);
+    assert!(reports.iter().all(|r| r.borrow().finished_at.is_some()));
+    // The soak actually exercised the fault paths; log the mix so a
+    // failing run's seed can be triaged from the test output alone.
+    let stats = m.fault_stats().unwrap();
+    println!(
+        "fault mix over {} tasks:\n{}",
+        mix.len(),
+        stats.mix_report()
+    );
+    assert!(stats.total() >= 1, "the plan injected nothing");
+    // Reliable links delivered every protocol message at least once.
+    let links = sys.link_stats();
+    assert_eq!(
+        links.accepted, links.sent,
+        "message lost despite retransmission: {links:?}"
+    );
+    // The auditor ran and saw a consistent system throughout.
+    assert!(m.auditor().checks_run() >= 1);
+    assert!(m.auditor().is_clean(), "{}", m.auditor().report());
+}
