@@ -463,9 +463,38 @@ pub fn table2_refactoring() -> String {
     s
 }
 
+/// The machine-readable profile report bundle (`BENCH_pr2.json`): every
+/// golden scenario run under `seed`, serialized through the observability
+/// layer's deterministic JSON renderer. CI's bench smoke step emits this;
+/// downstream tooling diffs it across commits.
+pub fn profile_report_bundle(seed: u64) -> String {
+    use k2_sim::json::Json;
+    use k2_workloads::golden::{golden_run, GoldenScenario};
+    let mut scenarios = Json::object([] as [(&str, Json); 0]);
+    for scenario in GoldenScenario::ALL {
+        let (m, sys) = golden_run(scenario, seed);
+        scenarios.push(scenario.name(), sys.profile_report(&m));
+    }
+    Json::object([
+        ("bench", Json::str("profile_report")),
+        ("seed", Json::u64(seed)),
+        ("scenarios", scenarios),
+    ])
+    .render_pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_report_bundle_is_deterministic_json() {
+        let a = profile_report_bundle(7);
+        assert_eq!(a, profile_report_bundle(7));
+        for needle in ["\"bench\": \"profile_report\"", "udp_loopback", "dma_heavy"] {
+            assert!(a.contains(needle), "missing {needle}");
+        }
+    }
 
     #[test]
     fn table1_and_3_render() {

@@ -147,7 +147,11 @@ impl ReliableLink {
     /// first ack deadline. The caller transmits it.
     pub fn send(&mut self, payload: u32, now: SimTime) -> SendTicket {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        // Sequence spaces wrap (the wire format carries 22 bits); dedup and
+        // pending tracking key on the raw value, so old entries must have
+        // settled by the time a number is reused — true here because a
+        // message either acks or gives up within MAX_ATTEMPTS deadlines.
+        self.next_seq = self.next_seq.wrapping_add(1);
         self.pending.insert(
             seq,
             Pending {
@@ -293,6 +297,86 @@ mod tests {
         assert!(!l.accept(0));
         assert_eq!(l.stats().accepted, 2);
         assert_eq!(l.stats().duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn retransmit_exhaustion_surfaces_error() {
+        let mut l = ReliableLink::new();
+        let tk = l.send(0xDEAD, t(0));
+        let mut now = tk.deadline;
+        let mut verdict = l.due(tk.seq, now);
+        while let RetryVerdict::Retry(next) = verdict {
+            now = next.deadline;
+            verdict = l.due(tk.seq, now);
+        }
+        // The exhaustion is an explicit, countable error — not a silent
+        // drop: the verdict says GaveUp, the message leaves the pending
+        // set, and the stats record it.
+        assert_eq!(verdict, RetryVerdict::GaveUp);
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.payload_of(tk.seq), None);
+        assert_eq!(l.stats().gave_up, 1);
+        // Re-firing the timer after the giveup is settled, not a second
+        // error; a late ack is likewise ignored.
+        assert_eq!(l.due(tk.seq, now), RetryVerdict::Settled);
+        assert!(!l.on_ack(tk.seq));
+        assert_eq!(l.stats().gave_up, 1);
+        assert_eq!(l.stats().acked, 0);
+    }
+
+    #[test]
+    fn dedup_across_sequence_wraparound() {
+        let mut l = ReliableLink::new();
+        // Sender side: the counter wraps without panicking and the two
+        // messages around the wrap point stay distinct.
+        l.next_seq = u32::MAX;
+        let a = l.send(1, t(0));
+        let b = l.send(2, t(0));
+        assert_eq!(a.seq, u32::MAX);
+        assert_eq!(b.seq, 0);
+        assert_eq!(l.payload_of(a.seq), Some(1));
+        assert_eq!(l.payload_of(b.seq), Some(2));
+        assert!(l.on_ack(a.seq));
+        assert!(l.on_ack(b.seq));
+        // Receiver side: sequence numbers on both sides of the wrap are
+        // independent dedup entries, and each deduplicates its own
+        // retransmissions.
+        let mut r = ReliableLink::new();
+        assert!(r.accept(u32::MAX));
+        assert!(r.accept(0));
+        assert!(!r.accept(u32::MAX));
+        assert!(!r.accept(0));
+        assert_eq!(r.stats().accepted, 2);
+        assert_eq!(r.stats().duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn ack_piggybacking_under_duplicate_delivery() {
+        // A retransmission races the first ack: the receiver sees the
+        // message twice and must re-ack the duplicate (the protocol acks
+        // before dedup — the sender may have missed the first ack), while
+        // the sender must treat the second ack as a no-op.
+        let mut sender = ReliableLink::new();
+        let mut receiver = ReliableLink::new();
+        let tk = sender.send(42, t(0));
+        // First copy arrives; the receiver acks and delivers it.
+        assert!(receiver.accept(tk.seq));
+        // The ack is lost; the deadline fires and the sender retransmits.
+        let RetryVerdict::Retry(next) = sender.due(tk.seq, tk.deadline) else {
+            panic!("expected retransmission");
+        };
+        // The duplicate arrives: suppressed from the protocol, re-acked.
+        assert!(!receiver.accept(tk.seq));
+        assert_eq!(receiver.stats().duplicates_dropped, 1);
+        // The re-ack settles the sender exactly once; a straggler copy of
+        // the first ack is then ignored.
+        assert!(sender.on_ack(tk.seq));
+        assert!(!sender.on_ack(tk.seq));
+        assert_eq!(sender.stats().acked, 1);
+        assert_eq!(sender.stats().retransmits, 1);
+        assert_eq!(sender.due(next.seq, next.deadline), RetryVerdict::Settled);
+        // Exactly one delivery reached the protocol.
+        assert_eq!(receiver.stats().accepted, 1);
     }
 
     #[test]

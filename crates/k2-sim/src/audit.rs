@@ -121,6 +121,22 @@ impl InvariantAuditor {
         true
     }
 
+    /// Called once at shutdown; returns `true` when a final audit pass
+    /// should run (i.e. auditing is enabled at all).
+    ///
+    /// Stride-gated auditing has a hole: a run that ends between stride
+    /// points — every short test with a large stride — never audits
+    /// anything and passes vacuously. The platform calls this when a run
+    /// loop finishes so every registered check executes at least once,
+    /// regardless of where the step counter stopped.
+    pub fn begin_final(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.checks_run += 1;
+        true
+    }
+
     /// Checks that the series `(name, index)` never decreases. The first
     /// observation just records a baseline.
     pub fn check_monotone(&mut self, at: SimTime, name: &'static str, index: u32, value: f64) {
@@ -237,6 +253,20 @@ mod tests {
         let audited = (0..9).filter(|_| a.begin_step()).count();
         assert_eq!(audited, 3);
         assert_eq!(a.checks_run(), 3);
+    }
+
+    #[test]
+    fn final_audit_runs_regardless_of_stride() {
+        let mut a = InvariantAuditor::new();
+        assert!(!a.begin_final(), "disabled auditor stays silent");
+        a.set_enabled(true);
+        a.set_stride(1000);
+        // A short run: every stride check skips...
+        let audited = (0..5).filter(|_| a.begin_step()).count();
+        assert_eq!(audited, 0);
+        // ...but the shutdown pass still executes.
+        assert!(a.begin_final());
+        assert_eq!(a.checks_run(), 1);
     }
 
     #[test]

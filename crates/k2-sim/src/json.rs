@@ -1,0 +1,260 @@
+//! A minimal deterministic JSON writer.
+//!
+//! The workspace is dependency-free by design, so report serialization
+//! cannot lean on serde. This module provides just enough JSON to emit
+//! profile reports (`BENCH_*.json`) with two hard guarantees:
+//!
+//! - **Byte determinism.** Object members render in insertion order (and
+//!   builders insert from `BTreeMap`s), floats render with a fixed
+//!   notation, and nothing consults locale or wall clock — the same
+//!   report value always serializes to the same bytes, which is what
+//!   lets golden tests compare whole files.
+//! - **Valid output.** Strings are escaped per RFC 8259; non-finite
+//!   floats (which JSON cannot represent) render as `null`.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_sim::json::Json;
+//!
+//! let j = Json::object([
+//!     ("name", Json::str("udp-loopback")),
+//!     ("bytes", Json::u64(32768)),
+//!     ("energy_mj", Json::f64(1.5)),
+//! ]);
+//! assert_eq!(
+//!     j.render_compact(),
+//!     r#"{"name":"udp-loopback","bytes":32768,"energy_mj":1.500000}"#
+//! );
+//! ```
+
+use std::fmt::Write;
+
+/// A JSON value tree.
+///
+/// Objects keep their members as an ordered list (insertion order is
+/// render order); builders are expected to insert deterministically.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, rendered exactly.
+    U64(u64),
+    /// A signed integer, rendered exactly.
+    I64(i64),
+    /// A float, rendered as fixed six-decimal notation (`null` if
+    /// non-finite).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; members render in list order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an unsigned-integer value.
+    pub fn u64(v: u64) -> Json {
+        Json::U64(v)
+    }
+
+    /// Builds a float value.
+    pub fn f64(v: f64) -> Json {
+        Json::F64(v)
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// Appends a member to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Object(m) => m.push((key.into(), value)),
+            other => panic!("push on non-object Json: {other:?}"),
+        }
+    }
+
+    /// Renders without any whitespace.
+    pub fn render_compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Renders pretty-printed with two-space indentation and a trailing
+    /// newline — the golden-file format (stable and diffable).
+    pub fn render_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                write!(out, "{v}").unwrap();
+            }
+            Json::I64(v) => {
+                write!(out, "{v}").unwrap();
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    write!(out, "{v:.6}").unwrap();
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i, d| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..(w * (depth + 1)) {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..(w * depth) {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render_compact(), "null");
+        assert_eq!(Json::Bool(true).render_compact(), "true");
+        assert_eq!(Json::u64(42).render_compact(), "42");
+        assert_eq!(Json::I64(-7).render_compact(), "-7");
+        assert_eq!(Json::f64(1.25).render_compact(), "1.250000");
+        assert_eq!(Json::f64(f64::NAN).render_compact(), "null");
+        assert_eq!(Json::f64(f64::INFINITY).render_compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render_compact(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let j = Json::object([
+            ("z", Json::u64(1)),
+            ("a", Json::array([Json::u64(1), Json::u64(2)])),
+        ]);
+        assert_eq!(j.render_compact(), r#"{"z":1,"a":[1,2]}"#);
+    }
+
+    #[test]
+    fn empty_containers_are_tight() {
+        assert_eq!(Json::array([]).render_pretty(), "[]\n");
+        let e: [(&str, Json); 0] = [];
+        assert_eq!(Json::object(e).render_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn pretty_nests_with_two_spaces() {
+        let j = Json::object([("a", Json::object([("b", Json::u64(1))]))]);
+        assert_eq!(j.render_pretty(), "{\n  \"a\": {\n    \"b\": 1\n  }\n}\n");
+    }
+
+    #[test]
+    fn push_extends_objects() {
+        let mut j = Json::object([("a", Json::u64(1))]);
+        j.push("b", Json::u64(2));
+        assert_eq!(j.render_compact(), r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "push on non-object")]
+    fn push_on_scalar_panics() {
+        Json::Null.push("a", Json::u64(1));
+    }
+}

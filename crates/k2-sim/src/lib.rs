@@ -28,15 +28,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod json;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use audit::{InvariantAuditor, Violation};
+pub use json::Json;
+pub use metrics::{Key, Registry, ShardedCounter, Tag, TimeWeightedGauge};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
+pub use span::{Span, SpanId, SpanTracker};
 pub use stats::{Counter, Histogram, Summary};
 pub use time::{cycles_to_duration, SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord};

@@ -1,0 +1,417 @@
+//! A simulation-time metrics registry.
+//!
+//! The evaluation of K2 (§9 of the paper) lives and dies on attribution:
+//! which domain spent the microseconds, which subsystem generated the
+//! traffic, where the energy went. This module centralises that
+//! accounting. A [`Registry`] holds named counters, time-weighted gauges,
+//! duration accumulators and latency histograms, each tagged with *where*
+//! it was observed ([`Tag`]: a domain, a core, a domain pair, a named
+//! subsystem).
+//!
+//! Determinism is a hard requirement (DESIGN.md §5.5): storage is
+//! `BTreeMap`-backed so iteration order — and therefore any serialized
+//! report — is a pure function of what was recorded, never of hash
+//! seeds or insertion order. All time comes from the simulated clock;
+//! recording a metric never perturbs event timing, so instrumented and
+//! bare runs of the same seed stay cycle-identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_sim::metrics::{Key, Registry, Tag};
+//! use k2_sim::time::{SimDuration, SimTime};
+//!
+//! let mut r = Registry::new();
+//! r.incr(Key::new("mail.sent", Tag::Domain(0)));
+//! r.add(Key::new("mail.sent", Tag::Domain(1)), 2);
+//! assert_eq!(r.counter_total("mail.sent"), 3);
+//!
+//! r.add_duration(
+//!     Key::new("active.task", Tag::Core(1)),
+//!     SimDuration::from_us(7),
+//! );
+//! r.gauge_set(Key::new("runq", Tag::Core(0)), SimTime::from_ns(0), 2.0);
+//! r.gauge_set(Key::new("runq", Tag::Core(0)), SimTime::from_ns(100), 0.0);
+//! ```
+
+use crate::stats::Histogram;
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where a metric was observed.
+///
+/// Tags order deterministically (derived `Ord`), so registry dumps are
+/// stable across runs and platforms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tag {
+    /// System-wide, no particular location.
+    Whole,
+    /// A coherence domain (0 = strong, 1 = weak in this repro).
+    Domain(u8),
+    /// A single core (global core id).
+    Core(u8),
+    /// Directed domain pair, e.g. mailbox traffic `from -> to`.
+    DomainPair(u8, u8),
+    /// A named subsystem (scheduler, dsm, buddy, ...).
+    Subsystem(&'static str),
+    /// A named subsystem on a specific core — the grain used for
+    /// active-time attribution.
+    CoreSubsystem(u8, &'static str),
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Tag::Whole => write!(f, "*"),
+            Tag::Domain(d) => write!(f, "dom{d}"),
+            Tag::Core(c) => write!(f, "core{c}"),
+            Tag::DomainPair(a, b) => write!(f, "dom{a}->dom{b}"),
+            Tag::Subsystem(s) => write!(f, "{s}"),
+            Tag::CoreSubsystem(c, s) => write!(f, "core{c}/{s}"),
+        }
+    }
+}
+
+/// A metric identity: a static name plus a location [`Tag`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    /// Metric name, dot-separated by convention (`mail.sent`).
+    pub name: &'static str,
+    /// Where it was observed.
+    pub tag: Tag,
+}
+
+impl Key {
+    /// Builds a key.
+    pub fn new(name: &'static str, tag: Tag) -> Self {
+        Key { name, tag }
+    }
+
+    /// Shorthand for an untagged (system-wide) key.
+    pub fn whole(name: &'static str) -> Self {
+        Key::new(name, Tag::Whole)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.tag)
+    }
+}
+
+/// A gauge whose *time integral* is tracked alongside its instantaneous
+/// value: `set` closes the interval since the previous `set` at the old
+/// value, so `time_average` is exact for step functions (run-queue depth,
+/// pages ballooned, links in flight).
+#[derive(Clone, Copy, Debug)]
+pub struct TimeWeightedGauge {
+    value: f64,
+    since: SimTime,
+    started: SimTime,
+    integral: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TimeWeightedGauge {
+    fn new(at: SimTime, value: f64) -> Self {
+        TimeWeightedGauge {
+            value,
+            since: at,
+            started: at,
+            integral: 0.0,
+            min: value,
+            max: value,
+        }
+    }
+
+    fn set(&mut self, at: SimTime, value: f64) {
+        self.integral += self.value * at.saturating_since(self.since).as_secs_f64();
+        self.since = at;
+        self.value = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Instantaneous value as of the last `set`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Smallest value ever set.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest value ever set.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted average over `[first set, now]` (the current value
+    /// extends to `now`). Returns the current value for an empty window.
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let window = now.saturating_since(self.started).as_secs_f64();
+        if window <= 0.0 {
+            return self.value;
+        }
+        let tail = self.value * now.saturating_since(self.since).as_secs_f64();
+        (self.integral + tail) / window
+    }
+}
+
+/// A counter sharded by domain: hot paths bump their own domain's shard
+/// without contending on (or even knowing about) a global total, and the
+/// total is *defined* as the shard sum — the conservation law the
+/// property suite checks.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedCounter {
+    shards: BTreeMap<u8, u64>,
+}
+
+impl ShardedCounter {
+    /// Creates an empty sharded counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to `domain`'s shard.
+    pub fn add(&mut self, domain: u8, n: u64) {
+        *self.shards.entry(domain).or_insert(0) += n;
+    }
+
+    /// One domain's contribution.
+    pub fn shard(&self, domain: u8) -> u64 {
+        self.shards.get(&domain).copied().unwrap_or(0)
+    }
+
+    /// The total across all shards.
+    pub fn total(&self) -> u64 {
+        self.shards.values().sum()
+    }
+
+    /// Iterates `(domain, count)` in domain order.
+    pub fn shards(&self) -> impl Iterator<Item = (u8, u64)> + '_ {
+        self.shards.iter().map(|(&d, &n)| (d, n))
+    }
+}
+
+/// The registry: all counters, gauges, duration accumulators and
+/// histograms of one simulated machine.
+///
+/// Deliberately value-oriented (no handles, no interning): hot paths pass
+/// a [`Key`] and the registry does one ordered-map update. For a
+/// discrete-event simulator that is plenty fast, and it keeps every
+/// metric enumerable for reports.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<Key, u64>,
+    durations: BTreeMap<Key, SimDuration>,
+    gauges: BTreeMap<Key, TimeWeightedGauge>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter at `key`.
+    pub fn add(&mut self, key: Key, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Adds one to the counter at `key`.
+    pub fn incr(&mut self, key: Key) {
+        self.add(key, 1);
+    }
+
+    /// Current value of the counter at `key` (0 if never touched).
+    pub fn counter(&self, key: Key) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters named `name`, across every tag — the registry
+    /// analogue of [`ShardedCounter::total`].
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Accumulates a simulated-time duration at `key` (the attribution
+    /// primitive: "this core spent `d` in subsystem X").
+    pub fn add_duration(&mut self, key: Key, d: SimDuration) {
+        let e = self.durations.entry(key).or_insert(SimDuration::ZERO);
+        *e += d;
+    }
+
+    /// Total duration accumulated at `key`.
+    pub fn duration(&self, key: Key) -> SimDuration {
+        self.durations
+            .get(&key)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sets the gauge at `key`, closing the previous interval at `at`.
+    pub fn gauge_set(&mut self, key: Key, at: SimTime, value: f64) {
+        match self.gauges.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(TimeWeightedGauge::new(at, value));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().set(at, value),
+        }
+    }
+
+    /// The gauge at `key`, if ever set.
+    pub fn gauge(&self, key: Key) -> Option<&TimeWeightedGauge> {
+        self.gauges.get(&key)
+    }
+
+    /// Records a sample into the histogram at `key`.
+    pub fn observe(&mut self, key: Key, value: u64) {
+        self.histograms.entry(key).or_default().record(value);
+    }
+
+    /// Records a duration sample (in nanoseconds) into the histogram at
+    /// `key`.
+    pub fn observe_duration(&mut self, key: Key, d: SimDuration) {
+        self.observe(key, d.as_ns());
+    }
+
+    /// The histogram at `key`, if any sample landed there.
+    pub fn histogram(&self, key: Key) -> Option<&Histogram> {
+        self.histograms.get(&key)
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&Key, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All duration accumulators in key order.
+    pub fn durations(&self) -> impl Iterator<Item = (&Key, SimDuration)> + '_ {
+        self.durations.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&Key, &TimeWeightedGauge)> + '_ {
+        self.gauges.iter()
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&Key, &Histogram)> + '_ {
+        self.histograms.iter()
+    }
+
+    /// Durations named `name`, restricted to core `core`
+    /// (`Tag::CoreSubsystem`), as `(subsystem, total)` pairs in
+    /// subsystem order — the per-core attribution table reports render.
+    pub fn core_breakdown(
+        &self,
+        name: &str,
+        core: u8,
+    ) -> impl Iterator<Item = (&'static str, SimDuration)> + '_ {
+        let core_wanted = core;
+        let name_wanted: String = name.to_string();
+        self.durations
+            .iter()
+            .filter_map(move |(k, &d)| match k.tag {
+                Tag::CoreSubsystem(c, s) if c == core_wanted && k.name == name_wanted => {
+                    Some((s, d))
+                }
+                _ => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_tag_independently_and_total() {
+        let mut r = Registry::new();
+        r.incr(Key::new("mail", Tag::Domain(0)));
+        r.add(Key::new("mail", Tag::Domain(1)), 4);
+        r.incr(Key::new("irq", Tag::Domain(0)));
+        assert_eq!(r.counter(Key::new("mail", Tag::Domain(0))), 1);
+        assert_eq!(r.counter(Key::new("mail", Tag::Domain(1))), 4);
+        assert_eq!(r.counter_total("mail"), 5);
+        assert_eq!(r.counter_total("irq"), 1);
+        assert_eq!(r.counter_total("nope"), 0);
+    }
+
+    #[test]
+    fn durations_accumulate() {
+        let mut r = Registry::new();
+        let k = Key::new("active", Tag::CoreSubsystem(2, "task"));
+        r.add_duration(k, SimDuration::from_us(3));
+        r.add_duration(k, SimDuration::from_us(4));
+        assert_eq!(r.duration(k), SimDuration::from_us(7));
+        let rows: Vec<_> = r.core_breakdown("active", 2).collect();
+        assert_eq!(rows, vec![("task", SimDuration::from_us(7))]);
+        assert_eq!(r.core_breakdown("active", 3).count(), 0);
+    }
+
+    #[test]
+    fn gauge_time_average_is_exact_for_steps() {
+        let mut r = Registry::new();
+        let k = Key::new("runq", Tag::Core(0));
+        r.gauge_set(k, SimTime::from_ns(0), 2.0);
+        r.gauge_set(k, SimTime::from_ns(500), 4.0);
+        let g = r.gauge(k).unwrap();
+        // 2.0 for 500 ns, then 4.0 for 500 ns -> average 3.0.
+        assert!((g.time_average(SimTime::from_ns(1000)) - 3.0).abs() < 1e-12);
+        assert_eq!(g.value(), 4.0);
+        assert_eq!(g.min(), 2.0);
+        assert_eq!(g.max(), 4.0);
+    }
+
+    #[test]
+    fn gauge_empty_window_returns_value() {
+        let mut r = Registry::new();
+        let k = Key::whole("x");
+        r.gauge_set(k, SimTime::from_ns(10), 7.0);
+        assert_eq!(r.gauge(k).unwrap().time_average(SimTime::from_ns(10)), 7.0);
+    }
+
+    #[test]
+    fn histograms_record() {
+        let mut r = Registry::new();
+        let k = Key::new("lat", Tag::Subsystem("dsm"));
+        r.observe(k, 100);
+        r.observe_duration(k, SimDuration::from_us(1));
+        assert_eq!(r.histogram(k).unwrap().count(), 2);
+        assert!(r.histogram(Key::whole("lat")).is_none());
+    }
+
+    #[test]
+    fn sharded_counter_total_is_shard_sum() {
+        let mut c = ShardedCounter::new();
+        c.add(0, 3);
+        c.add(1, 4);
+        c.add(0, 5);
+        assert_eq!(c.shard(0), 8);
+        assert_eq!(c.shard(1), 4);
+        assert_eq!(c.shard(9), 0);
+        assert_eq!(c.total(), 12);
+        let shards: Vec<_> = c.shards().collect();
+        assert_eq!(shards, vec![(0, 8), (1, 4)]);
+    }
+
+    #[test]
+    fn keys_order_deterministically() {
+        let mut r = Registry::new();
+        r.incr(Key::new("b", Tag::Domain(1)));
+        r.incr(Key::new("a", Tag::Core(3)));
+        r.incr(Key::new("a", Tag::Domain(0)));
+        let names: Vec<String> = r.counters().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(names, vec!["a[dom0]", "a[core3]", "b[dom1]"]);
+    }
+}

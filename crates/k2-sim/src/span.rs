@@ -1,0 +1,362 @@
+//! Causal span tracing.
+//!
+//! A cross-domain operation in K2 is a *chain*: a mailbox send on one
+//! domain raises an IRQ on the other, the ISR schedules a bottom half,
+//! the bottom half sends the reply. Flat trace events show each hop but
+//! not the causality; spans recover it. Every interesting interval gets
+//! a [`Span`] with a parent link, and carrying a [`SpanId`] inside a
+//! mail envelope stitches the chain across domains, so end-to-end
+//! latency (send → IRQ → bottom half → reply) is attributable from the
+//! span tree alone.
+//!
+//! Span IDs are allocated sequentially from the tracker — no randomness,
+//! no wall clock — so the same seeded run always produces the same tree
+//! (DESIGN.md §5.5). Storage is bounded like [`crate::trace::Trace`]:
+//! past the capacity new spans are counted but not retained, so soaks
+//! cannot OOM.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_sim::span::SpanTracker;
+//! use k2_sim::time::SimTime;
+//!
+//! let mut t = SpanTracker::new();
+//! let send = t.start(SimTime::from_ns(0), "mail.send", 0);
+//! // ... the envelope carries `send`; the receiving ISR parents on it:
+//! let isr = t.start_child(SimTime::from_ns(1_800), "irq", 1, Some(send));
+//! t.end(SimTime::from_ns(2_000), isr);
+//! t.end(SimTime::from_ns(2_000), send);
+//! assert!(t.validate_well_formed().is_ok());
+//! ```
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies one span. IDs are sequential per tracker, starting at 1;
+/// 0 is reserved as "no span".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The reserved null id (never returned by [`SpanTracker::start`]).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One traced interval.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// The causal parent, if any.
+    pub parent: Option<SpanId>,
+    /// What the interval is (e.g. `mail.send`, `irq`, `bh`, `dsm.fault`).
+    pub name: &'static str,
+    /// Coherence domain the interval ran in.
+    pub domain: u8,
+    /// When it started.
+    pub start: SimTime,
+    /// When it ended (`None` while open).
+    pub end: Option<SimTime>,
+}
+
+/// Allocates, stores and validates spans.
+///
+/// The tracker also keeps a *current-span stack*: the platform pushes
+/// the ISR span before running a handler and pops it after, so any span
+/// started inside (a bottom-half schedule, a reply send) parents on the
+/// ISR automatically without threading ids through every call.
+#[derive(Debug)]
+pub struct SpanTracker {
+    next: u64,
+    spans: BTreeMap<SpanId, Span>,
+    stack: Vec<SpanId>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SpanTracker {
+    /// Default retained-span cap; see the type docs.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a tracker with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a tracker retaining at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanTracker {
+            next: 1,
+            spans: BTreeMap::new(),
+            stack: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Starts a span parented on the current span (top of the stack), or
+    /// a root span if the stack is empty.
+    pub fn start(&mut self, now: SimTime, name: &'static str, domain: u8) -> SpanId {
+        let parent = self.stack.last().copied();
+        self.start_child(now, name, domain, parent)
+    }
+
+    /// Starts a span with an explicit parent (`None` forces a root) —
+    /// the cross-domain stitch: the receiver parents its span on the id
+    /// carried in the envelope.
+    pub fn start_child(
+        &mut self,
+        now: SimTime,
+        name: &'static str,
+        domain: u8,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        let id = SpanId(self.next);
+        self.next += 1;
+        if self.spans.len() >= self.capacity {
+            self.dropped += 1;
+            return id;
+        }
+        self.spans.insert(
+            id,
+            Span {
+                id,
+                parent: parent.filter(|p| *p != SpanId::NONE),
+                name,
+                domain,
+                start: now,
+                end: None,
+            },
+        );
+        id
+    }
+
+    /// Closes a span. Unknown ids (beyond-capacity spans) are ignored;
+    /// closing twice keeps the first end.
+    pub fn end(&mut self, now: SimTime, id: SpanId) {
+        if let Some(s) = self.spans.get_mut(&id) {
+            if s.end.is_none() {
+                s.end = Some(now);
+            }
+        }
+    }
+
+    /// Pushes `id` as the current span (subsequent [`SpanTracker::start`]
+    /// calls parent on it).
+    pub fn push_current(&mut self, id: SpanId) {
+        self.stack.push(id);
+    }
+
+    /// Pops the current span.
+    pub fn pop_current(&mut self) {
+        self.stack.pop();
+    }
+
+    /// The current span, if any.
+    pub fn current(&self) -> Option<SpanId> {
+        self.stack.last().copied()
+    }
+
+    /// Number of ids ever allocated (including dropped ones).
+    pub fn allocated(&self) -> u64 {
+        self.next - 1
+    }
+
+    /// Spans allocated past the retention cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained spans in id (= creation) order.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> + '_ {
+        self.spans.values()
+    }
+
+    /// Looks up a retained span.
+    pub fn get(&self, id: SpanId) -> Option<&Span> {
+        self.spans.get(&id)
+    }
+
+    /// Per-name `(count, total_ns)` over all *closed* retained spans, in
+    /// name order — the summary reports embed.
+    pub fn summary(&self) -> BTreeMap<&'static str, (u64, u64)> {
+        let mut out: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in self.spans.values() {
+            if let Some(end) = s.end {
+                let e = out.entry(s.name).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += end.saturating_since(s.start).as_ns();
+            }
+        }
+        out
+    }
+
+    /// Checks the tree is well-formed: every parent link resolves to a
+    /// retained span, no span ends before it starts, every child starts
+    /// no earlier than its parent, and every *closed* child of a closed
+    /// parent ends no later than the parent.
+    ///
+    /// Returns the first problem found, described.
+    pub fn validate_well_formed(&self) -> Result<(), String> {
+        for s in self.spans.values() {
+            if let Some(end) = s.end {
+                if end < s.start {
+                    return Err(format!("{} '{}' ends before it starts", s.id, s.name));
+                }
+            }
+            let Some(pid) = s.parent else { continue };
+            let Some(p) = self.spans.get(&pid) else {
+                // The parent may legitimately have fallen past the cap.
+                if pid.0 < self.next {
+                    continue;
+                }
+                return Err(format!("{} '{}' has unknown parent {}", s.id, s.name, pid));
+            };
+            if s.start < p.start {
+                return Err(format!(
+                    "{} '{}' starts at {:?}, before parent {} at {:?}",
+                    s.id, s.name, s.start, p.id, p.start
+                ));
+            }
+            if let (Some(ce), Some(pe)) = (s.end, p.end) {
+                if ce > pe {
+                    return Err(format!(
+                        "{} '{}' ends at {:?}, after parent {} at {:?}",
+                        s.id, s.name, ce, p.id, pe
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SpanTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn ids_are_sequential_and_nonzero() {
+        let mut tr = SpanTracker::new();
+        let a = tr.start(t(0), "a", 0);
+        let b = tr.start(t(1), "b", 0);
+        assert_eq!(a.raw(), 1);
+        assert_eq!(b.raw(), 2);
+        assert_ne!(a, SpanId::NONE);
+        assert_eq!(tr.allocated(), 2);
+    }
+
+    #[test]
+    fn stack_parents_automatically() {
+        let mut tr = SpanTracker::new();
+        let isr = tr.start(t(0), "irq", 1);
+        tr.push_current(isr);
+        let bh = tr.start(t(5), "bh", 1);
+        tr.pop_current();
+        let root = tr.start(t(10), "other", 0);
+        assert_eq!(tr.get(bh).unwrap().parent, Some(isr));
+        assert_eq!(tr.get(root).unwrap().parent, None);
+    }
+
+    #[test]
+    fn explicit_parent_stitches_across_domains() {
+        let mut tr = SpanTracker::new();
+        let send = tr.start(t(0), "mail.send", 0);
+        let isr = tr.start_child(t(1_800), "irq", 1, Some(send));
+        tr.end(t(2_000), isr);
+        tr.end(t(2_100), send);
+        assert_eq!(tr.get(isr).unwrap().parent, Some(send));
+        assert!(tr.validate_well_formed().is_ok());
+    }
+
+    #[test]
+    fn none_parent_is_filtered() {
+        let mut tr = SpanTracker::new();
+        let s = tr.start_child(t(0), "x", 0, Some(SpanId::NONE));
+        assert_eq!(tr.get(s).unwrap().parent, None);
+    }
+
+    #[test]
+    fn double_end_keeps_first() {
+        let mut tr = SpanTracker::new();
+        let s = tr.start(t(0), "x", 0);
+        tr.end(t(5), s);
+        tr.end(t(9), s);
+        assert_eq!(tr.get(s).unwrap().end, Some(t(5)));
+    }
+
+    #[test]
+    fn capacity_bounds_storage() {
+        let mut tr = SpanTracker::with_capacity(2);
+        let a = tr.start(t(0), "a", 0);
+        let _b = tr.start(t(1), "b", 0);
+        let c = tr.start(t(2), "c", 0);
+        assert_eq!(tr.dropped(), 1);
+        assert!(tr.get(c).is_none());
+        tr.end(t(3), c); // ignored, no panic
+        assert_eq!(tr.spans().count(), 2);
+        // A child of a dropped parent still validates.
+        let d = tr.start_child(t(4), "d", 0, Some(c));
+        assert!(tr.get(d).is_none() || tr.validate_well_formed().is_ok());
+        assert!(tr.validate_well_formed().is_ok());
+        let _ = a;
+    }
+
+    #[test]
+    fn validation_catches_inverted_child() {
+        let mut tr = SpanTracker::new();
+        let p = tr.start(t(100), "p", 0);
+        let c = tr.start_child(t(50), "c", 0, Some(p));
+        let err = tr.validate_well_formed().unwrap_err();
+        assert!(err.contains("before parent"), "{err}");
+        let _ = c;
+    }
+
+    #[test]
+    fn validation_catches_overrunning_child() {
+        let mut tr = SpanTracker::new();
+        let p = tr.start(t(0), "p", 0);
+        let c = tr.start_child(t(10), "c", 0, Some(p));
+        tr.end(t(20), p);
+        tr.end(t(30), c);
+        let err = tr.validate_well_formed().unwrap_err();
+        assert!(err.contains("after parent"), "{err}");
+    }
+
+    #[test]
+    fn summary_counts_closed_spans() {
+        let mut tr = SpanTracker::new();
+        let a = tr.start(t(0), "mail.send", 0);
+        let b = tr.start(t(0), "mail.send", 1);
+        let open = tr.start(t(0), "irq", 1);
+        tr.end(t(100), a);
+        tr.end(t(300), b);
+        let s = tr.summary();
+        assert_eq!(s.get("mail.send"), Some(&(2, 400)));
+        assert_eq!(s.get("irq"), None);
+        let _ = open;
+    }
+}

@@ -173,7 +173,7 @@ impl fmt::Display for Summary {
 /// assert_eq!(h.count(), 2);
 /// assert!(h.percentile(0.5) <= 100_000);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 64],
     count: u64,
@@ -217,6 +217,17 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Folds `other` into `self`, bucket by bucket. Merging is
+    /// associative and commutative (the property suite checks this), so
+    /// per-domain shards can be combined in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// An upper bound for the requested percentile (`0.0..=1.0`), resolved to
@@ -308,6 +319,24 @@ mod tests {
         assert!(h.percentile(0.5) <= 128);
         // p100 must cover the outlier.
         assert!(h.percentile(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_combines_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 100, 10_000] {
+            a.record(v);
+        }
+        b.record(50);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 4);
+        assert!((merged.mean() - (1.0 + 100.0 + 10_000.0 + 50.0) / 4.0).abs() < 1e-9);
+        // Commutative: b.merge(a) gives the identical histogram.
+        let mut other = b.clone();
+        other.merge(&a);
+        assert_eq!(merged, other);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! the receiving domain's mailbox IRQ.
 
 use crate::ids::DomainId;
-use k2_sim::time::SimDuration;
+use k2_sim::span::SpanId;
+use k2_sim::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// One-way interconnect latency of a hardware mail.
@@ -52,6 +53,12 @@ pub struct Envelope {
     pub mail: Mail,
     /// Reliable-messaging metadata; `None` for fire-and-forget mails.
     pub tag: Option<LinkTag>,
+    /// When the sender posted the mail (measures interconnect latency).
+    pub sent_at: SimTime,
+    /// The causal span covering this mail's flight, [`SpanId::NONE`] when
+    /// span tracing recorded nothing. Receivers parent their handling
+    /// spans on it, stitching cross-domain chains end to end.
+    pub span: SpanId,
 }
 
 /// The mailbox FIFO bank: one inbox per domain.
@@ -135,6 +142,8 @@ mod tests {
             from: DomainId(from),
             mail: Mail(v),
             tag: None,
+            sent_at: SimTime::ZERO,
+            span: SpanId::NONE,
         }
     }
 

@@ -21,7 +21,10 @@ use crate::mailbox::{Envelope, LinkTag, Mail, MailboxBank, MAIL_LATENCY};
 use crate::mem::SharedRam;
 use crate::power::{EnergyMeter, PowerState};
 use k2_sim::audit::InvariantAuditor;
+use k2_sim::json::Json;
+use k2_sim::metrics::{Key, Registry, Tag};
 use k2_sim::queue::EventQueue;
+use k2_sim::span::{SpanId, SpanTracker};
 use k2_sim::time::{SimDuration, SimTime};
 use k2_sim::trace::{Trace, TraceEvent};
 use std::collections::{HashMap, VecDeque};
@@ -198,6 +201,11 @@ pub struct Machine<W> {
     world_checks: Vec<(&'static str, WorldCheck<W>)>,
     deferred: HashMap<u64, DeferredCall<W>>,
     next_call_id: u64,
+    metrics: Registry,
+    spans: SpanTracker,
+    /// Submit time and flight span of each in-progress DMA transfer
+    /// (keyed removal only, so the HashMap cannot leak iteration order).
+    dma_inflight: HashMap<DmaXferId, (SpanId, SimTime)>,
 }
 
 impl<W> fmt::Debug for Machine<W> {
@@ -279,6 +287,9 @@ impl<W> Machine<W> {
             world_checks: Vec::new(),
             deferred: HashMap::new(),
             next_call_id: 0,
+            metrics: Registry::new(),
+            spans: SpanTracker::new(),
+            dma_inflight: HashMap::new(),
         }
     }
 
@@ -301,6 +312,232 @@ impl<W> Machine<W> {
     /// Emits a free-form marker into the trace.
     pub fn trace_marker(&mut self, label: &'static str) {
         self.trace.record(self.now, TraceEvent::Marker(label));
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics, spans, and profile reports
+    // ------------------------------------------------------------------
+
+    /// The metrics registry (read-only).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The metrics registry, for OS layers to record their own counters,
+    /// gauges, and histograms. Recording is pure observation — it never
+    /// perturbs event timing — so instrumented runs stay byte-identical.
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
+    }
+
+    /// The span tracker (read-only).
+    pub fn spans(&self) -> &SpanTracker {
+        &self.spans
+    }
+
+    /// The span tracker, for OS layers to open their own causal spans.
+    pub fn spans_mut(&mut self) -> &mut SpanTracker {
+        &mut self.spans
+    }
+
+    /// Attributes `dur` of active time on `core` to a named subsystem.
+    /// Every path that starts or extends a busy period calls this, so the
+    /// per-core attribution table sums to the meter's active time.
+    fn attribute(&mut self, core: CoreId, subsystem: &'static str, dur: SimDuration) {
+        if !dur.is_zero() {
+            self.metrics.add_duration(
+                Key::new("active", Tag::CoreSubsystem(core.0, subsystem)),
+                dur,
+            );
+        }
+    }
+
+    /// Samples the run-queue depth gauge for `core` (called after every
+    /// run-queue mutation so the time-weighted average is exact).
+    fn note_runq(&mut self, core: CoreId) {
+        let depth = self.cores[core.index()].rq.len() as f64;
+        self.metrics
+            .gauge_set(Key::new("sched.runq", Tag::Core(core.0)), self.now, depth);
+    }
+
+    /// Runs the shutdown invariant audit (see
+    /// [`InvariantAuditor::begin_final`]): every registered check executes
+    /// at least once even when the run ends between stride points.
+    fn final_audit(&mut self, w: &mut W) {
+        if self.auditor.begin_final() {
+            self.audit_step(w);
+        }
+    }
+
+    /// Total core-active time so far and the portion attributed to named
+    /// subsystems, summed across every core. The attribution machinery is
+    /// sound when the two are (nearly) equal; tests assert ≥95% coverage.
+    pub fn active_attribution(&self) -> (SimDuration, SimDuration) {
+        let mut active = SimDuration::ZERO;
+        let mut attributed = SimDuration::ZERO;
+        for rt in &self.cores {
+            active += rt.meter.time_in_at(PowerState::Active, self.now);
+            for (_, d) in self.metrics.core_breakdown("active", rt.desc.id.0) {
+                attributed += d;
+            }
+        }
+        (active, attributed)
+    }
+
+    /// Renders the machine-level profile report: per-domain energy and
+    /// power state, per-core state times with the active-time attribution
+    /// breakdown, every registry metric, and the span summary.
+    ///
+    /// The report is a pure function of simulation state — no wall clock,
+    /// ordered maps throughout, fixed float notation — so the same seeded
+    /// run always serializes to the same bytes (what golden tests and
+    /// `BENCH_*.json` consumers rely on).
+    pub fn profile_report(&self) -> Json {
+        let now = self.now;
+        fn state_name(s: PowerState) -> &'static str {
+            match s {
+                PowerState::Active => "active",
+                PowerState::Idle => "idle",
+                PowerState::Inactive => "inactive",
+            }
+        }
+        let domains = Json::array((0..self.domain_count()).map(|d| {
+            let dom = DomainId(d as u8);
+            Json::object([
+                ("domain", Json::u64(d as u64)),
+                ("energy_mj", Json::f64(self.domain_energy_mj(dom))),
+                (
+                    "power_state",
+                    Json::str(state_name(self.domain_power_state(dom))),
+                ),
+                (
+                    "cores",
+                    Json::array(
+                        self.domain_cores(dom)
+                            .iter()
+                            .map(|c| Json::u64(c.index() as u64)),
+                    ),
+                ),
+            ])
+        }));
+        let cores = Json::array(self.cores.iter().map(|rt| {
+            let active = rt.meter.time_in_at(PowerState::Active, now);
+            let mut attributed = SimDuration::ZERO;
+            let mut breakdown: Vec<(String, Json)> = Vec::new();
+            for (sub, d) in self.metrics.core_breakdown("active", rt.desc.id.0) {
+                attributed += d;
+                breakdown.push((sub.to_string(), Json::u64(d.as_ns())));
+            }
+            Json::object([
+                ("core", Json::u64(rt.desc.id.0 as u64)),
+                ("domain", Json::u64(rt.desc.domain.0 as u64)),
+                ("freq_hz", Json::u64(rt.desc.freq_hz)),
+                ("energy_mj", Json::f64(rt.meter.energy_mj_at(now))),
+                ("wakeups", Json::u64(rt.meter.wakeups())),
+                (
+                    "state_ns",
+                    Json::object([
+                        ("active", Json::u64(active.as_ns())),
+                        (
+                            "idle",
+                            Json::u64(rt.meter.time_in_at(PowerState::Idle, now).as_ns()),
+                        ),
+                        (
+                            "inactive",
+                            Json::u64(rt.meter.time_in_at(PowerState::Inactive, now).as_ns()),
+                        ),
+                    ]),
+                ),
+                ("active_breakdown_ns", Json::Object(breakdown)),
+                (
+                    "unaccounted_active_ns",
+                    Json::u64(active.saturating_sub(attributed).as_ns()),
+                ),
+            ])
+        }));
+        let counters = Json::Object(
+            self.metrics
+                .counters()
+                .map(|(k, v)| (k.to_string(), Json::u64(v)))
+                .collect(),
+        );
+        let durations = Json::Object(
+            self.metrics
+                .durations()
+                .map(|(k, d)| (k.to_string(), Json::u64(d.as_ns())))
+                .collect(),
+        );
+        let gauges = Json::Object(
+            self.metrics
+                .gauges()
+                .map(|(k, g)| {
+                    (
+                        k.to_string(),
+                        Json::object([
+                            ("value", Json::f64(g.value())),
+                            ("min", Json::f64(g.min())),
+                            ("max", Json::f64(g.max())),
+                            ("time_avg", Json::f64(g.time_average(now))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let histograms = Json::Object(
+            self.metrics
+                .histograms()
+                .map(|(k, h)| {
+                    (
+                        k.to_string(),
+                        Json::object([
+                            ("count", Json::u64(h.count())),
+                            ("mean", Json::f64(h.mean())),
+                            ("p50", Json::u64(h.percentile(0.5))),
+                            ("p99", Json::u64(h.percentile(0.99))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let spans = Json::object([
+            ("allocated", Json::u64(self.spans.allocated())),
+            ("retained", Json::u64(self.spans.spans().count() as u64)),
+            ("dropped", Json::u64(self.spans.dropped())),
+            (
+                "by_name",
+                Json::Object(
+                    self.spans
+                        .summary()
+                        .into_iter()
+                        .map(|(name, (count, total_ns))| {
+                            (
+                                name.to_string(),
+                                Json::object([
+                                    ("count", Json::u64(count)),
+                                    ("total_ns", Json::u64(total_ns)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        Json::object([
+            ("sim_time_ns", Json::u64(now.as_ns())),
+            ("total_energy_mj", Json::f64(self.total_energy_mj())),
+            ("domains", domains),
+            ("cores", cores),
+            (
+                "metrics",
+                Json::object([
+                    ("counters", counters),
+                    ("durations_ns", durations),
+                    ("gauges", gauges),
+                    ("histograms", histograms),
+                ]),
+            ),
+            ("spans", spans),
+        ])
     }
 
     // ------------------------------------------------------------------
@@ -458,6 +695,7 @@ impl<W> Machine<W> {
         }));
         self.live_tasks += 1;
         self.cores[core.index()].rq.push_back(id);
+        self.note_runq(core);
         self.kick(core, w);
         id
     }
@@ -477,6 +715,7 @@ impl<W> Machine<W> {
         slot.state = TaskState::Ready;
         let core = slot.core;
         self.cores[core.index()].rq.push_back(task);
+        self.note_runq(core);
         self.kick(core, w);
     }
 
@@ -517,7 +756,16 @@ impl<W> Machine<W> {
         mail: Mail,
         tag: Option<LinkTag>,
     ) {
-        let env = Envelope { from, mail, tag };
+        let span = self.spans.start(self.now, "mail", from.0);
+        let env = Envelope {
+            from,
+            mail,
+            tag,
+            sent_at: self.now,
+            span,
+        };
+        self.metrics
+            .incr(Key::new("mail.sent", Tag::DomainPair(from.0, to.0)));
         let mut deliveries = [Some(MAIL_LATENCY), None];
         if let Some(plan) = &mut self.fault_plan {
             match plan.mail_fate() {
@@ -530,6 +778,11 @@ impl<W> Machine<W> {
                             arg: mail.0,
                         },
                     );
+                    self.metrics.incr(Key::new(
+                        "mail.fault_dropped",
+                        Tag::DomainPair(from.0, to.0),
+                    ));
+                    self.spans.end(self.now, span);
                     return;
                 }
                 MailFate::Duplicate => {
@@ -540,6 +793,10 @@ impl<W> Machine<W> {
                             arg: mail.0,
                         },
                     );
+                    self.metrics.incr(Key::new(
+                        "mail.fault_duplicated",
+                        Tag::DomainPair(from.0, to.0),
+                    ));
                     deliveries[1] = Some(MAIL_LATENCY);
                 }
                 MailFate::Delay(extra) => {
@@ -550,6 +807,10 @@ impl<W> Machine<W> {
                             arg: mail.0,
                         },
                     );
+                    self.metrics.incr(Key::new(
+                        "mail.fault_delayed",
+                        Tag::DomainPair(from.0, to.0),
+                    ));
                     deliveries[0] = Some(MAIL_LATENCY + extra);
                 }
             }
@@ -637,6 +898,11 @@ impl<W> Machine<W> {
         lead: SimDuration,
     ) -> DmaXferId {
         let id = self.dma.submit_after(self.now, src, dst, len, lead);
+        self.metrics.incr(Key::new("dma.submitted", Tag::Whole));
+        self.metrics
+            .add(Key::new("dma.bytes_submitted", Tag::Whole), len);
+        let span = self.spans.start(self.now, "dma", DomainId::STRONG.0);
+        self.dma_inflight.insert(id, (span, self.now));
         self.schedule_dma_tick();
         id
     }
@@ -704,6 +970,7 @@ impl<W> Machine<W> {
     /// extra latency a *requester* should add on top of its own costs
     /// (non-zero only when the remote core had to wake up).
     pub fn charge_remote(&mut self, core: CoreId, dur: SimDuration, w: &mut W) -> SimDuration {
+        self.attribute(core, "remote", dur);
         match self.cores[core.index()].mode {
             CoreMode::Busy => {
                 self.cores[core.index()].extra += dur;
@@ -715,6 +982,7 @@ impl<W> Machine<W> {
             }
             CoreMode::Inactive => {
                 let wake = self.cores[core.index()].desc.power.wake_latency;
+                self.attribute(core, "wake", wake);
                 self.cores[core.index()].woke_for_service = true;
                 self.begin_busy(core, wake + dur, w);
                 wake
@@ -743,6 +1011,7 @@ impl<W> Machine<W> {
                 None => self.deadlock_panic(),
             }
         }
+        self.final_audit(w);
         self.now
     }
 
@@ -760,6 +1029,7 @@ impl<W> Machine<W> {
         }
         assert!(until >= self.now, "run_until target in the past");
         self.now = until;
+        self.final_audit(w);
     }
 
     /// Post-event work: asynchronous fault injection (spurious wake-ups,
@@ -887,10 +1157,22 @@ impl<W> Machine<W> {
                         payload: env.mail.0,
                     },
                 );
+                self.metrics
+                    .incr(Key::new("mail.delivered", Tag::Domain(to.0)));
+                self.metrics.observe_duration(
+                    Key::new("mail.latency", Tag::DomainPair(env.from.0, to.0)),
+                    self.now.saturating_since(env.sent_at),
+                );
                 if !self.mailboxes.deliver(to, env) {
                     panic!("mailbox FIFO overflow for {to}");
                 }
+                // The mailbox IRQ (and everything its ISR triggers) is
+                // causally downstream of this mail: parent it on the
+                // flight span, then close the span at delivery.
+                self.spans.push_current(env.span);
                 self.raise_irq(IrqId::mailbox_for(to), w);
+                self.spans.pop_current();
+                self.spans.end(self.now, env.span);
             }
             Event::DmaTick { generation } => {
                 if generation != self.dma.generation() {
@@ -899,15 +1181,24 @@ impl<W> Machine<W> {
                 let mut completions = self.dma.advance(self.now);
                 if !completions.is_empty() {
                     for c in &mut completions {
+                        if let Some((span, submitted)) = self.dma_inflight.remove(&c.id) {
+                            self.spans.end(self.now, span);
+                            self.metrics.observe_duration(
+                                Key::new("dma.xfer_ns", Tag::Whole),
+                                self.now.saturating_since(submitted),
+                            );
+                        }
                         let fate = match &mut self.fault_plan {
                             Some(plan) => plan.dma_fate(),
                             None => DmaFate::Ok,
                         };
                         match fate {
                             DmaFate::Ok => {
+                                self.metrics.incr(Key::new("dma.completed", Tag::Whole));
                                 self.ram.copy(c.src, c.dst, c.len as usize);
                             }
                             DmaFate::Fail => {
+                                self.metrics.incr(Key::new("dma.failed", Tag::Whole));
                                 c.status = DmaStatus::Error { bytes_copied: 0 };
                                 self.trace.record(
                                     self.now,
@@ -918,6 +1209,7 @@ impl<W> Machine<W> {
                                 );
                             }
                             DmaFate::Partial(f) => {
+                                self.metrics.incr(Key::new("dma.failed", Tag::Whole));
                                 let n = if c.len > 1 {
                                     ((c.len as f64 * f) as u64).clamp(1, c.len - 1)
                                 } else {
@@ -974,7 +1266,14 @@ impl<W> Machine<W> {
                 domain: dom.0,
             },
         );
+        self.metrics
+            .incr(Key::new("irq.delivered", Tag::Domain(dom.0)));
         let core = self.domains[dom.index()][0];
+        // The handler span parents on whatever is current — the mail
+        // flight span when this is a mailbox delivery — and everything
+        // the hook does (bottom halves, replies) parents on the handler.
+        let span = self.spans.start(self.now, "irq", dom.0);
+        self.spans.push_current(span);
         // Run the hook's logic now; charge its time to the core.
         let mut cycles = crate::calib::IRQ_ENTRY_INSTRUCTIONS;
         if let Some(hook_slot) = self.hooks.get_mut(&(dom, irq)) {
@@ -992,12 +1291,16 @@ impl<W> Machine<W> {
                 *slot = Some(hook);
             }
         }
+        self.spans.pop_current();
+        self.spans.end(self.now, span);
         let dur = self.cores[core.index()].desc.cycles(cycles);
+        self.attribute(core, "irq", dur);
         match self.cores[core.index()].mode {
             CoreMode::Busy => self.cores[core.index()].extra += dur,
             CoreMode::Idle => self.begin_busy(core, dur, w),
             CoreMode::Inactive => {
                 let wake = self.cores[core.index()].desc.power.wake_latency;
+                self.attribute(core, "wake", wake);
                 self.cores[core.index()].woke_for_service = true;
                 self.begin_busy(core, wake + dur, w);
             }
@@ -1040,6 +1343,7 @@ impl<W> Machine<W> {
             CoreMode::Idle => self.dispatch(core, w),
             CoreMode::Inactive => {
                 let wake = self.cores[core.index()].desc.power.wake_latency;
+                self.attribute(core, "wake", wake);
                 // Wake up, then dispatch from the StepDone.
                 self.begin_busy(core, wake, w);
             }
@@ -1056,6 +1360,9 @@ impl<W> Machine<W> {
                         start: true,
                     },
                 );
+                self.metrics
+                    .incr(Key::new("sched.dispatch", Tag::Core(core.0)));
+                self.note_runq(core);
                 self.cores[core.index()].woke_for_service = false;
                 self.cores[core.index()].task_activity_at = self.now;
                 self.cores[core.index()].running = Some(task);
@@ -1123,6 +1430,7 @@ impl<W> Machine<W> {
                     arg: core.0 as u32,
                 },
             );
+            self.attribute(core, "stall", dur);
             self.begin_busy(core, dur, w);
             return;
         }
@@ -1147,9 +1455,13 @@ impl<W> Machine<W> {
         match step {
             Step::Compute { cycles } => {
                 let dur = self.cores[core.index()].desc.cycles(cycles);
+                self.attribute(core, "task", dur);
                 self.begin_busy(core, dur, w);
             }
-            Step::ComputeTime { dur } => self.begin_busy(core, dur, w),
+            Step::ComputeTime { dur } => {
+                self.attribute(core, "task", dur);
+                self.begin_busy(core, dur, w);
+            }
             Step::Sleep { dur } => {
                 self.park(core, task);
                 self.queue
@@ -1170,6 +1482,7 @@ impl<W> Machine<W> {
                 let rt = &mut self.cores[core.index()];
                 rt.running = None;
                 rt.rq.push_back(task);
+                self.note_runq(core);
                 if let Some(slot) = self.tasks[task.0 as usize].as_mut() {
                     slot.state = TaskState::Ready;
                 }

@@ -194,6 +194,17 @@ impl EnergyMeter {
         self.state_time[Self::idx(state)]
     }
 
+    /// Time spent in a state up to `now`, including the open interval —
+    /// what profile reports use, so a state a core is still sitting in
+    /// is accounted to the report instant.
+    pub fn time_in_at(&self, state: PowerState, now: SimTime) -> SimDuration {
+        let mut t = self.state_time[Self::idx(state)];
+        if state == self.state {
+            t += now.saturating_since(self.last);
+        }
+        t
+    }
+
     /// Number of wake-ups from the inactive state.
     pub fn wakeups(&self) -> u64 {
         self.wakeups
@@ -280,6 +291,20 @@ mod tests {
         m.set_state(t(300), PowerState::Active);
         assert_eq!(m.time_in(PowerState::Active), SimDuration::from_ms(100));
         assert_eq!(m.time_in(PowerState::Idle), SimDuration::from_ms(200));
+    }
+
+    #[test]
+    fn time_in_at_counts_open_interval() {
+        let mut m = EnergyMeter::new(CorePowerParams::cortex_m3_200mhz(), PowerState::Active);
+        m.set_state(t(100), PowerState::Idle);
+        assert_eq!(
+            m.time_in_at(PowerState::Idle, t(250)),
+            SimDuration::from_ms(150)
+        );
+        assert_eq!(
+            m.time_in_at(PowerState::Active, t(250)),
+            SimDuration::from_ms(100)
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod golden;
 pub mod harness;
 pub mod micro;
 pub mod record;
@@ -28,5 +29,6 @@ pub mod tasks;
 pub mod trend;
 pub mod usage;
 
+pub use golden::{golden_report, golden_run, GoldenScenario};
 pub use harness::{compare_energy, run_energy_bench, run_shared_driver, Workload};
 pub use record::{EnergyRun, EnergySnapshot, SharedDriverRun};

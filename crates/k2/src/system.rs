@@ -24,6 +24,8 @@ use k2_kernel::kernel::{SharedServices, SystemWorld};
 use k2_kernel::proc::{Pid, ThreadState, Tid};
 use k2_kernel::reliable::{LinkStats, ReliableLink, RetryVerdict, SendTicket};
 use k2_kernel::service::{OpCx, ServiceId};
+use k2_sim::json::Json;
+use k2_sim::metrics::{Key, Tag};
 use k2_sim::time::SimDuration;
 use k2_soc::core::Isa;
 use k2_soc::dma::{DmaStatus, DmaXferId};
@@ -293,6 +295,68 @@ impl K2System {
             Box::new(|w: &K2System| w.dsm.validate()),
         );
         (machine, sys)
+    }
+
+    /// The machine-wide profile report (see [`Machine::profile_report`])
+    /// extended with a `system` section: the OS-level view — shadowed-op
+    /// and lock counters, DSM and NightWatch protocol statistics, balloon
+    /// traffic, reliable-link totals. Deterministic: two runs of the same
+    /// seeded scenario render byte-identical JSON.
+    pub fn profile_report(&self, m: &K2Machine) -> Json {
+        let mut j = m.profile_report();
+        let ls = self.link_stats();
+        let (deflates, inflates) = self.balloon.op_counts();
+        let (suspends, resumes) = self.nightwatch.counts();
+        let system = Json::object([
+            ("mode", Json::str(format!("{:?}", self.config.mode))),
+            ("shadowed_ops", Json::u64(self.stats.shadowed_ops)),
+            ("hwlock_ops", Json::u64(self.stats.hwlock_ops)),
+            ("hwlock_aborts", Json::u64(self.stats.hwlock_aborts)),
+            ("redirected_frees", Json::u64(self.stats.redirected_frees)),
+            (
+                "dsm",
+                Json::object([
+                    ("faults", Json::u64(self.dsm.total_faults())),
+                    ("messages", Json::u64(self.dsm.stats().messages)),
+                    ("sections_split", Json::u64(self.dsm.stats().sections_split)),
+                ]),
+            ),
+            (
+                "nightwatch",
+                Json::object([
+                    ("suspends", Json::u64(suspends)),
+                    ("resumes", Json::u64(resumes)),
+                ]),
+            ),
+            (
+                "balloon",
+                Json::object([
+                    ("deflates", Json::u64(deflates)),
+                    ("inflates", Json::u64(inflates)),
+                    ("free_blocks", Json::u64(self.balloon.free_blocks())),
+                ]),
+            ),
+            (
+                "links",
+                Json::object([
+                    ("sent", Json::u64(ls.sent)),
+                    ("retransmits", Json::u64(ls.retransmits)),
+                    ("acked", Json::u64(ls.acked)),
+                    ("gave_up", Json::u64(ls.gave_up)),
+                    ("accepted", Json::u64(ls.accepted)),
+                    ("duplicates_dropped", Json::u64(ls.duplicates_dropped)),
+                ]),
+            ),
+            (
+                "dma_driver",
+                Json::object([
+                    ("retries", Json::u64(self.stats.dma_retries)),
+                    ("gave_up", Json::u64(self.stats.dma_gave_up)),
+                ]),
+            ),
+        ]);
+        j.push("system", system);
+        j
     }
 
     /// Merged reliable-messaging counters across every link (empty unless
@@ -599,6 +663,8 @@ fn reliable_send(
         chan,
         seq: ticket.seq,
     };
+    m.metrics_mut()
+        .incr(Key::new("link.sent", Tag::DomainPair(from.0, to.0)));
     m.mailbox_send_tagged(from, to, Mail(payload), Some(tag));
     schedule_retry(m, from, to, chan, ticket);
 }
@@ -615,7 +681,11 @@ fn schedule_retry(m: &mut K2Machine, from: DomainId, to: DomainId, chan: u8, tic
                 return;
             };
             match link.due(ticket.seq, m.now()) {
-                RetryVerdict::Settled | RetryVerdict::GaveUp => {}
+                RetryVerdict::Settled => {}
+                RetryVerdict::GaveUp => {
+                    m.metrics_mut()
+                        .incr(Key::new("link.gave_up", Tag::DomainPair(from.0, to.0)));
+                }
                 RetryVerdict::Retry(next) => {
                     let payload = link
                         .payload_of(ticket.seq)
@@ -624,6 +694,8 @@ fn schedule_retry(m: &mut K2Machine, from: DomainId, to: DomainId, chan: u8, tic
                         chan,
                         seq: ticket.seq,
                     };
+                    m.metrics_mut()
+                        .incr(Key::new("link.retransmit", Tag::DomainPair(from.0, to.0)));
                     m.mailbox_send_tagged(from, to, Mail(payload), Some(tag));
                     schedule_retry(m, from, to, chan, next);
                 }
@@ -642,6 +714,8 @@ fn handle_mail(w: &mut K2System, m: &mut K2Machine, dom: DomainId, env: Envelope
         m.mailbox_send(dom, env.from, Mail(encode_ack(tag)));
         let link = w.links.entry((env.from.0, dom.0, tag.chan)).or_default();
         if !link.accept(tag.seq) {
+            m.metrics_mut()
+                .incr(Key::new("link.duplicate", Tag::Domain(dom.0)));
             return 80; // retransmitted duplicate: re-acked, payload dropped
         }
         let dispatch = match tag.chan {
@@ -682,6 +756,8 @@ fn handle_nw_mail(w: &mut K2System, m: &mut K2Machine, dom: DomainId, mail: u32)
     }
     match NwMsg::decode(mail) {
         NwMsg::SuspendNw(pid) => {
+            m.metrics_mut()
+                .incr(Key::new("nw.suspend", Tag::Domain(dom.0)));
             let ack = w.nightwatch.handle_suspend(pid);
             send_protocol_mail(w, m, dom, DomainId::STRONG, CHAN_NW, ack.encode());
             300
@@ -691,6 +767,8 @@ fn handle_nw_mail(w: &mut K2System, m: &mut K2Machine, dom: DomainId, mail: u32)
             120
         }
         NwMsg::ResumeNw(pid) => {
+            m.metrics_mut()
+                .incr(Key::new("nw.resume", Tag::Domain(dom.0)));
             if w.nightwatch.handle_resume(pid) {
                 if let Some(parked) = w.nw_parked.remove(&pid.0) {
                     for t in parked {
@@ -741,6 +819,8 @@ pub fn shadowed<R>(
     let dom = desc.domain;
     let mut dur = cost.time_on(&desc);
     w.stats.shadowed_ops += 1;
+    m.metrics_mut()
+        .incr(Key::new("svc.shadowed", Tag::Domain(dom.0)));
     if w.config.mode == SystemMode::LinuxBaseline {
         return (r, dur);
     }
@@ -764,6 +844,8 @@ pub fn shadowed<R>(
             lock.0
         );
         w.stats.hwlock_aborts += 1;
+        m.metrics_mut()
+            .incr(Key::new("hwlock.abort", Tag::Domain(dom.0)));
         let backoff =
             (HWLOCK_BACKOFF_BASE.as_ns() << (attempts - 1).min(8)).min(HWLOCK_BACKOFF_MAX.as_ns());
         at += HWLOCK_DEADLINE + SimDuration::from_ns(backoff);
@@ -805,6 +887,10 @@ pub fn shadowed<R>(
         let wake_extra = m.charge_remote(owner_core, b.servicing + bh_extra, w);
         let total = b.total() + wake_extra + deferral + bh_extra;
         w.dsm.record_fault(dom, total.as_us_f64());
+        m.metrics_mut()
+            .incr(Key::new("dsm.fault", Tag::DomainPair(dom.0, fault.from.0)));
+        m.metrics_mut()
+            .observe_duration(Key::new("dsm.fault_ns", Tag::Domain(dom.0)), total);
         dur += total;
         // §6.3's message pair made observable: under fault injection the
         // GetExclusive/PutExclusive notifications ride the reliable DSM
@@ -887,7 +973,10 @@ pub fn alloc_pages(
         None => None,
     };
     w.stats.allocs[dom.index().min(1)] += 1;
-    (pfn, cost.time_on(&desc))
+    let dur = cost.time_on(&desc);
+    m.metrics_mut()
+        .observe_duration(Key::new("mm.alloc_ns", Tag::Domain(dom.0)), dur);
+    (pfn, dur)
 }
 
 /// Frees pages, redirecting to the allocator that owns the frame (§6.2's
@@ -912,6 +1001,10 @@ pub fn free_pages(w: &mut K2System, m: &mut K2Machine, core: CoreId, pfn: Pfn) -
         // Redirect: the caller only pays the address check + mail; the
         // owner's core does the work asynchronously.
         w.stats.redirected_frees += 1;
+        m.metrics_mut().incr(Key::new(
+            "mm.redirected_free",
+            Tag::DomainPair(caller_dom.0, owner.0),
+        ));
         let owner_core = K2System::kernel_core(m, owner);
         let owner_desc = m.core_desc(owner_core).clone();
         m.charge_remote(owner_core, cost.time_on(&owner_desc), w);
@@ -953,6 +1046,8 @@ pub fn meta_poll(w: &mut K2System, m: &mut K2Machine, core: CoreId) -> SimDurati
             let i = dom.index().min(1);
             let j = usize::from(pressure != Pressure::Low);
             w.balloon.latency_us[i][j].record(t.as_us_f64());
+            m.metrics_mut()
+                .observe_duration(Key::new("balloon.op_ns", Tag::Domain(dom.0)), t);
             if kernel_core == core {
                 return t;
             }
@@ -1125,6 +1220,8 @@ pub fn schedule_in_normal(
         .cycles(k2_soc::calib::IRQ_ENTRY_INSTRUCTIONS);
     let extra = NightWatch::suspend_overlap_overhead(ctx, shadow_turnaround);
     w.nightwatch.switch_overhead_us.record(extra.as_us_f64());
+    m.metrics_mut()
+        .observe_duration(Key::new("nw.switch_overhead_ns", Tag::Whole), extra);
     ctx + extra
 }
 

@@ -1,0 +1,100 @@
+//! Golden-trace regression suite.
+//!
+//! Each scenario in [`GoldenScenario::ALL`] has a canonical profile report
+//! checked in under `tests/golden/`, one file per `(scenario, seed)` pair.
+//! The tests re-run the scenario and compare byte-for-byte: any change to
+//! event ordering, cost calibration, metric naming, or JSON rendering shows
+//! up as a diff that must be consciously re-blessed, never silently
+//! absorbed.
+//!
+//! - `K2_GOLDEN_SEED` selects the fault seed (default 2014; CI also runs
+//!   4202). A golden file must exist for every seed the suite runs with.
+//! - `K2_BLESS=1` regenerates the golden files instead of comparing:
+//!   `K2_BLESS=1 cargo test --test golden_reports`.
+
+use k2_workloads::golden::{golden_report, golden_run, GoldenScenario};
+use std::path::PathBuf;
+
+fn golden_seed() -> u64 {
+    match std::env::var("K2_GOLDEN_SEED") {
+        Ok(s) => s.parse().expect("K2_GOLDEN_SEED must be an integer"),
+        Err(_) => 2014,
+    }
+}
+
+fn golden_path(scenario: GoldenScenario, seed: u64) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_seed{}.json", scenario.name(), seed))
+}
+
+fn check_golden(scenario: GoldenScenario) {
+    let seed = golden_seed();
+    let rendered = golden_report(scenario, seed);
+    let path = golden_path(scenario, seed);
+    if std::env::var("K2_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "no golden file at {} ({e}); generate it with \
+             K2_BLESS=1 K2_GOLDEN_SEED={seed} cargo test --test golden_reports",
+            path.display()
+        )
+    });
+    assert!(
+        rendered == expected,
+        "{} diverged from its golden report (seed {seed}).\n\
+         If the change is intentional, re-bless with \
+         K2_BLESS=1 K2_GOLDEN_SEED={seed} cargo test --test golden_reports\n\
+         --- golden ---\n{expected}\n--- actual ---\n{rendered}",
+        scenario.name()
+    );
+}
+
+#[test]
+fn udp_loopback_matches_golden() {
+    check_golden(GoldenScenario::UdpLoopback);
+}
+
+#[test]
+fn nightwatch_cycle_matches_golden() {
+    check_golden(GoldenScenario::NightwatchCycle);
+}
+
+#[test]
+fn dma_heavy_matches_golden() {
+    check_golden(GoldenScenario::DmaHeavy);
+}
+
+/// The report must attribute (nearly) all core-active time to named
+/// subsystems; every charge site feeds the attribution table, so the
+/// coverage should in fact be exact.
+#[test]
+fn active_time_is_attributed_to_subsystems() {
+    for scenario in GoldenScenario::ALL {
+        let (m, _sys) = golden_run(scenario, golden_seed());
+        let (active, attributed) = m.active_attribution();
+        assert!(
+            attributed.as_ns() as f64 >= active.as_ns() as f64 * 0.95,
+            "{}: only {:?} of {:?} active time attributed",
+            scenario.name(),
+            attributed,
+            active
+        );
+    }
+}
+
+/// The core determinism criterion, independent of any checked-in file: two
+/// runs of the same seeded scenario render byte-identical reports.
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let seed = golden_seed();
+    for scenario in GoldenScenario::ALL {
+        let a = golden_report(scenario, seed);
+        let b = golden_report(scenario, seed);
+        assert_eq!(a, b, "{} not deterministic", scenario.name());
+    }
+}

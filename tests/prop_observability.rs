@@ -1,0 +1,204 @@
+//! Randomized (property-style) tests over the observability layer: the
+//! metrics registry's accumulators and the span tracker.
+//!
+//! Same methodology as `prop_invariants.rs`: inputs come from the repo's
+//! own deterministic [`SimRng`], so every failing case reproduces exactly.
+
+use k2_sim::span::{SpanId, SpanTracker};
+use k2_sim::stats::Histogram;
+use k2_sim::time::SimTime;
+use k2_sim::{ShardedCounter, SimRng};
+
+/// Runs `cases` generated inputs through `f`, seeding each case
+/// deterministically and labelling failures with the case number.
+fn run_cases(cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    for case in 0..cases {
+        let mut rng = SimRng::seed_from_u64(0xC0FFEE ^ (case.wrapping_mul(0x9E37_79B9)));
+        f(&mut rng);
+    }
+}
+
+fn random_histogram(rng: &mut SimRng) -> Histogram {
+    let mut h = Histogram::new();
+    let n = rng.gen_range(200);
+    for _ in 0..n {
+        // Span the full bucket range: small latencies to huge outliers.
+        let bits = rng.gen_range(48) as u32;
+        h.record(rng.gen_range(1u64 << bits) + 1);
+    }
+    h
+}
+
+// ----------------------------------------------------------------------
+// Histogram merge
+// ----------------------------------------------------------------------
+
+/// Merging histograms is commutative: a ∪ b == b ∪ a, bucket for bucket.
+#[test]
+fn histogram_merge_is_commutative() {
+    run_cases(128, |rng| {
+        let a = random_histogram(rng);
+        let b = random_histogram(rng);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    });
+}
+
+/// Merging histograms is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+#[test]
+fn histogram_merge_is_associative() {
+    run_cases(128, |rng| {
+        let a = random_histogram(rng);
+        let b = random_histogram(rng);
+        let c = random_histogram(rng);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    });
+}
+
+/// A merged histogram equals the histogram of the concatenated samples.
+#[test]
+fn histogram_merge_equals_recording_everything() {
+    run_cases(64, |rng| {
+        let n = rng.gen_range(300) as usize;
+        let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(1 << 40) + 1).collect();
+        let split = if n == 0 {
+            0
+        } else {
+            rng.gen_range(n as u64 + 1) as usize
+        };
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &s in &samples[..split] {
+            a.record(s);
+        }
+        for &s in &samples[split..] {
+            b.record(s);
+        }
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    });
+}
+
+// ----------------------------------------------------------------------
+// Sharded counters
+// ----------------------------------------------------------------------
+
+/// The counter total always equals the sum of its per-domain shards,
+/// under any interleaving of shard updates.
+#[test]
+fn sharded_counter_total_is_sum_of_shards() {
+    run_cases(128, |rng| {
+        let mut c = ShardedCounter::new();
+        let mut expected: u64 = 0;
+        let ops = rng.gen_range(200);
+        for _ in 0..ops {
+            let dom = rng.gen_range(4) as u8;
+            let n = rng.gen_range(1_000);
+            c.add(dom, n);
+            expected += n;
+        }
+        assert_eq!(c.total(), expected);
+        assert_eq!(c.shards().map(|(_, n)| n).sum::<u64>(), expected);
+    });
+}
+
+// ----------------------------------------------------------------------
+// Span trees
+// ----------------------------------------------------------------------
+
+/// Random span activity — nested starts via the current-span stack, random
+/// explicit parents, out-of-order ends, some spans never closed — always
+/// leaves the tracker well-formed: ends after starts, parents resolvable,
+/// children within their parents' intervals.
+#[test]
+fn random_span_trees_are_well_formed() {
+    run_cases(96, |rng| {
+        let mut t = SpanTracker::new();
+        let mut now = 0u64;
+        let mut open: Vec<SpanId> = Vec::new();
+        let names = ["mail", "irq", "dma", "op"];
+        let ops = 1 + rng.gen_range(400);
+        for _ in 0..ops {
+            now += rng.gen_range(1_000);
+            let at = SimTime::from_ns(now);
+            match rng.gen_range(10) {
+                // Start on the current-span stack (nested causality).
+                0..=3 => {
+                    let name = names[rng.gen_range(names.len() as u64) as usize];
+                    let id = t.start(at, name, rng.gen_range(2) as u8);
+                    t.push_current(id);
+                    open.push(id);
+                }
+                // Start under a random already-open parent.
+                4..=5 if !open.is_empty() => {
+                    let parent = open[rng.gen_range(open.len() as u64) as usize];
+                    let id = t.start_child(at, "child", 0, Some(parent));
+                    if rng.gen_bool(0.7) {
+                        t.end(at, id);
+                    } else {
+                        open.push(id);
+                    }
+                }
+                // Close the innermost open span.
+                6..=8 => {
+                    if let Some(id) = open.pop() {
+                        t.pop_current();
+                        t.end(at, id);
+                    }
+                }
+                // Spurious operations the tracker must tolerate.
+                _ => {
+                    t.end(at, SpanId::NONE);
+                    t.pop_current();
+                }
+            }
+        }
+        // Close the rest in LIFO order (well-nested intervals).
+        while let Some(id) = open.pop() {
+            now += rng.gen_range(1_000);
+            t.end(SimTime::from_ns(now), id);
+        }
+        t.validate_well_formed()
+            .unwrap_or_else(|e| panic!("ill-formed span tree: {e}"));
+    });
+}
+
+/// Well-formedness holds even past the capacity limit: dropped spans may
+/// be referenced as parents without breaking validation.
+#[test]
+fn span_capacity_overflow_stays_well_formed() {
+    run_cases(16, |rng| {
+        let mut t = SpanTracker::with_capacity(32);
+        let mut now = 0u64;
+        let mut last = SpanId::NONE;
+        for i in 0..100u64 {
+            now += rng.gen_range(100) + 1;
+            let id = t.start_child(SimTime::from_ns(now), "s", 0, Some(last));
+            if i % 3 != 0 {
+                now += rng.gen_range(100);
+                t.end(SimTime::from_ns(now), id);
+            } else {
+                // Stays open until the end of the run; later spans nest
+                // inside it (closed parents cannot adopt new children).
+                last = id;
+            }
+        }
+        assert!(t.dropped() > 0, "capacity 32 must drop some of 100 spans");
+        t.validate_well_formed()
+            .unwrap_or_else(|e| panic!("ill-formed after overflow: {e}"));
+    });
+}
