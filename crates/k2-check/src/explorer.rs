@@ -1,0 +1,211 @@
+//! The exploration driver: many runs, many schedules, one verdict.
+//!
+//! An [`Explorer`] runs a scenario once under the baseline schedule to
+//! establish the reference outcome, then spends its budget on perturbed
+//! runs — alternating seeded random walks with delay-bounded searches —
+//! recording every decision trace. Each run is checked against the
+//! always-on oracles (conservation, invariant audit); fault-free runs
+//! are additionally compared against the baseline end state.
+
+use crate::oracle::EndState;
+use crate::policy::{
+    chooser_of, Baseline, DelayBounded, RandomWalk, Recorder, Replay, SchedulePolicy,
+};
+use crate::scenario::{FaultSpec, RunOutcome, Scenario};
+use crate::schedule::Schedule;
+use std::collections::HashSet;
+use std::fmt;
+
+/// What kind of oracle a failing schedule violated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A counter-conservation law did not balance.
+    Conservation,
+    /// The machine's invariant auditor flagged a violation mid-run.
+    Invariant,
+    /// A fault-free run's logical end state diverged from the baseline
+    /// schedule's.
+    EndStateDivergence,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureKind::Conservation => "conservation violation",
+            FailureKind::Invariant => "invariant violation",
+            FailureKind::EndStateDivergence => "end-state divergence",
+        })
+    }
+}
+
+/// One schedule that violated an oracle.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The recorded decision trace that reproduces the violation.
+    pub schedule: Schedule,
+    /// Which oracle failed.
+    pub kind: FailureKind,
+    /// What the oracle saw.
+    pub detail: String,
+    /// Which policy found it.
+    pub policy: &'static str,
+}
+
+/// Aggregate result of one exploration campaign.
+pub struct ExplorationReport {
+    /// The scenario explored.
+    pub scenario: Scenario,
+    /// Total runs, including the baseline.
+    pub runs: u32,
+    /// Distinct decision traces observed.
+    pub distinct_schedules: usize,
+    /// Choice points hit across all runs.
+    pub total_choice_points: u64,
+    /// Every oracle violation found, in discovery order.
+    pub failures: Vec<Failure>,
+    /// The baseline run's end state (the differential reference).
+    pub baseline_end_state: EndState,
+}
+
+impl ExplorationReport {
+    /// The first failure, if exploration found any.
+    pub fn first_failure(&self) -> Option<&Failure> {
+        self.failures.first()
+    }
+}
+
+/// Runs `scenario` under `policy`, recording the decision trace.
+pub fn run_recorded(
+    scenario: Scenario,
+    spec: &FaultSpec,
+    policy: Box<dyn SchedulePolicy>,
+) -> (Schedule, RunOutcome) {
+    let recorder = Recorder::new();
+    let chooser = recorder.chooser(policy);
+    let outcome = scenario.run(spec, Some(chooser));
+    (recorder.schedule(), outcome)
+}
+
+/// Re-runs `scenario` replaying `schedule` and reports which oracle (if
+/// any) the replay violates. The end-state comparison is made against a
+/// fresh baseline run under the *same* spec, so the check stays valid as
+/// the shrinker rewrites the spec.
+///
+/// Note the caveat the explorer respects but this replay check cannot:
+/// under an active fault plan the fault dice are consumed in schedule
+/// order, so end-state divergence between two schedules of a *faulted*
+/// run may be legitimate. The shrinker compensates by preferring specs
+/// with fewer active knobs.
+pub fn check_failure(
+    scenario: Scenario,
+    spec: &FaultSpec,
+    schedule: &Schedule,
+) -> Option<(FailureKind, String)> {
+    let baseline = scenario.run(spec, Some(chooser_of(Box::new(Baseline))));
+    let out = scenario.run(spec, Some(chooser_of(Box::new(Replay::new(schedule)))));
+    classify(&out, Some(&baseline.end_state))
+}
+
+/// Applies the oracles to one outcome. `reference` enables the
+/// differential end-state check.
+fn classify(out: &RunOutcome, reference: Option<&EndState>) -> Option<(FailureKind, String)> {
+    if let Err(e) = &out.conservation {
+        return Some((FailureKind::Conservation, e.clone()));
+    }
+    if let Err(e) = &out.audit {
+        return Some((FailureKind::Invariant, e.clone()));
+    }
+    if let Some(baseline) = reference {
+        let diff = baseline.diff(&out.end_state);
+        if !diff.is_empty() {
+            return Some((FailureKind::EndStateDivergence, diff.join("; ")));
+        }
+    }
+    None
+}
+
+/// A bounded exploration campaign over one scenario.
+pub struct Explorer {
+    scenario: Scenario,
+    spec: FaultSpec,
+    seed: u64,
+    budget: u32,
+}
+
+impl Explorer {
+    /// An explorer with the fault-free spec and a default budget of 120
+    /// perturbed runs.
+    pub fn new(scenario: Scenario, seed: u64) -> Self {
+        Explorer {
+            scenario,
+            spec: FaultSpec::none(),
+            seed,
+            budget: 120,
+        }
+    }
+
+    /// Sets the fault envelope. With active faults the end-state oracle
+    /// is disabled (fault dice are consumed in schedule order, so benign
+    /// divergence is expected); conservation and the invariant audit
+    /// still apply to every run.
+    pub fn spec(mut self, spec: FaultSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets how many perturbed runs to spend.
+    pub fn budget(mut self, runs: u32) -> Self {
+        self.budget = runs;
+        self
+    }
+
+    /// Runs the campaign.
+    pub fn run(&self) -> ExplorationReport {
+        let (baseline_schedule, baseline) =
+            run_recorded(self.scenario, &self.spec, Box::new(Baseline));
+        let mut distinct: HashSet<Schedule> = HashSet::new();
+        distinct.insert(baseline_schedule.trimmed());
+        let mut total_choice_points = baseline.choice_points;
+        let mut failures = Vec::new();
+        if let Some((kind, detail)) = classify(&baseline, None) {
+            failures.push(Failure {
+                schedule: Schedule::baseline(),
+                kind,
+                detail,
+                policy: "baseline",
+            });
+        }
+        let differential = self.spec.is_nop();
+
+        for i in 0..self.budget {
+            let stream = 1_000 + u64::from(i);
+            let policy: Box<dyn SchedulePolicy> = if i % 2 == 0 {
+                Box::new(RandomWalk::new(self.seed, stream))
+            } else {
+                Box::new(DelayBounded::new(self.seed, stream, 4))
+            };
+            let policy_name = policy.name();
+            let (schedule, outcome) = run_recorded(self.scenario, &self.spec, policy);
+            total_choice_points += outcome.choice_points;
+            distinct.insert(schedule.trimmed());
+            let reference = differential.then_some(&baseline.end_state);
+            if let Some((kind, detail)) = classify(&outcome, reference) {
+                failures.push(Failure {
+                    schedule: schedule.trimmed(),
+                    kind,
+                    detail,
+                    policy: policy_name,
+                });
+            }
+        }
+
+        ExplorationReport {
+            scenario: self.scenario,
+            runs: self.budget + 1,
+            distinct_schedules: distinct.len(),
+            total_choice_points,
+            failures,
+            baseline_end_state: baseline.end_state,
+        }
+    }
+}

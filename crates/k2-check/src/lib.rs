@@ -1,0 +1,48 @@
+//! # k2-check: schedule exploration for the K2 reproduction
+//!
+//! A deterministic discrete-event simulation runs exactly one schedule
+//! per seed. Whenever several events are co-enabled — mailbox deliveries,
+//! interrupt raises, DMA completions, timer expiries sharing the same
+//! instant — the queue's sequence-number tie-break silently picks one
+//! ordering, so ordinary tests only ever witness a single interleaving.
+//! This crate turns that tie-break into a search space, in the style of
+//! loom/shuttle but at the whole-SoC level:
+//!
+//! * **Policies** ([`policy`]) decide each co-enabled ordering: seeded
+//!   random walks, delay-bounded searches, and exact replay.
+//! * **Schedules** ([`schedule`]) are the recorded decision traces —
+//!   compact `k2s1-…` tokens that reproduce a run bit for bit.
+//! * **Scenarios** ([`scenario`]) are the cross-domain workloads the
+//!   explorer drives, plus the fault envelope they run under.
+//! * **Oracles** ([`oracle`]) say what must hold on *every* schedule:
+//!   counter conservation and (for fault-free runs) end-state
+//!   equivalence against the baseline ordering.
+//! * The **explorer** ([`explorer`]) spends a run budget searching for
+//!   violations; the **shrinker** ([`shrink`]) minimizes what it finds;
+//!   and [`repro`] emits the minimized failure as a self-contained
+//!   `#[test]` under `tests/repros/`.
+//!
+//! The soundness contract inherited from `k2-sim`: a chooser only
+//! permutes orderings the queue already considered simultaneous, so
+//! every explored schedule is a legal execution of the same program.
+
+#![warn(missing_docs)]
+
+pub mod explorer;
+pub mod oracle;
+pub mod policy;
+pub mod repro;
+pub mod scenario;
+pub mod schedule;
+pub mod shrink;
+
+pub use explorer::{
+    check_failure, run_recorded, ExplorationReport, Explorer, Failure, FailureKind,
+};
+pub use oracle::{capture_end_state, check_conservation, EndState};
+pub use policy::{
+    chooser_of, Baseline, DelayBounded, RandomWalk, Recorder, Replay, SchedulePolicy,
+};
+pub use scenario::{FaultSpec, RunOutcome, Scenario};
+pub use schedule::{Schedule, TokenError};
+pub use shrink::{shrink, ShrinkResult};

@@ -1,0 +1,233 @@
+//! Schedule policies: the pluggable strategies that decide, at each
+//! co-enabled choice point, which event fires first.
+//!
+//! A policy sees only the [`ChoicePoint`] — the simulated time and the
+//! event classes of the tied events — and returns an index. The machine
+//! only consults the chooser for sets of ≥ 2 events, so every call is a
+//! real branching point in the schedule space.
+//!
+//! Policies are wrapped into the machine's `ScheduleChooser` by
+//! [`chooser_of`] (plain) or [`Recorder::chooser`] (recording). Both
+//! clamp the policy's answer into range *before* acting on it, and the
+//! recorder logs the clamped value, so every recorded trace is legal and
+//! replays exactly.
+
+use crate::schedule::Schedule;
+use k2_sim::explore::{ChoicePoint, ScheduleChooser};
+use k2_sim::rng::SimRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A strategy for resolving co-enabled event orderings.
+pub trait SchedulePolicy {
+    /// Picks which of the tied events fires first. Out-of-range answers
+    /// are clamped to the last index by the chooser wrapper.
+    fn choose(&mut self, cp: &ChoicePoint<'_>) -> u32;
+
+    /// Short name for logs and failure reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Always defers to the queue's own tie-break (schedule order). The run
+/// this produces is the reference execution for the differential oracles.
+pub struct Baseline;
+
+impl SchedulePolicy for Baseline {
+    fn choose(&mut self, _cp: &ChoicePoint<'_>) -> u32 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+}
+
+/// A seeded uniform random walk over the schedule space: every choice
+/// point picks independently among the tied events.
+pub struct RandomWalk {
+    rng: SimRng,
+}
+
+impl RandomWalk {
+    /// Seeds the walk. Different `stream`s from the same exploration seed
+    /// give decorrelated walks.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        RandomWalk {
+            rng: SimRng::seed_from_stream(seed, stream),
+        }
+    }
+}
+
+impl SchedulePolicy for RandomWalk {
+    fn choose(&mut self, cp: &ChoicePoint<'_>) -> u32 {
+        self.rng.gen_range(cp.classes.len() as u64) as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+/// Delay-bounded exploration: deviates from the baseline ordering at most
+/// `budget` times per run, choosing deviation sites at random. Low bounds
+/// concentrate the search on few-preemption schedules, where most real
+/// ordering bugs live (the classic delay-bounding result), and they keep
+/// shrunken repros short.
+pub struct DelayBounded {
+    rng: SimRng,
+    budget: u32,
+    spent: u32,
+}
+
+impl DelayBounded {
+    /// A policy that deviates at most `budget` times.
+    pub fn new(seed: u64, stream: u64, budget: u32) -> Self {
+        DelayBounded {
+            rng: SimRng::seed_from_stream(seed, stream),
+            budget,
+            spent: 0,
+        }
+    }
+}
+
+impl SchedulePolicy for DelayBounded {
+    fn choose(&mut self, cp: &ChoicePoint<'_>) -> u32 {
+        if self.spent >= self.budget || !self.rng.gen_bool(0.25) {
+            return 0;
+        }
+        let n = cp.classes.len() as u64;
+        let d = 1 + self.rng.gen_range(n - 1);
+        self.spent += 1;
+        d as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "delay-bounded"
+    }
+}
+
+/// Replays a recorded [`Schedule`] decision for decision; once the trace
+/// is exhausted every further choice point takes the baseline decision,
+/// which is what makes prefix truncation a sound shrinking move.
+pub struct Replay {
+    decisions: Vec<u32>,
+    pos: usize,
+}
+
+impl Replay {
+    /// Replays `schedule` from its first decision.
+    pub fn new(schedule: &Schedule) -> Self {
+        Replay {
+            decisions: schedule.decisions().to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl SchedulePolicy for Replay {
+    fn choose(&mut self, _cp: &ChoicePoint<'_>) -> u32 {
+        let d = self.decisions.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        d
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
+/// Wraps a policy into a machine chooser, clamping out-of-range answers.
+pub fn chooser_of(mut policy: Box<dyn SchedulePolicy>) -> ScheduleChooser {
+    Box::new(move |cp: &ChoicePoint<'_>| {
+        let limit = cp.classes.len() - 1;
+        (policy.choose(cp) as usize).min(limit)
+    })
+}
+
+/// Records the (clamped) decision made at every choice point, so the run
+/// can be reproduced from the resulting [`Schedule`] token alone.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    log: Rc<RefCell<Vec<u32>>>,
+}
+
+impl Recorder {
+    /// A recorder with an empty log.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Wraps `policy` into a chooser that logs each clamped decision.
+    pub fn chooser(&self, mut policy: Box<dyn SchedulePolicy>) -> ScheduleChooser {
+        let log = self.log.clone();
+        Box::new(move |cp: &ChoicePoint<'_>| {
+            let limit = cp.classes.len() - 1;
+            let d = (policy.choose(cp) as usize).min(limit);
+            log.borrow_mut().push(d as u32);
+            d
+        })
+    }
+
+    /// The schedule recorded so far.
+    pub fn schedule(&self) -> Schedule {
+        Schedule::from_decisions(self.log.borrow().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_sim::explore::EventClass;
+    use k2_sim::time::SimTime;
+
+    fn cp(classes: &[EventClass]) -> ChoicePoint<'_> {
+        ChoicePoint {
+            now: SimTime::ZERO,
+            classes,
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_and_then_defaults_to_zero() {
+        let s = Schedule::from_decisions(vec![2, 0, 1]);
+        let mut p = Replay::new(&s);
+        let classes = [EventClass::Step; 4];
+        assert_eq!(p.choose(&cp(&classes)), 2);
+        assert_eq!(p.choose(&cp(&classes)), 0);
+        assert_eq!(p.choose(&cp(&classes)), 1);
+        assert_eq!(p.choose(&cp(&classes)), 0, "exhausted replay is baseline");
+    }
+
+    #[test]
+    fn recorder_logs_clamped_decisions() {
+        let rec = Recorder::new();
+        let mut chooser = rec.chooser(Box::new(Replay::new(&Schedule::from_decisions(vec![7, 1]))));
+        let classes = [EventClass::Mail, EventClass::Irq];
+        assert_eq!(chooser(&cp(&classes)), 1, "7 clamps to last index");
+        assert_eq!(chooser(&cp(&classes)), 1);
+        assert_eq!(rec.schedule().decisions(), &[1, 1]);
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed_and_in_range() {
+        let classes = [EventClass::Step, EventClass::Dma, EventClass::Timer];
+        let run = |seed| {
+            let mut p = RandomWalk::new(seed, 0);
+            (0..64).map(|_| p.choose(&cp(&classes))).collect::<Vec<_>>()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42));
+        assert_ne!(a, run(43));
+        assert!(a.iter().all(|&d| d < 3));
+        assert!(a.iter().any(|&d| d != 0), "walk actually deviates");
+    }
+
+    #[test]
+    fn delay_bounded_respects_its_budget() {
+        let classes = [EventClass::Step, EventClass::Step];
+        let mut p = DelayBounded::new(9, 0, 3);
+        let deviations: u32 = (0..256).map(|_| p.choose(&cp(&classes))).sum();
+        assert!(deviations <= 3, "spent {deviations} of a budget of 3");
+        assert!(deviations > 0, "a 256-point run should spend the budget");
+    }
+}

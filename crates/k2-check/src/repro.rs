@@ -1,0 +1,152 @@
+//! Self-contained repro emission: a shrunken failure becomes a Rust
+//! source file with one `#[test]` that replays the schedule token and
+//! asserts the oracle still fails.
+//!
+//! Emitted files land under `tests/repros/` at the workspace root — a
+//! *subdirectory* of `tests/`, so cargo does not auto-compile them as
+//! integration tests. They are documentation-grade artifacts: a developer
+//! (or CI) copies one into a crate's `tests/` directory, or includes it
+//! with `mod`, to get a deterministic regression test for the fixed bug.
+
+use crate::explorer::FailureKind;
+use crate::scenario::{FaultSpec, Scenario};
+use crate::schedule::Schedule;
+use std::path::{Path, PathBuf};
+
+/// The workspace-root repro directory (`tests/repros/`).
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("tests")
+        .join("repros")
+}
+
+/// Renders the repro source for a minimized failure. Pure function of its
+/// inputs, so regenerating an unchanged failure is byte-identical (and
+/// diff-friendly in review).
+pub fn repro_source(
+    scenario: Scenario,
+    spec: &FaultSpec,
+    schedule: &Schedule,
+    kind: FailureKind,
+    detail: &str,
+) -> String {
+    let token = schedule.token();
+    let test_name = format!("repro_{}", scenario.name().replace('-', "_"));
+    let detail_comment = detail
+        .lines()
+        .map(|line| format!("//!     {line}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let spec_line = if spec.is_nop() {
+        "    let spec = FaultSpec::none();".to_string()
+    } else {
+        format!("    let spec = {spec:?};")
+    };
+    let lines = [
+        "//! Minimized schedule-dependent failure, emitted by the k2-check".to_string(),
+        "//! shrinker. Regenerate rather than editing by hand.".to_string(),
+        "//!".to_string(),
+        format!("//! Scenario:  {}", scenario.name()),
+        format!("//! Failure:   {kind}"),
+        format!(
+            "//! Schedule:  {token}  ({} decisions, {} deviations)",
+            schedule.len(),
+            schedule.deviations()
+        ),
+        "//! Observed:".to_string(),
+        detail_comment,
+        "//!".to_string(),
+        "//! This file lives under `tests/repros/` (not auto-compiled). To run".to_string(),
+        "//! it, copy it into a crate's `tests/` directory or include it with".to_string(),
+        format!("//! `mod`, then `cargo test {test_name}`."),
+        String::new(),
+        "use k2_check::{check_failure, FaultSpec, Scenario, Schedule};".to_string(),
+        String::new(),
+        "#[test]".to_string(),
+        format!("fn {test_name}() {{"),
+        spec_line,
+        format!(
+            "    let schedule: Schedule = \"{token}\".parse().expect(\"valid schedule token\");"
+        ),
+        format!(
+            "    let failure = check_failure(Scenario::{}, &spec, &schedule);",
+            scenario.variant()
+        ),
+        "    assert!(".to_string(),
+        "        failure.is_some(),".to_string(),
+        format!("        \"schedule {token} no longer reproduces the failure (bug fixed? \\"),
+        "         delete this repro)\"".to_string(),
+        "    );".to_string(),
+        "}".to_string(),
+    ];
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Writes the repro for a minimized failure into `dir`, returning the
+/// path. The file name is the scenario's kebab-case name.
+pub fn emit(
+    dir: &Path,
+    scenario: Scenario,
+    spec: &FaultSpec,
+    schedule: &Schedule,
+    kind: FailureKind,
+    detail: &str,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.rs", scenario.name()));
+    std::fs::write(&path, repro_source(scenario, spec, schedule, kind, detail))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_is_deterministic_and_self_describing() {
+        let schedule = Schedule::from_decisions(vec![0, 0, 1]);
+        let a = repro_source(
+            Scenario::MailRace,
+            &FaultSpec::none(),
+            &schedule,
+            FailureKind::EndStateDivergence,
+            "mailrace.last: b0b00002 != b0b00001",
+        );
+        let b = repro_source(
+            Scenario::MailRace,
+            &FaultSpec::none(),
+            &schedule,
+            FailureKind::EndStateDivergence,
+            "mailrace.last: b0b00002 != b0b00001",
+        );
+        assert_eq!(a, b);
+        assert!(a.contains("fn repro_mail_race()"));
+        assert!(a.contains(&schedule.token()));
+        assert!(a.contains("Scenario::MailRace"));
+        assert!(a.contains("FaultSpec::none()"));
+    }
+
+    #[test]
+    fn non_nop_specs_are_emitted_as_struct_literals() {
+        let spec = FaultSpec {
+            seed: 7,
+            mail_drop: 0.25,
+            mail_duplicate: 0.0,
+            dma_fail: 0.0,
+            dma_partial: 0.0,
+        };
+        let src = repro_source(
+            Scenario::UdpCrossTraffic,
+            &spec,
+            &Schedule::from_decisions(vec![1]),
+            FailureKind::Conservation,
+            "mail flow: ...",
+        );
+        assert!(src.contains("mail_drop: 0.25"), "{src}");
+        assert!(src.contains("seed: 7"));
+    }
+}

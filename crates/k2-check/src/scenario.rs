@@ -1,0 +1,442 @@
+//! The workloads the explorer drives, and the fault envelope they run in.
+//!
+//! Each [`Scenario`] boots a fresh K2 system through the shared
+//! [`TestSystem`] harness, spawns cross-domain work, runs to completion
+//! under an optional schedule chooser, drains in-flight deliveries, and
+//! snapshots the differential-oracle inputs into a [`RunOutcome`].
+//!
+//! Every scenario also spawns a pair of lock-step "pulse" tasks on the
+//! strong domain's two equal-frequency cores. Their step boundaries tie
+//! at every round, guaranteeing a deep supply of genuine co-enabled
+//! choice points regardless of how the main workload's timing falls —
+//! without them, a scenario could accidentally have a near-linear
+//! schedule space and exploration would be vacuous.
+
+use crate::oracle::{self, EndState, DOMAINS};
+use k2::system::{K2Machine, K2System};
+use k2_sim::explore::ScheduleChooser;
+use k2_sim::time::SimDuration;
+use k2_soc::fault::FaultPlan;
+use k2_soc::ids::{DomainId, IrqId};
+use k2_soc::mailbox::Mail;
+use k2_soc::platform::{Step, Task, TaskCx};
+use k2_workloads::harness::{TestSystem, Workload};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How long past task completion a run keeps simulating so in-flight
+/// mailbox deliveries and DMA completions settle before the conservation
+/// oracle reads the totals.
+const DRAIN: SimDuration = SimDuration::from_ms(10);
+
+/// Rounds each pulse task runs; every round contributes co-enabled step
+/// and wake events, so this bounds the minimum choice-point depth.
+const PULSE_ROUNDS: u32 = 24;
+
+/// A shrinkable description of the fault envelope a run executes under.
+///
+/// The platform's `FaultPlan` cannot be introspected once built, so the
+/// explorer owns this plain-data form: the shrinker zeroes knobs one at
+/// a time and rebuilds the plan. A spec with every rate at zero installs
+/// *no* plan at all — even an empty plan flips the machine onto its
+/// fault-tolerant (retrying, acknowledged) paths and changes timing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the plan's own fault dice.
+    pub seed: u64,
+    /// Probability a cross-domain mail is silently dropped.
+    pub mail_drop: f64,
+    /// Probability a cross-domain mail is delivered twice.
+    pub mail_duplicate: f64,
+    /// Probability a DMA transfer fails outright.
+    pub dma_fail: f64,
+    /// Probability a DMA transfer completes short.
+    pub dma_partial: f64,
+}
+
+impl FaultSpec {
+    /// The fault-free envelope.
+    pub fn none() -> Self {
+        FaultSpec {
+            seed: 0,
+            mail_drop: 0.0,
+            mail_duplicate: 0.0,
+            dma_fail: 0.0,
+            dma_partial: 0.0,
+        }
+    }
+
+    /// True when no fault plan should be installed at all.
+    pub fn is_nop(&self) -> bool {
+        self.mail_drop == 0.0
+            && self.mail_duplicate == 0.0
+            && self.dma_fail == 0.0
+            && self.dma_partial == 0.0
+    }
+
+    /// Builds the platform fault plan, or `None` for a nop spec.
+    pub fn to_plan(&self) -> Option<FaultPlan> {
+        if self.is_nop() {
+            return None;
+        }
+        Some(
+            FaultPlan::builder(self.seed)
+                .mail_drop(self.mail_drop)
+                .mail_duplicate(self.mail_duplicate)
+                .dma_fail(self.dma_fail)
+                .dma_partial(self.dma_partial)
+                .build(),
+        )
+    }
+
+    /// The nonzero knobs, with setters, for the spec shrinker.
+    pub(crate) fn knobs(&self) -> Vec<(&'static str, f64)> {
+        [
+            ("mail_drop", self.mail_drop),
+            ("mail_duplicate", self.mail_duplicate),
+            ("dma_fail", self.dma_fail),
+            ("dma_partial", self.dma_partial),
+        ]
+        .into_iter()
+        .filter(|&(_, v)| v != 0.0)
+        .collect()
+    }
+
+    /// Returns a copy with the named knob zeroed.
+    pub(crate) fn without(&self, knob: &str) -> FaultSpec {
+        let mut s = *self;
+        match knob {
+            "mail_drop" => s.mail_drop = 0.0,
+            "mail_duplicate" => s.mail_duplicate = 0.0,
+            "dma_fail" => s.dma_fail = 0.0,
+            "dma_partial" => s.dma_partial = 0.0,
+            _ => unreachable!("unknown fault knob {knob}"),
+        }
+        s
+    }
+}
+
+/// Everything the oracles need from one completed run.
+pub struct RunOutcome {
+    /// Schedule-independent logical end state (plus scenario extras).
+    pub end_state: EndState,
+    /// The system's full profile report, rendered compactly — byte-equal
+    /// across replays of the same schedule.
+    pub report_json: String,
+    /// How many nondeterministic choice points the run hit.
+    pub choice_points: u64,
+    /// Counter-conservation verdict.
+    pub conservation: Result<(), String>,
+    /// Invariant-auditor verdict (sampled during the run).
+    pub audit: Result<(), String>,
+}
+
+/// A named, reproducible exploration target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Symmetric UDP loopback traffic on both domains.
+    UdpCrossTraffic,
+    /// Two tasks creating and rewriting files in the shared ext2 volume
+    /// from different domains.
+    Ext2Churn,
+    /// DMA transfer batches issued from both domains.
+    DmaFanout,
+    /// A deliberately buggy mailbox ISR (test-only): last-value-wins on a
+    /// burst of two same-instant deliveries, so the outcome depends on
+    /// which co-enabled `MailDeliver` event fires first. The seeded bug
+    /// the acceptance suite must catch and shrink.
+    MailRace,
+}
+
+impl Scenario {
+    /// Every scenario, in documentation order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::UdpCrossTraffic,
+        Scenario::Ext2Churn,
+        Scenario::DmaFanout,
+        Scenario::MailRace,
+    ];
+
+    /// The fault-free scenarios whose end state must be schedule-invariant.
+    pub const WELL_BEHAVED: [Scenario; 3] = [
+        Scenario::UdpCrossTraffic,
+        Scenario::Ext2Churn,
+        Scenario::DmaFanout,
+    ];
+
+    /// Kebab-case name, used for repro file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::UdpCrossTraffic => "udp-cross-traffic",
+            Scenario::Ext2Churn => "ext2-churn",
+            Scenario::DmaFanout => "dma-fanout",
+            Scenario::MailRace => "mail-race",
+        }
+    }
+
+    /// The `Scenario::` variant ident, for generated repro sources.
+    pub fn variant(self) -> &'static str {
+        match self {
+            Scenario::UdpCrossTraffic => "UdpCrossTraffic",
+            Scenario::Ext2Churn => "Ext2Churn",
+            Scenario::DmaFanout => "DmaFanout",
+            Scenario::MailRace => "MailRace",
+        }
+    }
+
+    /// Boots a fresh system, runs this scenario under `spec` and the
+    /// given chooser (None = the queue's own tie-break), and snapshots
+    /// the oracle inputs.
+    pub fn run(self, spec: &FaultSpec, chooser: Option<ScheduleChooser>) -> RunOutcome {
+        match self {
+            Scenario::UdpCrossTraffic => run_system(spec, chooser, |t| {
+                let mut extra = Vec::new();
+                for (i, &dom) in DOMAINS.iter().enumerate() {
+                    let id = t.background(if i == 0 { "udp-a" } else { "udp-b" });
+                    let report = t.spawn_workload(
+                        dom,
+                        id,
+                        Workload::Udp {
+                            batch: 8 << 10,
+                            total: 24 << 10,
+                        },
+                        i as u32,
+                    );
+                    extra.push((format!("udp[{i}].bytes"), report));
+                }
+                spawn_pulses(t);
+                t.run_until_idle();
+                extra
+                    .into_iter()
+                    .map(|(k, r)| (k, r.borrow().bytes.to_string()))
+                    .collect()
+            }),
+            Scenario::Ext2Churn => run_system(spec, chooser, |t| {
+                let mut extra = Vec::new();
+                for (i, &dom) in DOMAINS.iter().enumerate() {
+                    let id = t.background(if i == 0 { "fs-a" } else { "fs-b" });
+                    let report = t.spawn_workload(
+                        dom,
+                        id,
+                        Workload::Ext2 {
+                            file_size: 8 << 10,
+                            files: 3,
+                        },
+                        17 + 82 * i as u32,
+                    );
+                    extra.push((format!("ext2[{i}].bytes"), report));
+                }
+                spawn_pulses(t);
+                t.run_until_idle();
+                extra
+                    .into_iter()
+                    .map(|(k, r)| (k, r.borrow().bytes.to_string()))
+                    .collect()
+            }),
+            Scenario::DmaFanout => run_system(spec, chooser, |t| {
+                let mut extra = Vec::new();
+                for (i, &dom) in DOMAINS.iter().enumerate() {
+                    let id = t.background(if i == 0 { "dma-a" } else { "dma-b" });
+                    let report = t.spawn_workload(
+                        dom,
+                        id,
+                        Workload::Dma {
+                            batch: 8 << 10,
+                            total: 32 << 10,
+                        },
+                        i as u32,
+                    );
+                    extra.push((format!("dma[{i}].bytes"), report));
+                }
+                spawn_pulses(t);
+                t.run_until_idle();
+                extra
+                    .into_iter()
+                    .map(|(k, r)| (k, r.borrow().bytes.to_string()))
+                    .collect()
+            }),
+            Scenario::MailRace => run_system(spec, chooser, |t| {
+                // Replace the weak domain's mailbox ISR with one that keeps
+                // only the *last* mail it drains — the planted ordering bug.
+                let last = Rc::new(RefCell::new(0u32));
+                let cell = last.clone();
+                t.m.set_irq_hook(
+                    DomainId::WEAK,
+                    IrqId::mailbox_for(DomainId::WEAK),
+                    Box::new(move |_w: &mut K2System, m: &mut K2Machine, _cx| {
+                        let mut cycles = 0u64;
+                        while let Some(env) = m.mailbox_recv(DomainId::WEAK) {
+                            *cell.borrow_mut() = env.mail.0;
+                            cycles += 120;
+                        }
+                        cycles
+                    }),
+                );
+                // Two same-instant sends: their MailDeliver events are
+                // co-enabled, so the chooser decides which lands first.
+                t.m.mailbox_send(DomainId::STRONG, DomainId::WEAK, Mail(0xB0B0_0001));
+                t.m.mailbox_send(DomainId::STRONG, DomainId::WEAK, Mail(0xB0B0_0002));
+                spawn_pulses(t);
+                t.run_until_idle();
+                let last = *last.borrow();
+                vec![("mailrace.last".to_string(), format!("{last:08x}"))]
+            }),
+        }
+    }
+}
+
+/// The absolute grid every pulse task realigns its wake-ups to.
+const PULSE_PERIOD: u64 = 100_000; // ns
+
+/// A busy/sleep loop that sleeps to the next *absolute* grid boundary
+/// rather than for a fixed duration. Queueing delays on shared cores
+/// therefore never desynchronize the pulses: every live pulse's wake
+/// lands on the same instant each period, keeping their wake (and, on
+/// dedicated cores, step-boundary) events co-enabled round after round.
+struct PulseTask {
+    rounds: u32,
+    computing: bool,
+}
+
+impl Task<K2System> for PulseTask {
+    fn step(&mut self, _w: &mut K2System, _m: &mut K2Machine, cx: TaskCx) -> Step {
+        if self.computing {
+            self.computing = false;
+            if self.rounds == 0 {
+                return Step::Done;
+            }
+            self.rounds -= 1;
+            let now = cx.now.as_ns();
+            let next = (now / PULSE_PERIOD + 1) * PULSE_PERIOD;
+            Step::Sleep {
+                dur: SimDuration::from_ns(next - now),
+            }
+        } else {
+            self.computing = true;
+            Step::ComputeTime {
+                dur: SimDuration::from_us(40),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pulse"
+    }
+}
+
+/// Spawns pulse tasks on up to two cores of each domain.
+fn spawn_pulses(t: &mut TestSystem) {
+    for dom in DOMAINS {
+        let cores: Vec<_> = t.m.domain_cores(dom).iter().copied().take(2).collect();
+        for core in cores {
+            t.m.spawn(
+                core,
+                Box::new(PulseTask {
+                    rounds: PULSE_ROUNDS,
+                    computing: false,
+                }),
+                &mut t.sys,
+            );
+        }
+    }
+}
+
+/// Shared run skeleton: boot, install plan + chooser + auditor, drive,
+/// drain, then snapshot the oracle inputs. The profile report is rendered
+/// before any other read so nothing perturbs its bytes.
+fn run_system(
+    spec: &FaultSpec,
+    chooser: Option<ScheduleChooser>,
+    drive: impl FnOnce(&mut TestSystem) -> Vec<(String, String)>,
+) -> RunOutcome {
+    let mut builder = TestSystem::builder().seed(spec.seed).audit(64);
+    if let Some(plan) = spec.to_plan() {
+        builder = builder.fault_plan(plan);
+    }
+    let mut t = builder.build();
+    if let Some(c) = chooser {
+        t.m.set_schedule_chooser(c);
+    }
+    let extra = drive(&mut t);
+    t.run_for(DRAIN);
+    t.m.clear_schedule_chooser();
+
+    let report_json = t.sys.profile_report(&t.m).render_compact();
+    let conservation = oracle::check_conservation(&t.m);
+    let audit = audit_verdict(&t.m);
+    let choice_points = t.m.choice_points();
+    let mut end_state = oracle::capture_end_state(&mut t);
+    for (k, v) in extra {
+        end_state.push(k, v);
+    }
+    RunOutcome {
+        end_state,
+        report_json,
+        choice_points,
+        conservation,
+        audit,
+    }
+}
+
+/// Summarizes the machine's invariant auditor into a pass/fail verdict.
+fn audit_verdict(m: &K2Machine) -> Result<(), String> {
+    let violations = m.auditor().violations();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations
+            .iter()
+            .take(3)
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_spec_knob_surgery() {
+        let spec = FaultSpec {
+            seed: 3,
+            mail_drop: 0.1,
+            mail_duplicate: 0.0,
+            dma_fail: 0.2,
+            dma_partial: 0.0,
+        };
+        assert!(!spec.is_nop());
+        let knobs: Vec<_> = spec.knobs().iter().map(|&(k, _)| k).collect();
+        assert_eq!(knobs, ["mail_drop", "dma_fail"]);
+        let reduced = spec.without("dma_fail").without("mail_drop");
+        assert!(reduced.is_nop());
+        assert!(reduced.to_plan().is_none());
+        assert!(spec.to_plan().is_some());
+    }
+
+    #[test]
+    fn every_scenario_generates_deep_choice_points() {
+        for s in Scenario::ALL {
+            let out = s.run(&FaultSpec::none(), None);
+            assert!(
+                out.choice_points >= 40,
+                "{}: only {} choice points — exploration would be vacuous",
+                s.name(),
+                out.choice_points
+            );
+            assert_eq!(out.conservation, Ok(()), "{}", s.name());
+            assert_eq!(out.audit, Ok(()), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn baseline_runs_are_reproducible() {
+        for s in [Scenario::Ext2Churn, Scenario::MailRace] {
+            let a = s.run(&FaultSpec::none(), None);
+            let b = s.run(&FaultSpec::none(), None);
+            assert_eq!(a.report_json, b.report_json, "{}", s.name());
+            assert_eq!(a.end_state, b.end_state, "{}", s.name());
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The compact, replayable decision trace of one explored schedule.
+//!
+//! A schedule is fully described by the sequence of indices a chooser
+//! returned at each nondeterministic choice point (co-enabled sets of
+//! ≥ 2 events), in order. Everything else about the run is deterministic,
+//! so this vector *is* the schedule: replaying it reproduces the run
+//! bit for bit, and shrinking it means shrinking the failure.
+//!
+//! Tokens serialize as `k2s1-<hex>` — a version tag and LEB128-encoded
+//! decisions — so a failing schedule travels in a test name, a CI log
+//! line, or a repro file without loss.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Version prefix of the textual token format.
+const PREFIX: &str = "k2s1-";
+
+/// A recorded schedule: one chooser decision per choice point, in order.
+///
+/// Decision 0 is always "fire the event that was scheduled first" — the
+/// queue's default — so the all-zero (or empty) schedule is exactly the
+/// baseline sequence-order run. Replays past the end of the vector also
+/// decide 0, which is what makes prefix truncation a sound shrink step.
+///
+/// # Examples
+///
+/// ```
+/// use k2_check::Schedule;
+///
+/// let s = Schedule::from_decisions(vec![0, 2, 1]);
+/// let token = s.token();
+/// assert!(token.starts_with("k2s1-"));
+/// assert_eq!(token.parse::<Schedule>().unwrap(), s);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schedule {
+    decisions: Vec<u32>,
+}
+
+impl Schedule {
+    /// The empty schedule: every choice point takes the baseline decision.
+    pub fn baseline() -> Self {
+        Schedule::default()
+    }
+
+    /// Wraps an explicit decision vector.
+    pub fn from_decisions(decisions: Vec<u32>) -> Self {
+        Schedule { decisions }
+    }
+
+    /// The recorded decisions, in choice-point order.
+    pub fn decisions(&self) -> &[u32] {
+        &self.decisions
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether no decisions were recorded (the baseline schedule).
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Number of decisions that deviate from the baseline choice — the
+    /// quantity the shrinker minimizes.
+    pub fn deviations(&self) -> usize {
+        self.decisions.iter().filter(|&&d| d != 0).count()
+    }
+
+    /// Drops trailing zero decisions; replay semantics are unchanged
+    /// because exhausted replays decide 0 anyway.
+    pub fn trimmed(&self) -> Schedule {
+        let mut d = self.decisions.clone();
+        while d.last() == Some(&0) {
+            d.pop();
+        }
+        Schedule { decisions: d }
+    }
+
+    /// The portable token: `k2s1-` plus the hex of LEB128-encoded
+    /// decisions.
+    pub fn token(&self) -> String {
+        let mut bytes = Vec::with_capacity(self.decisions.len());
+        for &d in &self.decisions {
+            let mut v = d;
+            loop {
+                let b = (v & 0x7f) as u8;
+                v >>= 7;
+                if v == 0 {
+                    bytes.push(b);
+                    break;
+                }
+                bytes.push(b | 0x80);
+            }
+        }
+        let mut s = String::with_capacity(PREFIX.len() + bytes.len() * 2);
+        s.push_str(PREFIX);
+        for b in bytes {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schedule({:?})", self.decisions)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.token())
+    }
+}
+
+/// Why a token failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenError {
+    /// The `k2s1-` version tag is missing or unknown.
+    BadPrefix,
+    /// A non-hex character, or an odd number of hex digits.
+    BadHex,
+    /// The byte stream ends inside a multi-byte varint.
+    Truncated,
+    /// A varint exceeds 32 bits.
+    Overflow,
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            TokenError::BadPrefix => "missing or unknown schedule-token version prefix",
+            TokenError::BadHex => "schedule token is not valid hex",
+            TokenError::Truncated => "schedule token ends mid-varint",
+            TokenError::Overflow => "schedule decision exceeds 32 bits",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+impl FromStr for Schedule {
+    type Err = TokenError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex = s.strip_prefix(PREFIX).ok_or(TokenError::BadPrefix)?;
+        if hex.len() % 2 != 0 {
+            return Err(TokenError::BadHex);
+        }
+        let bytes: Vec<u8> = (0..hex.len() / 2)
+            .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| TokenError::BadHex)?;
+        let mut decisions = Vec::new();
+        let mut it = bytes.iter();
+        while let Some(&first) = it.next() {
+            let mut v = (first & 0x7f) as u64;
+            let mut shift = 7;
+            let mut b = first;
+            while b & 0x80 != 0 {
+                b = *it.next().ok_or(TokenError::Truncated)?;
+                v |= ((b & 0x7f) as u64) << shift;
+                shift += 7;
+                if shift > 35 {
+                    return Err(TokenError::Overflow);
+                }
+            }
+            let d = u32::try_from(v).map_err(|_| TokenError::Overflow)?;
+            decisions.push(d);
+        }
+        Ok(Schedule { decisions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_including_multibyte_varints() {
+        for d in [
+            vec![],
+            vec![0],
+            vec![1, 0, 3],
+            vec![127, 128, 129, 16_383, 16_384, u32::MAX],
+        ] {
+            let s = Schedule::from_decisions(d.clone());
+            let token = s.token();
+            assert_eq!(
+                token.parse::<Schedule>().unwrap().decisions(),
+                &d[..],
+                "{token}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_token_is_bare_prefix() {
+        assert_eq!(Schedule::baseline().token(), "k2s1-");
+        assert_eq!("k2s1-".parse::<Schedule>().unwrap(), Schedule::baseline());
+    }
+
+    #[test]
+    fn trim_drops_only_trailing_zeros() {
+        let s = Schedule::from_decisions(vec![0, 2, 0, 1, 0, 0]);
+        assert_eq!(s.trimmed().decisions(), &[0, 2, 0, 1]);
+        assert_eq!(s.deviations(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        assert_eq!("nope".parse::<Schedule>(), Err(TokenError::BadPrefix));
+        assert_eq!("k2s1-0".parse::<Schedule>(), Err(TokenError::BadHex));
+        assert_eq!("k2s1-zz".parse::<Schedule>(), Err(TokenError::BadHex));
+        assert_eq!("k2s1-80".parse::<Schedule>(), Err(TokenError::Truncated));
+        assert_eq!(
+            "k2s1-ffffffffff7f".parse::<Schedule>(),
+            Err(TokenError::Overflow)
+        );
+    }
+}

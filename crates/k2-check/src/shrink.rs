@@ -1,0 +1,129 @@
+//! Failure minimization: from "some schedule broke an oracle" to the
+//! smallest reproducing (fault spec, decision trace) pair.
+//!
+//! Shrinking exploits two properties of the trace format:
+//!
+//! * Replays past the end of the trace decide 0 (baseline), so **prefix
+//!   truncation** and **trailing-zero trimming** never produce an
+//!   illegal schedule.
+//! * Decision 0 is always the default ordering, so **zeroing** any single
+//!   decision yields another legal schedule that is strictly closer to
+//!   the baseline.
+//!
+//! The pipeline: trim → shortest failing prefix (binary search) → zero
+//! deviations to a fixpoint → reduce surviving decisions toward 1 → drop
+//! fault knobs one at a time. Every accepted step re-runs the scenario
+//! and requires the failure to still reproduce, so the output is always
+//! a genuine repro, just smaller.
+
+use crate::explorer::{check_failure, FailureKind};
+use crate::scenario::{FaultSpec, Scenario};
+use crate::schedule::Schedule;
+
+/// A minimized failure.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The reduced fault envelope (often nop: schedule-only failures).
+    pub spec: FaultSpec,
+    /// The reduced decision trace.
+    pub schedule: Schedule,
+    /// The oracle the minimized pair still violates.
+    pub kind: FailureKind,
+    /// What the oracle reported on the final repro run.
+    pub detail: String,
+    /// How many scenario runs minimization cost.
+    pub runs: u32,
+}
+
+/// Minimizes a failing `(spec, schedule)` pair for `scenario`.
+///
+/// The predicate is "any oracle still fails" (not "the same oracle"), so
+/// shrinking can legitimately walk from a derived symptom back to a more
+/// fundamental one; the final kind/detail describe the minimized repro.
+pub fn shrink(scenario: Scenario, spec: &FaultSpec, schedule: &Schedule) -> ShrinkResult {
+    let mut runs = 0u32;
+    let mut fails = |spec: &FaultSpec, s: &Schedule| -> Option<(FailureKind, String)> {
+        runs += 2; // check_failure runs baseline + replay
+        check_failure(scenario, spec, s)
+    };
+
+    let mut cur = schedule.trimmed();
+    let mut best = fails(spec, &cur).expect("shrink called on a non-failing schedule");
+    let mut cur_spec = *spec;
+
+    // 1. Shortest failing prefix. Replay semantics make any prefix legal;
+    //    assume monotonicity for the binary search and verify the result.
+    if !cur.is_empty() {
+        let (mut lo, mut hi) = (0usize, cur.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let prefix = Schedule::from_decisions(cur.decisions()[..mid].to_vec()).trimmed();
+            if let Some(f) = fails(&cur_spec, &prefix) {
+                best = f;
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let candidate = Schedule::from_decisions(cur.decisions()[..hi].to_vec()).trimmed();
+        if let Some(f) = fails(&cur_spec, &candidate) {
+            best = f;
+            cur = candidate;
+        }
+    }
+
+    // 2. Zero out individual deviations until no single zeroing keeps the
+    //    failure alive.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let decisions = cur.decisions().to_vec();
+        for (i, &d) in decisions.iter().enumerate() {
+            if d == 0 {
+                continue;
+            }
+            let mut candidate = decisions.clone();
+            candidate[i] = 0;
+            let candidate = Schedule::from_decisions(candidate).trimmed();
+            if let Some(f) = fails(&cur_spec, &candidate) {
+                best = f;
+                cur = candidate;
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    // 3. Reduce surviving decisions toward the smallest deviation.
+    let decisions = cur.decisions().to_vec();
+    for (i, &d) in decisions.iter().enumerate() {
+        if d <= 1 {
+            continue;
+        }
+        let mut candidate = cur.decisions().to_vec();
+        candidate[i] = 1;
+        let candidate = Schedule::from_decisions(candidate);
+        if let Some(f) = fails(&cur_spec, &candidate) {
+            best = f;
+            cur = candidate;
+        }
+    }
+
+    // 4. Drop fault knobs that the failure does not actually need.
+    for (knob, _) in cur_spec.knobs() {
+        let candidate = cur_spec.without(knob);
+        if let Some(f) = fails(&candidate, &cur) {
+            best = f;
+            cur_spec = candidate;
+        }
+    }
+
+    let (kind, detail) = best;
+    ShrinkResult {
+        spec: cur_spec,
+        schedule: cur,
+        kind,
+        detail,
+        runs,
+    }
+}

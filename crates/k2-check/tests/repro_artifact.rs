@@ -1,0 +1,6 @@
+//! Compiles and runs the committed shrunken repro under `tests/repros/`,
+//! proving emitted artifacts are genuine standalone tests (and that the
+//! planted mail-race bug still reproduces from its token alone).
+
+#[path = "../../../tests/repros/mail-race.rs"]
+mod mail_race;

@@ -57,6 +57,8 @@ pub enum FsError {
     BadName,
     /// Removing a non-empty directory.
     NotEmpty,
+    /// Renaming a directory into itself or its own subtree.
+    InvalidMove,
 }
 
 impl fmt::Display for FsError {
@@ -70,6 +72,7 @@ impl fmt::Display for FsError {
             FsError::TooBig => "file too large",
             FsError::BadName => "invalid file name",
             FsError::NotEmpty => "directory not empty",
+            FsError::InvalidMove => "invalid move of a directory into its own subtree",
         };
         f.write_str(s)
     }
@@ -423,7 +426,10 @@ impl<D: BlockDevice> Ext2Fs<D> {
     /// # Errors
     ///
     /// [`FsError::NotFound`] for a missing source, [`FsError::Exists`] for
-    /// an occupied destination, plus parent-resolution errors.
+    /// an occupied destination, [`FsError::InvalidMove`] when a directory
+    /// would move into itself or its own subtree (which would detach the
+    /// whole subtree into an unreachable cycle), plus parent-resolution
+    /// errors.
     pub fn rename(&mut self, from: &str, to: &str, cx: &mut OpCx) -> Result<(), FsError> {
         let from_comps = Self::components(from)?;
         let (from_name, from_parent_path) = from_comps.split_last().ok_or(FsError::BadName)?;
@@ -435,6 +441,21 @@ impl<D: BlockDevice> Ext2Fs<D> {
         let victim = self
             .dir_find(&fp_inode, from_name, cx)?
             .ok_or(FsError::NotFound)?;
+        if self.read_inode(victim, cx).mode == Inode::DIR {
+            // A directory must not move into its own subtree: the walk to
+            // the destination parent passes through the victim exactly in
+            // that case, and the insert below would create an orphan cycle.
+            let mut cur = ROOT_INO;
+            for comp in to_parent_path {
+                let cur_inode = self.read_inode(cur, cx);
+                cur = self
+                    .dir_find(&cur_inode, comp, cx)?
+                    .ok_or(FsError::NotFound)?;
+                if cur == victim {
+                    return Err(FsError::InvalidMove);
+                }
+            }
+        }
         let tp_inode = self.read_inode(to_parent, cx);
         if self.dir_find(&tp_inode, to_name, cx)?.is_some() {
             return Err(FsError::Exists);
@@ -1051,5 +1072,103 @@ mod tests {
         assert_eq!(f.write(d, 0, b"no", &mut cx), Err(FsError::IsDir));
         let mut buf = [0u8; 1];
         assert_eq!(f.read(d, 0, &mut buf, &mut cx), Err(FsError::IsDir));
+    }
+
+    #[test]
+    fn rename_into_own_subtree_refused() {
+        let mut cx = OpCx::new();
+        let mut f = fs();
+        f.mkdir("/d", &mut cx).unwrap();
+        f.mkdir("/d/sub", &mut cx).unwrap();
+        // Directly into itself, and into a descendant: both would orphan
+        // the whole subtree into an unreachable cycle.
+        assert_eq!(f.rename("/d", "/d/x", &mut cx), Err(FsError::InvalidMove));
+        assert_eq!(
+            f.rename("/d", "/d/sub/x", &mut cx),
+            Err(FsError::InvalidMove)
+        );
+        // The refused moves left the tree intact.
+        assert!(f.lookup("/d/sub", &mut cx).is_ok());
+        assert_eq!(f.readdir("/", &mut cx).unwrap(), vec!["d".to_string()]);
+        // Moving a directory *sideways* is still fine...
+        f.mkdir("/elsewhere", &mut cx).unwrap();
+        f.rename("/d", "/elsewhere/d", &mut cx).unwrap();
+        assert!(f.lookup("/elsewhere/d/sub", &mut cx).is_ok());
+        // ...as is moving a *file* under a same-named directory's subtree.
+        f.create("/f", &mut cx).unwrap();
+        f.rename("/f", "/elsewhere/d/f", &mut cx).unwrap();
+        assert!(f.lookup("/elsewhere/d/f", &mut cx).is_ok());
+    }
+
+    #[test]
+    fn rename_nonempty_dir_keeps_children_reachable() {
+        let mut cx = OpCx::new();
+        let mut f = fs();
+        f.mkdir("/old", &mut cx).unwrap();
+        let ino = f.create("/old/keep", &mut cx).unwrap();
+        f.write(ino, 0, b"survives", &mut cx).unwrap();
+        f.rename("/old", "/new", &mut cx).unwrap();
+        assert_eq!(f.lookup("/old", &mut cx), Err(FsError::NotFound));
+        let moved = f.lookup("/new/keep", &mut cx).unwrap();
+        assert_eq!(moved, ino, "children keep their inodes across a dir move");
+        let mut buf = [0u8; 8];
+        f.read(moved, 0, &mut buf, &mut cx).unwrap();
+        assert_eq!(&buf, b"survives");
+    }
+
+    #[test]
+    fn rename_missing_source_and_bad_paths() {
+        let mut cx = OpCx::new();
+        let mut f = fs();
+        assert_eq!(
+            f.rename("/ghost", "/anything", &mut cx),
+            Err(FsError::NotFound)
+        );
+        f.create("/real", &mut cx).unwrap();
+        assert_eq!(
+            f.rename("/real", "/no-such-dir/x", &mut cx),
+            Err(FsError::NotFound)
+        );
+        assert_eq!(f.rename("/real", "bad", &mut cx), Err(FsError::BadName));
+        assert_eq!(f.rename("/", "/r", &mut cx), Err(FsError::BadName));
+        // The failed renames did not disturb the source.
+        assert!(f.lookup("/real", &mut cx).is_ok());
+    }
+
+    #[test]
+    fn unlink_missing_and_root_refused() {
+        let mut cx = OpCx::new();
+        let mut f = fs();
+        assert_eq!(f.unlink("/ghost", &mut cx), Err(FsError::NotFound));
+        assert_eq!(f.unlink("/", &mut cx), Err(FsError::BadName));
+        f.mkdir("/d", &mut cx).unwrap();
+        assert_eq!(f.unlink("/d/ghost", &mut cx), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn unlink_frees_the_inode_for_reuse() {
+        let mut cx = OpCx::new();
+        let mut f = fs();
+        let a = f.create("/a", &mut cx).unwrap();
+        f.unlink("/a", &mut cx).unwrap();
+        let b = f.create("/b", &mut cx).unwrap();
+        assert_eq!(a, b, "the freed inode is allocated again");
+        // And the stale name really is gone.
+        assert_eq!(f.lookup("/a", &mut cx), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn recreate_after_unlink_starts_empty() {
+        let mut cx = OpCx::new();
+        let mut f = fs();
+        let ino = f.create("/x", &mut cx).unwrap();
+        f.write(ino, 0, &vec![7u8; 3 * BLOCK_SIZE], &mut cx)
+            .unwrap();
+        f.unlink("/x", &mut cx).unwrap();
+        let again = f.create("/x", &mut cx).unwrap();
+        assert_eq!(f.size(again, &mut cx), 0, "no stale size");
+        let mut buf = [0u8; 16];
+        let n = f.read(again, 0, &mut buf, &mut cx).unwrap();
+        assert_eq!(n, 0, "no stale contents");
     }
 }

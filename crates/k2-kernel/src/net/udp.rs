@@ -392,4 +392,91 @@ mod tests {
         assert_eq!(n.sent_datagrams(), 1);
         assert_eq!(n.sent_bytes(), 256);
     }
+
+    #[test]
+    fn max_datagram_boundary_is_exact() {
+        let mut n = NetStack::new();
+        let a = n.bind(None, &mut cx()).unwrap();
+        let b = n.bind(None, &mut cx()).unwrap();
+        // Exactly MAX_DATAGRAM is deliverable in one piece (no IP
+        // fragmentation is modeled below this bound)...
+        let exact = vec![0xABu8; MAX_DATAGRAM];
+        n.send(a, b, &exact, &mut cx()).unwrap();
+        let dg = n.recv(b, &mut cx()).unwrap().unwrap();
+        assert_eq!(dg.payload.len(), MAX_DATAGRAM);
+        // ...and one byte more is refused before any counter moves.
+        let before = (n.sent_datagrams(), n.sent_bytes());
+        let over = vec![0u8; MAX_DATAGRAM + 1];
+        assert_eq!(n.send(a, b, &over, &mut cx()), Err(NetError::TooBig));
+        assert_eq!((n.sent_datagrams(), n.sent_bytes()), before);
+        assert_eq!(n.pending(b), 0, "the refused datagram was not queued");
+    }
+
+    #[test]
+    fn oversize_check_precedes_unbound_source_check() {
+        let mut n = NetStack::new();
+        let b = n.bind(None, &mut cx()).unwrap();
+        let over = vec![0u8; MAX_DATAGRAM + 1];
+        // Both the source and the size are wrong; the size wins.
+        assert_eq!(
+            n.send(Port(9999), b, &over, &mut cx()),
+            Err(NetError::TooBig)
+        );
+        // With a legal size, the unbound source is reported.
+        assert_eq!(
+            n.send(Port(9999), b, b"x", &mut cx()),
+            Err(NetError::NotBound)
+        );
+    }
+
+    #[test]
+    fn zero_length_datagrams_are_real_datagrams() {
+        let mut n = NetStack::new();
+        let a = n.bind(None, &mut cx()).unwrap();
+        let b = n.bind(None, &mut cx()).unwrap();
+        n.send(a, b, &[], &mut cx()).unwrap();
+        assert_eq!(n.pending(b), 1, "an empty datagram still queues");
+        let dg = n.recv(b, &mut cx()).unwrap().unwrap();
+        assert!(dg.payload.is_empty());
+        assert_eq!(dg.src, a);
+        assert_eq!(n.sent_datagrams(), 1);
+        assert_eq!(n.sent_bytes(), 0);
+    }
+
+    #[test]
+    fn recv_on_empty_socket_is_not_an_error() {
+        let mut n = NetStack::new();
+        let a = n.bind(None, &mut cx()).unwrap();
+        assert_eq!(n.recv(a, &mut cx()), Ok(None));
+        // Repeatedly: polling an empty queue never errors or consumes.
+        assert_eq!(n.recv(a, &mut cx()), Ok(None));
+    }
+
+    #[test]
+    fn close_then_operate_reports_not_bound() {
+        let mut n = NetStack::new();
+        let a = n.bind(None, &mut cx()).unwrap();
+        let b = n.bind(None, &mut cx()).unwrap();
+        n.close(a, &mut cx()).unwrap();
+        assert_eq!(n.close(a, &mut cx()), Err(NetError::NotBound));
+        assert_eq!(n.send(a, b, b"x", &mut cx()), Err(NetError::NotBound));
+        assert_eq!(n.recv(a, &mut cx()), Err(NetError::NotBound));
+        // Sends *to* the closed port are unreachable, not NotBound.
+        assert_eq!(n.send(b, a, b"x", &mut cx()), Err(NetError::Unreachable));
+    }
+
+    #[test]
+    fn rebound_port_does_not_leak_old_traffic() {
+        let mut n = NetStack::new();
+        let a = n.bind(Some(Port(40)), &mut cx()).unwrap();
+        let b = n.bind(Some(Port(41)), &mut cx()).unwrap();
+        n.send(a, b, b"stale", &mut cx()).unwrap();
+        n.close(b, &mut cx()).unwrap();
+        let b2 = n.bind(Some(Port(41)), &mut cx()).unwrap();
+        assert_eq!(b2, b, "same port number");
+        assert_eq!(n.recv(b2, &mut cx()), Ok(None), "fresh queue after rebind");
+        // New traffic flows normally.
+        n.send(a, b2, b"fresh", &mut cx()).unwrap();
+        assert_eq!(n.recv(b2, &mut cx()).unwrap().unwrap().payload, b"fresh");
+    }
 }

@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod explore;
 pub mod json;
 pub mod metrics;
 pub mod queue;
@@ -38,6 +39,7 @@ pub mod time;
 pub mod trace;
 
 pub use audit::{InvariantAuditor, Violation};
+pub use explore::{ChoicePoint, EventClass, ScheduleChooser};
 pub use json::Json;
 pub use metrics::{Key, Registry, ShardedCounter, Tag, TimeWeightedGauge};
 pub use queue::{EventKey, EventQueue};

@@ -3,11 +3,15 @@
 //! Events are ordered first by their firing time and then by insertion
 //! sequence number, so two events scheduled for the same instant always fire
 //! in the order they were scheduled. This tie-break is what makes the whole
-//! simulation reproducible run-to-run.
+//! simulation reproducible run-to-run — and because it is an *explicit*
+//! sequence number rather than heap-insertion accident, the set of events
+//! that are co-enabled (same firing time) is itself well-defined, which is
+//! what lets a schedule explorer enumerate and permute it (see
+//! [`EventQueue::pop_with`] and `k2-check`).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// A handle to a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -17,7 +21,6 @@ struct Entry<E> {
     at: SimTime,
     seq: u64,
     payload: E,
-    cancelled: bool,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -60,7 +63,13 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    /// Seqs of entries currently scheduled and not cancelled. Membership
+    /// here is what makes [`EventQueue::cancel`] exact: cancelling a key
+    /// that already fired (or was already cancelled) is a detectable no-op
+    /// instead of silently corrupting the live count.
+    live: HashSet<u64>,
+    /// Seqs cancelled but still physically in the heap (lazy removal).
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,7 +84,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
         }
     }
 
@@ -84,12 +94,8 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            at,
-            seq,
-            payload,
-            cancelled: false,
-        });
+        self.live.insert(seq);
+        self.heap.push(Entry { at, seq, payload });
         EventKey(seq)
     }
 
@@ -99,10 +105,12 @@ impl<E> EventQueue<E> {
     /// Cancellation is lazy: the entry stays in the heap and is skipped when
     /// popped, which keeps cancellation O(1).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if key.0 >= self.next_seq {
-            return false;
+        if self.live.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
         }
-        self.cancelled.insert(key.0)
     }
 
     /// The firing time of the next (non-cancelled) event, if any.
@@ -114,12 +122,82 @@ impl<E> EventQueue<E> {
     /// Removes and returns the next event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.skip_cancelled();
-        self.heap.pop().map(|e| (e.at, e.payload))
+        self.heap.pop().map(|e| {
+            self.live.remove(&e.seq);
+            (e.at, e.payload)
+        })
+    }
+
+    /// Number of live (non-cancelled) events that share the earliest firing
+    /// time — the *co-enabled set*. Zero on an empty queue.
+    pub fn co_enabled_len(&mut self) -> usize {
+        let Some(front) = self.peek_time() else {
+            return 0;
+        };
+        self.heap
+            .iter()
+            .filter(|e| e.at == front && !self.cancelled.contains(&e.seq))
+            .count()
+    }
+
+    /// Removes and returns one event from the co-enabled set, chosen by
+    /// `choose`.
+    ///
+    /// `choose` receives the shared firing time and the payloads of every
+    /// live event sharing it, in schedule (sequence) order, and returns the
+    /// index to fire; the rest are re-queued with their original sequence
+    /// numbers, so subsequent ordering among them is unchanged. Singleton
+    /// sets never consult the chooser. Passing a chooser that always
+    /// returns 0 is exactly [`EventQueue::pop`].
+    ///
+    /// This is the hook a schedule explorer drives: perturbing the choice
+    /// never invents or loses events, it only permutes orderings the event
+    /// queue already considered simultaneous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choose` returns an index out of range (a policy bug worth
+    /// failing loudly on).
+    pub fn pop_with<F>(&mut self, choose: F) -> Option<(SimTime, E)>
+    where
+        F: FnOnce(SimTime, &[&E]) -> usize,
+    {
+        self.skip_cancelled();
+        let front = self.heap.peek()?.at;
+        let mut set: Vec<Entry<E>> = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.at != front {
+                break;
+            }
+            let e = self.heap.pop().expect("peeked entry exists");
+            if self.cancelled.remove(&e.seq) {
+                continue;
+            }
+            set.push(e);
+        }
+        let idx = if set.len() == 1 {
+            0
+        } else {
+            let refs: Vec<&E> = set.iter().map(|e| &e.payload).collect();
+            let idx = choose(front, &refs);
+            assert!(
+                idx < set.len(),
+                "schedule chooser picked {idx} of a {}-element co-enabled set",
+                set.len()
+            );
+            idx
+        };
+        let chosen = set.remove(idx);
+        for e in set {
+            self.heap.push(e);
+        }
+        self.live.remove(&chosen.seq);
+        Some((chosen.at, chosen.payload))
     }
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
     }
 
     /// `true` if no live events remain.
@@ -129,7 +207,7 @@ impl<E> EventQueue<E> {
 
     fn skip_cancelled(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if top.cancelled || self.cancelled.contains(&top.seq) {
+            if self.cancelled.contains(&top.seq) {
                 let e = self.heap.pop().expect("peeked entry exists");
                 self.cancelled.remove(&e.seq);
             } else {
@@ -179,6 +257,48 @@ mod tests {
         }
     }
 
+    /// Regression: the same-timestamp tie-break is the explicit sequence
+    /// number — schedule order — not an accident of heap shape. Pops
+    /// interleaved with inserts, across different prior heap contents, must
+    /// not perturb the relative order of co-enabled events.
+    #[test]
+    fn tie_break_is_sequence_number_not_heap_accident() {
+        // Same co-enabled set built two ways: with and without unrelated
+        // earlier/later events churning the heap in between.
+        let build_plain = || {
+            let mut q = EventQueue::new();
+            for i in 0..10 {
+                q.schedule(t(50), i);
+            }
+            q
+        };
+        let build_churned = || {
+            let mut q = EventQueue::new();
+            q.schedule(t(10), 100);
+            for i in 0..5 {
+                q.schedule(t(50), i);
+            }
+            q.schedule(t(20), 101);
+            assert_eq!(q.pop(), Some((t(10), 100)));
+            for i in 5..10 {
+                q.schedule(t(50), i);
+            }
+            assert_eq!(q.pop(), Some((t(20), 101)));
+            q
+        };
+        let drain = |mut q: EventQueue<i32>| {
+            let mut v = Vec::new();
+            while let Some((at, x)) = q.pop() {
+                assert_eq!(at, t(50));
+                v.push(x);
+            }
+            v
+        };
+        let expect: Vec<i32> = (0..10).collect();
+        assert_eq!(drain(build_plain()), expect);
+        assert_eq!(drain(build_churned()), expect);
+    }
+
     #[test]
     fn cancel_skips_event() {
         let mut q = EventQueue::new();
@@ -195,6 +315,22 @@ mod tests {
     fn cancel_unknown_key_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventKey(42)));
+    }
+
+    /// Regression: cancelling a key whose event already fired must be a
+    /// reported no-op — previously it poisoned the live count (`len` could
+    /// underflow) and leaked a phantom entry into the cancelled set.
+    #[test]
+    fn cancel_after_fire_is_false_and_keeps_len_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.cancel(a), "the event already fired");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -214,5 +350,85 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.cancel(a);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn co_enabled_len_counts_front_ties_only() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.co_enabled_len(), 0);
+        q.schedule(t(5), 1);
+        q.schedule(t(5), 2);
+        let c = q.schedule(t(5), 3);
+        q.schedule(t(9), 4);
+        assert_eq!(q.co_enabled_len(), 3);
+        q.cancel(c);
+        assert_eq!(q.co_enabled_len(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.co_enabled_len(), 1, "only t=9 remains");
+    }
+
+    #[test]
+    fn pop_with_permutes_only_the_co_enabled_set() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "a");
+        q.schedule(t(5), "b");
+        q.schedule(t(5), "c");
+        q.schedule(t(9), "later");
+        // Pick "c" first; chooser sees schedule order and the shared time.
+        let got = q.pop_with(|at, set| {
+            assert_eq!(at, t(5));
+            assert_eq!(set, &[&"a", &"b", &"c"]);
+            2
+        });
+        assert_eq!(got, Some((t(5), "c")));
+        // The remainder keeps its original relative order.
+        assert_eq!(q.pop(), Some((t(5), "a")));
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        assert_eq!(q.pop(), Some((t(9), "later")));
+    }
+
+    #[test]
+    fn pop_with_skips_cancelled_inside_the_tie() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 1);
+        let b = q.schedule(t(5), 2);
+        q.schedule(t(5), 3);
+        q.cancel(b);
+        let got = q.pop_with(|_, set| {
+            assert_eq!(set, &[&1, &3]);
+            1
+        });
+        assert_eq!(got, Some((t(5), 3)));
+        assert_eq!(q.pop(), Some((t(5), 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_with_choice_zero_equals_pop() {
+        let seed = [(t(3), 30), (t(1), 10), (t(1), 11), (t(2), 20)];
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (at, x) in seed {
+            a.schedule(at, x);
+            b.schedule(at, x);
+        }
+        loop {
+            let x = a.pop();
+            let y = b.pop_with(|_, _| 0);
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule chooser picked")]
+    fn pop_with_out_of_range_choice_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(1), 2);
+        let _ = q.pop_with(|_, _| 7);
     }
 }

@@ -12,7 +12,11 @@
 //! actual byte copy in [`crate::mem::SharedRam`] when a transfer finishes.
 
 use crate::mem::PhysAddr;
+use k2_sim::explore::EventClass;
 use k2_sim::time::{SimDuration, SimTime};
+
+/// Schedule-exploration class of DMA engine progress/completion ticks.
+pub const EVENT_CLASS: EventClass = EventClass::Dma;
 
 /// Identifies one submitted transfer.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

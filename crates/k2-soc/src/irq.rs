@@ -10,7 +10,12 @@
 //! required for K2's hand-off between domains to be lossless.
 
 use crate::ids::{DomainId, IrqId};
+use k2_sim::explore::EventClass;
 use std::collections::HashSet;
+
+/// Schedule-exploration class of deferred interrupt raises (bottom halves
+/// and fault-injected spurious lines scheduled as queue events).
+pub const EVENT_CLASS: EventClass = EventClass::Irq;
 
 /// One domain's interrupt controller state.
 #[derive(Clone, Debug, Default)]

@@ -11,9 +11,15 @@
 //! the receiving domain's mailbox IRQ.
 
 use crate::ids::DomainId;
+use k2_sim::explore::EventClass;
 use k2_sim::span::SpanId;
 use k2_sim::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// Schedule-exploration class of mailbox delivery events. A delivery
+/// co-enabled with any other event is a real interleaving choice: the
+/// receiving domain's ISR may observe the world before or after it.
+pub const EVENT_CLASS: EventClass = EventClass::Mail;
 
 /// One-way interconnect latency of a hardware mail.
 ///

@@ -21,6 +21,7 @@ use crate::mailbox::{Envelope, LinkTag, Mail, MailboxBank, MAIL_LATENCY};
 use crate::mem::SharedRam;
 use crate::power::{EnergyMeter, PowerState};
 use k2_sim::audit::InvariantAuditor;
+use k2_sim::explore::{ChoicePoint, EventClass, ScheduleChooser};
 use k2_sim::json::Json;
 use k2_sim::metrics::{Key, Registry, Tag};
 use k2_sim::queue::EventQueue;
@@ -135,6 +136,23 @@ enum Event {
     Call { id: u64 },
 }
 
+impl Event {
+    /// The schedule-exploration class of this event (see
+    /// [`k2_sim::explore`]). Each peripheral module declares the class of
+    /// the events it originates.
+    fn class(&self) -> EventClass {
+        match self {
+            Event::StepDone { .. } => EventClass::Step,
+            Event::InactiveTimeout { .. } => crate::timer::EVENT_CLASS,
+            Event::MailDeliver { .. } => crate::mailbox::EVENT_CLASS,
+            Event::DmaTick { .. } => crate::dma::EVENT_CLASS,
+            Event::TaskWake { .. } => EventClass::Wake,
+            Event::RaiseIrq { .. } => crate::irq::EVENT_CLASS,
+            Event::Call { .. } => EventClass::Call,
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum TaskState {
     Ready,
@@ -206,6 +224,8 @@ pub struct Machine<W> {
     /// Submit time and flight span of each in-progress DMA transfer
     /// (keyed removal only, so the HashMap cannot leak iteration order).
     dma_inflight: HashMap<DmaXferId, (SpanId, SimTime)>,
+    schedule_chooser: Option<ScheduleChooser>,
+    choice_points: u64,
 }
 
 impl<W> fmt::Debug for Machine<W> {
@@ -290,6 +310,55 @@ impl<W> Machine<W> {
             metrics: Registry::new(),
             spans: SpanTracker::new(),
             dma_inflight: HashMap::new(),
+            schedule_chooser: None,
+            choice_points: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Schedule exploration
+    // ------------------------------------------------------------------
+
+    /// Installs a schedule chooser, consulted whenever more than one event
+    /// is co-enabled (shares the earliest firing time). The chooser only
+    /// permutes orderings the queue already considered simultaneous, so
+    /// every explored schedule is a legal execution; without a chooser the
+    /// machine fires co-enabled events in scheduling (sequence) order.
+    pub fn set_schedule_chooser(&mut self, chooser: ScheduleChooser) {
+        self.schedule_chooser = Some(chooser);
+    }
+
+    /// Removes any installed schedule chooser, restoring sequence order.
+    pub fn clear_schedule_chooser(&mut self) {
+        self.schedule_chooser = None;
+    }
+
+    /// How many nondeterministic choice points (co-enabled sets of ≥ 2
+    /// events) the event loop has encountered, chooser or not.
+    pub fn choice_points(&self) -> u64 {
+        self.choice_points
+    }
+
+    /// Pops the next event, consulting the schedule chooser at choice
+    /// points. The chooser is taken out of `self` for the duration of the
+    /// call so it cannot alias the machine.
+    fn next_event(&mut self) -> Option<(SimTime, Event)> {
+        if self.queue.co_enabled_len() > 1 {
+            self.choice_points += 1;
+        }
+        match self.schedule_chooser.take() {
+            None => self.queue.pop(),
+            Some(mut chooser) => {
+                let popped = self.queue.pop_with(|at, cands| {
+                    let classes: Vec<EventClass> = cands.iter().map(|e| e.class()).collect();
+                    chooser(&ChoicePoint {
+                        now: at,
+                        classes: &classes,
+                    })
+                });
+                self.schedule_chooser = Some(chooser);
+                popped
+            }
         }
     }
 
@@ -836,6 +905,14 @@ impl<W> Machine<W> {
         self.mailboxes.received_count()
     }
 
+    /// Mails sitting in FIFOs, summed over every domain — the third term
+    /// of the delivered == received + pending conservation law.
+    pub fn mailbox_pending_total(&self) -> u64 {
+        (0..self.domains.len())
+            .map(|d| self.mailboxes.pending(DomainId(d as u8)) as u64)
+            .sum()
+    }
+
     /// Hardware test-and-set. Returns `true` on acquisition.
     pub fn hwlock_try_acquire(&mut self, id: HwLockId, dom: DomainId) -> bool {
         self.hwlock_try_acquire_at(id, dom, self.now)
@@ -1001,7 +1078,7 @@ impl<W> Machine<W> {
     /// Panics on deadlock: live tasks remain but no event can wake them.
     pub fn run_until_idle(&mut self, w: &mut W) -> SimTime {
         while self.live_tasks > 0 {
-            match self.queue.pop() {
+            match self.next_event() {
                 Some((at, ev)) => {
                     debug_assert!(at >= self.now);
                     self.now = at;
@@ -1022,7 +1099,7 @@ impl<W> Machine<W> {
             if at > until {
                 break;
             }
-            let (at, ev) = self.queue.pop().expect("peeked event exists");
+            let (at, ev) = self.next_event().expect("peeked event exists");
             self.now = at;
             self.handle(ev, w);
             self.after_event(w);
@@ -2079,6 +2156,43 @@ mod tests {
             .trace()
             .iter()
             .any(|r| r.event == TraceEvent::Power { core: 0, state: 0 }));
+    }
+
+    #[test]
+    fn schedule_chooser_reorders_co_enabled_events_only() {
+        // Two tasks spawned back-to-back dispatch at the same instant:
+        // their step events are co-enabled. The default schedule runs them
+        // in spawn (sequence) order; a chooser that always picks the last
+        // candidate flips the interleaving without changing what runs.
+        let run = |reverse: bool| {
+            let mut w = World::default();
+            let mut m = machine();
+            m.spawn(
+                CoreId(0),
+                Script::new("a", vec![Step::Compute { cycles: 350 }]),
+                &mut w,
+            );
+            m.spawn(
+                CoreId(1),
+                Script::new("b", vec![Step::Compute { cycles: 350 }]),
+                &mut w,
+            );
+            if reverse {
+                m.set_schedule_chooser(Box::new(|cp| cp.classes.len() - 1));
+            }
+            m.run_until_idle(&mut w);
+            assert_eq!(m.completed_tasks(), 2);
+            assert!(m.choice_points() > 0, "same-time dispatches must tie");
+            w.log.iter().map(|(_, s)| *s).collect::<Vec<_>>()
+        };
+        let base = run(false);
+        let flipped = run(true);
+        assert_eq!(base.first(), Some(&"a"));
+        assert_eq!(flipped.first(), Some(&"b"));
+        let (mut b, mut f) = (base.clone(), flipped.clone());
+        b.sort_unstable();
+        f.sort_unstable();
+        assert_eq!(b, f, "a chooser permutes steps, never adds or drops any");
     }
 
     #[test]

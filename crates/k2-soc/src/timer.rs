@@ -6,7 +6,12 @@
 //! counting through every power state, and periodic tick arithmetic for
 //! background daemons.
 
+use k2_sim::explore::EventClass;
 use k2_sim::time::{SimDuration, SimTime};
+
+/// Schedule-exploration class of timer expiries (inactive timeouts, tick
+/// arithmetic deadlines).
+pub const EVENT_CLASS: EventClass = EventClass::Timer;
 
 /// The 32 kHz always-on counter frequency.
 pub const SYNC_TIMER_HZ: u64 = 32_768;

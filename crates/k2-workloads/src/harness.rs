@@ -8,11 +8,14 @@
 //! kernels run the DMA benchmark concurrently for a fixed duration.
 
 use crate::record::{EnergyRun, EnergySnapshot, SharedDriverRun};
-use crate::tasks::{new_report, DmaBenchTask, Ext2BenchTask, TaskIdentity, UdpBenchTask};
-use k2::system::{K2System, SystemConfig, SystemMode};
-use k2_kernel::proc::ThreadKind;
+use crate::tasks::{
+    new_report, DmaBenchTask, Ext2BenchTask, ReportHandle, TaskIdentity, UdpBenchTask,
+};
+use k2::system::{K2Machine, K2System, SystemConfig, SystemMode};
+use k2_kernel::proc::{Pid, ThreadKind, Tid};
 use k2_sim::time::{SimDuration, SimTime};
-use k2_soc::ids::DomainId;
+use k2_soc::fault::{FaultPlan, FaultPlanBuilder};
+use k2_soc::ids::{CoreId, DomainId};
 
 /// Which §9.2 benchmark to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -155,24 +158,7 @@ pub fn run_energy_bench_config(config: SystemConfig, workload: Workload) -> Ener
     let report = new_report();
     let before = EnergySnapshot::take(&m);
     let start = m.now();
-    let task: Box<dyn k2_soc::platform::Task<K2System>> = match workload {
-        Workload::Dma { batch, total } => DmaBenchTask::new(id, batch, total, None, report.clone()),
-        Workload::Ext2 { file_size, files } => {
-            Ext2BenchTask::new(id, files, file_size, start.as_ns() as u32, report.clone())
-        }
-        Workload::Udp { batch, total } => UdpBenchTask::new(id, batch, total, report.clone()),
-        Workload::Cloud {
-            fetches,
-            reply,
-            rtt_ms,
-        } => crate::tasks::CloudFetchTask::new(
-            id,
-            fetches,
-            reply,
-            SimDuration::from_ms(rtt_ms),
-            report.clone(),
-        ),
-    };
+    let task = bench_task(id, workload, start.as_ns() as u32, report.clone());
     m.spawn(core, task, &mut sys);
     let work_done = m.run_until_idle(&mut sys);
     // Idle until the benched core goes inactive (the 5 s timeout), plus a
@@ -347,6 +333,246 @@ pub fn table6_duration() -> SimDuration {
 /// Convenience used by tests: the simulated instant `secs` seconds in.
 pub fn at_secs(s: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// Builds the benchmark task for `workload` — the four-arm match every
+/// scenario used to repeat inline. `salt` decorrelates on-disk names
+/// between runs that share a filesystem (ext2 only).
+pub fn bench_task(
+    id: TaskIdentity,
+    workload: Workload,
+    salt: u32,
+    report: ReportHandle,
+) -> Box<dyn k2_soc::platform::Task<K2System>> {
+    match workload {
+        Workload::Dma { batch, total } => DmaBenchTask::new(id, batch, total, None, report),
+        Workload::Ext2 { file_size, files } => {
+            Ext2BenchTask::new(id, files, file_size, salt, report)
+        }
+        Workload::Udp { batch, total } => UdpBenchTask::new(id, batch, total, report),
+        Workload::Cloud {
+            fetches,
+            reply,
+            rtt_ms,
+        } => crate::tasks::CloudFetchTask::new(
+            id,
+            fetches,
+            reply,
+            SimDuration::from_ms(rtt_ms),
+            report,
+        ),
+    }
+}
+
+/// A booted K2 system bundled with the scenario-setup conveniences the
+/// integration tests kept re-implementing: process/thread creation, bench
+/// task spawning, timed runs and the closing audit assertion.
+///
+/// # Examples
+///
+/// ```
+/// use k2_workloads::harness::{TestSystem, Workload};
+/// use k2_soc::ids::DomainId;
+///
+/// let mut t = TestSystem::builder()
+///     .seed(7)
+///     .faults(|f| f.mail_drop(0.2))
+///     .audit(16)
+///     .build();
+/// let id = t.background("bg");
+/// let report = t.spawn_workload(
+///     DomainId::WEAK,
+///     id,
+///     Workload::Udp { batch: 8 << 10, total: 16 << 10 },
+///     0,
+/// );
+/// t.run_until_idle();
+/// assert_eq!(report.borrow().bytes, 16 << 10);
+/// t.assert_audit_clean();
+/// ```
+pub struct TestSystem {
+    /// The platform machine.
+    pub m: K2Machine,
+    /// The operating-system state.
+    pub sys: K2System,
+}
+
+impl std::fmt::Debug for TestSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestSystem").field("m", &self.m).finish()
+    }
+}
+
+impl TestSystem {
+    /// Starts building a test system (defaults: K2 config, seed 0, no
+    /// faults, no audit, no settle).
+    pub fn builder() -> TestSystemBuilder {
+        TestSystemBuilder {
+            config: SystemConfig::k2(),
+            seed: 0,
+            faults: None,
+            audit_stride: None,
+            trace: false,
+            settle: SimDuration::ZERO,
+        }
+    }
+
+    /// The core a kernel's service loops run on in `dom`.
+    pub fn kernel_core(&self, dom: DomainId) -> CoreId {
+        K2System::kernel_core(&self.m, dom)
+    }
+
+    /// Creates a background process with one NightWatch thread and
+    /// returns the identity bench tasks run under.
+    pub fn background(&mut self, name: &str) -> TaskIdentity {
+        let pid = self.sys.world.processes.create_process(name);
+        self.sys
+            .world
+            .processes
+            .create_thread(pid, ThreadKind::NightWatch, "t");
+        TaskIdentity {
+            pid,
+            nightwatch: true,
+        }
+    }
+
+    /// Creates an interactive app: a process with a normal thread (the
+    /// returned `Tid`) plus a NightWatch thread, the shape every
+    /// suspend/resume scenario starts from.
+    pub fn app(&mut self, name: &str) -> (Pid, Tid) {
+        let pid = self.sys.world.processes.create_process(name);
+        let tid = self
+            .sys
+            .world
+            .processes
+            .create_thread(pid, ThreadKind::Normal, "main");
+        self.sys
+            .world
+            .processes
+            .create_thread(pid, ThreadKind::NightWatch, "bg");
+        (pid, tid)
+    }
+
+    /// Spawns the benchmark task for `workload` on `dom`'s kernel core
+    /// and returns its progress report.
+    pub fn spawn_workload(
+        &mut self,
+        dom: DomainId,
+        id: TaskIdentity,
+        workload: Workload,
+        salt: u32,
+    ) -> ReportHandle {
+        let report = new_report();
+        let core = self.kernel_core(dom);
+        self.m.spawn(
+            core,
+            bench_task(id, workload, salt, report.clone()),
+            &mut self.sys,
+        );
+        report
+    }
+
+    /// Advances simulated time by `dur`, processing every event in it.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let until = self.m.now() + dur;
+        self.m.run_until(until, &mut self.sys);
+    }
+
+    /// Runs until every spawned task completes; returns the finish time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        self.m.run_until_idle(&mut self.sys)
+    }
+
+    /// Asserts the invariant auditor saw a consistent system, with the
+    /// violation report as the failure message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any audited invariant was violated.
+    pub fn assert_audit_clean(&self) {
+        assert!(self.m.auditor().is_clean(), "{}", self.m.auditor().report());
+    }
+}
+
+/// Configures and boots a [`TestSystem`].
+#[derive(Debug)]
+pub struct TestSystemBuilder {
+    config: SystemConfig,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    audit_stride: Option<u64>,
+    trace: bool,
+    settle: SimDuration,
+}
+
+impl TestSystemBuilder {
+    /// Uses an explicit system configuration instead of [`SystemConfig::k2`].
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the seed the fault plan derives from (see
+    /// [`TestSystemBuilder::faults`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Arms deterministic fault injection: `f` receives a
+    /// [`FaultPlanBuilder`] seeded with this builder's seed and dials in
+    /// the fault rates.
+    pub fn faults(mut self, f: impl FnOnce(FaultPlanBuilder) -> FaultPlanBuilder) -> Self {
+        self.faults = Some(f(FaultPlan::builder(self.seed)).build());
+        self
+    }
+
+    /// Arms a pre-built fault plan (its own seed wins over
+    /// [`TestSystemBuilder::seed`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables the invariant auditor every `stride` events.
+    pub fn audit(mut self, stride: u64) -> Self {
+        self.audit_stride = Some(stride);
+        self
+    }
+
+    /// Enables the in-memory event trace.
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Runs the booted system idle for `dur` before handing it over
+    /// (lets cores reach the inactive state, as each paper run begins
+    /// with a wake-up).
+    pub fn settle(mut self, dur: SimDuration) -> Self {
+        self.settle = dur;
+        self
+    }
+
+    /// Boots the system and applies every configured knob, in the same
+    /// order the tests it replaces used: plan, trace, audit, settle.
+    pub fn build(self) -> TestSystem {
+        let (mut m, mut sys) = K2System::boot(self.config);
+        if let Some(plan) = self.faults {
+            m.set_fault_plan(plan);
+        }
+        if self.trace {
+            m.set_trace(true);
+        }
+        if let Some(stride) = self.audit_stride {
+            m.enable_audit(stride);
+        }
+        if !self.settle.is_zero() {
+            let until = m.now() + self.settle;
+            m.run_until(until, &mut sys);
+        }
+        TestSystem { m, sys }
+    }
 }
 
 #[cfg(test)]

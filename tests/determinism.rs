@@ -58,69 +58,60 @@ fn sim_rng_streams_are_reproducible() {
 /// trip over the reliable mailbox links. Returns the complete trace plus
 /// a numeric fingerprint of everything an experiment would report.
 fn faulted_run() -> (String, Fingerprint) {
-    use k2::system::{normal_blocked, schedule_in_normal, K2System, SystemConfig};
-    use k2_kernel::proc::ThreadKind;
+    use k2::system::{normal_blocked, schedule_in_normal};
     use k2_soc::ids::DomainId;
-    use k2_soc::FaultPlan;
-    use k2_workloads::tasks::{new_report, TaskIdentity, UdpBenchTask};
+    use k2_workloads::harness::TestSystem;
 
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    m.set_fault_plan(
-        FaultPlan::builder(2014)
-            .mail_drop(0.2)
-            .mail_duplicate(0.1)
-            .mail_delay(0.1, SimDuration::from_us(40))
-            .lock_stuck(0.05, SimDuration::from_us(20))
-            .dma_fail(0.3)
-            .dma_partial(0.1)
-            .core_stall(0.02, SimDuration::from_us(100), Some(DomainId::WEAK))
-            .spurious_wake(0.01, None)
-            .build(),
-    );
-    m.set_trace(true);
-    m.enable_audit(8);
+    let mut t = TestSystem::builder()
+        .seed(2014)
+        .faults(|f| {
+            f.mail_drop(0.2)
+                .mail_duplicate(0.1)
+                .mail_delay(0.1, SimDuration::from_us(40))
+                .lock_stuck(0.05, SimDuration::from_us(20))
+                .dma_fail(0.3)
+                .dma_partial(0.1)
+                .core_stall(0.02, SimDuration::from_us(100), Some(DomainId::WEAK))
+                .spurious_wake(0.01, None)
+        })
+        .trace()
+        .audit(8)
+        .build();
 
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
-    let strong = K2System::kernel_core(&m, DomainId::STRONG);
-    let pid = sys.world.processes.create_process("app");
-    let n = sys
-        .world
-        .processes
-        .create_thread(pid, ThreadKind::Normal, "main");
-    sys.world
-        .processes
-        .create_thread(pid, ThreadKind::NightWatch, "bg");
-    let report = new_report();
-    let task: Box<dyn k2_soc::platform::Task<k2::system::K2System>> = UdpBenchTask::new(
-        TaskIdentity {
+    let strong = t.kernel_core(DomainId::STRONG);
+    let (pid, n) = t.app("app");
+    let report = t.spawn_workload(
+        DomainId::WEAK,
+        k2_workloads::tasks::TaskIdentity {
             pid,
             nightwatch: true,
         },
-        8 << 10,
-        32 << 10,
-        report.clone(),
+        Workload::Udp {
+            batch: 8 << 10,
+            total: 32 << 10,
+        },
+        0,
     );
-    m.spawn(weak, task, &mut sys);
     for _ in 0..3 {
-        schedule_in_normal(&mut sys, &mut m, strong, pid, n);
-        m.run_until(m.now() + SimDuration::from_ms(10), &mut sys);
-        normal_blocked(&mut sys, &mut m, strong, pid, n);
-        m.run_until(m.now() + SimDuration::from_ms(10), &mut sys);
+        schedule_in_normal(&mut t.sys, &mut t.m, strong, pid, n);
+        t.run_for(SimDuration::from_ms(10));
+        normal_blocked(&mut t.sys, &mut t.m, strong, pid, n);
+        t.run_for(SimDuration::from_ms(10));
     }
-    m.run_until_idle(&mut sys);
+    t.run_until_idle();
 
-    let stats = m.fault_stats().expect("plan was armed").clone();
+    let stats = t.m.fault_stats().expect("plan was armed").clone();
     let fp = Fingerprint {
-        now_ns: m.now().as_ns(),
+        now_ns: t.m.now().as_ns(),
         bytes: report.borrow().bytes,
-        strong_energy_bits: m.domain_energy_mj(DomainId::STRONG).to_bits(),
-        weak_energy_bits: m.domain_energy_mj(DomainId::WEAK).to_bits(),
+        strong_energy_bits: t.m.domain_energy_mj(DomainId::STRONG).to_bits(),
+        weak_energy_bits: t.m.domain_energy_mj(DomainId::WEAK).to_bits(),
         faults_injected: stats.total(),
-        links: sys.link_stats(),
-        audit_checks: m.auditor().checks_run(),
-        audit_violations: m.auditor().violations_total(),
+        links: t.sys.link_stats(),
+        audit_checks: t.m.auditor().checks_run(),
+        audit_violations: t.m.auditor().violations_total(),
     };
-    (m.trace().dump(), fp)
+    (t.m.trace().dump(), fp)
 }
 
 /// Everything the faulted run reports, comparable bit-for-bit.

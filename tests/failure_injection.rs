@@ -8,26 +8,28 @@ use k2::system::{
     alloc_pages, dma_is_pending, dma_start, normal_blocked, nw_can_run, schedule_in_normal,
     K2System, SystemConfig,
 };
-use k2_kernel::proc::ThreadKind;
 use k2_sim::time::SimDuration;
 use k2_soc::hwspinlock::HwLockId;
 use k2_soc::ids::DomainId;
 use k2_soc::mem::PhysAddr;
 use k2_soc::{FaultClass, FaultPlan};
+use k2_workloads::harness::{TestSystem, Workload};
 
 #[test]
 fn allocator_oom_is_reported_not_hidden() {
     // A kernel with no balloon help eventually returns None; the system
     // never fabricates memory.
-    let config = SystemConfig {
-        initial_shadow_blocks: 0,
-        ..SystemConfig::k2()
-    };
-    let (mut m, mut sys) = K2System::boot(config);
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let mut t = TestSystem::builder()
+        .config(SystemConfig {
+            initial_shadow_blocks: 0,
+            ..SystemConfig::k2()
+        })
+        .build();
+    let weak = t.kernel_core(DomainId::WEAK);
+    let TestSystem { m, sys } = &mut t;
     let mut got = 0u64;
     loop {
-        let (pfn, _) = alloc_pages(&mut sys, &mut m, weak, 0, false);
+        let (pfn, _) = alloc_pages(sys, m, weak, 0, false);
         if pfn.is_none() {
             break;
         }
@@ -40,17 +42,20 @@ fn allocator_oom_is_reported_not_hidden() {
 
 #[test]
 fn balloon_inflate_reports_the_pinning_page() {
-    let (mut m, mut sys) = K2System::boot(SystemConfig {
-        initial_shadow_blocks: 1,
-        ..SystemConfig::k2()
-    });
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let mut t = TestSystem::builder()
+        .config(SystemConfig {
+            initial_shadow_blocks: 1,
+            ..SystemConfig::k2()
+        })
+        .build();
+    let weak = t.kernel_core(DomainId::WEAK);
+    let TestSystem { m, sys } = &mut t;
     // Exhaust all memory with unmovable pages: the balloon's block is
     // pinned and inflation must name a culprit rather than corrupt state.
-    while alloc_pages(&mut sys, &mut m, weak, 0, false).0.is_some() {}
+    while alloc_pages(sys, m, weak, 0, false).0.is_some() {}
     let before = sys.world.kernels[1].buddy.managed_page_count();
     let err = {
-        let K2System { balloon, world, .. } = &mut sys;
+        let K2System { balloon, world, .. } = sys;
         balloon.inflate(world.kernel(DomainId::WEAK)).unwrap_err()
     };
     assert!(matches!(err, BalloonError::Unmovable(_)), "{err:?}");
@@ -64,11 +69,12 @@ fn fs_survives_running_completely_full() {
     use k2::system::shadowed;
     use k2_kernel::fs::ext2::FsError;
     use k2_kernel::service::ServiceId;
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+    let mut t = TestSystem::builder().build();
+    let strong = t.kernel_core(DomainId::STRONG);
+    let TestSystem { m, sys } = &mut t;
     // Fill the filesystem to ENOSPC, then verify existing data is intact
     // and deleting recovers space.
-    let (ino, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+    let (ino, _) = shadowed(sys, m, strong, ServiceId::Fs, |s, cx| {
         let keep = s.fs.create("/keep", cx).unwrap();
         s.fs.write(keep, 0, b"survives enospc", cx).unwrap();
         let hog = s.fs.create("/hog", cx).unwrap();
@@ -83,7 +89,7 @@ fn fs_survives_running_completely_full() {
         }
         keep
     });
-    let (content, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+    let (content, _) = shadowed(sys, m, strong, ServiceId::Fs, |s, cx| {
         let mut buf = [0u8; 15];
         s.fs.read(ino, 0, &mut buf, cx).unwrap();
         // Deleting the hog recovers space for new files.
@@ -136,11 +142,12 @@ fn dropping_caches_returns_every_page() {
             files: 1,
         },
     );
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let mut t = TestSystem::builder().build();
+    let weak = t.kernel_core(DomainId::WEAK);
+    let TestSystem { m, sys } = &mut t;
     // Populate a cache by hand.
     for blk in 0..32u64 {
-        let (pfn, _) = alloc_pages(&mut sys, &mut m, weak, 0, true);
+        let (pfn, _) = alloc_pages(sys, m, weak, 0, true);
         let k = &mut sys.world.kernels[1];
         let h = k.rmap.handle_of(pfn.unwrap()).unwrap();
         k.pagecache.insert(k2_kernel::fs::InodeNo(9), blk, h);
@@ -168,51 +175,35 @@ fn dropping_caches_returns_every_page() {
 /// Drives `rounds` full NightWatch suspend/resume round trips and asserts
 /// the gate settles correctly after each despite whatever the fault plan
 /// does to the mails in between.
-fn nightwatch_round_trips(
-    rounds: u32,
-    plan: FaultPlan,
-) -> (
-    k2_soc::platform::Machine<K2System>,
-    K2System,
-    k2_kernel::proc::Pid,
-) {
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    m.set_fault_plan(plan);
-    m.enable_audit(1);
-    let pid = sys.world.processes.create_process("app");
-    let n = sys
-        .world
-        .processes
-        .create_thread(pid, ThreadKind::Normal, "main");
-    sys.world
-        .processes
-        .create_thread(pid, ThreadKind::NightWatch, "bg");
-    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+fn nightwatch_round_trips(rounds: u32, plan: FaultPlan) -> (TestSystem, k2_kernel::proc::Pid) {
+    let mut t = TestSystem::builder().fault_plan(plan).audit(1).build();
+    let (pid, n) = t.app("app");
+    let strong = t.kernel_core(DomainId::STRONG);
     for round in 0..rounds {
-        schedule_in_normal(&mut sys, &mut m, strong, pid, n);
+        schedule_in_normal(&mut t.sys, &mut t.m, strong, pid, n);
         // Ample time for the worst retransmission chain (12 us doubling to
         // the 1 ms ceiling) to deliver the message.
-        m.run_until(m.now() + SimDuration::from_ms(10), &mut sys);
+        t.run_for(SimDuration::from_ms(10));
         assert!(
-            !nw_can_run(&sys, pid),
+            !nw_can_run(&t.sys, pid),
             "round {round}: gate must close despite interconnect faults"
         );
-        normal_blocked(&mut sys, &mut m, strong, pid, n);
-        m.run_until(m.now() + SimDuration::from_ms(10), &mut sys);
+        normal_blocked(&mut t.sys, &mut t.m, strong, pid, n);
+        t.run_for(SimDuration::from_ms(10));
         assert!(
-            nw_can_run(&sys, pid),
+            nw_can_run(&t.sys, pid),
             "round {round}: gate must reopen despite interconnect faults"
         );
     }
-    m.run_until_idle(&mut sys);
-    (m, sys, pid)
+    t.run_until_idle();
+    (t, pid)
 }
 
 #[test]
 fn nightwatch_survives_mailbox_message_loss() {
     let plan = FaultPlan::builder(11).mail_drop(0.4).build();
-    let (m, sys, _) = nightwatch_round_trips(10, plan);
-    let links = sys.link_stats();
+    let (t, _) = nightwatch_round_trips(10, plan);
+    let links = t.sys.link_stats();
     assert!(
         links.retransmits >= 1,
         "lost mails must force retransmissions: {links:?}"
@@ -224,46 +215,45 @@ fn nightwatch_survives_mailbox_message_loss() {
         links.accepted, links.sent,
         "every message must be delivered: {links:?}"
     );
-    let stats = m.fault_stats().unwrap();
+    let stats = t.m.fault_stats().unwrap();
     assert!(
         stats.of(FaultClass::MailDrop) >= 1,
         "plan injected no drops"
     );
-    assert!(m.auditor().is_clean(), "{}", m.auditor().report());
+    t.assert_audit_clean();
 }
 
 #[test]
 fn duplicated_mails_take_effect_exactly_once() {
     let plan = FaultPlan::builder(22).mail_duplicate(0.6).build();
     let rounds = 8;
-    let (m, sys, _) = nightwatch_round_trips(rounds, plan);
-    let links = sys.link_stats();
+    let (t, _) = nightwatch_round_trips(rounds, plan);
+    let links = t.sys.link_stats();
     assert!(
         links.duplicates_dropped >= 1,
         "duplicates must be suppressed by sequence dedup: {links:?}"
     );
     // Each suspend and resume was handled exactly once per round.
-    let (s, r) = sys.nightwatch.counts();
+    let (s, r) = t.sys.nightwatch.counts();
     assert_eq!((s, r), (rounds as u64, rounds as u64));
-    let stats = m.fault_stats().unwrap();
+    let stats = t.m.fault_stats().unwrap();
     assert!(stats.of(FaultClass::MailDuplicate) >= 1);
-    assert!(m.auditor().is_clean(), "{}", m.auditor().report());
+    t.assert_audit_clean();
 }
 
 #[test]
 fn stuck_hwspinlock_is_aborted_and_reacquired() {
     use k2::system::shadowed;
     use k2_kernel::service::ServiceId;
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
     // Lock 1 guards the filesystem service; hold it busy for 30 us.
-    m.set_fault_plan(
-        FaultPlan::builder(33)
-            .stick_lock_once(HwLockId(1), SimDuration::from_us(30))
-            .build(),
-    );
-    m.enable_audit(1);
-    let strong = K2System::kernel_core(&m, DomainId::STRONG);
-    let (ino, dur) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+    let mut t = TestSystem::builder()
+        .seed(33)
+        .faults(|f| f.stick_lock_once(HwLockId(1), SimDuration::from_us(30)))
+        .audit(1)
+        .build();
+    let strong = t.kernel_core(DomainId::STRONG);
+    let TestSystem { m, sys } = &mut t;
+    let (ino, dur) = shadowed(sys, m, strong, ServiceId::Fs, |s, cx| {
         let ino = s.fs.create("/stuck", cx).unwrap();
         s.fs.write(ino, 0, b"made it", cx).unwrap();
         ino
@@ -277,93 +267,86 @@ fn stuck_hwspinlock_is_aborted_and_reacquired() {
         "the operation paid for the spin-abort-backoff cycles: {dur:?}"
     );
     // The operation still completed and the data is intact.
-    let (content, _) = shadowed(&mut sys, &mut m, strong, ServiceId::Fs, |s, cx| {
+    let (content, _) = shadowed(sys, m, strong, ServiceId::Fs, |s, cx| {
         let mut buf = [0u8; 7];
         s.fs.read(ino, 0, &mut buf, cx).unwrap();
         buf
     });
     assert_eq!(&content, b"made it");
-    m.run_until_idle(&mut sys);
-    let stats = m.fault_stats().unwrap();
+    t.run_until_idle();
+    let stats = t.m.fault_stats().unwrap();
     assert!(stats.of(FaultClass::LockStuck) >= 1);
-    assert!(m.auditor().is_clean(), "{}", m.auditor().report());
+    t.assert_audit_clean();
 }
 
 #[test]
 fn failed_dma_transfers_are_resubmitted_until_verified() {
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    m.set_fault_plan(
-        FaultPlan::builder(44)
-            .dma_fail(0.4)
-            .dma_partial(0.15)
-            .build(),
-    );
-    m.enable_audit(1);
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let mut t = TestSystem::builder()
+        .seed(44)
+        .faults(|f| f.dma_fail(0.4).dma_partial(0.15))
+        .audit(1)
+        .build();
+    let weak = t.kernel_core(DomainId::WEAK);
     for i in 0..16u64 {
         let src = PhysAddr(0x10_0000 + i * 0x2000);
         let dst = PhysAddr(0x80_0000 + i * 0x2000);
-        let (xfer, _) = dma_start(&mut sys, &mut m, weak, src, dst, 4096, None);
+        let (xfer, _) = dma_start(&mut t.sys, &mut t.m, weak, src, dst, 4096, None);
         // No live task: drive the event loop by time. The bound must cover
         // the worst resubmission chain — up to 9 attempts of setup + copy,
         // where each submission may also charge a 10 ms main-busy deferral
         // when its DSM fault lands on an Active strong core (the reliable
         // link's ack traffic keeps it awake).
-        m.run_until(m.now() + SimDuration::from_ms(120), &mut sys);
+        t.run_for(SimDuration::from_ms(120));
         assert!(
-            !dma_is_pending(&sys, xfer),
+            !dma_is_pending(&t.sys, xfer),
             "transfer {i} never completed: the driver is wedged"
         );
     }
     assert!(
-        sys.stats.dma_retries >= 1,
+        t.sys.stats.dma_retries >= 1,
         "injected failures must force resubmissions"
     );
     assert_eq!(
-        sys.stats.dma_gave_up, 0,
+        t.sys.stats.dma_gave_up, 0,
         "every transfer verified within the retry budget"
     );
-    let stats = m.fault_stats().unwrap();
+    let stats = t.m.fault_stats().unwrap();
     assert!(
         stats.of(FaultClass::DmaFail) + stats.of(FaultClass::DmaPartial) >= 1,
         "plan injected no DMA faults"
     );
-    assert!(m.auditor().is_clean(), "{}", m.auditor().report());
+    t.assert_audit_clean();
 }
 
 #[test]
 fn weak_core_stalls_and_spurious_wakes_only_delay_the_workload() {
-    use k2_workloads::tasks::{new_report, TaskIdentity, UdpBenchTask};
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    m.set_fault_plan(
-        FaultPlan::builder(55)
-            .core_stall(0.05, SimDuration::from_us(200), Some(DomainId::WEAK))
-            .spurious_wake(0.01, None)
-            .build(),
-    );
-    m.enable_audit(16);
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
-    let pid = sys.world.processes.create_process("bg");
-    sys.world
-        .processes
-        .create_thread(pid, ThreadKind::NightWatch, "t");
-    let id = TaskIdentity {
-        pid,
-        nightwatch: true,
-    };
-    let report = new_report();
+    let mut t = TestSystem::builder()
+        .seed(55)
+        .faults(|f| {
+            f.core_stall(0.05, SimDuration::from_us(200), Some(DomainId::WEAK))
+                .spurious_wake(0.01, None)
+        })
+        .audit(16)
+        .build();
+    let id = t.background("bg");
     let total = 64u64 << 10;
-    let task: Box<dyn k2_soc::platform::Task<K2System>> =
-        UdpBenchTask::new(id, 8 << 10, total, report.clone());
-    m.spawn(weak, task, &mut sys);
-    m.run_until_idle(&mut sys);
+    let report = t.spawn_workload(
+        DomainId::WEAK,
+        id,
+        Workload::Udp {
+            batch: 8 << 10,
+            total,
+        },
+        0,
+    );
+    t.run_until_idle();
     assert_eq!(
         report.borrow().bytes,
         total,
         "workload must complete despite stalled steps"
     );
     assert!(report.borrow().finished_at.is_some());
-    let stats = m.fault_stats().unwrap();
+    let stats = t.m.fault_stats().unwrap();
     assert!(
         stats.of(FaultClass::CoreStall) >= 1,
         "plan stalled no steps"
@@ -372,5 +355,5 @@ fn weak_core_stalls_and_spurious_wakes_only_delay_the_workload() {
         stats.of(FaultClass::SpuriousWake) >= 1,
         "plan woke no idle cores"
     );
-    assert!(m.auditor().is_clean(), "{}", m.auditor().report());
+    t.assert_audit_clean();
 }

@@ -1,13 +1,12 @@
 //! Integration: NightWatch scheduling (§8) end to end through the
 //! mailboxes and the machine.
 
-use k2::system::{
-    normal_blocked, nw_can_run, nw_park, schedule_in_normal, K2Machine, K2System, SystemConfig,
-};
+use k2::system::{normal_blocked, nw_can_run, nw_park, schedule_in_normal, K2Machine, K2System};
 use k2_kernel::proc::{Pid, ThreadKind, Tid};
 use k2_sim::time::SimDuration;
 use k2_soc::ids::DomainId;
 use k2_soc::platform::{Step, Task, TaskCx};
+use k2_workloads::harness::TestSystem;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -68,46 +67,39 @@ impl Task<K2System> for NormalBurst {
     }
 }
 
-fn setup() -> (K2Machine, K2System, Pid, Tid) {
-    let (m, mut sys) = K2System::boot(SystemConfig::k2());
-    let pid = sys.world.processes.create_process("app");
-    let tid = sys
-        .world
-        .processes
-        .create_thread(pid, ThreadKind::Normal, "ui");
-    sys.world
-        .processes
-        .create_thread(pid, ThreadKind::NightWatch, "nw");
-    (m, sys, pid, tid)
+fn setup() -> (TestSystem, Pid, Tid) {
+    let mut t = TestSystem::builder().build();
+    let (pid, tid) = t.app("app");
+    (t, pid, tid)
 }
 
 #[test]
 fn nightwatch_pauses_during_normal_execution() {
-    let (mut m, mut sys, pid, tid) = setup();
+    let (mut t, pid, tid) = setup();
     let log = Rc::new(RefCell::new(Vec::new()));
-    m.spawn(
-        K2System::kernel_core(&m, DomainId::WEAK),
+    t.m.spawn(
+        t.kernel_core(DomainId::WEAK),
         Box::new(NwWorker {
             pid,
             ticks_left: 30,
             log: log.clone(),
         }),
-        &mut sys,
+        &mut t.sys,
     );
     // Let the worker tick for ~5 ms, then a 20 ms normal burst.
-    m.run_until(m.now() + SimDuration::from_ms(5), &mut sys);
-    let burst_start = m.now().as_ns();
-    m.spawn(
-        K2System::kernel_core(&m, DomainId::STRONG),
+    t.run_for(SimDuration::from_ms(5));
+    let burst_start = t.m.now().as_ns();
+    t.m.spawn(
+        t.kernel_core(DomainId::STRONG),
         Box::new(NormalBurst {
             pid,
             tid,
             run_ms: 20,
             state: 0,
         }),
-        &mut sys,
+        &mut t.sys,
     );
-    m.run_until_idle(&mut sys);
+    t.run_until_idle();
     let log = log.borrow();
     assert_eq!(log.len(), 30, "all ticks eventually ran");
     // No tick lands inside the burst window (after the SuspendNW mail
@@ -131,34 +123,32 @@ fn nightwatch_pauses_during_normal_execution() {
 fn unrelated_processes_keep_their_nightwatch_running() {
     // §4.3: the deferral only applies to light tasks of the *same*
     // process; multi-domain parallelism across processes is supported.
-    let (mut m, mut sys, pid_a, tid_a) = setup();
-    let pid_b = sys.world.processes.create_process("other-app");
-    sys.world
-        .processes
-        .create_thread(pid_b, ThreadKind::NightWatch, "other-nw");
+    let (mut t, pid_a, tid_a) = setup();
+    let id_b = t.background("other-app");
+    let pid_b = id_b.pid;
     let log_b = Rc::new(RefCell::new(Vec::new()));
-    m.spawn(
-        K2System::kernel_core(&m, DomainId::WEAK),
+    t.m.spawn(
+        t.kernel_core(DomainId::WEAK),
         Box::new(NwWorker {
             pid: pid_b,
             ticks_left: 25,
             log: log_b.clone(),
         }),
-        &mut sys,
+        &mut t.sys,
     );
-    m.run_until(m.now() + SimDuration::from_ms(2), &mut sys);
-    let burst_start = m.now().as_ns();
-    m.spawn(
-        K2System::kernel_core(&m, DomainId::STRONG),
+    t.run_for(SimDuration::from_ms(2));
+    let burst_start = t.m.now().as_ns();
+    t.m.spawn(
+        t.kernel_core(DomainId::STRONG),
         Box::new(NormalBurst {
             pid: pid_a,
             tid: tid_a,
             run_ms: 15,
             state: 0,
         }),
-        &mut sys,
+        &mut t.sys,
     );
-    m.run_until_idle(&mut sys);
+    t.run_until_idle();
     let during: usize = log_b
         .borrow()
         .iter()
@@ -172,10 +162,10 @@ fn unrelated_processes_keep_their_nightwatch_running() {
 
 #[test]
 fn suspend_protocol_counts_and_overhead() {
-    let (mut m, mut sys, pid, tid) = setup();
+    let (mut t, pid, tid) = setup();
     for _ in 0..5 {
-        let strong = K2System::kernel_core(&m, DomainId::STRONG);
-        m.spawn(
+        let strong = t.kernel_core(DomainId::STRONG);
+        t.m.spawn(
             strong,
             Box::new(NormalBurst {
                 pid,
@@ -183,16 +173,16 @@ fn suspend_protocol_counts_and_overhead() {
                 run_ms: 1,
                 state: 0,
             }),
-            &mut sys,
+            &mut t.sys,
         );
-        m.run_until_idle(&mut sys);
-        m.run_until(m.now() + SimDuration::from_ms(1), &mut sys);
+        t.run_until_idle();
+        t.run_for(SimDuration::from_ms(1));
     }
-    let (suspends, resumes) = sys.nightwatch.counts();
+    let (suspends, resumes) = t.sys.nightwatch.counts();
     assert_eq!(suspends, 5);
     assert_eq!(resumes, 5);
     // The overlapped wait leaves only a couple of microseconds per switch.
-    let overhead = sys.nightwatch.switch_overhead_us.mean();
+    let overhead = t.sys.nightwatch.switch_overhead_us.mean();
     assert!(
         (0.0..=4.0).contains(&overhead),
         "suspend overhead {overhead:.1} us"
@@ -201,15 +191,15 @@ fn suspend_protocol_counts_and_overhead() {
 
 #[test]
 fn gate_reopens_even_with_no_parked_tasks() {
-    let (mut m, mut sys, pid, tid) = setup();
-    let strong = K2System::kernel_core(&m, DomainId::STRONG);
-    let d = schedule_in_normal(&mut sys, &mut m, strong, pid, tid);
+    let (mut t, pid, tid) = setup();
+    let strong = t.kernel_core(DomainId::STRONG);
+    let d = schedule_in_normal(&mut t.sys, &mut t.m, strong, pid, tid);
     assert!(d > SimDuration::ZERO);
-    m.run_until(m.now() + SimDuration::from_ms(1), &mut sys);
-    assert!(!nw_can_run(&sys, pid));
-    normal_blocked(&mut sys, &mut m, strong, pid, tid);
-    m.run_until(m.now() + SimDuration::from_ms(1), &mut sys);
-    assert!(nw_can_run(&sys, pid));
+    t.run_for(SimDuration::from_ms(1));
+    assert!(!nw_can_run(&t.sys, pid));
+    normal_blocked(&mut t.sys, &mut t.m, strong, pid, tid);
+    t.run_for(SimDuration::from_ms(1));
+    assert!(nw_can_run(&t.sys, pid));
 }
 
 #[test]
@@ -217,12 +207,13 @@ fn weak_core_shares_fairly_among_processes() {
     use k2_workloads::tasks::{new_report, LightThread, MultiplexTask};
     // Three background apps multiplex the weak domain's single core via
     // the kernel's fair run queue; each must get ~a third of the CPU.
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let mut t = TestSystem::builder().build();
+    let weak = t.kernel_core(DomainId::WEAK);
     let mut threads = Vec::new();
     for i in 0..3 {
-        let pid = sys.world.processes.create_process(&format!("bg{i}"));
-        let tid = sys
+        let pid = t.sys.world.processes.create_process(&format!("bg{i}"));
+        let tid = t
+            .sys
             .world
             .processes
             .create_thread(pid, ThreadKind::NightWatch, "w");
@@ -234,8 +225,12 @@ fn weak_core_shares_fairly_among_processes() {
         });
     }
     let report = new_report();
-    m.spawn(weak, MultiplexTask::new(threads, report.clone()), &mut sys);
-    m.run_until_idle(&mut sys);
+    t.m.spawn(
+        weak,
+        MultiplexTask::new(threads, report.clone()),
+        &mut t.sys,
+    );
+    t.run_until_idle();
     assert_eq!(report.borrow().ops, 3 * 40, "every slice ran");
     assert!(report.borrow().finished_at.is_some());
 }
@@ -243,27 +238,30 @@ fn weak_core_shares_fairly_among_processes() {
 #[test]
 fn suspending_one_process_does_not_stall_the_multiplexer() {
     use k2_workloads::tasks::{new_report, LightThread, MultiplexTask};
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
-    let strong = K2System::kernel_core(&m, DomainId::STRONG);
+    let mut t = TestSystem::builder().build();
+    let weak = t.kernel_core(DomainId::WEAK);
+    let strong = t.kernel_core(DomainId::STRONG);
     // Process A has a normal thread that will run a burst; process B is
     // pure background.
-    let pid_a = sys.world.processes.create_process("a");
-    let tid_a_normal = sys
+    let pid_a = t.sys.world.processes.create_process("a");
+    let tid_a_normal = t
+        .sys
         .world
         .processes
         .create_thread(pid_a, ThreadKind::Normal, "ui");
-    let tid_a_nw = sys
+    let tid_a_nw = t
+        .sys
         .world
         .processes
         .create_thread(pid_a, ThreadKind::NightWatch, "a-bg");
-    let pid_b = sys.world.processes.create_process("b");
-    let tid_b = sys
+    let pid_b = t.sys.world.processes.create_process("b");
+    let tid_b = t
+        .sys
         .world
         .processes
         .create_thread(pid_b, ThreadKind::NightWatch, "b-bg");
     let report = new_report();
-    m.spawn(
+    t.m.spawn(
         weak,
         MultiplexTask::new(
             vec![
@@ -282,11 +280,11 @@ fn suspending_one_process_does_not_stall_the_multiplexer() {
             ],
             report.clone(),
         ),
-        &mut sys,
+        &mut t.sys,
     );
     // Let a few slices run, then burst A's normal thread for 20 ms.
-    m.run_until(m.now() + SimDuration::from_ms(3), &mut sys);
-    m.spawn(
+    t.run_for(SimDuration::from_ms(3));
+    t.m.spawn(
         strong,
         Box::new(NormalBurst {
             pid: pid_a,
@@ -294,9 +292,9 @@ fn suspending_one_process_does_not_stall_the_multiplexer() {
             run_ms: 20,
             state: 0,
         }),
-        &mut sys,
+        &mut t.sys,
     );
-    m.run_until_idle(&mut sys);
+    t.run_until_idle();
     // Everything eventually completed: B kept running during the burst, A
     // resumed after it.
     assert_eq!(report.borrow().ops, 60);

@@ -1,0 +1,26 @@
+//! Minimized schedule-dependent failure, emitted by the k2-check
+//! shrinker. Regenerate rather than editing by hand.
+//!
+//! Scenario:  mail-race
+//! Failure:   end-state divergence
+//! Schedule:  k2s1-000001  (3 decisions, 1 deviations)
+//! Observed:
+//!     mailrace.last: b0b00002 != b0b00001
+//!
+//! This file lives under `tests/repros/` (not auto-compiled). To run
+//! it, copy it into a crate's `tests/` directory or include it with
+//! `mod`, then `cargo test repro_mail_race`.
+
+use k2_check::{check_failure, FaultSpec, Scenario, Schedule};
+
+#[test]
+fn repro_mail_race() {
+    let spec = FaultSpec::none();
+    let schedule: Schedule = "k2s1-000001".parse().expect("valid schedule token");
+    let failure = check_failure(Scenario::MailRace, &spec, &schedule);
+    assert!(
+        failure.is_some(),
+        "schedule k2s1-000001 no longer reproduces the failure (bug fixed? \
+         delete this repro)"
+    );
+}

@@ -1,63 +1,31 @@
 //! Soak test: minutes of randomised background activity against a live K2
 //! system, with invariant checks throughout.
 
-use k2::system::{K2System, SystemConfig};
-use k2_kernel::proc::ThreadKind;
 use k2_sim::time::SimDuration;
 use k2_soc::ids::DomainId;
 use k2_workloads::generator::{generate_mix, MixParams};
-use k2_workloads::harness::Workload;
-use k2_workloads::tasks::{new_report, DmaBenchTask, Ext2BenchTask, TaskIdentity, UdpBenchTask};
+use k2_workloads::harness::TestSystem;
 
 #[test]
 fn randomised_mix_soak() {
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
     // Settle past the boot idle window (the strong domain's cores burn
     // their one-time 5 s shallow-idle there), then measure.
-    m.run_until(m.now() + SimDuration::from_secs(6), &mut sys);
-    let baseline = k2_workloads::record::EnergySnapshot::take(&m);
+    let mut t = TestSystem::builder()
+        .settle(SimDuration::from_secs(6))
+        .build();
+    let baseline = k2_workloads::record::EnergySnapshot::take(&t.m);
     let mix = generate_mix(2014, 40, MixParams::default());
     let mut reports = Vec::new();
     let mut expected_bytes = 0u64;
     for (i, arrival) in mix.iter().enumerate() {
-        m.run_until(m.now() + arrival.gap, &mut sys);
-        let pid = sys.world.processes.create_process(&format!("soak{i}"));
-        sys.world
-            .processes
-            .create_thread(pid, ThreadKind::NightWatch, "t");
-        let id = TaskIdentity {
-            pid,
-            nightwatch: true,
-        };
-        let report = new_report();
+        t.run_for(arrival.gap);
+        let id = t.background(&format!("soak{i}"));
         expected_bytes += arrival.workload.bytes();
-        let task: Box<dyn k2_soc::platform::Task<K2System>> = match arrival.workload {
-            Workload::Dma { batch, total } => {
-                DmaBenchTask::new(id, batch, total, None, report.clone())
-            }
-            Workload::Ext2 { file_size, files } => {
-                Ext2BenchTask::new(id, files, file_size, i as u32, report.clone())
-            }
-            Workload::Udp { batch, total } => UdpBenchTask::new(id, batch, total, report.clone()),
-            Workload::Cloud {
-                fetches,
-                reply,
-                rtt_ms,
-            } => k2_workloads::tasks::CloudFetchTask::new(
-                id,
-                fetches,
-                reply,
-                SimDuration::from_ms(rtt_ms),
-                report.clone(),
-            ),
-        };
-        m.spawn(weak, task, &mut sys);
-        m.run_until_idle(&mut sys);
-        reports.push(report);
+        reports.push(t.spawn_workload(DomainId::WEAK, id, arrival.workload, i as u32));
+        t.run_until_idle();
         // Invariants hold after every task.
-        sys.world.kernels[0].buddy.check_invariants();
-        sys.world.kernels[1].buddy.check_invariants();
+        t.sys.world.kernels[0].buddy.check_invariants();
+        t.sys.world.kernels[1].buddy.check_invariants();
     }
     // Every task processed exactly its payload.
     let done: u64 = reports.iter().map(|r| r.borrow().bytes).sum();
@@ -65,7 +33,7 @@ fn randomised_mix_soak() {
     assert!(reports.iter().all(|r| r.borrow().finished_at.is_some()));
     // The strong domain did essentially nothing: its energy over the mix
     // is a sliver of the weak domain's.
-    let after = k2_workloads::record::EnergySnapshot::take(&m);
+    let after = k2_workloads::record::EnergySnapshot::take(&t.m);
     let strong = after.strong_mj - baseline.strong_mj;
     let weak_e = after.weak_mj - baseline.weak_mj;
     assert!(
@@ -73,55 +41,24 @@ fn randomised_mix_soak() {
         "strong {strong:.1} mJ vs weak {weak_e:.1} mJ"
     );
     // And the run was long enough to mean something.
-    assert!(m.now().as_secs_f64() > 10.0);
+    assert!(t.m.now().as_secs_f64() > 10.0);
 }
 
 #[test]
 fn soak_is_deterministic_end_to_end() {
     let run = || {
-        let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-        let weak = K2System::kernel_core(&m, DomainId::WEAK);
+        let mut t = TestSystem::builder().build();
         for (i, arrival) in generate_mix(7, 12, MixParams::default()).iter().enumerate() {
-            m.run_until(m.now() + arrival.gap, &mut sys);
-            let pid = sys.world.processes.create_process("t");
-            sys.world
-                .processes
-                .create_thread(pid, ThreadKind::NightWatch, "t");
-            let id = TaskIdentity {
-                pid,
-                nightwatch: true,
-            };
-            let report = new_report();
-            let task: Box<dyn k2_soc::platform::Task<K2System>> = match arrival.workload {
-                Workload::Dma { batch, total } => {
-                    DmaBenchTask::new(id, batch, total, None, report.clone())
-                }
-                Workload::Ext2 { file_size, files } => {
-                    Ext2BenchTask::new(id, files, file_size, i as u32, report.clone())
-                }
-                Workload::Udp { batch, total } => {
-                    UdpBenchTask::new(id, batch, total, report.clone())
-                }
-                Workload::Cloud {
-                    fetches,
-                    reply,
-                    rtt_ms,
-                } => k2_workloads::tasks::CloudFetchTask::new(
-                    id,
-                    fetches,
-                    reply,
-                    SimDuration::from_ms(rtt_ms),
-                    report.clone(),
-                ),
-            };
-            m.spawn(weak, task, &mut sys);
-            m.run_until_idle(&mut sys);
+            t.run_for(arrival.gap);
+            let id = t.background("t");
+            t.spawn_workload(DomainId::WEAK, id, arrival.workload, i as u32);
+            t.run_until_idle();
         }
         (
-            m.now(),
-            m.total_energy_mj().to_bits(),
-            sys.dsm.total_faults(),
-            m.mailbox_delivered(),
+            t.m.now(),
+            t.m.total_energy_mj().to_bits(),
+            t.sys.dsm.total_faults(),
+            t.m.mailbox_delivered(),
         )
     };
     assert_eq!(run(), run());
@@ -133,62 +70,31 @@ fn randomised_fault_soak() {
     // dropped, duplicated and delayed, locks stick, DMA transfers fail
     // short, and the weak core stalls — yet every task must still finish
     // its exact payload with the invariant auditor running throughout.
-    use k2_soc::FaultPlan;
-    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
-    m.set_fault_plan(
-        FaultPlan::builder(97)
-            .mail_drop(0.15)
-            .mail_duplicate(0.05)
-            .mail_delay(0.05, SimDuration::from_us(30))
-            .lock_stuck(0.02, SimDuration::from_us(10))
-            .dma_fail(0.2)
-            .dma_partial(0.05)
-            .core_stall(0.01, SimDuration::from_us(50), Some(DomainId::WEAK))
-            .spurious_wake(0.005, None)
-            .build(),
-    );
-    m.enable_audit(64);
-    let weak = K2System::kernel_core(&m, DomainId::WEAK);
+    let mut t = TestSystem::builder()
+        .seed(97)
+        .faults(|f| {
+            f.mail_drop(0.15)
+                .mail_duplicate(0.05)
+                .mail_delay(0.05, SimDuration::from_us(30))
+                .lock_stuck(0.02, SimDuration::from_us(10))
+                .dma_fail(0.2)
+                .dma_partial(0.05)
+                .core_stall(0.01, SimDuration::from_us(50), Some(DomainId::WEAK))
+                .spurious_wake(0.005, None)
+        })
+        .audit(64)
+        .build();
     let mix = generate_mix(97, 24, MixParams::default());
     let mut reports = Vec::new();
     let mut expected_bytes = 0u64;
     for (i, arrival) in mix.iter().enumerate() {
-        m.run_until(m.now() + arrival.gap, &mut sys);
-        let pid = sys.world.processes.create_process(&format!("fsoak{i}"));
-        sys.world
-            .processes
-            .create_thread(pid, ThreadKind::NightWatch, "t");
-        let id = TaskIdentity {
-            pid,
-            nightwatch: true,
-        };
-        let report = new_report();
+        t.run_for(arrival.gap);
+        let id = t.background(&format!("fsoak{i}"));
         expected_bytes += arrival.workload.bytes();
-        let task: Box<dyn k2_soc::platform::Task<K2System>> = match arrival.workload {
-            Workload::Dma { batch, total } => {
-                DmaBenchTask::new(id, batch, total, None, report.clone())
-            }
-            Workload::Ext2 { file_size, files } => {
-                Ext2BenchTask::new(id, files, file_size, i as u32, report.clone())
-            }
-            Workload::Udp { batch, total } => UdpBenchTask::new(id, batch, total, report.clone()),
-            Workload::Cloud {
-                fetches,
-                reply,
-                rtt_ms,
-            } => k2_workloads::tasks::CloudFetchTask::new(
-                id,
-                fetches,
-                reply,
-                SimDuration::from_ms(rtt_ms),
-                report.clone(),
-            ),
-        };
-        m.spawn(weak, task, &mut sys);
-        m.run_until_idle(&mut sys);
-        reports.push(report);
-        sys.world.kernels[0].buddy.check_invariants();
-        sys.world.kernels[1].buddy.check_invariants();
+        reports.push(t.spawn_workload(DomainId::WEAK, id, arrival.workload, i as u32));
+        t.run_until_idle();
+        t.sys.world.kernels[0].buddy.check_invariants();
+        t.sys.world.kernels[1].buddy.check_invariants();
     }
     // Every task processed exactly its payload despite the faults.
     let done: u64 = reports.iter().map(|r| r.borrow().bytes).sum();
@@ -196,7 +102,7 @@ fn randomised_fault_soak() {
     assert!(reports.iter().all(|r| r.borrow().finished_at.is_some()));
     // The soak actually exercised the fault paths; log the mix so a
     // failing run's seed can be triaged from the test output alone.
-    let stats = m.fault_stats().unwrap();
+    let stats = t.m.fault_stats().unwrap();
     println!(
         "fault mix over {} tasks:\n{}",
         mix.len(),
@@ -204,12 +110,12 @@ fn randomised_fault_soak() {
     );
     assert!(stats.total() >= 1, "the plan injected nothing");
     // Reliable links delivered every protocol message at least once.
-    let links = sys.link_stats();
+    let links = t.sys.link_stats();
     assert_eq!(
         links.accepted, links.sent,
         "message lost despite retransmission: {links:?}"
     );
     // The auditor ran and saw a consistent system throughout.
-    assert!(m.auditor().checks_run() >= 1);
-    assert!(m.auditor().is_clean(), "{}", m.auditor().report());
+    assert!(t.m.auditor().checks_run() >= 1);
+    t.assert_audit_clean();
 }
