@@ -6,15 +6,30 @@
 //! recording every decision trace. Each run is checked against the
 //! always-on oracles (conservation, invariant audit); fault-free runs
 //! are additionally compared against the baseline end state.
+//!
+//! # Parallelism
+//!
+//! Every perturbed run is a complete, self-contained simulation: it boots
+//! its own machine, owns all of its state, and its schedule policy is a
+//! pure function of `(seed, run index)`. The campaign is therefore
+//! embarrassingly parallel, and [`Explorer::run`] fans the budget out
+//! over a scoped worker pool (`K2CHECK_THREADS`, default: available
+//! parallelism). Determinism survives because *what* each indexed run
+//! does never depends on which thread executes it or when — workers claim
+//! indices from an atomic counter, park results in per-index slots, and
+//! the report is merged strictly in index order. The exploration verdict,
+//! distinct-schedule count, and first-failure selection are byte-
+//! identical for any worker count, including one; the thread-invariance
+//! test pins this down.
 
 use crate::oracle::EndState;
-use crate::policy::{
-    chooser_of, Baseline, DelayBounded, RandomWalk, Recorder, Replay, SchedulePolicy,
-};
+use crate::policy::{chooser_of, exploration_policy, Baseline, Recorder, Replay, SchedulePolicy};
 use crate::scenario::{FaultSpec, RunOutcome, Scenario};
 use crate::schedule::Schedule;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// What kind of oracle a failing schedule violated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,10 +76,13 @@ pub struct ExplorationReport {
     pub distinct_schedules: usize,
     /// Choice points hit across all runs.
     pub total_choice_points: u64,
-    /// Every oracle violation found, in discovery order.
+    /// Every oracle violation found, in run-index order.
     pub failures: Vec<Failure>,
     /// The baseline run's end state (the differential reference).
     pub baseline_end_state: EndState,
+    /// Worker threads the campaign actually used (1 = serial). Changing
+    /// this never changes any other field.
+    pub threads: usize,
 }
 
 impl ExplorationReport {
@@ -83,6 +101,21 @@ pub fn run_recorded(
     let recorder = Recorder::new();
     let chooser = recorder.chooser(policy);
     let outcome = scenario.run(spec, Some(chooser));
+    (recorder.schedule(), outcome)
+}
+
+/// Like [`run_recorded`] but through [`Scenario::run_lite`]: the outcome
+/// carries no rendered report, which is all the exploration oracles need
+/// and roughly halves the cost of a run. Replay/byte-identity checks must
+/// use [`run_recorded`].
+pub fn run_recorded_lite(
+    scenario: Scenario,
+    spec: &FaultSpec,
+    policy: Box<dyn SchedulePolicy>,
+) -> (Schedule, RunOutcome) {
+    let recorder = Recorder::new();
+    let chooser = recorder.chooser(policy);
+    let outcome = scenario.run_lite(spec, Some(chooser));
     (recorder.schedule(), outcome)
 }
 
@@ -124,23 +157,54 @@ fn classify(out: &RunOutcome, reference: Option<&EndState>) -> Option<(FailureKi
     None
 }
 
+/// Everything one perturbed run contributes to the campaign report.
+/// Workers produce these; the merge consumes them in index order.
+struct PerRun {
+    schedule: Schedule,
+    choice_points: u64,
+    policy: &'static str,
+    failure: Option<(FailureKind, String)>,
+}
+
+/// Executes perturbed run `index` of the campaign. Pure in `(scenario,
+/// spec, seed, index, reference)` — thread- and order-independent.
+fn perturbed_run(
+    scenario: Scenario,
+    spec: &FaultSpec,
+    seed: u64,
+    index: u32,
+    reference: Option<&EndState>,
+) -> PerRun {
+    let policy = exploration_policy(seed, index);
+    let policy_name = policy.name();
+    let (schedule, outcome) = run_recorded_lite(scenario, spec, policy);
+    PerRun {
+        schedule: schedule.trimmed(),
+        choice_points: outcome.choice_points,
+        policy: policy_name,
+        failure: classify(&outcome, reference),
+    }
+}
+
 /// A bounded exploration campaign over one scenario.
 pub struct Explorer {
     scenario: Scenario,
     spec: FaultSpec,
     seed: u64,
     budget: u32,
+    threads: usize,
 }
 
 impl Explorer {
-    /// An explorer with the fault-free spec and a default budget of 120
-    /// perturbed runs.
+    /// An explorer with the fault-free spec, a default budget of 120
+    /// perturbed runs, and automatic thread-count selection.
     pub fn new(scenario: Scenario, seed: u64) -> Self {
         Explorer {
             scenario,
             spec: FaultSpec::none(),
             seed,
             budget: 120,
+            threads: 0,
         }
     }
 
@@ -159,10 +223,39 @@ impl Explorer {
         self
     }
 
+    /// Sets the worker-thread count. `0` (the default) means automatic:
+    /// the `K2CHECK_THREADS` environment variable if set and nonzero,
+    /// otherwise the host's available parallelism. The campaign's result
+    /// is byte-identical for every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count [`Explorer::run`] will actually use.
+    fn worker_count(&self) -> usize {
+        let configured = if self.threads != 0 {
+            self.threads
+        } else {
+            std::env::var("K2CHECK_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        };
+        configured.min(self.budget.max(1) as usize)
+    }
+
     /// Runs the campaign.
+    ///
+    /// The baseline executes first on the calling thread (it is the
+    /// differential reference for everything else); the perturbed budget
+    /// then fans out across the worker pool. Aggregation walks the
+    /// per-index results in index order, so the report — including which
+    /// failure is "first" — matches a serial run exactly.
     pub fn run(&self) -> ExplorationReport {
         let (baseline_schedule, baseline) =
-            run_recorded(self.scenario, &self.spec, Box::new(Baseline));
+            run_recorded_lite(self.scenario, &self.spec, Box::new(Baseline));
         let mut distinct: HashSet<Schedule> = HashSet::new();
         distinct.insert(baseline_schedule.trimmed());
         let mut total_choice_points = baseline.choice_points;
@@ -176,25 +269,51 @@ impl Explorer {
             });
         }
         let differential = self.spec.is_nop();
+        let reference = differential.then_some(&baseline.end_state);
+        let workers = self.worker_count();
 
-        for i in 0..self.budget {
-            let stream = 1_000 + u64::from(i);
-            let policy: Box<dyn SchedulePolicy> = if i % 2 == 0 {
-                Box::new(RandomWalk::new(self.seed, stream))
-            } else {
-                Box::new(DelayBounded::new(self.seed, stream, 4))
-            };
-            let policy_name = policy.name();
-            let (schedule, outcome) = run_recorded(self.scenario, &self.spec, policy);
-            total_choice_points += outcome.choice_points;
-            distinct.insert(schedule.trimmed());
-            let reference = differential.then_some(&baseline.end_state);
-            if let Some((kind, detail)) = classify(&outcome, reference) {
+        let per_run: Vec<PerRun> = if workers <= 1 {
+            (0..self.budget)
+                .map(|i| perturbed_run(self.scenario, &self.spec, self.seed, i, reference))
+                .collect()
+        } else {
+            // Index claiming is the only inter-thread coordination: the
+            // atomic hands each worker the next unstarted run, and the
+            // slot vector keeps results addressable by index no matter
+            // which worker finished when.
+            let next = AtomicU32::new(0);
+            let slots: Mutex<Vec<Option<PerRun>>> =
+                Mutex::new((0..self.budget).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= self.budget {
+                            break;
+                        }
+                        let run = perturbed_run(self.scenario, &self.spec, self.seed, i, reference);
+                        slots.lock().expect("no worker panics holding slots")[i as usize] =
+                            Some(run);
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("workers joined")
+                .into_iter()
+                .map(|slot| slot.expect("every index was claimed and completed"))
+                .collect()
+        };
+
+        for run in per_run {
+            total_choice_points += run.choice_points;
+            distinct.insert(run.schedule.clone());
+            if let Some((kind, detail)) = run.failure {
                 failures.push(Failure {
-                    schedule: schedule.trimmed(),
+                    schedule: run.schedule,
                     kind,
                     detail,
-                    policy: policy_name,
+                    policy: run.policy,
                 });
             }
         }
@@ -206,6 +325,7 @@ impl Explorer {
             total_choice_points,
             failures,
             baseline_end_state: baseline.end_state,
+            threads: workers,
         }
     }
 }

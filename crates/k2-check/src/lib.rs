@@ -37,11 +37,13 @@ pub mod schedule;
 pub mod shrink;
 
 pub use explorer::{
-    check_failure, run_recorded, ExplorationReport, Explorer, Failure, FailureKind,
+    check_failure, run_recorded, run_recorded_lite, ExplorationReport, Explorer, Failure,
+    FailureKind,
 };
 pub use oracle::{capture_end_state, check_conservation, EndState};
 pub use policy::{
-    chooser_of, Baseline, DelayBounded, RandomWalk, Recorder, Replay, SchedulePolicy,
+    chooser_of, exploration_policy, Baseline, DelayBounded, RandomWalk, Recorder, Replay,
+    SchedulePolicy,
 };
 pub use scenario::{FaultSpec, RunOutcome, Scenario};
 pub use schedule::{Schedule, TokenError};

@@ -136,6 +136,21 @@ impl SchedulePolicy for Replay {
     }
 }
 
+/// The policy an exploration campaign assigns to perturbed run `index`:
+/// even indices take a seeded random walk, odd indices a delay-bounded
+/// search (budget 4). The RNG stream is a pure function of `(seed,
+/// index)`, so run `index` is the same run no matter which worker thread
+/// executes it or in what order — the property the parallel explorer's
+/// determinism rests on.
+pub fn exploration_policy(seed: u64, index: u32) -> Box<dyn SchedulePolicy> {
+    let stream = 1_000 + u64::from(index);
+    if index % 2 == 0 {
+        Box::new(RandomWalk::new(seed, stream))
+    } else {
+        Box::new(DelayBounded::new(seed, stream, 4))
+    }
+}
+
 /// Wraps a policy into a machine chooser, clamping out-of-range answers.
 pub fn chooser_of(mut policy: Box<dyn SchedulePolicy>) -> ScheduleChooser {
     Box::new(move |cp: &ChoicePoint<'_>| {

@@ -188,8 +188,27 @@ impl Scenario {
     /// given chooser (None = the queue's own tie-break), and snapshots
     /// the oracle inputs.
     pub fn run(self, spec: &FaultSpec, chooser: Option<ScheduleChooser>) -> RunOutcome {
+        self.run_impl(spec, chooser, true)
+    }
+
+    /// Like [`Scenario::run`] but skips rendering the profile report
+    /// (`report_json` comes back empty). The oracles never read the
+    /// report, and rendering it is the single most expensive step of a
+    /// run, so exploration campaigns — which execute hundreds of runs and
+    /// only ever classify their outcomes — use this path. Replay and
+    /// byte-identity checks must use [`Scenario::run`].
+    pub fn run_lite(self, spec: &FaultSpec, chooser: Option<ScheduleChooser>) -> RunOutcome {
+        self.run_impl(spec, chooser, false)
+    }
+
+    fn run_impl(
+        self,
+        spec: &FaultSpec,
+        chooser: Option<ScheduleChooser>,
+        render_report: bool,
+    ) -> RunOutcome {
         match self {
-            Scenario::UdpCrossTraffic => run_system(spec, chooser, |t| {
+            Scenario::UdpCrossTraffic => run_system(spec, chooser, render_report, |t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "udp-a" } else { "udp-b" });
@@ -211,7 +230,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::Ext2Churn => run_system(spec, chooser, |t| {
+            Scenario::Ext2Churn => run_system(spec, chooser, render_report, |t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "fs-a" } else { "fs-b" });
@@ -233,7 +252,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::DmaFanout => run_system(spec, chooser, |t| {
+            Scenario::DmaFanout => run_system(spec, chooser, render_report, |t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "dma-a" } else { "dma-b" });
@@ -255,7 +274,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::MailRace => run_system(spec, chooser, |t| {
+            Scenario::MailRace => run_system(spec, chooser, render_report, |t| {
                 // Replace the weak domain's mailbox ISR with one that keeps
                 // only the *last* mail it drains — the planted ordering bug.
                 let last = Rc::new(RefCell::new(0u32));
@@ -347,6 +366,7 @@ fn spawn_pulses(t: &mut TestSystem) {
 fn run_system(
     spec: &FaultSpec,
     chooser: Option<ScheduleChooser>,
+    render_report: bool,
     drive: impl FnOnce(&mut TestSystem) -> Vec<(String, String)>,
 ) -> RunOutcome {
     let mut builder = TestSystem::builder().seed(spec.seed).audit(64);
@@ -361,7 +381,11 @@ fn run_system(
     t.run_for(DRAIN);
     t.m.clear_schedule_chooser();
 
-    let report_json = t.sys.profile_report(&t.m).render_compact();
+    let report_json = if render_report {
+        t.sys.profile_report(&t.m).render_compact()
+    } else {
+        String::new()
+    };
     let conservation = oracle::check_conservation(&t.m);
     let audit = audit_verdict(&t.m);
     let choice_points = t.m.choice_points();

@@ -1,0 +1,94 @@
+//! Thread-count invariance of the parallel explorer.
+//!
+//! PR 4's contract: an exploration campaign's observable result is a pure
+//! function of `(scenario, spec, seed, budget)` — the worker count can
+//! change only `ExplorationReport::threads` and wall-clock time. These
+//! tests run the same campaigns with 1, 2 and 8 workers and require every
+//! observable field to be identical, including the repro token of every
+//! failure the buggy scenario yields.
+
+use k2_check::{ExplorationReport, Explorer, FaultSpec, Scenario};
+
+const SEED: u64 = 0xD1CE;
+const BUDGET: u32 = 24;
+
+/// Everything a campaign reports, minus `threads` and the end state's
+/// identity (compared separately), flattened for an exact comparison.
+fn observables(r: &ExplorationReport) -> (u32, usize, u64, Vec<(String, String, String)>) {
+    let failures = r
+        .failures
+        .iter()
+        .map(|f| (f.schedule.token(), f.kind.to_string(), f.policy.to_string()))
+        .collect();
+    (
+        r.runs,
+        r.distinct_schedules,
+        r.total_choice_points,
+        failures,
+    )
+}
+
+fn campaign(scenario: Scenario, spec: FaultSpec, threads: usize) -> ExplorationReport {
+    Explorer::new(scenario, SEED)
+        .spec(spec)
+        .budget(BUDGET)
+        .threads(threads)
+        .run()
+}
+
+/// Fault-free campaigns over every scenario are byte-identical under 1,
+/// 2 and 8 workers.
+#[test]
+fn exploration_is_thread_count_invariant() {
+    for scenario in Scenario::ALL {
+        let serial = campaign(scenario, FaultSpec::none(), 1);
+        assert_eq!(serial.threads, 1);
+        for workers in [2, 8] {
+            let parallel = campaign(scenario, FaultSpec::none(), workers);
+            assert_eq!(
+                observables(&serial),
+                observables(&parallel),
+                "{} diverged at {workers} workers",
+                scenario.name()
+            );
+            assert!(
+                serial
+                    .baseline_end_state
+                    .diff(&parallel.baseline_end_state)
+                    .is_empty(),
+                "{} baseline end state diverged at {workers} workers",
+                scenario.name()
+            );
+        }
+    }
+}
+
+/// The seeded mailbox race is found — with the same first failure and the
+/// same repro trace token — no matter how many workers hunt for it.
+#[test]
+fn first_failure_selection_is_deterministic_across_workers() {
+    let serial = campaign(Scenario::MailRace, FaultSpec::none(), 1);
+    let first = serial
+        .first_failure()
+        .expect("the seeded mail race must be found");
+    for workers in [2, 8] {
+        let parallel = campaign(Scenario::MailRace, FaultSpec::none(), workers);
+        let pfirst = parallel
+            .first_failure()
+            .expect("parallel campaign must find the race too");
+        assert_eq!(first.schedule.token(), pfirst.schedule.token());
+        assert_eq!(first.kind, pfirst.kind);
+        assert_eq!(first.policy, pfirst.policy);
+        assert_eq!(first.detail, pfirst.detail);
+    }
+}
+
+/// `threads(0)` resolves automatically (env var or host parallelism) and
+/// the resolved count is reported — and still changes nothing observable.
+#[test]
+fn automatic_thread_selection_reports_and_matches_serial() {
+    let auto = campaign(Scenario::UdpCrossTraffic, FaultSpec::none(), 0);
+    assert!(auto.threads >= 1, "auto selection must resolve to >= 1");
+    let serial = campaign(Scenario::UdpCrossTraffic, FaultSpec::none(), 1);
+    assert_eq!(observables(&serial), observables(&auto));
+}

@@ -8,12 +8,23 @@
 //! it was observed ([`Tag`]: a domain, a core, a domain pair, a named
 //! subsystem).
 //!
-//! Determinism is a hard requirement (DESIGN.md §5.5): storage is
-//! `BTreeMap`-backed so iteration order — and therefore any serialized
-//! report — is a pure function of what was recorded, never of hash
-//! seeds or insertion order. All time comes from the simulated clock;
-//! recording a metric never perturbs event timing, so instrumented and
-//! bare runs of the same seed stay cycle-identical.
+//! Determinism is a hard requirement (DESIGN.md §5.5): the key directory
+//! is `BTreeMap`-backed so iteration order — and therefore any serialized
+//! report — is a pure function of what was recorded, never of hash seeds
+//! or insertion order. All time comes from the simulated clock; recording
+//! a metric never perturbs event timing, so instrumented and bare runs of
+//! the same seed stay cycle-identical.
+//!
+//! # Interning
+//!
+//! Values live in dense vectors; the `BTreeMap` only maps a [`Key`] to a
+//! small integer id ([`CounterId`], [`DurationId`], [`GaugeId`],
+//! [`HistogramId`]). A hot path interns its key once, caches the id, and
+//! every subsequent bump is a bounds-checked vector index — no ordered-map
+//! walk, no string comparison, no allocation. Interning a key makes the
+//! metric visible to iteration immediately (counters at 0, histograms
+//! empty), so callers that must keep reports free of phantom entries
+//! intern lazily, at the first real observation.
 //!
 //! # Examples
 //!
@@ -26,6 +37,11 @@
 //! r.add(Key::new("mail.sent", Tag::Domain(1)), 2);
 //! assert_eq!(r.counter_total("mail.sent"), 3);
 //!
+//! // Hot paths intern once and bump by id thereafter.
+//! let sent0 = r.counter_id(Key::new("mail.sent", Tag::Domain(0)));
+//! r.incr_by_id(sent0);
+//! assert_eq!(r.counter(Key::new("mail.sent", Tag::Domain(0))), 2);
+//!
 //! r.add_duration(
 //!     Key::new("active.task", Tag::Core(1)),
 //!     SimDuration::from_us(7),
@@ -36,6 +52,7 @@
 
 use crate::stats::Histogram;
 use crate::time::{SimDuration, SimTime};
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -99,6 +116,22 @@ impl fmt::Display for Key {
         write!(f, "{}[{}]", self.name, self.tag)
     }
 }
+
+/// Interned handle to a counter. Bumping by id is a vector index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Interned handle to a duration accumulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurationId(u32);
+
+/// Interned handle to a time-weighted gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Interned handle to a histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(u32);
 
 /// A gauge whose *time integral* is tracked alongside its instantaneous
 /// value: `set` closes the interval since the previous `set` at the old
@@ -200,16 +233,21 @@ impl ShardedCounter {
 /// The registry: all counters, gauges, duration accumulators and
 /// histograms of one simulated machine.
 ///
-/// Deliberately value-oriented (no handles, no interning): hot paths pass
-/// a [`Key`] and the registry does one ordered-map update. For a
-/// discrete-event simulator that is plenty fast, and it keeps every
-/// metric enumerable for reports.
+/// Values sit in dense vectors indexed by interned ids; the ordered key
+/// directory exists only for interning, point lookups and deterministic
+/// iteration. Hot paths cache the id from `*_id()` and bump through
+/// `*_by_id()`; occasional paths keep using the [`Key`]-based methods,
+/// which intern on the fly.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: BTreeMap<Key, u64>,
-    durations: BTreeMap<Key, SimDuration>,
-    gauges: BTreeMap<Key, TimeWeightedGauge>,
-    histograms: BTreeMap<Key, Histogram>,
+    counter_ids: BTreeMap<Key, CounterId>,
+    counter_values: Vec<u64>,
+    duration_ids: BTreeMap<Key, DurationId>,
+    duration_values: Vec<SimDuration>,
+    gauge_ids: BTreeMap<Key, GaugeId>,
+    gauge_values: Vec<TimeWeightedGauge>,
+    histogram_ids: BTreeMap<Key, HistogramId>,
+    histogram_values: Vec<Histogram>,
 }
 
 impl Registry {
@@ -218,9 +256,33 @@ impl Registry {
         Self::default()
     }
 
-    /// Adds `n` to the counter at `key`.
+    /// Interns `key` as a counter (creating it at 0) and returns its id.
+    /// Idempotent: re-interning returns the same id.
+    pub fn counter_id(&mut self, key: Key) -> CounterId {
+        match self.counter_ids.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = CounterId(dense_index(self.counter_values.len()));
+                self.counter_values.push(0);
+                *e.insert(id)
+            }
+        }
+    }
+
+    /// Adds `n` to an interned counter. O(1), no key walk.
+    pub fn add_by_id(&mut self, id: CounterId, n: u64) {
+        self.counter_values[id.0 as usize] += n;
+    }
+
+    /// Adds one to an interned counter.
+    pub fn incr_by_id(&mut self, id: CounterId) {
+        self.add_by_id(id, 1);
+    }
+
+    /// Adds `n` to the counter at `key`, interning it if new.
     pub fn add(&mut self, key: Key, n: u64) {
-        *self.counters.entry(key).or_insert(0) += n;
+        let id = self.counter_id(key);
+        self.add_by_id(id, n);
     }
 
     /// Adds one to the counter at `key`.
@@ -230,52 +292,112 @@ impl Registry {
 
     /// Current value of the counter at `key` (0 if never touched).
     pub fn counter(&self, key: Key) -> u64 {
-        self.counters.get(&key).copied().unwrap_or(0)
+        self.counter_ids
+            .get(&key)
+            .map(|id| self.counter_values[id.0 as usize])
+            .unwrap_or(0)
     }
 
     /// Sum of all counters named `name`, across every tag — the registry
     /// analogue of [`ShardedCounter::total`].
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.counters
+        self.counter_ids
             .iter()
             .filter(|(k, _)| k.name == name)
-            .map(|(_, &v)| v)
+            .map(|(_, id)| self.counter_values[id.0 as usize])
             .sum()
+    }
+
+    /// Interns `key` as a duration accumulator (creating it at zero) and
+    /// returns its id.
+    pub fn duration_id(&mut self, key: Key) -> DurationId {
+        match self.duration_ids.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = DurationId(dense_index(self.duration_values.len()));
+                self.duration_values.push(SimDuration::ZERO);
+                *e.insert(id)
+            }
+        }
+    }
+
+    /// Accumulates a duration into an interned accumulator. O(1).
+    pub fn add_duration_by_id(&mut self, id: DurationId, d: SimDuration) {
+        self.duration_values[id.0 as usize] += d;
     }
 
     /// Accumulates a simulated-time duration at `key` (the attribution
     /// primitive: "this core spent `d` in subsystem X").
     pub fn add_duration(&mut self, key: Key, d: SimDuration) {
-        let e = self.durations.entry(key).or_insert(SimDuration::ZERO);
-        *e += d;
+        let id = self.duration_id(key);
+        self.add_duration_by_id(id, d);
     }
 
     /// Total duration accumulated at `key`.
     pub fn duration(&self, key: Key) -> SimDuration {
-        self.durations
+        self.duration_ids
             .get(&key)
-            .copied()
+            .map(|id| self.duration_values[id.0 as usize])
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// Sets the gauge at `key`, closing the previous interval at `at`.
-    pub fn gauge_set(&mut self, key: Key, at: SimTime, value: f64) {
-        match self.gauges.entry(key) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(TimeWeightedGauge::new(at, value));
+    /// Sets the gauge at `key`, closing the previous interval at `at`, and
+    /// returns the gauge's id so hot paths can switch to
+    /// [`Registry::gauge_set_by_id`] for subsequent sets.
+    pub fn gauge_set(&mut self, key: Key, at: SimTime, value: f64) -> GaugeId {
+        match self.gauge_ids.entry(key) {
+            Entry::Vacant(e) => {
+                let id = GaugeId(dense_index(self.gauge_values.len()));
+                self.gauge_values.push(TimeWeightedGauge::new(at, value));
+                *e.insert(id)
             }
-            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().set(at, value),
+            Entry::Occupied(e) => {
+                let id = *e.get();
+                self.gauge_values[id.0 as usize].set(at, value);
+                id
+            }
         }
+    }
+
+    /// Sets an interned gauge. O(1).
+    pub fn gauge_set_by_id(&mut self, id: GaugeId, at: SimTime, value: f64) {
+        self.gauge_values[id.0 as usize].set(at, value);
     }
 
     /// The gauge at `key`, if ever set.
     pub fn gauge(&self, key: Key) -> Option<&TimeWeightedGauge> {
-        self.gauges.get(&key)
+        self.gauge_ids
+            .get(&key)
+            .map(|id| &self.gauge_values[id.0 as usize])
+    }
+
+    /// Interns `key` as a histogram (creating it empty) and returns its id.
+    pub fn histogram_id(&mut self, key: Key) -> HistogramId {
+        match self.histogram_ids.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = HistogramId(dense_index(self.histogram_values.len()));
+                self.histogram_values.push(Histogram::default());
+                *e.insert(id)
+            }
+        }
+    }
+
+    /// Records a sample into an interned histogram. O(1) beyond bucketing.
+    pub fn observe_by_id(&mut self, id: HistogramId, value: u64) {
+        self.histogram_values[id.0 as usize].record(value);
+    }
+
+    /// Records a duration sample (in nanoseconds) into an interned
+    /// histogram.
+    pub fn observe_duration_by_id(&mut self, id: HistogramId, d: SimDuration) {
+        self.observe_by_id(id, d.as_ns());
     }
 
     /// Records a sample into the histogram at `key`.
     pub fn observe(&mut self, key: Key, value: u64) {
-        self.histograms.entry(key).or_default().record(value);
+        let id = self.histogram_id(key);
+        self.observe_by_id(id, value);
     }
 
     /// Records a duration sample (in nanoseconds) into the histogram at
@@ -286,48 +408,63 @@ impl Registry {
 
     /// The histogram at `key`, if any sample landed there.
     pub fn histogram(&self, key: Key) -> Option<&Histogram> {
-        self.histograms.get(&key)
+        self.histogram_ids
+            .get(&key)
+            .map(|id| &self.histogram_values[id.0 as usize])
     }
 
     /// All counters in key order.
     pub fn counters(&self) -> impl Iterator<Item = (&Key, u64)> + '_ {
-        self.counters.iter().map(|(k, &v)| (k, v))
+        self.counter_ids
+            .iter()
+            .map(|(k, id)| (k, self.counter_values[id.0 as usize]))
     }
 
     /// All duration accumulators in key order.
     pub fn durations(&self) -> impl Iterator<Item = (&Key, SimDuration)> + '_ {
-        self.durations.iter().map(|(k, &v)| (k, v))
+        self.duration_ids
+            .iter()
+            .map(|(k, id)| (k, self.duration_values[id.0 as usize]))
     }
 
     /// All gauges in key order.
     pub fn gauges(&self) -> impl Iterator<Item = (&Key, &TimeWeightedGauge)> + '_ {
-        self.gauges.iter()
+        self.gauge_ids
+            .iter()
+            .map(|(k, id)| (k, &self.gauge_values[id.0 as usize]))
     }
 
     /// All histograms in key order.
     pub fn histograms(&self) -> impl Iterator<Item = (&Key, &Histogram)> + '_ {
-        self.histograms.iter()
+        self.histogram_ids
+            .iter()
+            .map(|(k, id)| (k, &self.histogram_values[id.0 as usize]))
     }
 
     /// Durations named `name`, restricted to core `core`
     /// (`Tag::CoreSubsystem`), as `(subsystem, total)` pairs in
     /// subsystem order — the per-core attribution table reports render.
-    pub fn core_breakdown(
-        &self,
-        name: &str,
+    /// Borrows `name` for the iterator's lifetime; no per-row allocation.
+    pub fn core_breakdown<'a>(
+        &'a self,
+        name: &'a str,
         core: u8,
-    ) -> impl Iterator<Item = (&'static str, SimDuration)> + '_ {
-        let core_wanted = core;
-        let name_wanted: String = name.to_string();
-        self.durations
+    ) -> impl Iterator<Item = (&'static str, SimDuration)> + 'a {
+        self.duration_ids
             .iter()
-            .filter_map(move |(k, &d)| match k.tag {
-                Tag::CoreSubsystem(c, s) if c == core_wanted && k.name == name_wanted => {
-                    Some((s, d))
+            .filter_map(move |(k, id)| match k.tag {
+                Tag::CoreSubsystem(c, s) if c == core && k.name == name => {
+                    Some((s, self.duration_values[id.0 as usize]))
                 }
                 _ => None,
             })
     }
+}
+
+/// Converts a dense vector length into the next id, guarding the u32
+/// id space (four billion distinct keys means something is very wrong).
+fn dense_index(len: usize) -> u32 {
+    u32::try_from(len).expect("metric id space exhausted")
 }
 
 #[cfg(test)]
@@ -345,6 +482,46 @@ mod tests {
         assert_eq!(r.counter_total("mail"), 5);
         assert_eq!(r.counter_total("irq"), 1);
         assert_eq!(r.counter_total("nope"), 0);
+    }
+
+    #[test]
+    fn interned_ids_alias_their_key() {
+        let mut r = Registry::new();
+        let k = Key::new("mail", Tag::Domain(0));
+        let id = r.counter_id(k);
+        assert_eq!(r.counter(k), 0, "interning creates the counter at zero");
+        r.incr_by_id(id);
+        r.add_by_id(id, 2);
+        r.incr(k);
+        assert_eq!(r.counter(k), 4, "by-id and by-key bumps hit one cell");
+        assert_eq!(r.counter_id(k), id, "re-interning is idempotent");
+
+        let d = r.duration_id(Key::whole("busy"));
+        r.add_duration_by_id(d, SimDuration::from_us(2));
+        r.add_duration(Key::whole("busy"), SimDuration::from_us(3));
+        assert_eq!(r.duration(Key::whole("busy")), SimDuration::from_us(5));
+
+        let h = r.histogram_id(Key::whole("lat"));
+        r.observe_by_id(h, 10);
+        r.observe_duration_by_id(h, SimDuration::from_us(1));
+        r.observe(Key::whole("lat"), 20);
+        assert_eq!(r.histogram(Key::whole("lat")).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn gauge_set_returns_a_reusable_id() {
+        let mut r = Registry::new();
+        let k = Key::new("runq", Tag::Core(0));
+        let id = r.gauge_set(k, SimTime::from_ns(0), 2.0);
+        r.gauge_set_by_id(id, SimTime::from_ns(500), 4.0);
+        assert_eq!(
+            r.gauge_set(k, SimTime::from_ns(800), 1.0),
+            id,
+            "by-key set on an existing gauge returns the same id"
+        );
+        let g = r.gauge(k).unwrap();
+        assert_eq!(g.value(), 1.0);
+        assert_eq!(g.max(), 4.0);
     }
 
     #[test]
@@ -413,5 +590,16 @@ mod tests {
         r.incr(Key::new("a", Tag::Domain(0)));
         let names: Vec<String> = r.counters().map(|(k, _)| k.to_string()).collect();
         assert_eq!(names, vec!["a[dom0]", "a[core3]", "b[dom1]"]);
+    }
+
+    /// Iteration order is key order even when interning happened in a
+    /// different order — dense ids are storage, not ordering.
+    #[test]
+    fn iteration_order_is_key_order_not_intern_order() {
+        let mut r = Registry::new();
+        let _z = r.counter_id(Key::new("z", Tag::Whole));
+        let _a = r.counter_id(Key::new("a", Tag::Whole));
+        let names: Vec<&str> = r.counters().map(|(k, _)| k.name).collect();
+        assert_eq!(names, vec!["a", "z"]);
     }
 }

@@ -8,33 +8,56 @@
 //! that are co-enabled (same firing time) is itself well-defined, which is
 //! what lets a schedule explorer enumerate and permute it (see
 //! [`EventQueue::pop_with`] and `k2-check`).
+//!
+//! # Storage
+//!
+//! Payloads live in a generation-tagged slab; the binary heap holds only
+//! small `Copy` entries (`time`, `seq`, slot index). Cancellation flips the
+//! slot's payload out and bumps its generation — no hash sets, no per-event
+//! bookkeeping allocations — and the dead heap entry is lazily discarded
+//! when it reaches the front. A stale [`EventKey`] (already fired, already
+//! cancelled, or from a reused slot) is always a detectable no-op because
+//! the generation no longer matches. The co-enabled set handed to
+//! [`EventQueue::pop_with`] is gathered into a scratch buffer owned by the
+//! queue, so steady-state choice points allocate nothing.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// A handle to a scheduled event, usable for cancellation.
+///
+/// Keys are generation-tagged: once the event fires or is cancelled, the
+/// key goes stale and any further [`EventQueue::cancel`] with it reports
+/// `false`, even if the underlying slot has been reused by a later event.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventKey(u64);
-
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
+pub struct EventKey {
+    slot: u32,
+    gen: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+/// What the heap orders: firing time, tie-broken by sequence number. The
+/// payload stays in the slab, so heap sifting moves 16-byte `Copy` values
+/// instead of whole events.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event is popped
         // first, with the sequence number as a deterministic tie-break.
@@ -42,6 +65,61 @@ impl<E> Ord for Entry<E> {
             .at
             .cmp(&self.at)
             .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// One slab slot. `payload: Some` means a live scheduled event; `None`
+/// means the slot was cancelled (its heap entry is still pending lazy
+/// removal) or sits on the free list.
+struct Slot<E> {
+    gen: u32,
+    payload: Option<E>,
+}
+
+/// A borrowed, allocation-free view of a co-enabled set: the live events
+/// sharing the earliest firing time, in schedule (sequence) order. Handed
+/// to the chooser of [`EventQueue::pop_with`].
+pub struct CoEnabled<'q, E> {
+    slots: &'q [Slot<E>],
+    set: &'q [(u64, u32)],
+}
+
+impl<E> std::fmt::Debug for CoEnabled<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoEnabled")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<'q, E> CoEnabled<'q, E> {
+    /// Number of co-enabled events (always ≥ 1 when handed to a chooser,
+    /// and ≥ 2 whenever the chooser is actually consulted).
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` if the set is empty (never the case inside a chooser).
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The `i`-th event of the set, in schedule order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> &'q E {
+        let (_, slot) = self.set[i];
+        self.slots[slot as usize]
+            .payload
+            .as_ref()
+            .expect("co-enabled slot is live")
+    }
+
+    /// Iterates the set in schedule order.
+    pub fn iter(&self) -> impl Iterator<Item = &'q E> + '_ {
+        (0..self.set.len()).map(|i| self.get(i))
     }
 }
 
@@ -61,15 +139,18 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    /// Slot indices available for reuse. A slot is freed only when its heap
+    /// entry is discarded (fired or lazily removed after cancellation), so
+    /// at most one heap entry ever references a slot.
+    free: Vec<u32>,
     next_seq: u64,
-    /// Seqs of entries currently scheduled and not cancelled. Membership
-    /// here is what makes [`EventQueue::cancel`] exact: cancelling a key
-    /// that already fired (or was already cancelled) is a detectable no-op
-    /// instead of silently corrupting the live count.
-    live: HashSet<u64>,
-    /// Seqs cancelled but still physically in the heap (lazy removal).
-    cancelled: HashSet<u64>,
+    /// Count of live (scheduled, not cancelled, not fired) events.
+    live: usize,
+    /// Reused across [`EventQueue::pop_with`] calls: the co-enabled set as
+    /// `(seq, slot)` in schedule order.
+    scratch: Vec<(u64, u32)>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -83,34 +164,58 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            live: 0,
+            scratch: Vec::new(),
         }
     }
 
     /// Schedules `payload` to fire at `at`, returning a key that can later be
     /// passed to [`EventQueue::cancel`].
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventKey {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].payload = Some(payload);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("slab slot count fits u32");
+                self.slots.push(Slot {
+                    gen: 0,
+                    payload: Some(payload),
+                });
+                s
+            }
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
-        self.heap.push(Entry { at, seq, payload });
-        EventKey(seq)
+        self.live += 1;
+        self.heap.push(HeapEntry { at, seq, slot });
+        EventKey {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event had
     /// not yet fired (or been cancelled).
     ///
-    /// Cancellation is lazy: the entry stays in the heap and is skipped when
-    /// popped, which keeps cancellation O(1).
+    /// Cancellation is lazy: the heap entry stays put and is skipped when it
+    /// reaches the front, which keeps cancellation O(1) — one slab index and
+    /// a generation bump, no hashing.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if self.live.remove(&key.0) {
-            self.cancelled.insert(key.0);
-            true
-        } else {
-            false
+        let Some(slot) = self.slots.get_mut(key.slot as usize) else {
+            return false;
+        };
+        if slot.gen != key.gen || slot.payload.is_none() {
+            return false;
         }
+        slot.payload = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.live -= 1;
+        true
     }
 
     /// The firing time of the next (non-cancelled) event, if any.
@@ -121,34 +226,54 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the next event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let e = self.heap.pop()?;
+            if let Some(p) = self.fire_slot(e.slot) {
+                return Some((e.at, p));
+            }
+        }
+    }
+
+    /// Removes and returns the next event, also reporting whether it was
+    /// part of a co-enabled set of ≥ 2 live events — i.e. whether this pop
+    /// was a nondeterministic choice point. O(1) beyond [`EventQueue::pop`]:
+    /// one peek at the next front entry, no heap scan.
+    pub fn pop_tied(&mut self) -> Option<(SimTime, E, bool)> {
+        let (at, payload) = self.pop()?;
         self.skip_cancelled();
-        self.heap.pop().map(|e| {
-            self.live.remove(&e.seq);
-            (e.at, e.payload)
-        })
+        let tied = self.heap.peek().is_some_and(|next| next.at == at);
+        Some((at, payload, tied))
     }
 
     /// Number of live (non-cancelled) events that share the earliest firing
     /// time — the *co-enabled set*. Zero on an empty queue.
+    ///
+    /// This scans the heap; the event loop's hot path uses
+    /// [`EventQueue::pop_tied`] / [`EventQueue::pop_with`] instead, which
+    /// detect ties without a scan.
     pub fn co_enabled_len(&mut self) -> usize {
         let Some(front) = self.peek_time() else {
             return 0;
         };
         self.heap
             .iter()
-            .filter(|e| e.at == front && !self.cancelled.contains(&e.seq))
+            .filter(|e| e.at == front && self.slots[e.slot as usize].payload.is_some())
             .count()
     }
 
     /// Removes and returns one event from the co-enabled set, chosen by
     /// `choose`.
     ///
-    /// `choose` receives the shared firing time and the payloads of every
-    /// live event sharing it, in schedule (sequence) order, and returns the
-    /// index to fire; the rest are re-queued with their original sequence
-    /// numbers, so subsequent ordering among them is unchanged. Singleton
-    /// sets never consult the chooser. Passing a chooser that always
-    /// returns 0 is exactly [`EventQueue::pop`].
+    /// `choose` receives the shared firing time and a [`CoEnabled`] view of
+    /// every live event sharing it, in schedule (sequence) order, and
+    /// returns the index to fire; the rest are re-queued with their original
+    /// sequence numbers, so subsequent ordering among them is unchanged.
+    /// Singleton sets never consult the chooser. Passing a chooser that
+    /// always returns 0 is exactly [`EventQueue::pop`].
+    ///
+    /// The co-enabled set is gathered into a scratch buffer owned by the
+    /// queue and payloads never leave the slab, so a choice point performs
+    /// no allocation in steady state.
     ///
     /// This is the hook a schedule explorer drives: perturbing the choice
     /// never invents or loses events, it only permutes orderings the event
@@ -160,44 +285,57 @@ impl<E> EventQueue<E> {
     /// failing loudly on).
     pub fn pop_with<F>(&mut self, choose: F) -> Option<(SimTime, E)>
     where
-        F: FnOnce(SimTime, &[&E]) -> usize,
+        F: FnOnce(SimTime, &CoEnabled<'_, E>) -> usize,
     {
         self.skip_cancelled();
         let front = self.heap.peek()?.at;
-        let mut set: Vec<Entry<E>> = Vec::new();
+        self.scratch.clear();
         while let Some(top) = self.heap.peek() {
             if top.at != front {
                 break;
             }
             let e = self.heap.pop().expect("peeked entry exists");
-            if self.cancelled.remove(&e.seq) {
-                continue;
+            if self.slots[e.slot as usize].payload.is_some() {
+                self.scratch.push((e.seq, e.slot));
+            } else {
+                // Cancelled inside the tie: discard lazily, free the slot.
+                self.free.push(e.slot);
             }
-            set.push(e);
         }
-        let idx = if set.len() == 1 {
+        let idx = if self.scratch.len() == 1 {
             0
         } else {
-            let refs: Vec<&E> = set.iter().map(|e| &e.payload).collect();
-            let idx = choose(front, &refs);
+            let view = CoEnabled {
+                slots: &self.slots,
+                set: &self.scratch,
+            };
+            let idx = choose(front, &view);
             assert!(
-                idx < set.len(),
+                idx < self.scratch.len(),
                 "schedule chooser picked {idx} of a {}-element co-enabled set",
-                set.len()
+                self.scratch.len()
             );
             idx
         };
-        let chosen = set.remove(idx);
-        for e in set {
-            self.heap.push(e);
+        let (_, chosen_slot) = self.scratch[idx];
+        for (i, &(seq, slot)) in self.scratch.iter().enumerate() {
+            if i != idx {
+                self.heap.push(HeapEntry {
+                    at: front,
+                    seq,
+                    slot,
+                });
+            }
         }
-        self.live.remove(&chosen.seq);
-        Some((chosen.at, chosen.payload))
+        let payload = self
+            .fire_slot(chosen_slot)
+            .expect("chosen co-enabled slot is live");
+        Some((front, payload))
     }
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// `true` if no live events remain.
@@ -205,14 +343,34 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
+    /// Consumes a popped heap entry's slot: returns the payload (bumping
+    /// the generation and freeing the slot) for a live slot, or `None` for
+    /// a lazily-discarded cancelled one (freeing it too).
+    fn fire_slot(&mut self, slot: u32) -> Option<E> {
+        let s = &mut self.slots[slot as usize];
+        match s.payload.take() {
+            Some(p) => {
+                s.gen = s.gen.wrapping_add(1);
+                self.free.push(slot);
+                self.live -= 1;
+                Some(p)
+            }
+            None => {
+                // Cancelled earlier; its generation was bumped then.
+                self.free.push(slot);
+                None
+            }
+        }
+    }
+
+    /// Discards cancelled entries sitting at the front of the heap.
     fn skip_cancelled(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.seq) {
-                let e = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&e.seq);
-            } else {
+            if self.slots[top.slot as usize].payload.is_some() {
                 break;
             }
+            let e = self.heap.pop().expect("peeked entry exists");
+            self.free.push(e.slot);
         }
     }
 }
@@ -222,6 +380,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
         f.debug_struct("EventQueue")
             .field("live", &self.len())
             .field("next_seq", &self.next_seq)
+            .field("slots", &self.slots.len())
             .finish()
     }
 }
@@ -314,7 +473,7 @@ mod tests {
     #[test]
     fn cancel_unknown_key_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventKey(42)));
+        assert!(!q.cancel(EventKey { slot: 42, gen: 0 }));
     }
 
     /// Regression: cancelling a key whose event already fired must be a
@@ -331,6 +490,52 @@ mod tests {
         assert_eq!(q.pop(), Some((t(2), "b")));
         assert_eq!(q.len(), 0);
         assert!(q.is_empty());
+    }
+
+    /// Slab slots are recycled under generation tags: a stale key must not
+    /// cancel the unrelated event that now occupies its old slot.
+    #[test]
+    fn stale_key_cannot_touch_a_reused_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        // The slot freed by "a" is reused for "b".
+        let b = q.schedule(t(2), "b");
+        assert!(!q.cancel(a), "stale key is a detectable no-op");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b), "the fresh key still works");
+        assert!(q.is_empty());
+    }
+
+    /// Cancelled-then-reused slots keep their pending heap entries lazy: a
+    /// slot is only recycled after its dead entry is discarded, so heavy
+    /// cancel/schedule churn never mis-fires a payload.
+    #[test]
+    fn cancel_schedule_churn_preserves_order_and_len() {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for i in 0..50 {
+            keys.push(q.schedule(t(10 + (i % 5)), i));
+        }
+        // Cancel every third event.
+        for k in keys.iter().step_by(3) {
+            assert!(q.cancel(*k));
+        }
+        let expected: Vec<u64> = (0..50).filter(|i| i % 3 != 0).collect();
+        assert_eq!(q.len(), expected.len());
+        let mut got = Vec::new();
+        let mut last = t(0);
+        while let Some((at, x)) = q.pop() {
+            assert!(at >= last);
+            last = at;
+            got.push(x);
+        }
+        let mut sorted = got.clone();
+        sorted.sort_by_key(|&x| (10 + (x % 5), x));
+        assert_eq!(got, sorted, "time then schedule order");
+        let mut by_value = got;
+        by_value.sort_unstable();
+        assert_eq!(by_value, expected);
     }
 
     #[test]
@@ -369,6 +574,21 @@ mod tests {
     }
 
     #[test]
+    fn pop_tied_reports_choice_points_without_a_scan() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "a");
+        q.schedule(t(5), "b");
+        let c = q.schedule(t(5), "c");
+        q.schedule(t(9), "later");
+        q.cancel(c);
+        assert_eq!(q.pop_tied(), Some((t(5), "a", true)));
+        // "b" is last at t=5 once "c" is cancelled: not a tie.
+        assert_eq!(q.pop_tied(), Some((t(5), "b", false)));
+        assert_eq!(q.pop_tied(), Some((t(9), "later", false)));
+        assert_eq!(q.pop_tied(), None);
+    }
+
+    #[test]
     fn pop_with_permutes_only_the_co_enabled_set() {
         let mut q = EventQueue::new();
         q.schedule(t(5), "a");
@@ -378,7 +598,9 @@ mod tests {
         // Pick "c" first; chooser sees schedule order and the shared time.
         let got = q.pop_with(|at, set| {
             assert_eq!(at, t(5));
-            assert_eq!(set, &[&"a", &"b", &"c"]);
+            assert_eq!(set.len(), 3);
+            assert_eq!(set.iter().collect::<Vec<_>>(), [&"a", &"b", &"c"]);
+            assert_eq!(set.get(1), &"b");
             2
         });
         assert_eq!(got, Some((t(5), "c")));
@@ -396,7 +618,7 @@ mod tests {
         q.schedule(t(5), 3);
         q.cancel(b);
         let got = q.pop_with(|_, set| {
-            assert_eq!(set, &[&1, &3]);
+            assert_eq!(set.iter().collect::<Vec<_>>(), [&1, &3]);
             1
         });
         assert_eq!(got, Some((t(5), 3)));

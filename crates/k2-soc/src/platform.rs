@@ -23,7 +23,7 @@ use crate::power::{EnergyMeter, PowerState};
 use k2_sim::audit::InvariantAuditor;
 use k2_sim::explore::{ChoicePoint, EventClass, ScheduleChooser};
 use k2_sim::json::Json;
-use k2_sim::metrics::{Key, Registry, Tag};
+use k2_sim::metrics::{CounterId, DurationId, GaugeId, HistogramId, Key, Registry, Tag};
 use k2_sim::queue::EventQueue;
 use k2_sim::span::{SpanId, SpanTracker};
 use k2_sim::time::{SimDuration, SimTime};
@@ -124,6 +124,120 @@ pub type DeferredCall<W> = Box<dyn FnOnce(&mut W, &mut Machine<W>)>;
 /// A world-state conservation law registered with
 /// [`Machine::add_invariant_check`], audited after simulation steps.
 pub type WorldCheck<W> = Box<dyn Fn(&W) -> Result<(), String>>;
+
+/// The attribution subsystems [`Machine`] charges active time to. Indexes
+/// into [`HotIds::active`]; the strings are the public metric tags.
+const SUBSYSTEMS: [&str; 5] = ["task", "irq", "wake", "remote", "stall"];
+
+/// Maps an attribution subsystem name to its [`SUBSYSTEMS`] slot.
+fn sub_slot(subsystem: &'static str) -> usize {
+    SUBSYSTEMS
+        .iter()
+        .position(|&s| s == subsystem)
+        .expect("unknown attribution subsystem")
+}
+
+/// Lazily-filled caches of interned metric ids for the event loop's hot
+/// bump sites. A slot is `None` until the first real observation, so the
+/// registry never grows phantom zero-valued entries (which would perturb
+/// the byte-identical profile reports the golden suite pins down);
+/// thereafter every bump is an O(1) dense-vector index instead of an
+/// ordered-map walk over `(name, tag)` keys.
+struct HotIds {
+    n_domains: usize,
+    /// `active[core][subsystem]` duration accumulators.
+    active: Vec<[Option<DurationId>; SUBSYSTEMS.len()]>,
+    /// `sched.dispatch[core]` counters.
+    sched_dispatch: Vec<Option<CounterId>>,
+    /// `sched.runq[core]` gauges.
+    sched_runq: Vec<Option<GaugeId>>,
+    /// `mail.sent[from -> to]` counters, indexed `from * n_domains + to`.
+    mail_sent: Vec<Option<CounterId>>,
+    /// `mail.latency[from -> to]` histograms, same indexing.
+    mail_latency: Vec<Option<HistogramId>>,
+    /// `mail.delivered[dom]` counters.
+    mail_delivered: Vec<Option<CounterId>>,
+    /// `irq.delivered[dom]` counters.
+    irq_delivered: Vec<Option<CounterId>>,
+    dma_submitted: Option<CounterId>,
+    dma_bytes_submitted: Option<CounterId>,
+    dma_completed: Option<CounterId>,
+    dma_failed: Option<CounterId>,
+    dma_xfer: Option<HistogramId>,
+}
+
+impl HotIds {
+    fn new(n_cores: usize, n_domains: usize) -> Self {
+        HotIds {
+            n_domains,
+            active: vec![[None; SUBSYSTEMS.len()]; n_cores],
+            sched_dispatch: vec![None; n_cores],
+            sched_runq: vec![None; n_cores],
+            mail_sent: vec![None; n_domains * n_domains],
+            mail_latency: vec![None; n_domains * n_domains],
+            mail_delivered: vec![None; n_domains],
+            irq_delivered: vec![None; n_domains],
+            dma_submitted: None,
+            dma_bytes_submitted: None,
+            dma_completed: None,
+            dma_failed: None,
+            dma_xfer: None,
+        }
+    }
+
+    fn pair(&self, from: DomainId, to: DomainId) -> usize {
+        from.index() * self.n_domains + to.index()
+    }
+}
+
+/// Adds `n` to a counter through a lazily-interned id cache.
+fn add_hot(metrics: &mut Registry, slot: &mut Option<CounterId>, key: Key, n: u64) {
+    let id = match *slot {
+        Some(id) => id,
+        None => {
+            let id = metrics.counter_id(key);
+            *slot = Some(id);
+            id
+        }
+    };
+    metrics.add_by_id(id, n);
+}
+
+/// Accumulates a duration through a lazily-interned id cache.
+fn add_duration_hot(
+    metrics: &mut Registry,
+    slot: &mut Option<DurationId>,
+    key: Key,
+    d: SimDuration,
+) {
+    let id = match *slot {
+        Some(id) => id,
+        None => {
+            let id = metrics.duration_id(key);
+            *slot = Some(id);
+            id
+        }
+    };
+    metrics.add_duration_by_id(id, d);
+}
+
+/// Records a duration sample through a lazily-interned id cache.
+fn observe_duration_hot(
+    metrics: &mut Registry,
+    slot: &mut Option<HistogramId>,
+    key: Key,
+    d: SimDuration,
+) {
+    let id = match *slot {
+        Some(id) => id,
+        None => {
+            let id = metrics.histogram_id(key);
+            *slot = Some(id);
+            id
+        }
+    };
+    metrics.observe_duration_by_id(id, d);
+}
 
 #[derive(Debug)]
 enum Event {
@@ -226,6 +340,11 @@ pub struct Machine<W> {
     dma_inflight: HashMap<DmaXferId, (SpanId, SimTime)>,
     schedule_chooser: Option<ScheduleChooser>,
     choice_points: u64,
+    hot_ids: HotIds,
+    /// Reused across choice points so classifying a co-enabled set for the
+    /// chooser allocates nothing in steady state.
+    scratch_classes: Vec<EventClass>,
+    events_processed: u64,
 }
 
 impl<W> fmt::Debug for Machine<W> {
@@ -279,6 +398,7 @@ impl<W> Machine<W> {
                 },
             );
         }
+        let n_cores = core_rts.len();
         Machine {
             now: SimTime::ZERO,
             queue,
@@ -312,6 +432,9 @@ impl<W> Machine<W> {
             dma_inflight: HashMap::new(),
             schedule_chooser: None,
             choice_points: 0,
+            hot_ids: HotIds::new(n_cores, n_domains),
+            scratch_classes: Vec::new(),
+            events_processed: 0,
         }
     }
 
@@ -342,24 +465,43 @@ impl<W> Machine<W> {
     /// Pops the next event, consulting the schedule chooser at choice
     /// points. The chooser is taken out of `self` for the duration of the
     /// call so it cannot alias the machine.
+    ///
+    /// Choice points (co-enabled sets of ≥ 2 live events) are detected on
+    /// the way out of the queue — [`EventQueue::pop_tied`] without a
+    /// chooser, the chooser callback itself with one (the queue only
+    /// consults it for real ties) — so the count costs no heap scan and is
+    /// identical on both paths.
     fn next_event(&mut self) -> Option<(SimTime, Event)> {
-        if self.queue.co_enabled_len() > 1 {
-            self.choice_points += 1;
-        }
         match self.schedule_chooser.take() {
-            None => self.queue.pop(),
+            None => {
+                let (at, ev, tied) = self.queue.pop_tied()?;
+                if tied {
+                    self.choice_points += 1;
+                }
+                Some((at, ev))
+            }
             Some(mut chooser) => {
+                let choice_points = &mut self.choice_points;
+                let classes = &mut self.scratch_classes;
                 let popped = self.queue.pop_with(|at, cands| {
-                    let classes: Vec<EventClass> = cands.iter().map(|e| e.class()).collect();
+                    *choice_points += 1;
+                    classes.clear();
+                    classes.extend(cands.iter().map(Event::class));
                     chooser(&ChoicePoint {
                         now: at,
-                        classes: &classes,
+                        classes: classes.as_slice(),
                     })
                 });
                 self.schedule_chooser = Some(chooser);
                 popped
             }
         }
+    }
+
+    /// Total events the loop has dispatched — the denominator of the
+    /// simulator's events/sec throughput figure.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Enables or disables the bounded in-memory event trace (see
@@ -414,7 +556,9 @@ impl<W> Machine<W> {
     /// per-core attribution table sums to the meter's active time.
     fn attribute(&mut self, core: CoreId, subsystem: &'static str, dur: SimDuration) {
         if !dur.is_zero() {
-            self.metrics.add_duration(
+            add_duration_hot(
+                &mut self.metrics,
+                &mut self.hot_ids.active[core.index()][sub_slot(subsystem)],
                 Key::new("active", Tag::CoreSubsystem(core.0, subsystem)),
                 dur,
             );
@@ -425,8 +569,17 @@ impl<W> Machine<W> {
     /// run-queue mutation so the time-weighted average is exact).
     fn note_runq(&mut self, core: CoreId) {
         let depth = self.cores[core.index()].rq.len() as f64;
-        self.metrics
-            .gauge_set(Key::new("sched.runq", Tag::Core(core.0)), self.now, depth);
+        let slot = &mut self.hot_ids.sched_runq[core.index()];
+        match *slot {
+            Some(id) => self.metrics.gauge_set_by_id(id, self.now, depth),
+            None => {
+                *slot = Some(self.metrics.gauge_set(
+                    Key::new("sched.runq", Tag::Core(core.0)),
+                    self.now,
+                    depth,
+                ));
+            }
+        }
     }
 
     /// Runs the shutdown invariant audit (see
@@ -833,8 +986,13 @@ impl<W> Machine<W> {
             sent_at: self.now,
             span,
         };
-        self.metrics
-            .incr(Key::new("mail.sent", Tag::DomainPair(from.0, to.0)));
+        let pair = self.hot_ids.pair(from, to);
+        add_hot(
+            &mut self.metrics,
+            &mut self.hot_ids.mail_sent[pair],
+            Key::new("mail.sent", Tag::DomainPair(from.0, to.0)),
+            1,
+        );
         let mut deliveries = [Some(MAIL_LATENCY), None];
         if let Some(plan) = &mut self.fault_plan {
             match plan.mail_fate() {
@@ -975,9 +1133,18 @@ impl<W> Machine<W> {
         lead: SimDuration,
     ) -> DmaXferId {
         let id = self.dma.submit_after(self.now, src, dst, len, lead);
-        self.metrics.incr(Key::new("dma.submitted", Tag::Whole));
-        self.metrics
-            .add(Key::new("dma.bytes_submitted", Tag::Whole), len);
+        add_hot(
+            &mut self.metrics,
+            &mut self.hot_ids.dma_submitted,
+            Key::new("dma.submitted", Tag::Whole),
+            1,
+        );
+        add_hot(
+            &mut self.metrics,
+            &mut self.hot_ids.dma_bytes_submitted,
+            Key::new("dma.bytes_submitted", Tag::Whole),
+            len,
+        );
         let span = self.spans.start(self.now, "dma", DomainId::STRONG.0);
         self.dma_inflight.insert(id, (span, self.now));
         self.schedule_dma_tick();
@@ -1199,6 +1366,7 @@ impl<W> Machine<W> {
     }
 
     fn handle(&mut self, ev: Event, w: &mut W) {
+        self.events_processed += 1;
         if self.trace_stderr {
             eprintln!("[{:?}] {:?}", self.now, ev);
         }
@@ -1234,9 +1402,16 @@ impl<W> Machine<W> {
                         payload: env.mail.0,
                     },
                 );
-                self.metrics
-                    .incr(Key::new("mail.delivered", Tag::Domain(to.0)));
-                self.metrics.observe_duration(
+                add_hot(
+                    &mut self.metrics,
+                    &mut self.hot_ids.mail_delivered[to.index()],
+                    Key::new("mail.delivered", Tag::Domain(to.0)),
+                    1,
+                );
+                let pair = self.hot_ids.pair(env.from, to);
+                observe_duration_hot(
+                    &mut self.metrics,
+                    &mut self.hot_ids.mail_latency[pair],
                     Key::new("mail.latency", Tag::DomainPair(env.from.0, to.0)),
                     self.now.saturating_since(env.sent_at),
                 );
@@ -1260,7 +1435,9 @@ impl<W> Machine<W> {
                     for c in &mut completions {
                         if let Some((span, submitted)) = self.dma_inflight.remove(&c.id) {
                             self.spans.end(self.now, span);
-                            self.metrics.observe_duration(
+                            observe_duration_hot(
+                                &mut self.metrics,
+                                &mut self.hot_ids.dma_xfer,
                                 Key::new("dma.xfer_ns", Tag::Whole),
                                 self.now.saturating_since(submitted),
                             );
@@ -1271,11 +1448,21 @@ impl<W> Machine<W> {
                         };
                         match fate {
                             DmaFate::Ok => {
-                                self.metrics.incr(Key::new("dma.completed", Tag::Whole));
+                                add_hot(
+                                    &mut self.metrics,
+                                    &mut self.hot_ids.dma_completed,
+                                    Key::new("dma.completed", Tag::Whole),
+                                    1,
+                                );
                                 self.ram.copy(c.src, c.dst, c.len as usize);
                             }
                             DmaFate::Fail => {
-                                self.metrics.incr(Key::new("dma.failed", Tag::Whole));
+                                add_hot(
+                                    &mut self.metrics,
+                                    &mut self.hot_ids.dma_failed,
+                                    Key::new("dma.failed", Tag::Whole),
+                                    1,
+                                );
                                 c.status = DmaStatus::Error { bytes_copied: 0 };
                                 self.trace.record(
                                     self.now,
@@ -1286,7 +1473,12 @@ impl<W> Machine<W> {
                                 );
                             }
                             DmaFate::Partial(f) => {
-                                self.metrics.incr(Key::new("dma.failed", Tag::Whole));
+                                add_hot(
+                                    &mut self.metrics,
+                                    &mut self.hot_ids.dma_failed,
+                                    Key::new("dma.failed", Tag::Whole),
+                                    1,
+                                );
                                 let n = if c.len > 1 {
                                     ((c.len as f64 * f) as u64).clamp(1, c.len - 1)
                                 } else {
@@ -1343,8 +1535,12 @@ impl<W> Machine<W> {
                 domain: dom.0,
             },
         );
-        self.metrics
-            .incr(Key::new("irq.delivered", Tag::Domain(dom.0)));
+        add_hot(
+            &mut self.metrics,
+            &mut self.hot_ids.irq_delivered[dom.index()],
+            Key::new("irq.delivered", Tag::Domain(dom.0)),
+            1,
+        );
         let core = self.domains[dom.index()][0];
         // The handler span parents on whatever is current — the mail
         // flight span when this is a mailbox delivery — and everything
@@ -1437,8 +1633,12 @@ impl<W> Machine<W> {
                         start: true,
                     },
                 );
-                self.metrics
-                    .incr(Key::new("sched.dispatch", Tag::Core(core.0)));
+                add_hot(
+                    &mut self.metrics,
+                    &mut self.hot_ids.sched_dispatch[core.index()],
+                    Key::new("sched.dispatch", Tag::Core(core.0)),
+                    1,
+                );
                 self.note_runq(core);
                 self.cores[core.index()].woke_for_service = false;
                 self.cores[core.index()].task_activity_at = self.now;

@@ -483,6 +483,12 @@ impl TestSystem {
         self.m.run_until_idle(&mut self.sys)
     }
 
+    /// Events the machine has processed so far — the numerator of every
+    /// events/sec throughput figure the bench harness reports.
+    pub fn events_processed(&self) -> u64 {
+        self.m.events_processed()
+    }
+
     /// Asserts the invariant auditor saw a consistent system, with the
     /// violation report as the failure message.
     ///

@@ -1,0 +1,226 @@
+//! Model-based property tests for the slab event queue.
+//!
+//! PR 4 replaced the queue's twin-`HashSet` lazy-cancellation design with
+//! a generation-tagged slab; these tests pin the replacement to the old
+//! observable semantics by driving both the real queue and a brutally
+//! simple reference model (a flat vector scanned on every operation)
+//! through identical random operation sequences. Inputs come from the
+//! repo's own deterministic [`SimRng`], so every failing case reproduces
+//! from its seed.
+
+use k2_sim::queue::{EventKey, EventQueue};
+use k2_sim::time::SimTime;
+use k2_sim::SimRng;
+
+/// Runs `cases` generated inputs through `f`, seeding each case
+/// deterministically and labelling failures with the case number.
+fn run_cases(cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    for case in 0..cases {
+        let mut rng = SimRng::seed_from_u64(0x9E_4E ^ (case.wrapping_mul(0x9E37_79B9)));
+        f(&mut rng);
+    }
+}
+
+/// The reference model: exactly the semantics the old HashSet queue had.
+/// Every operation is O(n) — correctness oracle, not a performance one.
+#[derive(Default)]
+struct Model {
+    /// `(at_ns, seq, payload)` of every still-live event.
+    live: Vec<(u64, u64, u64)>,
+    next_seq: u64,
+}
+
+impl Model {
+    fn schedule(&mut self, at_ns: u64, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.push((at_ns, seq, payload));
+        seq
+    }
+
+    /// True iff the event was scheduled and has neither fired nor been
+    /// cancelled — cancel-after-fire must be a detectable no-op.
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.live.iter().position(|&(_, s, _)| s == seq) {
+            Some(i) => {
+                self.live.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The earliest firing time among live events.
+    fn front(&self) -> Option<u64> {
+        self.live.iter().map(|&(at, _, _)| at).min()
+    }
+
+    /// Live events at the front instant, in sequence (schedule) order.
+    fn tie_set(&self) -> Vec<(u64, u64, u64)> {
+        let Some(front) = self.front() else {
+            return Vec::new();
+        };
+        let mut set: Vec<_> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|&(at, _, _)| at == front)
+            .collect();
+        set.sort_by_key(|&(_, seq, _)| seq);
+        set
+    }
+
+    /// Fires tie-set element `idx` (0 = the FIFO tie-break, i.e. `pop`).
+    fn pop_choice(&mut self, idx: usize) -> Option<(u64, u64)> {
+        let set = self.tie_set();
+        let &(at, seq, payload) = set.get(idx)?;
+        self.cancel(seq);
+        Some((at, payload))
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// One random operation sequence applied to both queue and model, with
+/// every observable compared: pop results, cancel return values, lengths
+/// and emptiness. `use_pop_with` routes pops through the choice-point
+/// path with a random in-range decision instead of plain `pop`.
+fn lockstep(rng: &mut SimRng, ops: usize, use_pop_with: bool) {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut model = Model::default();
+    // Keys of events that MAY still be live, plus keys known to be spent
+    // (fired or cancelled) — the latter probe stale-key handling.
+    let mut keys: Vec<(EventKey, u64)> = Vec::new();
+    let mut spent: Vec<(EventKey, u64)> = Vec::new();
+    let mut payload = 0u64;
+    for _ in 0..ops {
+        match rng.gen_range(10) {
+            // Schedule, with quantised times so ties are common.
+            0..=4 => {
+                let at_ns = rng.gen_range(8) * 100;
+                payload += 1;
+                let key = q.schedule(SimTime::from_ns(at_ns), payload);
+                let seq = model.schedule(at_ns, payload);
+                keys.push((key, seq));
+            }
+            // Cancel a possibly-live key.
+            5..=6 if !keys.is_empty() => {
+                let i = rng.gen_range(keys.len() as u64) as usize;
+                let (key, seq) = keys.swap_remove(i);
+                assert_eq!(q.cancel(key), model.cancel(seq), "cancel live-ish key");
+                spent.push((key, seq));
+            }
+            // Cancel a spent key: must be false on both sides.
+            7 if !spent.is_empty() => {
+                let i = rng.gen_range(spent.len() as u64) as usize;
+                let (key, seq) = spent[i];
+                assert!(!q.cancel(key), "cancel of a spent key must be a no-op");
+                assert!(!model.cancel(seq));
+            }
+            // Pop.
+            _ => {
+                let set_len = model.tie_set().len();
+                let (got, want) = if use_pop_with && set_len > 0 {
+                    let idx = rng.gen_range(set_len as u64) as usize;
+                    let got = q.pop_with(|at, set| {
+                        assert_eq!(
+                            set.len(),
+                            set_len,
+                            "queue and model disagree on the co-enabled set at {at:?}"
+                        );
+                        idx
+                    });
+                    (got, model.pop_choice(idx))
+                } else {
+                    (q.pop(), model.pop_choice(0))
+                };
+                let got = got.map(|(at, p)| (at.as_ns(), p));
+                assert_eq!(got, want, "pop order diverged from the model");
+            }
+        }
+        assert_eq!(q.len(), model.len(), "live count diverged");
+        assert_eq!(q.is_empty(), model.len() == 0);
+    }
+    // Drain: the full remaining order must match, FIFO within each tie.
+    while let Some((at, p)) = q.pop() {
+        assert_eq!(model.pop_choice(0), Some((at.as_ns(), p)), "drain order");
+    }
+    assert_eq!(model.len(), 0, "queue drained before the model");
+}
+
+/// Random schedule/cancel/pop sequences match the reference model exactly
+/// (old HashSet semantics): pop order, cancel results, len, is_empty.
+#[test]
+fn slab_queue_matches_reference_model() {
+    run_cases(48, |rng| {
+        let ops = 50 + rng.gen_range(300) as usize;
+        lockstep(rng, ops, false);
+    });
+}
+
+/// Same lockstep, but pops go through `pop_with` with random in-range
+/// choices — and the co-enabled set the chooser sees always has exactly
+/// the size the model predicts.
+#[test]
+fn pop_with_matches_reference_model() {
+    run_cases(48, |rng| {
+        let ops = 50 + rng.gen_range(300) as usize;
+        lockstep(rng, ops, true);
+    });
+}
+
+/// Cancelling a key after its event fired is a detectable no-op: it
+/// returns `false` and perturbs neither the live count nor any later
+/// event — even when the underlying slot has been reused since.
+#[test]
+fn cancel_after_fire_is_detectable_noop() {
+    run_cases(32, |rng| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut fired_keys: Vec<EventKey> = Vec::new();
+        let mut scheduled: Vec<EventKey> = Vec::new();
+        for round in 0..200u64 {
+            let at = SimTime::from_ns(round * 10 + rng.gen_range(3));
+            scheduled.push(q.schedule(at, round));
+            if rng.gen_bool(0.6) {
+                if let Some((_, _)) = q.pop() {
+                    // The earliest-scheduled key still outstanding fired.
+                    fired_keys.push(scheduled.remove(0));
+                }
+            }
+            if !fired_keys.is_empty() && rng.gen_bool(0.5) {
+                let i = rng.gen_range(fired_keys.len() as u64) as usize;
+                let before = q.len();
+                assert!(!q.cancel(fired_keys[i]), "fired key cancelled");
+                assert_eq!(q.len(), before, "no-op cancel changed the live count");
+            }
+        }
+    });
+}
+
+/// Within a burst of same-instant events, pop order is schedule (FIFO)
+/// order — the explicit sequence-number tie-break, never heap accident.
+#[test]
+fn ties_fire_in_fifo_order_under_random_bursts() {
+    run_cases(32, |rng| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        let mut payload = 0u64;
+        for _ in 0..150 {
+            // Few distinct instants, so bursts are large.
+            let at_ns = rng.gen_range(5) * 1_000;
+            payload += 1;
+            q.schedule(SimTime::from_ns(at_ns), payload);
+            expected.push((at_ns, payload));
+        }
+        // Stable sort by time: equal instants keep insertion order, which
+        // is exactly the FIFO guarantee.
+        expected.sort_by_key(|&(at, _)| at);
+        let mut got = Vec::new();
+        while let Some((at, p)) = q.pop() {
+            got.push((at.as_ns(), p));
+        }
+        assert_eq!(got, expected);
+    });
+}
