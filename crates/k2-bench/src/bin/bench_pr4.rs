@@ -2,9 +2,11 @@
 //! and serial vs parallel schedule exploration.
 //!
 //! Emits `BENCH_pr4.json` (hand-rolled JSON, no deps) into the current
-//! directory. With `--check <baseline.json>` it additionally compares the
-//! freshly measured slab events/sec against the committed baseline and
-//! exits nonzero on a regression of more than 25% — the CI smoke gate.
+//! directory. The queue microbench runs twice and reports the two-run
+//! median, which halves runner noise and lets the regression gate sit
+//! tighter: with `--check <baseline.json>` it compares the measured slab
+//! events/sec against the committed baseline and exits nonzero on a
+//! regression of more than 15% — the CI smoke gate.
 //!
 //! The "before" comparator for the queue microbench is a faithful inline
 //! copy of the pre-slab implementation (twin `HashSet` lazy cancellation,
@@ -187,6 +189,20 @@ struct MicroResult {
 impl MicroResult {
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.secs
+    }
+}
+
+/// Two-run reduction. The fired-event counts are identical by
+/// construction (same seed, same churn); the measured seconds take the
+/// mid-point of the two runs — the two-run median — and the allocation
+/// count the lower run (allocations are deterministic; any excess is
+/// allocator bookkeeping from outside the workload).
+fn median2(a: MicroResult, b: MicroResult) -> MicroResult {
+    assert_eq!(a.events, b.events, "churn workload must be deterministic");
+    MicroResult {
+        events: a.events,
+        secs: (a.secs + b.secs) / 2.0,
+        allocs: a.allocs.min(b.allocs),
     }
 }
 
@@ -439,13 +455,15 @@ fn main() {
         .position(|a| a == "--check")
         .map(|i| args.get(i + 1).expect("--check takes a path").clone());
 
-    eprintln!("queue microbench ({CHURN_ROUNDS} churn rounds)...");
+    eprintln!("queue microbench ({CHURN_ROUNDS} churn rounds, two-run median)...");
     // Interleave a warm-up of each before timing, so neither queue pays
-    // first-touch costs inside its measured window.
+    // first-touch costs inside its measured window. Then measure each
+    // queue twice, interleaved, and keep the two-run median — this is
+    // what lets the CI gate tighten from 25% to 15%.
     let _ = bench_slab_queue();
     let _ = bench_ref_queue();
-    let slab = bench_slab_queue();
-    let old = bench_ref_queue();
+    let slab = median2(bench_slab_queue(), bench_slab_queue());
+    let old = median2(bench_ref_queue(), bench_ref_queue());
     assert_eq!(
         slab.events, old.events,
         "both queues must fire the identical churn workload"
@@ -485,10 +503,10 @@ fn main() {
             .expect("baseline has slab_events_per_sec");
         let now = slab.events_per_sec();
         eprintln!("regression check vs {path}: baseline {base:.0}, current {now:.0}");
-        if now < base * 0.75 {
-            eprintln!("FAIL: slab queue events/sec regressed more than 25%");
+        if now < base * 0.85 {
+            eprintln!("FAIL: slab queue events/sec regressed more than 15%");
             std::process::exit(1);
         }
-        eprintln!("OK: within the 25% regression budget");
+        eprintln!("OK: within the 15% regression budget");
     }
 }

@@ -468,19 +468,26 @@ pub fn table2_refactoring() -> String {
 /// layer's deterministic JSON renderer. CI's bench smoke step emits this;
 /// downstream tooling diffs it across commits.
 pub fn profile_report_bundle(seed: u64) -> String {
-    use k2_sim::json::Json;
+    use k2_sim::json::JsonWriter;
     use k2_workloads::golden::{golden_run, GoldenScenario};
-    let mut scenarios = Json::object([] as [(&str, Json); 0]);
+    let mut out = String::new();
+    let mut w = JsonWriter::pretty(&mut out);
+    w.begin_object();
+    w.key("bench");
+    w.str("profile_report");
+    w.key("seed");
+    w.u64(seed);
+    w.key("scenarios");
+    w.begin_object();
     for scenario in GoldenScenario::ALL {
         let (m, sys) = golden_run(scenario, seed);
-        scenarios.push(scenario.name(), sys.profile_report(&m));
+        w.key(scenario.name());
+        sys.write_profile_report(&m, &mut w);
     }
-    Json::object([
-        ("bench", Json::str("profile_report")),
-        ("seed", Json::u64(seed)),
-        ("scenarios", scenarios),
-    ])
-    .render_pretty()
+    w.end_object();
+    w.end_object();
+    w.finish();
+    out
 }
 
 #[cfg(test)]

@@ -45,6 +45,6 @@ pub use policy::{
     chooser_of, exploration_policy, Baseline, DelayBounded, RandomWalk, Recorder, Replay,
     SchedulePolicy,
 };
-pub use scenario::{FaultSpec, RunOutcome, Scenario};
+pub use scenario::{FaultSpec, RunOptions, RunOutcome, Scenario};
 pub use schedule::{Schedule, TokenError};
 pub use shrink::{shrink, ShrinkResult};

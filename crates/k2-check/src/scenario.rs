@@ -15,6 +15,7 @@
 use crate::oracle::{self, EndState, DOMAINS};
 use k2::system::{K2Machine, K2System};
 use k2_sim::explore::ScheduleChooser;
+use k2_sim::sink::SinkMode;
 use k2_sim::time::SimDuration;
 use k2_soc::fault::FaultPlan;
 use k2_soc::ids::{DomainId, IrqId};
@@ -116,6 +117,53 @@ impl FaultSpec {
     }
 }
 
+/// What one run records beyond the simulation itself: how heavy the
+/// observability machinery is, and which artifacts to produce at the end.
+/// [`Scenario::run`], [`Scenario::run_lite`] and [`Scenario::run_traced`]
+/// are the named presets.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Render `report_json` (the single most expensive step of a run).
+    pub render_report: bool,
+    /// Span-sink override. `None` keeps the boot-time full sink —
+    /// required for byte-identity with historically rendered reports,
+    /// which include boot-time spans. `Some(SinkMode::Disabled)` removes
+    /// span recording from the hot path entirely.
+    pub sink: Option<SinkMode>,
+    /// Arm the event-trace ring and export `chrome_trace` at the end.
+    pub chrome_trace: bool,
+}
+
+impl RunOptions {
+    /// The [`Scenario::run`] preset: full report, boot-default sink.
+    pub fn full() -> Self {
+        RunOptions {
+            render_report: true,
+            sink: None,
+            chrome_trace: false,
+        }
+    }
+
+    /// The [`Scenario::run_lite`] preset: no report, disabled span sink.
+    pub fn lite() -> Self {
+        RunOptions {
+            render_report: false,
+            sink: Some(SinkMode::Disabled),
+            chrome_trace: false,
+        }
+    }
+
+    /// The [`Scenario::run_traced`] preset: full observability plus the
+    /// Chrome trace export.
+    pub fn traced() -> Self {
+        RunOptions {
+            render_report: true,
+            sink: None,
+            chrome_trace: true,
+        }
+    }
+}
+
 /// Everything the oracles need from one completed run.
 pub struct RunOutcome {
     /// Schedule-independent logical end state (plus scenario extras).
@@ -123,6 +171,11 @@ pub struct RunOutcome {
     /// The system's full profile report, rendered compactly — byte-equal
     /// across replays of the same schedule.
     pub report_json: String,
+    /// The Chrome trace-event export, when the run asked for one
+    /// (see [`RunOptions::chrome_trace`]).
+    pub chrome_trace: Option<String>,
+    /// Machine events processed — the numerator of throughput figures.
+    pub events: u64,
     /// How many nondeterministic choice points the run hit.
     pub choice_points: u64,
     /// Counter-conservation verdict.
@@ -188,27 +241,38 @@ impl Scenario {
     /// given chooser (None = the queue's own tie-break), and snapshots
     /// the oracle inputs.
     pub fn run(self, spec: &FaultSpec, chooser: Option<ScheduleChooser>) -> RunOutcome {
-        self.run_impl(spec, chooser, true)
+        self.run_with(spec, chooser, RunOptions::full())
     }
 
-    /// Like [`Scenario::run`] but skips rendering the profile report
-    /// (`report_json` comes back empty). The oracles never read the
-    /// report, and rendering it is the single most expensive step of a
-    /// run, so exploration campaigns — which execute hundreds of runs and
-    /// only ever classify their outcomes — use this path. Replay and
-    /// byte-identity checks must use [`Scenario::run`].
+    /// Like [`Scenario::run`] but with the observability machinery
+    /// stripped: no report rendering (`report_json` comes back empty) and
+    /// the disabled span sink. The oracles never read the report or the
+    /// spans, and both are pure observation — recording never perturbs
+    /// event timing — so exploration campaigns, which execute hundreds of
+    /// runs and only ever classify their outcomes, use this path. Replay
+    /// and byte-identity checks must use [`Scenario::run`].
     pub fn run_lite(self, spec: &FaultSpec, chooser: Option<ScheduleChooser>) -> RunOutcome {
-        self.run_impl(spec, chooser, false)
+        self.run_with(spec, chooser, RunOptions::lite())
     }
 
-    fn run_impl(
+    /// Like [`Scenario::run`] but also arms the event-trace ring and
+    /// returns the Chrome trace-event export in `chrome_trace` — the
+    /// `k2-trace` binary's entry point.
+    pub fn run_traced(self, spec: &FaultSpec, chooser: Option<ScheduleChooser>) -> RunOutcome {
+        self.run_with(spec, chooser, RunOptions::traced())
+    }
+
+    /// Boots a fresh system, runs this scenario under `spec`, the given
+    /// chooser and explicit [`RunOptions`], and snapshots the oracle
+    /// inputs.
+    pub fn run_with(
         self,
         spec: &FaultSpec,
         chooser: Option<ScheduleChooser>,
-        render_report: bool,
+        opts: RunOptions,
     ) -> RunOutcome {
         match self {
-            Scenario::UdpCrossTraffic => run_system(spec, chooser, render_report, |t| {
+            Scenario::UdpCrossTraffic => run_system(spec, chooser, opts, |t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "udp-a" } else { "udp-b" });
@@ -230,7 +294,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::Ext2Churn => run_system(spec, chooser, render_report, |t| {
+            Scenario::Ext2Churn => run_system(spec, chooser, opts, |t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "fs-a" } else { "fs-b" });
@@ -252,7 +316,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::DmaFanout => run_system(spec, chooser, render_report, |t| {
+            Scenario::DmaFanout => run_system(spec, chooser, opts, |t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "dma-a" } else { "dma-b" });
@@ -274,7 +338,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::MailRace => run_system(spec, chooser, render_report, |t| {
+            Scenario::MailRace => run_system(spec, chooser, opts, |t| {
                 // Replace the weak domain's mailbox ISR with one that keeps
                 // only the *last* mail it drains — the planted ordering bug.
                 let last = Rc::new(RefCell::new(0u32));
@@ -363,17 +427,28 @@ fn spawn_pulses(t: &mut TestSystem) {
 /// Shared run skeleton: boot, install plan + chooser + auditor, drive,
 /// drain, then snapshot the oracle inputs. The profile report is rendered
 /// before any other read so nothing perturbs its bytes.
+/// Capacity of the event-trace ring a traced run records into — sized so
+/// a scenario's whole post-settle window survives for export.
+const TRACE_CAPACITY: usize = 1 << 16;
+
 fn run_system(
     spec: &FaultSpec,
     chooser: Option<ScheduleChooser>,
-    render_report: bool,
+    opts: RunOptions,
     drive: impl FnOnce(&mut TestSystem) -> Vec<(String, String)>,
 ) -> RunOutcome {
     let mut builder = TestSystem::builder().seed(spec.seed).audit(64);
     if let Some(plan) = spec.to_plan() {
         builder = builder.fault_plan(plan);
     }
+    if let Some(mode) = opts.sink {
+        builder = builder.span_sink(mode);
+    }
     let mut t = builder.build();
+    if opts.chrome_trace {
+        t.m.set_trace_capacity(TRACE_CAPACITY);
+        t.m.set_trace(true);
+    }
     if let Some(c) = chooser {
         t.m.set_schedule_chooser(c);
     }
@@ -381,14 +456,20 @@ fn run_system(
     t.run_for(DRAIN);
     t.m.clear_schedule_chooser();
 
-    let report_json = if render_report {
+    let report_json = if opts.render_report {
         t.sys.profile_report(&t.m).render_compact()
     } else {
         String::new()
     };
+    let chrome_trace = opts.chrome_trace.then(|| {
+        let mut s = String::new();
+        t.m.write_chrome_trace(&mut s);
+        s
+    });
     let conservation = oracle::check_conservation(&t.m);
     let audit = audit_verdict(&t.m);
     let choice_points = t.m.choice_points();
+    let events = t.events_processed();
     let mut end_state = oracle::capture_end_state(&mut t);
     for (k, v) in extra {
         end_state.push(k, v);
@@ -396,6 +477,8 @@ fn run_system(
     RunOutcome {
         end_state,
         report_json,
+        chrome_trace,
+        events,
         choice_points,
         conservation,
         audit,

@@ -1,0 +1,86 @@
+//! End-to-end Chrome trace export: a traced scenario run must produce a
+//! valid, deterministic trace-event document that survives a parse →
+//! re-render round trip, with every event well-formed.
+
+use k2_check::{FaultSpec, RunOptions, Scenario};
+use k2_sim::json::Json;
+
+fn traced_run() -> k2_check::RunOutcome {
+    Scenario::UdpCrossTraffic.run_with(&FaultSpec::none(), None, RunOptions::traced())
+}
+
+#[test]
+fn udp_cross_traffic_exports_a_valid_chrome_trace() {
+    let outcome = traced_run();
+    let trace = outcome.chrome_trace.expect("traced run exports a trace");
+    let doc = Json::parse(&trace).expect("export must parse as JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    assert!(events.len() > 50, "only {} events exported", events.len());
+
+    let (counters, metadata) = check_events(events);
+    assert!(metadata >= 2, "domain processes must be named");
+    assert!(counters > 0, "power timeline must export as C events");
+
+    // Round trip: parse → compact re-render reproduces the exact bytes.
+    assert_eq!(doc.render_compact(), trace);
+}
+
+/// Validates every event's shape; returns (counter, metadata) counts.
+fn check_events(events: &[Json]) -> (u64, u64) {
+    let (mut counters, mut metadata) = (0u64, 0u64);
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap();
+        assert!(["M", "X", "i", "C"].contains(&ph), "unknown ph {ph}");
+        // pid is a K2 coherence domain: this config has two.
+        let pid = e.get("pid").and_then(Json::as_f64).unwrap();
+        assert!(pid == 0.0 || pid == 1.0, "pid {pid} is not a domain");
+        assert!(e.get("tid").and_then(Json::as_f64).unwrap() <= 3.0);
+        match ph {
+            "M" => metadata += 1,
+            "C" => counters += 1,
+            "X" => {
+                assert!(e.get("ts").and_then(Json::as_f64).unwrap() >= 0.0);
+                assert!(e.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+                assert!(e.get("args").and_then(|a| a.get("id")).is_some());
+            }
+            _ => {
+                assert!(e.get("ts").and_then(Json::as_f64).unwrap() >= 0.0);
+            }
+        }
+    }
+    (counters, metadata)
+}
+
+#[test]
+fn dma_fanout_exports_its_span_chains_as_complete_events() {
+    let outcome = Scenario::DmaFanout.run_with(&FaultSpec::none(), None, RunOptions::traced());
+    let trace = outcome.chrome_trace.unwrap();
+    let doc = Json::parse(&trace).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    check_events(events);
+    let dma_spans = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) == Some("dma")
+        })
+        .count();
+    assert!(dma_spans > 0, "DMA fan-out must export dma X events");
+    // dma spans ride the dma track (tid 3).
+    for e in events {
+        if e.get("name").and_then(Json::as_str) == Some("dma") {
+            assert_eq!(e.get("tid").and_then(Json::as_f64), Some(3.0));
+        }
+    }
+}
+
+#[test]
+fn traced_runs_are_deterministic() {
+    let a = traced_run().chrome_trace.unwrap();
+    let b = traced_run().chrome_trace.unwrap();
+    assert_eq!(a, b, "same (scenario, seed) must export identical traces");
+}

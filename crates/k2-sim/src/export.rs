@@ -1,0 +1,224 @@
+//! Streaming Chrome trace-event export.
+//!
+//! Renders spans and sampled counters in the Trace Event Format consumed
+//! by Perfetto and `chrome://tracing`: a JSON object whose `traceEvents`
+//! array holds one record per event. The writer streams — each event is
+//! serialized the moment it is emitted through the underlying
+//! [`JsonWriter`], so exporting tens of thousands of spans never builds
+//! an intermediate tree.
+//!
+//! Field mapping (DESIGN.md §5.5): the *process* id (`pid`) is the K2
+//! coherence domain, the *thread* id (`tid`) is a per-domain track chosen
+//! by the caller (the platform maps span kinds to tracks), `ts`/`dur` are
+//! microseconds (fractional, so nanosecond precision survives), `"X"`
+//! complete events carry spans, `"C"` counter events carry gauge/energy
+//! samples, and `"M"` metadata events name the domain processes and
+//! tracks. Output is deterministic: fixed key order, fixed float
+//! notation, no wall clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_sim::export::ChromeTraceWriter;
+//! use k2_sim::json::Json;
+//!
+//! let mut out = String::new();
+//! let mut w = ChromeTraceWriter::new(&mut out);
+//! w.metadata_process_name(0, "domain0");
+//! w.complete("irq", "span", 0, 2, (1_500, 800), &[("id", 7)]);
+//! w.counter("energy_mj", 0, 2_300, &[("domain0", 1.25)]);
+//! w.finish();
+//! let doc = Json::parse(&out).unwrap();
+//! assert_eq!(doc.get("traceEvents").and_then(Json::as_array).unwrap().len(), 3);
+//! ```
+
+use crate::json::JsonWriter;
+
+/// Incremental writer for the Chrome trace-event JSON format. See the
+/// module docs for the field mapping.
+#[derive(Debug)]
+pub struct ChromeTraceWriter<'a> {
+    w: JsonWriter<'a>,
+    events: u64,
+}
+
+impl<'a> ChromeTraceWriter<'a> {
+    /// Starts a trace document (opens the `traceEvents` array).
+    pub fn new(out: &'a mut String) -> Self {
+        let mut w = JsonWriter::compact(out);
+        w.begin_object();
+        w.key("traceEvents");
+        w.begin_array();
+        ChromeTraceWriter { w, events: 0 }
+    }
+
+    /// Events emitted so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The shared `ph`/`name`/`pid`/`tid` prefix every event starts with.
+    fn head(&mut self, ph: &str, name: &str, pid: u64, tid: u64) {
+        self.events += 1;
+        self.w.begin_object();
+        self.w.key("ph");
+        self.w.str(ph);
+        self.w.key("name");
+        self.w.str(name);
+        self.w.key("pid");
+        self.w.u64(pid);
+        self.w.key("tid");
+        self.w.u64(tid);
+    }
+
+    /// Simulated nanoseconds → trace microseconds.
+    fn ts(&mut self, key: &str, ns: u64) {
+        self.w.key(key);
+        self.w.f64(ns as f64 / 1_000.0);
+    }
+
+    /// An `"M"` metadata event naming process `pid` (rendered as the
+    /// track group header).
+    pub fn metadata_process_name(&mut self, pid: u64, name: &str) {
+        self.head("M", "process_name", pid, 0);
+        self.w.key("args");
+        self.w.begin_object();
+        self.w.key("name");
+        self.w.str(name);
+        self.w.end_object();
+        self.w.end_object();
+    }
+
+    /// An `"M"` metadata event naming thread (track) `tid` of `pid`.
+    pub fn metadata_thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.head("M", "thread_name", pid, tid);
+        self.w.key("args");
+        self.w.begin_object();
+        self.w.key("name");
+        self.w.str(name);
+        self.w.end_object();
+        self.w.end_object();
+    }
+
+    /// An `"X"` complete event: one closed span, `span_ns` giving its
+    /// `(start, duration)`, with integer `args` (span id, parent,
+    /// payload...).
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        span_ns: (u64, u64),
+        args: &[(&str, u64)],
+    ) {
+        self.head("X", name, pid, tid);
+        self.w.key("cat");
+        self.w.str(cat);
+        self.ts("ts", span_ns.0);
+        self.ts("dur", span_ns.1);
+        self.w.key("args");
+        self.w.begin_object();
+        for &(k, v) in args {
+            self.w.key(k);
+            self.w.u64(v);
+        }
+        self.w.end_object();
+        self.w.end_object();
+    }
+
+    /// An `"i"` instant event (thread scope).
+    pub fn instant(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_ns: u64) {
+        self.head("i", name, pid, tid);
+        self.w.key("cat");
+        self.w.str(cat);
+        self.ts("ts", ts_ns);
+        self.w.key("s");
+        self.w.str("t");
+        self.w.end_object();
+    }
+
+    /// A `"C"` counter event: named series sampled at `ts_ns`. Perfetto
+    /// stacks the series of one counter name into an area chart.
+    pub fn counter(&mut self, name: &str, pid: u64, ts_ns: u64, series: &[(&str, f64)]) {
+        self.head("C", name, pid, 0);
+        self.ts("ts", ts_ns);
+        self.w.key("args");
+        self.w.begin_object();
+        for &(k, v) in series {
+            self.w.key(k);
+            self.w.f64(v);
+        }
+        self.w.end_object();
+        self.w.end_object();
+    }
+
+    /// Closes the document (array, `displayTimeUnit`, object).
+    pub fn finish(mut self) {
+        self.w.end_array();
+        self.w.key("displayTimeUnit");
+        self.w.str("ms");
+        self.w.end_object();
+        self.w.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn exported_document_parses_and_has_well_formed_events() {
+        let mut out = String::new();
+        let mut w = ChromeTraceWriter::new(&mut out);
+        w.metadata_process_name(1, "domain1");
+        w.metadata_thread_name(1, 2, "irq");
+        w.complete(
+            "mail",
+            "span",
+            1,
+            1,
+            (2_500, 1_250),
+            &[("id", 3), ("parent", 1)],
+        );
+        w.instant("fault", "fault", 0, 0, 9_000);
+        w.counter("energy_mj", 0, 10_000, &[("domain0", 0.5)]);
+        assert_eq!(w.events(), 5);
+        w.finish();
+
+        let doc = Json::parse(&out).expect("export must be valid JSON");
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 5);
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            assert!(["M", "X", "i", "C"].contains(&ph), "unknown ph {ph}");
+            assert!(e.get("pid").and_then(Json::as_f64).is_some());
+            assert!(e.get("tid").and_then(Json::as_f64).is_some());
+            if ph != "M" {
+                assert!(e.get("ts").and_then(Json::as_f64).unwrap() >= 0.0);
+            }
+            if ph == "X" {
+                assert!(e.get("dur").and_then(Json::as_f64).is_some());
+            }
+        }
+        // ns → µs with sub-microsecond precision preserved.
+        let x = &events[2];
+        assert_eq!(x.get("ts").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(x.get("dur").and_then(Json::as_f64), Some(1.25));
+    }
+
+    #[test]
+    fn round_trip_is_byte_stable() {
+        let mut out = String::new();
+        let mut w = ChromeTraceWriter::new(&mut out);
+        w.complete("dma", "span", 0, 3, (0, 42_000), &[]);
+        w.finish();
+        let reparsed = Json::parse(&out).unwrap();
+        assert_eq!(reparsed.render_compact(), out);
+    }
+}

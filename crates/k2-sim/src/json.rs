@@ -147,6 +147,215 @@ impl Json {
     }
 }
 
+/// An incremental JSON writer producing byte-identical output to
+/// [`Json::render_compact`] / [`Json::render_pretty`].
+///
+/// Where the [`Json`] tree forces a producer to materialize an entire
+/// report before a single byte renders, the writer emits as it goes:
+/// open a container, stream members, close it — each section of a
+/// profile report (or each of thousands of trace events) hits the output
+/// buffer the moment it is computed, and nothing larger than the current
+/// value is ever held. The format contract is checked by tests that
+/// render the same document both ways and compare bytes.
+///
+/// Values written while an object key is pending attach to that key;
+/// values written directly inside an array (or at the top level) stand
+/// alone. Commas, newlines and indentation are inserted automatically.
+///
+/// # Examples
+///
+/// ```
+/// use k2_sim::json::JsonWriter;
+///
+/// let mut out = String::new();
+/// let mut w = JsonWriter::compact(&mut out);
+/// w.begin_object();
+/// w.key("name");
+/// w.str("udp");
+/// w.key("bytes");
+/// w.u64(42);
+/// w.end_object();
+/// w.finish();
+/// assert_eq!(out, r#"{"name":"udp","bytes":42}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonWriter<'a> {
+    out: &'a mut String,
+    indent: Option<usize>,
+    /// One frame per open container: `(is_object, members_written)`.
+    stack: Vec<(bool, usize)>,
+    /// `true` between `key()` and the value that consumes it.
+    pending_key: bool,
+}
+
+impl<'a> JsonWriter<'a> {
+    /// A writer matching [`Json::render_compact`] (no whitespace, no
+    /// trailing newline).
+    pub fn compact(out: &'a mut String) -> Self {
+        JsonWriter {
+            out,
+            indent: None,
+            stack: Vec::new(),
+            pending_key: false,
+        }
+    }
+
+    /// A writer matching [`Json::render_pretty`] (two-space indent and a
+    /// trailing newline, added by [`JsonWriter::finish`]).
+    pub fn pretty(out: &'a mut String) -> Self {
+        JsonWriter {
+            out,
+            indent: Some(2),
+            stack: Vec::new(),
+            pending_key: false,
+        }
+    }
+
+    /// Comma/newline/indent bookkeeping before a value (or an object
+    /// key) is emitted at the current position.
+    fn separate(&mut self) {
+        if self.pending_key {
+            // The key already did the separating; the value attaches.
+            self.pending_key = false;
+            return;
+        }
+        if let Some((_, count)) = self.stack.last_mut() {
+            if *count > 0 {
+                self.out.push(',');
+            }
+            *count += 1;
+            if let Some(w) = self.indent {
+                self.out.push('\n');
+                for _ in 0..(w * self.stack.len()) {
+                    self.out.push(' ');
+                }
+            }
+        }
+    }
+
+    /// Emits an object member key. The next value written attaches to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer is not inside an object, or a key is already
+    /// pending.
+    pub fn key(&mut self, key: &str) {
+        assert!(
+            matches!(self.stack.last(), Some((true, _))),
+            "key() outside an object"
+        );
+        assert!(!self.pending_key, "two keys in a row");
+        self.separate();
+        write_escaped(self.out, key);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        self.pending_key = true;
+    }
+
+    /// Opens an object.
+    pub fn begin_object(&mut self) {
+        self.separate();
+        self.stack.push((true, 0));
+        self.out.push('{');
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.close('}', true);
+    }
+
+    /// Opens an array.
+    pub fn begin_array(&mut self) {
+        self.separate();
+        self.stack.push((false, 0));
+        self.out.push('[');
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.close(']', false);
+    }
+
+    fn close(&mut self, close: char, object: bool) {
+        let (is_object, count) = self.stack.pop().expect("close with nothing open");
+        assert_eq!(is_object, object, "mismatched container close");
+        assert!(!self.pending_key, "close with a dangling key");
+        if count > 0 {
+            if let Some(w) = self.indent {
+                self.out.push('\n');
+                for _ in 0..(w * self.stack.len()) {
+                    self.out.push(' ');
+                }
+            }
+        }
+        self.out.push(close);
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.separate();
+        self.out.push_str("null");
+    }
+
+    /// Writes a boolean.
+    pub fn bool(&mut self, v: bool) {
+        self.separate();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes an unsigned integer.
+    pub fn u64(&mut self, v: u64) {
+        self.separate();
+        write!(self.out, "{v}").unwrap();
+    }
+
+    /// Writes a signed integer.
+    pub fn i64(&mut self, v: i64) {
+        self.separate();
+        write!(self.out, "{v}").unwrap();
+    }
+
+    /// Writes a float in the tree renderer's fixed six-decimal notation
+    /// (`null` when non-finite).
+    pub fn f64(&mut self, v: f64) {
+        self.separate();
+        if v.is_finite() {
+            write!(self.out, "{v:.6}").unwrap();
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a string (escaped).
+    pub fn str(&mut self, s: &str) {
+        self.separate();
+        write_escaped(self.out, s);
+    }
+
+    /// Renders a pre-built [`Json`] tree at the current position — the
+    /// bridge for small sections that are cheaper to assemble than to
+    /// hand-stream.
+    pub fn tree(&mut self, value: &Json) {
+        self.separate();
+        value.write(self.out, self.indent, self.stack.len());
+    }
+
+    /// Finishes the document: in pretty mode appends the trailing
+    /// newline [`Json::render_pretty`] emits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open.
+    pub fn finish(self) {
+        assert!(self.stack.is_empty(), "finish with open containers");
+        if self.indent.is_some() {
+            self.out.push('\n');
+        }
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -198,6 +407,274 @@ fn write_seq(
         }
     }
     out.push(close);
+}
+
+impl Json {
+    /// Parses a JSON document (the whole input must be one value plus
+    /// optional whitespace).
+    ///
+    /// This is the reading half of the workspace's dependency-free JSON:
+    /// round-trip tests feed exported trace files back through it, and
+    /// bench `--check` gates read committed `BENCH_*.json` baselines.
+    /// Numbers without `.`/`e` parse as integers (`U64`, or `I64` when
+    /// negative), everything else as `F64` — matching what the writer
+    /// emits, so `parse(render(x))` reproduces `x` for writer output.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(v) => Some(v as f64),
+            Json::I64(v) => Some(v as f64),
+            Json::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the unescaped run in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| "invalid \\u escape".to_string())?);
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        self.pos += 4;
+        let s = std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+        u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            s.parse::<f64>()
+                .map(Json::F64)
+                .map_err(|e| format!("bad number '{s}': {e}"))
+        } else if s.starts_with('-') {
+            s.parse::<i64>()
+                .map(Json::I64)
+                .map_err(|e| format!("bad number '{s}': {e}"))
+        } else {
+            s.parse::<u64>()
+                .map(Json::U64)
+                .map_err(|e| format!("bad number '{s}': {e}"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -256,5 +733,135 @@ mod tests {
     #[should_panic(expected = "push on non-object")]
     fn push_on_scalar_panics() {
         Json::Null.push("a", Json::u64(1));
+    }
+
+    /// A nested document with every value kind, built once as a tree.
+    fn specimen() -> Json {
+        Json::object([
+            ("s", Json::str("a\"b\\c\nd")),
+            ("u", Json::u64(18_446_744_073_709_551_615)),
+            ("i", Json::I64(-42)),
+            ("f", Json::f64(1.5)),
+            ("nan", Json::f64(f64::NAN)),
+            ("t", Json::Bool(true)),
+            ("n", Json::Null),
+            ("empty_a", Json::array([])),
+            (
+                "arr",
+                Json::array([Json::u64(1), Json::object([("k", Json::str("v"))])]),
+            ),
+            ("empty_o", Json::object([] as [(&str, Json); 0])),
+        ])
+    }
+
+    /// Streams the specimen through the writer, mixing hand-streamed
+    /// members with `tree()` bridges.
+    fn stream_specimen(w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("s");
+        w.str("a\"b\\c\nd");
+        w.key("u");
+        w.u64(18_446_744_073_709_551_615);
+        w.key("i");
+        w.i64(-42);
+        w.key("f");
+        w.f64(1.5);
+        w.key("nan");
+        w.f64(f64::NAN);
+        w.key("t");
+        w.bool(true);
+        w.key("n");
+        w.null();
+        w.key("empty_a");
+        w.begin_array();
+        w.end_array();
+        w.key("arr");
+        w.begin_array();
+        w.u64(1);
+        w.tree(&Json::object([("k", Json::str("v"))]));
+        w.end_array();
+        w.key("empty_o");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+    }
+
+    #[test]
+    fn writer_matches_tree_render_compact() {
+        let mut out = String::new();
+        let mut w = JsonWriter::compact(&mut out);
+        stream_specimen(&mut w);
+        w.finish();
+        assert_eq!(out, specimen().render_compact());
+    }
+
+    #[test]
+    fn writer_matches_tree_render_pretty() {
+        let mut out = String::new();
+        let mut w = JsonWriter::pretty(&mut out);
+        stream_specimen(&mut w);
+        w.finish();
+        assert_eq!(out, specimen().render_pretty());
+    }
+
+    #[test]
+    fn writer_top_level_array_of_trees() {
+        let items = [Json::u64(1), Json::str("x")];
+        let mut out = String::new();
+        let mut w = JsonWriter::pretty(&mut out);
+        w.begin_array();
+        for it in &items {
+            w.tree(it);
+        }
+        w.end_array();
+        w.finish();
+        assert_eq!(out, Json::array(items.clone()).render_pretty());
+    }
+
+    #[test]
+    #[should_panic(expected = "key() outside an object")]
+    fn writer_rejects_key_in_array() {
+        let mut out = String::new();
+        let mut w = JsonWriter::compact(&mut out);
+        w.begin_array();
+        w.key("k");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = specimen();
+        // NaN renders as null, so compare against the null-substituted tree.
+        let parsed = Json::parse(&j.render_pretty()).unwrap();
+        let mut expect = j.clone();
+        if let Json::Object(m) = &mut expect {
+            m[4].1 = Json::Null;
+        }
+        assert_eq!(parsed, expect);
+        // And a second round trip is byte-stable.
+        assert_eq!(
+            parsed.render_pretty(),
+            Json::parse(&parsed.render_pretty())
+                .unwrap()
+                .render_pretty()
+        );
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_numbers() {
+        let j = Json::parse(r#"{"a": "xA\n\"", "b": [-3, 2.5, 1e3]}"#).unwrap();
+        assert_eq!(j.get("a").and_then(Json::as_str), Some("xA\n\""));
+        let b = j.get("b").and_then(Json::as_array).unwrap();
+        assert_eq!(b[0], Json::I64(-3));
+        assert_eq!(b[1], Json::F64(2.5));
+        assert_eq!(b[2], Json::F64(1000.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse(r#""unterminated"#).is_err());
+        assert!(Json::parse("nul").is_err());
     }
 }

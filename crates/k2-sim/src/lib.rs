@@ -29,10 +29,12 @@
 
 pub mod audit;
 pub mod explore;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod sink;
 pub mod span;
 pub mod stats;
 pub mod time;
@@ -40,10 +42,12 @@ pub mod trace;
 
 pub use audit::{InvariantAuditor, Violation};
 pub use explore::{ChoicePoint, EventClass, ScheduleChooser};
-pub use json::Json;
+pub use export::ChromeTraceWriter;
+pub use json::{Json, JsonWriter};
 pub use metrics::{Key, Registry, ShardedCounter, Tag, TimeWeightedGauge};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
+pub use sink::{DisabledSink, FullSink, RingBufferSink, SinkMode, TraceSink};
 pub use span::{Span, SpanId, SpanTracker};
 pub use stats::{Counter, Histogram, Summary};
 pub use time::{cycles_to_duration, SimDuration, SimTime};

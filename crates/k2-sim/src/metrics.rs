@@ -52,6 +52,7 @@
 
 use crate::stats::Histogram;
 use crate::time::{SimDuration, SimTime};
+use std::cell::Cell;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -198,9 +199,18 @@ impl TimeWeightedGauge {
 /// without contending on (or even knowing about) a global total, and the
 /// total is *defined* as the shard sum — the conservation law the
 /// property suite checks.
+///
+/// Read-heavy consumers (the conservation oracles read each counter once
+/// per explored schedule) get the fold for free after the first read: the
+/// total is cached in a [`Cell`] and invalidated on write, so repeated
+/// [`ShardedCounter::total`] calls between writes cost one load instead
+/// of a shard walk.
 #[derive(Clone, Debug, Default)]
 pub struct ShardedCounter {
     shards: BTreeMap<u8, u64>,
+    /// Folded total, `None` after any write (interior mutability so
+    /// `total(&self)` can fill it on a shared reference).
+    folded: Cell<Option<u64>>,
 }
 
 impl ShardedCounter {
@@ -209,8 +219,9 @@ impl ShardedCounter {
         Self::default()
     }
 
-    /// Adds `n` to `domain`'s shard.
+    /// Adds `n` to `domain`'s shard (invalidates the cached total).
     pub fn add(&mut self, domain: u8, n: u64) {
+        self.folded.set(None);
         *self.shards.entry(domain).or_insert(0) += n;
     }
 
@@ -219,9 +230,14 @@ impl ShardedCounter {
         self.shards.get(&domain).copied().unwrap_or(0)
     }
 
-    /// The total across all shards.
+    /// The total across all shards (cached between writes).
     pub fn total(&self) -> u64 {
-        self.shards.values().sum()
+        if let Some(t) = self.folded.get() {
+            return t;
+        }
+        let t = self.shards.values().sum();
+        self.folded.set(Some(t));
+        t
     }
 
     /// Iterates `(domain, count)` in domain order.
@@ -580,6 +596,22 @@ mod tests {
         assert_eq!(c.total(), 12);
         let shards: Vec<_> = c.shards().collect();
         assert_eq!(shards, vec![(0, 8), (1, 4)]);
+    }
+
+    #[test]
+    fn sharded_counter_fold_cache_invalidates_on_write() {
+        let mut c = ShardedCounter::new();
+        assert_eq!(c.total(), 0);
+        c.add(0, 3);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.total(), 3, "cached read must match");
+        c.add(1, 4);
+        assert_eq!(c.total(), 7, "write must invalidate the cache");
+        // Clones carry the cache state but stay independent.
+        let snap = c.clone();
+        c.add(0, 1);
+        assert_eq!(snap.total(), 7);
+        assert_eq!(c.total(), 8);
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Pluggable span storage backends.
+//!
+//! PR 2's tracer recorded every span into a `BTreeMap` unconditionally,
+//! which exploration campaigns paid for on every one of their hundreds of
+//! runs even though nothing ever read a span back (ROADMAP "no off
+//! switch"). This module splits *allocation policy* away from the
+//! [`crate::span::SpanTracker`]: the tracker keeps id allocation, the
+//! current-span stack and validation, while a [`TraceSink`] decides what
+//! (if anything) is retained:
+//!
+//! - [`DisabledSink`] — records nothing. The tracker short-circuits
+//!   before even allocating an id, so a disabled run performs zero span
+//!   work: no ids, no inserts, no stack pushes.
+//! - [`RingBufferSink`] — keeps the most recent `capacity` spans,
+//!   overwriting the oldest. Bounded memory with a recency window, the
+//!   right default for soaks and interactive debugging.
+//! - [`FullSink`] — the original capacity-bounded `BTreeMap`, retaining
+//!   the first `capacity` spans. Golden reports and replay byte-identity
+//!   tests use this backend (it is the tracker default), so blessed
+//!   JSON is unchanged.
+//!
+//! Swapping the backend never changes simulation behaviour: recording is
+//! pure observation, so a run ends in the same state whichever sink is
+//! installed — the property that lets `k2-check` explore with
+//! [`DisabledSink`] while comparing end states against `FullSink` runs.
+//! See DESIGN.md §5.5.
+//!
+//! # Examples
+//!
+//! ```
+//! use k2_sim::sink::{RingBufferSink, SinkMode};
+//! use k2_sim::span::SpanTracker;
+//! use k2_sim::time::SimTime;
+//!
+//! let mut t = SpanTracker::with_sink(Box::new(RingBufferSink::new(2)));
+//! for i in 0..5 {
+//!     t.start(SimTime::from_ns(i), "op", 0);
+//! }
+//! assert_eq!(t.allocated(), 5);
+//! assert_eq!(t.retained(), 2); // only the two most recent survive
+//!
+//! let mut off = SpanTracker::with_sink(SinkMode::Disabled.build());
+//! off.start(SimTime::ZERO, "op", 0);
+//! assert_eq!(off.allocated(), 0); // no id was even allocated
+//! ```
+
+use crate::span::{Span, SpanId};
+use crate::time::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// A span storage backend. See the module docs for the three shipped
+/// implementations and the contract they share.
+pub trait TraceSink: fmt::Debug {
+    /// `false` if the sink wants no spans at all — the tracker then skips
+    /// id allocation and stack maintenance entirely, making instrumented
+    /// call sites free.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Offers a freshly started span for retention. Returns `false` when
+    /// the sink rejects it (capacity, or a cascade policy such as
+    /// [`FullSink`] refusing children of spans it already rejected); the
+    /// tracker counts rejections as dropped.
+    fn offer(&mut self, span: Span) -> bool;
+
+    /// Closes a retained span (first close wins; unknown ids are ignored).
+    fn end(&mut self, id: SpanId, now: SimTime);
+
+    /// Looks up a retained span.
+    fn get(&self, id: SpanId) -> Option<&Span>;
+
+    /// Retained span count.
+    fn len(&self) -> usize;
+
+    /// `true` when nothing is retained.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every retained span in id (= creation) order.
+    fn for_each(&self, f: &mut dyn FnMut(&Span));
+
+    /// Spans that were retained and later overwritten (ring backends);
+    /// zero for sinks that never evict.
+    fn evicted(&self) -> u64 {
+        0
+    }
+
+    /// A short backend name for reports and debugging.
+    fn name(&self) -> &'static str;
+}
+
+/// How a component should configure its span sink — the plain-data form
+/// threaded through builders (test harness, scenarios, benches) so they
+/// need not name boxed trait objects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkMode {
+    /// No recording at all; instrumentation becomes free.
+    Disabled,
+    /// Keep the most recent N spans.
+    RingBuffer(usize),
+    /// Keep the first [`crate::span::SpanTracker::DEFAULT_CAPACITY`]
+    /// spans in a `BTreeMap` (the PR 2 behaviour; the tracker default).
+    Full,
+}
+
+impl SinkMode {
+    /// Builds the described sink.
+    pub fn build(self) -> Box<dyn TraceSink> {
+        match self {
+            SinkMode::Disabled => Box::new(DisabledSink),
+            SinkMode::RingBuffer(cap) => Box::new(RingBufferSink::new(cap)),
+            SinkMode::Full => Box::new(FullSink::new(crate::span::SpanTracker::DEFAULT_CAPACITY)),
+        }
+    }
+}
+
+/// Records nothing; reports itself disabled so the tracker skips all
+/// span work (the zero-cost off switch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DisabledSink;
+
+impl TraceSink for DisabledSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn offer(&mut self, _span: Span) -> bool {
+        false
+    }
+
+    fn end(&mut self, _id: SpanId, _now: SimTime) {}
+
+    fn get(&self, _id: SpanId) -> Option<&Span> {
+        None
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn for_each(&self, _f: &mut dyn FnMut(&Span)) {}
+
+    fn name(&self) -> &'static str {
+        "disabled"
+    }
+}
+
+/// Keeps the most recent `capacity` spans, overwriting the oldest.
+///
+/// Spans arrive in id order, so the deque stays sorted by id and lookups
+/// binary-search — no side index to maintain.
+#[derive(Clone, Debug)]
+pub struct RingBufferSink {
+    ring: VecDeque<Span>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring retaining at most `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring sink capacity must be positive");
+        RingBufferSink {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    fn index_of(&self, id: SpanId) -> Option<usize> {
+        self.ring.binary_search_by_key(&id, |s| s.id).ok()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn offer(&mut self, span: Span) -> bool {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        self.ring.push_back(span);
+        true
+    }
+
+    fn end(&mut self, id: SpanId, now: SimTime) {
+        if let Some(i) = self.index_of(id) {
+            let s = &mut self.ring[i];
+            if s.end.is_none() {
+                s.end = Some(now);
+            }
+        }
+    }
+
+    fn get(&self, id: SpanId) -> Option<&Span> {
+        self.index_of(id).map(|i| &self.ring[i])
+    }
+
+    fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Span)) {
+        for s in &self.ring {
+            f(s);
+        }
+    }
+
+    fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+}
+
+/// The original backend: retains the first `capacity` spans in a
+/// `BTreeMap`, rejecting everything past the cap — *including* children
+/// of spans it already rejected, so a dropped subtree vanishes whole
+/// instead of leaving orphaned children whose latency cannot be
+/// attributed to any root.
+#[derive(Clone, Debug)]
+pub struct FullSink {
+    spans: BTreeMap<SpanId, Span>,
+    capacity: usize,
+}
+
+impl FullSink {
+    /// Creates a map sink retaining at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        FullSink {
+            spans: BTreeMap::new(),
+            capacity,
+        }
+    }
+}
+
+impl TraceSink for FullSink {
+    fn offer(&mut self, span: Span) -> bool {
+        if self.spans.len() >= self.capacity {
+            return false;
+        }
+        // Parent ids always precede child ids, and this sink never
+        // evicts, so an absent parent means it was rejected — cascade.
+        if let Some(p) = span.parent {
+            if !self.spans.contains_key(&p) {
+                return false;
+            }
+        }
+        self.spans.insert(span.id, span);
+        true
+    }
+
+    fn end(&mut self, id: SpanId, now: SimTime) {
+        if let Some(s) = self.spans.get_mut(&id) {
+            if s.end.is_none() {
+                s.end = Some(now);
+            }
+        }
+    }
+
+    fn get(&self, id: SpanId) -> Option<&Span> {
+        self.spans.get(&id)
+    }
+
+    fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&Span)) {
+        for s in self.spans.values() {
+            f(s);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "full"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, start_ns: u64) -> Span {
+        Span {
+            id: SpanId::from_raw(id),
+            parent: parent.map(SpanId::from_raw),
+            name: "t",
+            domain: 0,
+            start: SimTime::from_ns(start_ns),
+            end: None,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_refuses_everything() {
+        let mut s = DisabledSink;
+        assert!(!s.is_enabled());
+        assert!(!s.offer(span(1, None, 0)));
+        assert_eq!(s.len(), 0);
+        assert!(s.get(SpanId::from_raw(1)).is_none());
+    }
+
+    #[test]
+    fn ring_sink_overwrites_oldest_deterministically() {
+        let mut s = RingBufferSink::new(3);
+        for i in 1..=5 {
+            assert!(s.offer(span(i, None, i)));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted(), 2);
+        let mut ids = Vec::new();
+        s.for_each(&mut |sp| ids.push(sp.id.raw()));
+        assert_eq!(ids, [3, 4, 5]);
+        assert!(s.get(SpanId::from_raw(2)).is_none());
+        assert!(s.get(SpanId::from_raw(4)).is_some());
+    }
+
+    #[test]
+    fn ring_sink_end_binary_searches() {
+        let mut s = RingBufferSink::new(2);
+        for i in 1..=3 {
+            s.offer(span(i, None, 0));
+        }
+        s.end(SpanId::from_raw(1), SimTime::from_ns(9)); // evicted: ignored
+        s.end(SpanId::from_raw(3), SimTime::from_ns(7));
+        s.end(SpanId::from_raw(3), SimTime::from_ns(8)); // first close wins
+        assert_eq!(
+            s.get(SpanId::from_raw(3)).unwrap().end,
+            Some(SimTime::from_ns(7))
+        );
+        assert_eq!(s.get(SpanId::from_raw(2)).unwrap().end, None);
+    }
+
+    #[test]
+    fn full_sink_caps_and_cascades() {
+        let mut s = FullSink::new(2);
+        assert!(s.offer(span(1, None, 0)));
+        assert!(s.offer(span(2, None, 1)));
+        assert!(!s.offer(span(3, None, 2))); // capacity
+        let mut uncapped = FullSink::new(8);
+        assert!(uncapped.offer(span(1, None, 0)));
+        // Parent 5 was never retained: the child is rejected too.
+        assert!(!uncapped.offer(span(6, Some(5), 3)));
+        assert!(uncapped.offer(span(7, Some(1), 4)));
+    }
+}

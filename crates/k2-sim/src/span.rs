@@ -11,9 +11,13 @@
 //!
 //! Span IDs are allocated sequentially from the tracker — no randomness,
 //! no wall clock — so the same seeded run always produces the same tree
-//! (DESIGN.md §5.5). Storage is bounded like [`crate::trace::Trace`]:
-//! past the capacity new spans are counted but not retained, so soaks
-//! cannot OOM.
+//! (DESIGN.md §5.5). *Storage* is delegated to a pluggable
+//! [`TraceSink`](crate::sink::TraceSink): the default
+//! [`FullSink`](crate::sink::FullSink) bounds retention like
+//! [`crate::trace::Trace`] (past the capacity new spans are counted but
+//! not retained, so soaks cannot OOM), a ring sink keeps a recency
+//! window, and the disabled sink short-circuits the tracker entirely —
+//! no ids allocated, no stack pushed, zero cost.
 //!
 //! # Examples
 //!
@@ -30,6 +34,7 @@
 //! assert!(t.validate_well_formed().is_ok());
 //! ```
 
+use crate::sink::{FullSink, TraceSink};
 use crate::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -46,6 +51,11 @@ impl SpanId {
     /// The raw id value.
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw value (sink implementations and tests).
+    pub fn from_raw(raw: u64) -> SpanId {
+        SpanId(raw)
     }
 }
 
@@ -72,18 +82,23 @@ pub struct Span {
     pub end: Option<SimTime>,
 }
 
-/// Allocates, stores and validates spans.
+/// Allocates and validates spans; a [`TraceSink`] stores them.
 ///
 /// The tracker also keeps a *current-span stack*: the platform pushes
 /// the ISR span before running a handler and pops it after, so any span
 /// started inside (a bottom-half schedule, a reply send) parents on the
 /// ISR automatically without threading ids through every call.
+///
+/// With a disabled sink every entry point returns immediately:
+/// [`SpanTracker::start`] hands back [`SpanId::NONE`] without touching
+/// the id counter (so [`SpanTracker::allocated`] stays 0) and the stack
+/// is never pushed. Because span recording is pure observation, a run
+/// behaves identically whichever sink is installed.
 #[derive(Debug)]
 pub struct SpanTracker {
     next: u64,
-    spans: BTreeMap<SpanId, Span>,
+    sink: Box<dyn TraceSink>,
     stack: Vec<SpanId>,
-    capacity: usize,
     dropped: u64,
 }
 
@@ -91,20 +106,45 @@ impl SpanTracker {
     /// Default retained-span cap; see the type docs.
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
-    /// Creates a tracker with the default capacity.
+    /// Creates a tracker with the default full (map) sink and capacity.
     pub fn new() -> Self {
         Self::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Creates a tracker retaining at most `capacity` spans.
+    /// Creates a tracker with a full (map) sink retaining at most
+    /// `capacity` spans.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_sink(Box::new(FullSink::new(capacity)))
+    }
+
+    /// Creates a tracker over an explicit storage backend.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
         SpanTracker {
             next: 1,
-            spans: BTreeMap::new(),
+            sink,
             stack: Vec::new(),
-            capacity,
             dropped: 0,
         }
+    }
+
+    /// Replaces the storage backend, discarding previously retained
+    /// spans and the current-span stack. Swap between runs (or before
+    /// driving any events), never mid-handler: the stack discipline
+    /// assumes pushes and pops see the same enablement.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+        self.stack.clear();
+    }
+
+    /// `false` when the installed sink records nothing (all tracking
+    /// entry points short-circuit).
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// The installed backend's short name (`full`, `ring`, `disabled`).
+    pub fn sink_name(&self) -> &'static str {
+        self.sink.name()
     }
 
     /// Starts a span parented on the current span (top of the stack), or
@@ -124,45 +164,48 @@ impl SpanTracker {
         domain: u8,
         parent: Option<SpanId>,
     ) -> SpanId {
+        if !self.sink.is_enabled() {
+            return SpanId::NONE;
+        }
         let id = SpanId(self.next);
         self.next += 1;
-        if self.spans.len() >= self.capacity {
-            self.dropped += 1;
-            return id;
-        }
-        self.spans.insert(
+        let span = Span {
             id,
-            Span {
-                id,
-                parent: parent.filter(|p| *p != SpanId::NONE),
-                name,
-                domain,
-                start: now,
-                end: None,
-            },
-        );
+            parent: parent.filter(|p| *p != SpanId::NONE),
+            name,
+            domain,
+            start: now,
+            end: None,
+        };
+        if !self.sink.offer(span) {
+            self.dropped += 1;
+        }
         id
     }
 
-    /// Closes a span. Unknown ids (beyond-capacity spans) are ignored;
-    /// closing twice keeps the first end.
+    /// Closes a span. Unknown ids (beyond-capacity spans) and
+    /// [`SpanId::NONE`] are ignored; closing twice keeps the first end.
     pub fn end(&mut self, now: SimTime, id: SpanId) {
-        if let Some(s) = self.spans.get_mut(&id) {
-            if s.end.is_none() {
-                s.end = Some(now);
-            }
+        if id == SpanId::NONE {
+            return;
         }
+        self.sink.end(id, now);
     }
 
     /// Pushes `id` as the current span (subsequent [`SpanTracker::start`]
-    /// calls parent on it).
+    /// calls parent on it). A no-op when tracking is disabled, so the
+    /// hot path never grows the stack.
     pub fn push_current(&mut self, id: SpanId) {
-        self.stack.push(id);
+        if self.sink.is_enabled() {
+            self.stack.push(id);
+        }
     }
 
     /// Pops the current span.
     pub fn pop_current(&mut self) {
-        self.stack.pop();
+        if self.sink.is_enabled() {
+            self.stack.pop();
+        }
     }
 
     /// The current span, if any.
@@ -170,37 +213,50 @@ impl SpanTracker {
         self.stack.last().copied()
     }
 
-    /// Number of ids ever allocated (including dropped ones).
+    /// Number of ids ever allocated (including dropped ones). Zero when
+    /// tracking has always been disabled — the zero-cost contract.
     pub fn allocated(&self) -> u64 {
         self.next - 1
     }
 
-    /// Spans allocated past the retention cap.
+    /// Spans the sink rejected: allocations past the retention cap *and*
+    /// children rejected because their parent had already been dropped
+    /// (the whole subtree is unattributable, so it is dropped whole).
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Retained spans in id (= creation) order.
-    pub fn spans(&self) -> impl Iterator<Item = &Span> + '_ {
-        self.spans.values()
+    /// Spans the sink retained and later overwrote (ring backends).
+    pub fn evicted(&self) -> u64 {
+        self.sink.evicted()
+    }
+
+    /// Retained span count.
+    pub fn retained(&self) -> usize {
+        self.sink.len()
+    }
+
+    /// Visits every retained span in id (= creation) order.
+    pub fn for_each(&self, mut f: impl FnMut(&Span)) {
+        self.sink.for_each(&mut f);
     }
 
     /// Looks up a retained span.
     pub fn get(&self, id: SpanId) -> Option<&Span> {
-        self.spans.get(&id)
+        self.sink.get(id)
     }
 
     /// Per-name `(count, total_ns)` over all *closed* retained spans, in
     /// name order — the summary reports embed.
     pub fn summary(&self) -> BTreeMap<&'static str, (u64, u64)> {
         let mut out: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
-        for s in self.spans.values() {
+        self.sink.for_each(&mut |s| {
             if let Some(end) = s.end {
                 let e = out.entry(s.name).or_insert((0, 0));
                 e.0 += 1;
                 e.1 += end.saturating_since(s.start).as_ns();
             }
-        }
+        });
         out
     }
 
@@ -209,38 +265,54 @@ impl SpanTracker {
     /// no earlier than its parent, and every *closed* child of a closed
     /// parent ends no later than the parent.
     ///
-    /// Returns the first problem found, described.
+    /// Gaps from bounded storage are tolerated: a parent that was
+    /// dropped past the cap (or rejected in a dropped subtree, or
+    /// evicted from a ring) has an id below the allocation watermark,
+    /// and such dangling links are fine.
+    ///
+    /// Returns the first problem found (in id order), described.
     pub fn validate_well_formed(&self) -> Result<(), String> {
-        for s in self.spans.values() {
+        let mut first_err: Option<String> = None;
+        self.sink.for_each(&mut |s| {
+            if first_err.is_some() {
+                return;
+            }
             if let Some(end) = s.end {
                 if end < s.start {
-                    return Err(format!("{} '{}' ends before it starts", s.id, s.name));
+                    first_err = Some(format!("{} '{}' ends before it starts", s.id, s.name));
+                    return;
                 }
             }
-            let Some(pid) = s.parent else { continue };
-            let Some(p) = self.spans.get(&pid) else {
-                // The parent may legitimately have fallen past the cap.
+            let Some(pid) = s.parent else { return };
+            let Some(p) = self.sink.get(pid) else {
+                // The parent may legitimately have fallen past the cap,
+                // been rejected with its subtree, or been evicted.
                 if pid.0 < self.next {
-                    continue;
+                    return;
                 }
-                return Err(format!("{} '{}' has unknown parent {}", s.id, s.name, pid));
+                first_err = Some(format!("{} '{}' has unknown parent {}", s.id, s.name, pid));
+                return;
             };
             if s.start < p.start {
-                return Err(format!(
+                first_err = Some(format!(
                     "{} '{}' starts at {:?}, before parent {} at {:?}",
                     s.id, s.name, s.start, p.id, p.start
                 ));
+                return;
             }
             if let (Some(ce), Some(pe)) = (s.end, p.end) {
                 if ce > pe {
-                    return Err(format!(
+                    first_err = Some(format!(
                         "{} '{}' ends at {:?}, after parent {} at {:?}",
                         s.id, s.name, ce, p.id, pe
                     ));
                 }
             }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        Ok(())
     }
 }
 
@@ -253,6 +325,7 @@ impl Default for SpanTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::{DisabledSink, RingBufferSink, SinkMode};
 
     fn t(ns: u64) -> SimTime {
         SimTime::from_ns(ns)
@@ -317,12 +390,92 @@ mod tests {
         assert_eq!(tr.dropped(), 1);
         assert!(tr.get(c).is_none());
         tr.end(t(3), c); // ignored, no panic
-        assert_eq!(tr.spans().count(), 2);
+        assert_eq!(tr.retained(), 2);
         // A child of a dropped parent still validates.
         let d = tr.start_child(t(4), "d", 0, Some(c));
         assert!(tr.get(d).is_none() || tr.validate_well_formed().is_ok());
         assert!(tr.validate_well_formed().is_ok());
         let _ = a;
+    }
+
+    #[test]
+    fn dropped_counts_children_of_dropped_parents() {
+        let mut tr = SpanTracker::with_capacity(2);
+        let _a = tr.start(t(0), "a", 0);
+        let _b = tr.start(t(1), "b", 0);
+        let late = tr.start(t(2), "late", 0); // past the cap
+        assert_eq!(tr.dropped(), 1);
+        let child = tr.start_child(t(3), "child", 0, Some(late));
+        let grandchild = tr.start_child(t(4), "grandchild", 0, Some(child));
+        assert_eq!(tr.dropped(), 3, "the whole rejected subtree is counted");
+        assert!(tr.get(child).is_none());
+        assert!(tr.get(grandchild).is_none());
+        assert!(tr.validate_well_formed().is_ok());
+        // Allocation accounting stays exact: allocated = retained + dropped.
+        assert_eq!(tr.allocated(), tr.retained() as u64 + tr.dropped());
+
+        // The parent cascade also fires with headroom: after a backend
+        // swap the fresh map has space, but a child parented on a
+        // pre-swap id is rejected (its subtree root is gone), counted as
+        // dropped, and tolerated by validation.
+        tr.set_sink(SinkMode::Full.build());
+        let orphan = tr.start_child(t(5), "orphan", 0, Some(late));
+        assert!(tr.get(orphan).is_none());
+        assert_eq!(tr.dropped(), 4);
+        assert!(tr.validate_well_formed().is_ok());
+    }
+
+    #[test]
+    fn disabled_sink_allocates_nothing() {
+        let mut tr = SpanTracker::with_sink(Box::new(DisabledSink));
+        assert!(!tr.is_enabled());
+        let a = tr.start(t(0), "a", 0);
+        tr.push_current(a);
+        let b = tr.start(t(1), "b", 1);
+        tr.pop_current();
+        tr.end(t(2), b);
+        tr.end(t(2), a);
+        assert_eq!(a, SpanId::NONE);
+        assert_eq!(b, SpanId::NONE);
+        assert_eq!(tr.allocated(), 0, "no ids may be allocated when disabled");
+        assert_eq!(tr.dropped(), 0);
+        assert_eq!(tr.retained(), 0);
+        assert_eq!(tr.current(), None, "stack must stay empty when disabled");
+        assert!(tr.validate_well_formed().is_ok());
+        assert!(tr.summary().is_empty());
+    }
+
+    #[test]
+    fn ring_sink_keeps_a_recency_window() {
+        let mut tr = SpanTracker::with_sink(Box::new(RingBufferSink::new(2)));
+        let a = tr.start(t(0), "a", 0);
+        let b = tr.start(t(1), "b", 0);
+        let c = tr.start_child(t(2), "c", 0, Some(a));
+        assert_eq!(tr.allocated(), 3);
+        assert_eq!(tr.retained(), 2);
+        assert_eq!(tr.dropped(), 0, "rings evict, they do not drop");
+        assert_eq!(tr.evicted(), 1);
+        assert!(tr.get(a).is_none());
+        tr.end(t(3), b);
+        tr.end(t(4), c);
+        assert_eq!(tr.get(b).unwrap().end, Some(t(3)));
+        // c's parent was evicted: the dangling link is tolerated.
+        assert!(tr.validate_well_formed().is_ok());
+        assert_eq!(tr.summary().get("b"), Some(&(1, 2)));
+    }
+
+    #[test]
+    fn set_sink_swaps_backends_between_runs() {
+        let mut tr = SpanTracker::new();
+        tr.start(t(0), "a", 0);
+        assert_eq!(tr.retained(), 1);
+        tr.set_sink(SinkMode::Disabled.build());
+        assert_eq!(tr.retained(), 0);
+        assert_eq!(tr.start(t(1), "b", 0), SpanId::NONE);
+        tr.set_sink(SinkMode::RingBuffer(4).build());
+        let c = tr.start(t(2), "c", 0);
+        assert_ne!(c, SpanId::NONE);
+        assert_eq!(tr.sink_name(), "ring");
     }
 
     #[test]

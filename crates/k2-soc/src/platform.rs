@@ -22,9 +22,11 @@ use crate::mem::SharedRam;
 use crate::power::{EnergyMeter, PowerState};
 use k2_sim::audit::InvariantAuditor;
 use k2_sim::explore::{ChoicePoint, EventClass, ScheduleChooser};
-use k2_sim::json::Json;
+use k2_sim::export::ChromeTraceWriter;
+use k2_sim::json::{Json, JsonWriter};
 use k2_sim::metrics::{CounterId, DurationId, GaugeId, HistogramId, Key, Registry, Tag};
 use k2_sim::queue::EventQueue;
+use k2_sim::sink::SinkMode;
 use k2_sim::span::{SpanId, SpanTracker};
 use k2_sim::time::{SimDuration, SimTime};
 use k2_sim::trace::{Trace, TraceEvent};
@@ -130,6 +132,16 @@ pub type WorldCheck<W> = Box<dyn Fn(&W) -> Result<(), String>>;
 const SUBSYSTEMS: [&str; 5] = ["task", "irq", "wake", "remote", "stall"];
 
 /// Maps an attribution subsystem name to its [`SUBSYSTEMS`] slot.
+/// Report-stable name of a [`PowerState`] (shared by the tree and
+/// streaming report renderers — the bytes must agree).
+fn state_name(s: PowerState) -> &'static str {
+    match s {
+        PowerState::Active => "active",
+        PowerState::Idle => "idle",
+        PowerState::Inactive => "inactive",
+    }
+}
+
 fn sub_slot(subsystem: &'static str) -> usize {
     SUBSYSTEMS
         .iter()
@@ -510,6 +522,20 @@ impl<W> Machine<W> {
         self.trace.set_enabled(on);
     }
 
+    /// Replaces the event-trace ring with one of `capacity` records,
+    /// discarding anything recorded so far (the enabled flag is kept).
+    /// Trace exporters that want a power/mail timeline longer than the
+    /// default 4096-record window raise this before driving the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        let enabled = self.trace.is_enabled();
+        self.trace = Trace::new(capacity);
+        self.trace.set_enabled(enabled);
+    }
+
     /// Additionally echoes every raw event to stderr (debugging).
     pub fn set_trace_stderr(&mut self, on: bool) {
         self.trace_stderr = on;
@@ -549,6 +575,16 @@ impl<W> Machine<W> {
     /// The span tracker, for OS layers to open their own causal spans.
     pub fn spans_mut(&mut self) -> &mut SpanTracker {
         &mut self.spans
+    }
+
+    /// Installs a span storage backend (see [`SinkMode`]): `Full` is the
+    /// boot default and what golden reports assume, `RingBuffer` keeps a
+    /// recency window, and `Disabled` makes every instrumentation point
+    /// free — no ids, no inserts, no stack pushes. Recording is pure
+    /// observation, so the choice never changes simulated behaviour;
+    /// install before driving events (a swap discards retained spans).
+    pub fn set_span_sink(&mut self, mode: SinkMode) {
+        self.spans.set_sink(mode.build());
     }
 
     /// Attributes `dur` of active time on `core` to a named subsystem.
@@ -616,13 +652,6 @@ impl<W> Machine<W> {
     /// `BENCH_*.json` consumers rely on).
     pub fn profile_report(&self) -> Json {
         let now = self.now;
-        fn state_name(s: PowerState) -> &'static str {
-            match s {
-                PowerState::Active => "active",
-                PowerState::Idle => "idle",
-                PowerState::Inactive => "inactive",
-            }
-        }
         let domains = Json::array((0..self.domain_count()).map(|d| {
             let dom = DomainId(d as u8);
             Json::object([
@@ -723,7 +752,7 @@ impl<W> Machine<W> {
         );
         let spans = Json::object([
             ("allocated", Json::u64(self.spans.allocated())),
-            ("retained", Json::u64(self.spans.spans().count() as u64)),
+            ("retained", Json::u64(self.spans.retained() as u64)),
             ("dropped", Json::u64(self.spans.dropped())),
             (
                 "by_name",
@@ -760,6 +789,315 @@ impl<W> Machine<W> {
             ),
             ("spans", spans),
         ])
+    }
+
+    /// Streams the members of the profile report through `w`, producing
+    /// the same bytes [`Machine::profile_report`] would render — without
+    /// ever materializing the report tree. Each section (domains, cores,
+    /// every metric family, the span summary) hits the output buffer as
+    /// it is computed, so peak allocation is one entry, not one report.
+    /// The caller owns the surrounding `begin_object`/`end_object` (the
+    /// OS layer appends its own `system` section after these).
+    ///
+    /// The byte contract between the two paths is pinned by tests and by
+    /// the golden suite, which renders through this path.
+    pub fn write_profile_fields(&self, w: &mut JsonWriter<'_>) {
+        use std::fmt::Write as _;
+        let now = self.now;
+        // Reused key buffer: metric keys are `Display`ed, not allocated.
+        let mut kb = String::new();
+        w.key("sim_time_ns");
+        w.u64(now.as_ns());
+        w.key("total_energy_mj");
+        w.f64(self.total_energy_mj());
+        w.key("domains");
+        w.begin_array();
+        for d in 0..self.domain_count() {
+            let dom = DomainId(d as u8);
+            w.begin_object();
+            w.key("domain");
+            w.u64(d as u64);
+            w.key("energy_mj");
+            w.f64(self.domain_energy_mj(dom));
+            w.key("power_state");
+            w.str(state_name(self.domain_power_state(dom)));
+            w.key("cores");
+            w.begin_array();
+            for c in self.domain_cores(dom) {
+                w.u64(c.index() as u64);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("cores");
+        w.begin_array();
+        for rt in &self.cores {
+            let active = rt.meter.time_in_at(PowerState::Active, now);
+            w.begin_object();
+            w.key("core");
+            w.u64(rt.desc.id.0 as u64);
+            w.key("domain");
+            w.u64(rt.desc.domain.0 as u64);
+            w.key("freq_hz");
+            w.u64(rt.desc.freq_hz);
+            w.key("energy_mj");
+            w.f64(rt.meter.energy_mj_at(now));
+            w.key("wakeups");
+            w.u64(rt.meter.wakeups());
+            w.key("state_ns");
+            w.begin_object();
+            w.key("active");
+            w.u64(active.as_ns());
+            w.key("idle");
+            w.u64(rt.meter.time_in_at(PowerState::Idle, now).as_ns());
+            w.key("inactive");
+            w.u64(rt.meter.time_in_at(PowerState::Inactive, now).as_ns());
+            w.end_object();
+            w.key("active_breakdown_ns");
+            w.begin_object();
+            let mut attributed = SimDuration::ZERO;
+            for (sub, d) in self.metrics.core_breakdown("active", rt.desc.id.0) {
+                attributed += d;
+                w.key(sub);
+                w.u64(d.as_ns());
+            }
+            w.end_object();
+            w.key("unaccounted_active_ns");
+            w.u64(active.saturating_sub(attributed).as_ns());
+            w.end_object();
+        }
+        w.end_array();
+        w.key("metrics");
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (k, v) in self.metrics.counters() {
+            kb.clear();
+            write!(kb, "{k}").unwrap();
+            w.key(&kb);
+            w.u64(v);
+        }
+        w.end_object();
+        w.key("durations_ns");
+        w.begin_object();
+        for (k, d) in self.metrics.durations() {
+            kb.clear();
+            write!(kb, "{k}").unwrap();
+            w.key(&kb);
+            w.u64(d.as_ns());
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (k, g) in self.metrics.gauges() {
+            kb.clear();
+            write!(kb, "{k}").unwrap();
+            w.key(&kb);
+            w.begin_object();
+            w.key("value");
+            w.f64(g.value());
+            w.key("min");
+            w.f64(g.min());
+            w.key("max");
+            w.f64(g.max());
+            w.key("time_avg");
+            w.f64(g.time_average(now));
+            w.end_object();
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (k, h) in self.metrics.histograms() {
+            kb.clear();
+            write!(kb, "{k}").unwrap();
+            w.key(&kb);
+            w.begin_object();
+            w.key("count");
+            w.u64(h.count());
+            w.key("mean");
+            w.f64(h.mean());
+            w.key("p50");
+            w.u64(h.percentile(0.5));
+            w.key("p99");
+            w.u64(h.percentile(0.99));
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.key("spans");
+        w.begin_object();
+        w.key("allocated");
+        w.u64(self.spans.allocated());
+        w.key("retained");
+        w.u64(self.spans.retained() as u64);
+        w.key("dropped");
+        w.u64(self.spans.dropped());
+        w.key("by_name");
+        w.begin_object();
+        for (name, (count, total_ns)) in self.spans.summary() {
+            w.key(name);
+            w.begin_object();
+            w.key("count");
+            w.u64(count);
+            w.key("total_ns");
+            w.u64(total_ns);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    /// Streams the whole machine-level report (object included) — the
+    /// incremental twin of `profile_report().render_*()`.
+    pub fn write_profile_report(&self, w: &mut JsonWriter<'_>) {
+        w.begin_object();
+        self.write_profile_fields(w);
+        w.end_object();
+    }
+
+    /// Streams the machine's observability state as Chrome trace-event
+    /// JSON (loadable in Perfetto / `chrome://tracing`).
+    ///
+    /// Mapping (DESIGN.md §5.5): each coherence domain is a *process*
+    /// (`pid` = domain index) with fixed named tracks; every closed span
+    /// becomes an `"X"` complete event on its kind's track; the event
+    /// trace (when enabled) contributes `"i"` mail/fault instants plus
+    /// per-domain `"C"` counter timelines — exact active-core counts and
+    /// cumulative energy reconstructed from the power-state transitions
+    /// and each core's calibrated state power; and the export closes
+    /// with exact end-of-run energy and gauge samples. Deterministic:
+    /// simulated time only, fixed notation.
+    pub fn write_chrome_trace(&self, out: &mut String) {
+        const TRACKS: [(u64, &str); 4] = [(0, "spans"), (1, "mail"), (2, "irq"), (3, "dma")];
+        fn track_of(name: &str) -> u64 {
+            match name {
+                "mail" => 1,
+                "irq" => 2,
+                "dma" => 3,
+                _ => 0,
+            }
+        }
+        let now = self.now;
+        let mut w = ChromeTraceWriter::new(out);
+        let mut label = String::new();
+        for d in 0..self.domain_count() {
+            use std::fmt::Write as _;
+            label.clear();
+            write!(label, "domain{d}").unwrap();
+            w.metadata_process_name(d as u64, &label);
+            for (tid, name) in TRACKS {
+                w.metadata_thread_name(d as u64, tid, name);
+            }
+        }
+        // Closed spans → complete events.
+        self.spans.for_each(|s| {
+            if let Some(end) = s.end {
+                w.complete(
+                    s.name,
+                    "span",
+                    s.domain as u64,
+                    track_of(s.name),
+                    (s.start.as_ns(), end.saturating_since(s.start).as_ns()),
+                    &[
+                        ("id", s.id.raw()),
+                        ("parent", s.parent.map_or(0, SpanId::raw)),
+                    ],
+                );
+            }
+        });
+        // Event-trace timeline (only present when tracing was enabled):
+        // power transitions drive the per-domain counter series.
+        let n = self.cores.len();
+        let mut state = vec![PowerState::Idle; n];
+        let mut last = vec![SimTime::ZERO; n];
+        let mut acc = vec![0.0f64; n]; // cumulative mJ per core
+        for r in self.trace.iter() {
+            match r.event {
+                TraceEvent::Power { core, state: code } => {
+                    let ci = core as usize;
+                    if ci >= n {
+                        continue;
+                    }
+                    let dom = self.cores[ci].desc.domain;
+                    // Advance every core of the domain to this instant,
+                    // charging the power of the state it was in.
+                    for (i, rt) in self.cores.iter().enumerate() {
+                        if rt.desc.domain != dom {
+                            continue;
+                        }
+                        let dt = r.at.saturating_since(last[i]).as_secs_f64();
+                        acc[i] += rt.desc.power.power_mw(state[i]) * dt;
+                        last[i] = r.at;
+                    }
+                    state[ci] = match code {
+                        0 => PowerState::Active,
+                        1 => PowerState::Idle,
+                        _ => PowerState::Inactive,
+                    };
+                    let mut energy = 0.0;
+                    let mut active = 0u64;
+                    for (i, rt) in self.cores.iter().enumerate() {
+                        if rt.desc.domain != dom {
+                            continue;
+                        }
+                        energy += acc[i];
+                        if state[i] == PowerState::Active {
+                            active += 1;
+                        }
+                    }
+                    let pid = dom.0 as u64;
+                    w.counter(
+                        "active_cores",
+                        pid,
+                        r.at.as_ns(),
+                        &[("cores", active as f64)],
+                    );
+                    w.counter("energy_mj", pid, r.at.as_ns(), &[("mj", energy)]);
+                }
+                TraceEvent::Mail { to, .. } => {
+                    w.instant("mail", "mail", to as u64, 1, r.at.as_ns());
+                }
+                TraceEvent::Fault { .. } => {
+                    w.instant("fault", "fault", 0, 0, r.at.as_ns());
+                }
+                TraceEvent::Marker(name) => {
+                    w.instant(name, "marker", 0, 0, r.at.as_ns());
+                }
+                TraceEvent::Irq { .. } | TraceEvent::Task { .. } => {}
+            }
+        }
+        // End-of-run samples: the meters' exact per-domain energy (the
+        // reconstruction above is an approximation over the trace
+        // window) and the final value/time-average of each core gauge.
+        for d in 0..self.domain_count() {
+            let dom = DomainId(d as u8);
+            w.counter(
+                "energy_mj_final",
+                d as u64,
+                now.as_ns(),
+                &[("mj", self.domain_energy_mj(dom))],
+            );
+        }
+        let mut name = String::new();
+        for (k, g) in self.metrics.gauges() {
+            if let Tag::Core(c) = k.tag {
+                use std::fmt::Write as _;
+                name.clear();
+                write!(name, "{}/core{}", k.name, c).unwrap();
+                let pid = self
+                    .cores
+                    .get(c as usize)
+                    .map_or(0, |rt| rt.desc.domain.0 as u64);
+                w.counter(
+                    &name,
+                    pid,
+                    now.as_ns(),
+                    &[("value", g.value()), ("time_avg", g.time_average(now))],
+                );
+            }
+        }
+        w.finish();
     }
 
     // ------------------------------------------------------------------

@@ -13,7 +13,7 @@
 use crate::tasks::{new_report, DmaBenchTask, TaskIdentity, UdpBenchTask};
 use k2::system::{normal_blocked, schedule_in_normal, K2Machine, K2System, SystemConfig};
 use k2_kernel::proc::ThreadKind;
-use k2_sim::json::Json;
+use k2_sim::json::JsonWriter;
 use k2_sim::time::SimDuration;
 use k2_soc::ids::DomainId;
 use k2_soc::FaultPlan;
@@ -87,14 +87,25 @@ pub fn golden_run(scenario: GoldenScenario, seed: u64) -> (K2Machine, K2System) 
 
 /// Runs `scenario` under fault seed `seed` and returns the pretty-rendered
 /// profile report (the golden byte string).
+///
+/// Golden runs keep the boot-time default full span sink — the blessed
+/// files pin its exact span counts — and render through the streaming
+/// writer, whose byte contract with the tree renderer keeps the blessed
+/// files stable.
 pub fn golden_report(scenario: GoldenScenario, seed: u64) -> String {
     let (m, sys) = golden_run(scenario, seed);
-    let mut j = Json::object([
-        ("scenario", Json::str(scenario.name())),
-        ("seed", Json::u64(seed)),
-    ]);
-    j.push("report", sys.profile_report(&m));
-    j.render_pretty()
+    let mut out = String::new();
+    let mut w = JsonWriter::pretty(&mut out);
+    w.begin_object();
+    w.key("scenario");
+    w.str(scenario.name());
+    w.key("seed");
+    w.u64(seed);
+    w.key("report");
+    sys.write_profile_report(&m, &mut w);
+    w.end_object();
+    w.finish();
+    out
 }
 
 fn fault_plan(scenario: GoldenScenario, seed: u64) -> FaultPlan {

@@ -13,6 +13,7 @@ use crate::tasks::{
 };
 use k2::system::{K2Machine, K2System, SystemConfig, SystemMode};
 use k2_kernel::proc::{Pid, ThreadKind, Tid};
+use k2_sim::sink::SinkMode;
 use k2_sim::time::{SimDuration, SimTime};
 use k2_soc::fault::{FaultPlan, FaultPlanBuilder};
 use k2_soc::ids::{CoreId, DomainId};
@@ -413,6 +414,7 @@ impl TestSystem {
             faults: None,
             audit_stride: None,
             trace: false,
+            span_sink: None,
             settle: SimDuration::ZERO,
         }
     }
@@ -508,6 +510,7 @@ pub struct TestSystemBuilder {
     faults: Option<FaultPlan>,
     audit_stride: Option<u64>,
     trace: bool,
+    span_sink: Option<SinkMode>,
     settle: SimDuration,
 }
 
@@ -552,6 +555,15 @@ impl TestSystemBuilder {
         self
     }
 
+    /// Selects the span-sink backend (default: the boot-time full sink).
+    /// Applied immediately after boot, so boot-time spans are discarded —
+    /// fine for throughput runs and exploration, wrong for golden reports,
+    /// which pin boot spans in their blessed bytes.
+    pub fn span_sink(mut self, mode: SinkMode) -> Self {
+        self.span_sink = Some(mode);
+        self
+    }
+
     /// Runs the booted system idle for `dur` before handing it over
     /// (lets cores reach the inactive state, as each paper run begins
     /// with a wake-up).
@@ -564,6 +576,9 @@ impl TestSystemBuilder {
     /// order the tests it replaces used: plan, trace, audit, settle.
     pub fn build(self) -> TestSystem {
         let (mut m, mut sys) = K2System::boot(self.config);
+        if let Some(mode) = self.span_sink {
+            m.set_span_sink(mode);
+        }
         if let Some(plan) = self.faults {
             m.set_fault_plan(plan);
         }

@@ -24,7 +24,7 @@ use k2_kernel::kernel::{SharedServices, SystemWorld};
 use k2_kernel::proc::{Pid, ThreadState, Tid};
 use k2_kernel::reliable::{LinkStats, ReliableLink, RetryVerdict, SendTicket};
 use k2_kernel::service::{OpCx, ServiceId};
-use k2_sim::json::Json;
+use k2_sim::json::{Json, JsonWriter};
 use k2_sim::metrics::{Key, Tag};
 use k2_sim::time::SimDuration;
 use k2_soc::core::Isa;
@@ -304,10 +304,30 @@ impl K2System {
     /// seeded scenario render byte-identical JSON.
     pub fn profile_report(&self, m: &K2Machine) -> Json {
         let mut j = m.profile_report();
+        j.push("system", self.system_section());
+        j
+    }
+
+    /// Streams the full profile report through `w` — identical bytes to
+    /// `profile_report(m).render_*()` (the machine fields stream entry
+    /// by entry via [`Machine::write_profile_fields`]; the `system`
+    /// section is small and rendered as a tree). Golden reports and the
+    /// export binary use this path so report size never dictates peak
+    /// memory.
+    pub fn write_profile_report(&self, m: &K2Machine, w: &mut JsonWriter<'_>) {
+        w.begin_object();
+        m.write_profile_fields(w);
+        w.key("system");
+        w.tree(&self.system_section());
+        w.end_object();
+    }
+
+    /// The OS-level `system` section of the profile report.
+    fn system_section(&self) -> Json {
         let ls = self.link_stats();
         let (deflates, inflates) = self.balloon.op_counts();
         let (suspends, resumes) = self.nightwatch.counts();
-        let system = Json::object([
+        Json::object([
             ("mode", Json::str(format!("{:?}", self.config.mode))),
             ("shadowed_ops", Json::u64(self.stats.shadowed_ops)),
             ("hwlock_ops", Json::u64(self.stats.hwlock_ops)),
@@ -354,9 +374,7 @@ impl K2System {
                     ("gave_up", Json::u64(self.stats.dma_gave_up)),
                 ]),
             ),
-        ]);
-        j.push("system", system);
-        j
+        ])
     }
 
     /// Merged reliable-messaging counters across every link (empty unless
