@@ -28,7 +28,10 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod explorer;
+pub mod fingerprint;
+pub mod mutate;
 pub mod oracle;
 pub mod policy;
 pub mod repro;
@@ -36,13 +39,16 @@ pub mod scenario;
 pub mod schedule;
 pub mod shrink;
 
+pub use corpus::Corpus;
 pub use explorer::{
-    check_failure, run_recorded, run_recorded_lite, ExplorationReport, Explorer, Failure,
-    FailureKind,
+    check_failure, run_recorded, run_recorded_lite, Campaign, CampaignReport, ExplorationReport,
+    Explorer, Failure, FailureKind, Strategy,
 };
+pub use fingerprint::{schedule_fingerprint, span_shape_hash};
+pub use mutate::{Mutation, Mutator, MAX_DECISION, MAX_LEN};
 pub use oracle::{capture_end_state, check_conservation, EndState};
 pub use policy::{
-    chooser_of, exploration_policy, Baseline, DelayBounded, RandomWalk, Recorder, Replay,
+    chooser_of, exploration_policy, Baseline, DelayBounded, Pct, RandomWalk, Recorder, Replay,
     SchedulePolicy,
 };
 pub use scenario::{FaultSpec, RunOptions, RunOutcome, Scenario};

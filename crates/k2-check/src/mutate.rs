@@ -1,0 +1,246 @@
+//! Seeded trace mutators for coverage-guided exploration.
+//!
+//! Where the shrinker walks a failing trace *toward* the baseline, the
+//! mutators walk corpus traces *away* from it: each operator applies one
+//! piece of `k2s1-` surgery ([`Schedule::prefix`], [`Schedule::spliced`],
+//! [`Schedule::with_decision`], [`Schedule::extended`]) to a parent
+//! trace drawn from the corpus, producing a child that replays the
+//! parent's prefix and then deviates. Replay wraps every decision modulo
+//! the co-enabled set's arity and decides 0 past the end of the trace,
+//! so *every* mutant is a legal schedule — mutation can be syntactic
+//! and still never produce an invalid run.
+//!
+//! Determinism contract: a [`Mutator`] is a pure function of its seed.
+//! Two mutators built with the same `(seed, stream)` produce the same
+//! mutation sequence for the same inputs, which is what lets the
+//! campaign driver plan mutants on the coordinator and fan the resulting
+//! [`Replay`](crate::policy::Replay) runs out to any number of workers
+//! without perturbing the result.
+
+use crate::schedule::Schedule;
+use k2_sim::SimRng;
+use std::fmt;
+
+/// Decisions drawn by `extend`/`perturb`/`scramble` stay in
+/// `0..=MAX_DECISION`.
+///
+/// Replay wraps out-of-range decisions modulo the co-enabled arity, so
+/// this is a search-shaping choice, not a soundness bound: co-enabled
+/// sets in the scenarios are small (2–4 events), and a uniform draw over
+/// the 8 values `0..=7` wraps to an exactly uniform choice for arities
+/// 2 and 4 and a near-uniform one for 3 — mutated regions explore with
+/// the same per-decision entropy as a fresh random walk.
+pub const MAX_DECISION: u32 = 7;
+
+/// Mutated traces are capped at this many decisions.
+///
+/// Scenario runs hit a few hundred choice points; the cap only exists so
+/// pathological splice/extend chains cannot grow traces without bound
+/// across generations.
+pub const MAX_LEN: usize = 2048;
+
+/// The five mutation operators, reported alongside each mutant so
+/// campaign telemetry can attribute coverage to operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Head of the parent, tail of a second corpus trace.
+    Splice,
+    /// Fresh random decisions appended past the parent's horizon.
+    Extend,
+    /// One decision replaced with a different value.
+    Perturb,
+    /// A random window re-randomized wholesale. Point mutations barely
+    /// move a run with hundreds of choice points; scramble gives a
+    /// mutant fresh-walk-like diversity over the window while keeping
+    /// the learned prefix.
+    Scramble,
+    /// The parent cut back to a random proper prefix.
+    Truncate,
+}
+
+impl Mutation {
+    /// Stable lowercase name (used in reports and labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::Splice => "splice",
+            Mutation::Extend => "extend",
+            Mutation::Perturb => "perturb",
+            Mutation::Scramble => "scramble",
+            Mutation::Truncate => "truncate",
+        }
+    }
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A seeded mutation scheduler: picks an operator and applies it.
+pub struct Mutator {
+    rng: SimRng,
+}
+
+impl fmt::Debug for Mutator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutator").finish_non_exhaustive()
+    }
+}
+
+impl Mutator {
+    /// A mutator on the decorrelated `(seed, stream)` RNG stream.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        Mutator {
+            rng: SimRng::seed_from_stream(seed, stream),
+        }
+    }
+
+    /// Applies one seeded mutation to `parent`, drawing splice donors
+    /// from `donor` (falls back to a non-splice operator when absent or
+    /// when the parent is too short for the chosen surgery). Returns the
+    /// operator applied and the mutant, already trimmed and capped at
+    /// [`MAX_LEN`].
+    pub fn mutate(&mut self, parent: &Schedule, donor: Option<&Schedule>) -> (Mutation, Schedule) {
+        // Draw the operator first so the RNG stream stays aligned across
+        // calls regardless of which fallbacks fire.
+        let pick = self.rng.gen_range(5) as usize;
+        let ops = [
+            Mutation::Splice,
+            Mutation::Extend,
+            Mutation::Perturb,
+            Mutation::Scramble,
+            Mutation::Truncate,
+        ];
+        let mut op = ops[pick];
+        // Structural fallbacks: splice needs a donor; perturb, scramble
+        // and truncate need material to cut. Extend always applies.
+        if op == Mutation::Splice && donor.is_none() {
+            op = Mutation::Extend;
+        }
+        if matches!(
+            op,
+            Mutation::Perturb | Mutation::Scramble | Mutation::Truncate
+        ) && parent.is_empty()
+        {
+            op = Mutation::Extend;
+        }
+        let child = match op {
+            Mutation::Splice => {
+                let donor = donor.expect("splice fallback handled above");
+                let horizon = parent.len().max(donor.len()).max(1);
+                let at = self.rng.gen_range(horizon as u64 + 1) as usize;
+                parent.spliced(at, donor)
+            }
+            Mutation::Extend => {
+                let k = 1 + self.rng.gen_range(8) as usize;
+                let extra: Vec<u32> = (0..k)
+                    .map(|_| self.rng.gen_range(u64::from(MAX_DECISION) + 1) as u32)
+                    .collect();
+                parent.extended(&extra)
+            }
+            Mutation::Perturb => {
+                let i = self.rng.gen_range(parent.len() as u64) as usize;
+                let old = parent.decisions()[i];
+                // Draw from one fewer value and skip over `old`, so the
+                // replacement always differs.
+                let mut d = self.rng.gen_range(u64::from(MAX_DECISION)) as u32;
+                if d >= old {
+                    d += 1;
+                }
+                parent.with_decision(i, d)
+            }
+            Mutation::Scramble => {
+                let s = self.rng.gen_range(parent.len() as u64) as usize;
+                let w = 1 + self.rng.gen_range((parent.len() - s) as u64) as usize;
+                let mut child = parent.clone();
+                for i in s..s + w {
+                    let d = self.rng.gen_range(u64::from(MAX_DECISION) + 1) as u32;
+                    child = child.with_decision(i, d);
+                }
+                child
+            }
+            Mutation::Truncate => {
+                let n = self.rng.gen_range(parent.len() as u64) as usize;
+                parent.prefix(n)
+            }
+        };
+        let child = child.trimmed();
+        let child = if child.len() > MAX_LEN {
+            child.prefix(MAX_LEN)
+        } else {
+            child
+        };
+        (op, child)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specimen() -> Schedule {
+        Schedule::from_decisions(vec![1, 0, 2, 3, 0, 1])
+    }
+
+    #[test]
+    fn same_seed_same_mutation_sequence() {
+        let parent = specimen();
+        let donor = Schedule::from_decisions(vec![2, 2, 2]);
+        let mut a = Mutator::new(42, 7);
+        let mut b = Mutator::new(42, 7);
+        for _ in 0..64 {
+            assert_eq!(
+                a.mutate(&parent, Some(&donor)),
+                b.mutate(&parent, Some(&donor))
+            );
+        }
+    }
+
+    #[test]
+    fn mutants_round_trip_through_tokens_and_respect_bounds() {
+        let parent = specimen();
+        let donor = Schedule::from_decisions(vec![5, 5, 5, 5, 5, 5, 5, 5]);
+        let mut m = Mutator::new(2014, 0);
+        let mut seen = [false; 5];
+        for _ in 0..256 {
+            let (op, child) = m.mutate(&parent, Some(&donor));
+            seen[match op {
+                Mutation::Splice => 0,
+                Mutation::Extend => 1,
+                Mutation::Perturb => 2,
+                Mutation::Scramble => 3,
+                Mutation::Truncate => 4,
+            }] = true;
+            assert!(child.len() <= MAX_LEN);
+            assert_eq!(child, child.trimmed(), "mutants are emitted trimmed");
+            let token = child.token();
+            assert_eq!(token.parse::<Schedule>().unwrap(), child, "{token}");
+        }
+        assert_eq!(seen, [true; 5], "all five operators fire within 256 draws");
+    }
+
+    #[test]
+    fn fallbacks_keep_mutation_total() {
+        // No donor, empty parent: every draw must still yield a mutant
+        // (extend), never panic.
+        let mut m = Mutator::new(7, 3);
+        for _ in 0..64 {
+            let (op, child) = m.mutate(&Schedule::baseline(), None);
+            assert_eq!(op, Mutation::Extend);
+            assert!(!child.is_empty() || child == child.trimmed());
+        }
+    }
+
+    #[test]
+    fn perturb_always_changes_the_decision() {
+        let parent = specimen();
+        let mut m = Mutator::new(99, 1);
+        for _ in 0..512 {
+            let (op, child) = m.mutate(&parent, None);
+            if op == Mutation::Perturb {
+                assert_ne!(child, parent.trimmed());
+            }
+        }
+    }
+}

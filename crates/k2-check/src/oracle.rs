@@ -42,6 +42,21 @@ impl EndState {
         &self.entries
     }
 
+    /// A 64-bit FNV-1a content fingerprint of the snapshot — the compact
+    /// form campaign reports count distinct logical outcomes with. Equal
+    /// states hash equal; entry order matters (capture order is
+    /// deterministic).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (k, v) in &self.entries {
+            h = fnv1a(h, k.as_bytes());
+            h = fnv1a(h, &[0]);
+            h = fnv1a(h, v.as_bytes());
+            h = fnv1a(h, &[0]);
+        }
+        h
+    }
+
     /// Human-readable differences against another snapshot, capped so a
     /// divergent filesystem does not flood a failure report.
     pub fn diff(&self, other: &EndState) -> Vec<String> {

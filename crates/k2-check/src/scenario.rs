@@ -162,6 +162,19 @@ impl RunOptions {
             chrome_trace: true,
         }
     }
+
+    /// The [`Scenario::run_coverage`] preset: no report (campaign runs
+    /// never read it) but the boot-default full span sink, so the run's
+    /// span-graph shape — the second fingerprint component — is
+    /// captured. Sits between [`RunOptions::lite`] and
+    /// [`RunOptions::full`] in cost.
+    pub fn coverage() -> Self {
+        RunOptions {
+            render_report: false,
+            sink: None,
+            chrome_trace: false,
+        }
+    }
 }
 
 /// Everything the oracles need from one completed run.
@@ -178,6 +191,10 @@ pub struct RunOutcome {
     pub events: u64,
     /// How many nondeterministic choice points the run hit.
     pub choice_points: u64,
+    /// Structural hash of the run's span graph
+    /// ([`crate::fingerprint::span_shape_hash`]); 0 when the span sink
+    /// was disabled for the run.
+    pub span_shape: u64,
     /// Counter-conservation verdict.
     pub conservation: Result<(), String>,
     /// Invariant-auditor verdict (sampled during the run).
@@ -260,6 +277,14 @@ impl Scenario {
     /// `k2-trace` binary's entry point.
     pub fn run_traced(self, spec: &FaultSpec, chooser: Option<ScheduleChooser>) -> RunOutcome {
         self.run_with(spec, chooser, RunOptions::traced())
+    }
+
+    /// Like [`Scenario::run_lite`] but keeps span recording on so the
+    /// outcome carries a meaningful `span_shape` — the run mode of
+    /// coverage-guided campaigns, where every run's fingerprint needs
+    /// the span-graph component.
+    pub fn run_coverage(self, spec: &FaultSpec, chooser: Option<ScheduleChooser>) -> RunOutcome {
+        self.run_with(spec, chooser, RunOptions::coverage())
     }
 
     /// Boots a fresh system, runs this scenario under `spec`, the given
@@ -470,6 +495,11 @@ fn run_system(
     let audit = audit_verdict(&t.m);
     let choice_points = t.m.choice_points();
     let events = t.events_processed();
+    let span_shape = if t.m.spans().is_enabled() {
+        crate::fingerprint::span_shape_hash(t.m.spans())
+    } else {
+        0
+    };
     let mut end_state = oracle::capture_end_state(&mut t);
     for (k, v) in extra {
         end_state.push(k, v);
@@ -480,6 +510,7 @@ fn run_system(
         chrome_trace,
         events,
         choice_points,
+        span_shape,
         conservation,
         audit,
     }

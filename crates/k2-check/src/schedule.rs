@@ -80,6 +80,51 @@ impl Schedule {
         Schedule { decisions: d }
     }
 
+    /// The first `n` decisions (clamped to the trace length), trimmed.
+    ///
+    /// Because replaying past the end of a trace decides 0, a prefix is
+    /// always a legal schedule of the same scenario — this is the shrink
+    /// step and the truncation mutator in one primitive.
+    pub fn prefix(&self, n: usize) -> Schedule {
+        let n = n.min(self.decisions.len());
+        Schedule::from_decisions(self.decisions[..n].to_vec()).trimmed()
+    }
+
+    /// A copy with decision `i` replaced by `d`. Positions past the end
+    /// are materialized as baseline zeros first, so the result replays
+    /// identically up to `i` and then deviates — the pointwise surgery
+    /// under both the shrinker's zeroing/reduction passes and the
+    /// perturb mutator.
+    pub fn with_decision(&self, i: usize, d: u32) -> Schedule {
+        let mut decisions = self.decisions.clone();
+        if i >= decisions.len() {
+            decisions.resize(i + 1, 0);
+        }
+        decisions[i] = d;
+        Schedule::from_decisions(decisions)
+    }
+
+    /// Crossover: the first `at` decisions of `self` (clamped) followed
+    /// by `donor`'s decisions from `at` onward. Decisions are positional,
+    /// so the result is head-of-self, tail-of-donor — a legal trace that
+    /// explores the donor's late orderings under this schedule's early
+    /// ones.
+    pub fn spliced(&self, at: usize, donor: &Schedule) -> Schedule {
+        let head = at.min(self.decisions.len());
+        let mut decisions = self.decisions[..head].to_vec();
+        if at < donor.decisions.len() {
+            decisions.extend_from_slice(&donor.decisions[at..]);
+        }
+        Schedule::from_decisions(decisions).trimmed()
+    }
+
+    /// A copy with `extra` appended after the recorded decisions.
+    pub fn extended(&self, extra: &[u32]) -> Schedule {
+        let mut decisions = self.decisions.clone();
+        decisions.extend_from_slice(extra);
+        Schedule::from_decisions(decisions)
+    }
+
     /// The portable token: `k2s1-` plus the hex of LEB128-encoded
     /// decisions.
     pub fn token(&self) -> String {
@@ -210,6 +255,24 @@ mod tests {
         let s = Schedule::from_decisions(vec![0, 2, 0, 1, 0, 0]);
         assert_eq!(s.trimmed().decisions(), &[0, 2, 0, 1]);
         assert_eq!(s.deviations(), 2);
+    }
+
+    #[test]
+    fn surgery_helpers_cover_prefix_pointwise_and_splice() {
+        let s = Schedule::from_decisions(vec![1, 2, 0, 3]);
+        assert_eq!(s.prefix(2).decisions(), &[1, 2]);
+        assert_eq!(s.prefix(3).decisions(), &[1, 2], "prefix trims zeros");
+        assert_eq!(s.prefix(99).decisions(), &[1, 2, 0, 3]);
+
+        assert_eq!(s.with_decision(2, 5).decisions(), &[1, 2, 5, 3]);
+        assert_eq!(s.with_decision(5, 4).decisions(), &[1, 2, 0, 3, 0, 4]);
+
+        let donor = Schedule::from_decisions(vec![9, 9, 9, 9, 9, 9]);
+        assert_eq!(s.spliced(2, &donor).decisions(), &[1, 2, 9, 9, 9, 9]);
+        assert_eq!(s.spliced(0, &donor), donor);
+        assert_eq!(s.spliced(99, &donor).decisions(), &[1, 2, 0, 3]);
+
+        assert_eq!(s.extended(&[7]).decisions(), &[1, 2, 0, 3, 7]);
     }
 
     #[test]

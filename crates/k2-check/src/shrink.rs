@@ -57,15 +57,14 @@ pub fn shrink(scenario: Scenario, spec: &FaultSpec, schedule: &Schedule) -> Shri
         let (mut lo, mut hi) = (0usize, cur.len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let prefix = Schedule::from_decisions(cur.decisions()[..mid].to_vec()).trimmed();
-            if let Some(f) = fails(&cur_spec, &prefix) {
+            if let Some(f) = fails(&cur_spec, &cur.prefix(mid)) {
                 best = f;
                 hi = mid;
             } else {
                 lo = mid + 1;
             }
         }
-        let candidate = Schedule::from_decisions(cur.decisions()[..hi].to_vec()).trimmed();
+        let candidate = cur.prefix(hi);
         if let Some(f) = fails(&cur_spec, &candidate) {
             best = f;
             cur = candidate;
@@ -82,9 +81,7 @@ pub fn shrink(scenario: Scenario, spec: &FaultSpec, schedule: &Schedule) -> Shri
             if d == 0 {
                 continue;
             }
-            let mut candidate = decisions.clone();
-            candidate[i] = 0;
-            let candidate = Schedule::from_decisions(candidate).trimmed();
+            let candidate = cur.with_decision(i, 0).trimmed();
             if let Some(f) = fails(&cur_spec, &candidate) {
                 best = f;
                 cur = candidate;
@@ -100,9 +97,7 @@ pub fn shrink(scenario: Scenario, spec: &FaultSpec, schedule: &Schedule) -> Shri
         if d <= 1 {
             continue;
         }
-        let mut candidate = cur.decisions().to_vec();
-        candidate[i] = 1;
-        let candidate = Schedule::from_decisions(candidate);
+        let candidate = cur.with_decision(i, 1);
         if let Some(f) = fails(&cur_spec, &candidate) {
             best = f;
             cur = candidate;

@@ -4,8 +4,8 @@
 //! `K2CHECK_SEED` so CI can sweep seeds without recompiling.
 
 use k2_check::{
-    check_failure, chooser_of, repro, run_recorded, shrink, Baseline, Explorer, FailureKind,
-    FaultSpec, RandomWalk, Replay, Scenario, Schedule,
+    check_failure, chooser_of, repro, run_recorded, shrink, Baseline, Campaign, Explorer,
+    FailureKind, FaultSpec, RandomWalk, Replay, Scenario, Schedule, Strategy,
 };
 
 fn budget() -> u32 {
@@ -169,6 +169,58 @@ fn replaying_a_recorded_schedule_reproduces_the_report_bytes() {
             );
             assert_eq!(original.end_state, replayed.end_state);
             assert_eq!(original.choice_points, replayed.choice_points);
+        }
+    }
+}
+
+/// Coverage-guided exploration must rediscover the planted mail race at
+/// least as fast as the blind random baseline at the same seed. The
+/// guarantee is by construction — a coverage-guided campaign's first
+/// generation replays the random strategy's exact walk streams, so the
+/// race random finds in its opening runs is found at the identical run
+/// index — and this test pins that alignment.
+#[test]
+fn coverage_guided_rediscovers_the_mail_race_no_slower_than_random() {
+    let run_of = |strategy| {
+        Campaign::new(Scenario::MailRace, strategy, seed())
+            .budget(budget())
+            .run()
+            .first_failure_run
+            .expect("the planted mail race must be found")
+    };
+    let random = run_of(Strategy::Random);
+    let guided = run_of(Strategy::CoverageGuided);
+    assert!(
+        guided <= random,
+        "coverage-guided took {guided} runs, random took {random}"
+    );
+}
+
+/// The acceptance criterion for coverage-guided exploration: at an equal
+/// budget it reaches strictly more distinct schedule fingerprints than
+/// the random baseline on **all four** scenarios, at both pinned seeds.
+///
+/// The budget is the documented crossover regime (see EXPERIMENTS.md):
+/// in wide flat spaces uniform sampling is near-optimal early, and the
+/// feedback arms only overtake once fresh walks begin to saturate, so
+/// the strict win is asserted at 500 runs, not at the 200-run floor.
+#[test]
+fn coverage_guided_strictly_beats_random_on_every_scenario_at_both_seeds() {
+    for seed in [2014, 4202] {
+        for scenario in Scenario::ALL {
+            let fingerprints = |strategy| {
+                Campaign::new(scenario, strategy, seed)
+                    .budget(500)
+                    .run()
+                    .distinct_fingerprints
+            };
+            let random = fingerprints(Strategy::Random);
+            let guided = fingerprints(Strategy::CoverageGuided);
+            assert!(
+                guided > random,
+                "{} @ seed {seed}: coverage-guided {guided} vs random {random}",
+                scenario.name()
+            );
         }
     }
 }

@@ -7,7 +7,7 @@
 //! observable field to be identical, including the repro token of every
 //! failure the buggy scenario yields.
 
-use k2_check::{ExplorationReport, Explorer, FaultSpec, Scenario};
+use k2_check::{Campaign, ExplorationReport, Explorer, FaultSpec, Scenario, Strategy};
 
 const SEED: u64 = 0xD1CE;
 const BUDGET: u32 = 24;
@@ -80,6 +80,45 @@ fn first_failure_selection_is_deterministic_across_workers() {
         assert_eq!(first.kind, pfirst.kind);
         assert_eq!(first.policy, pfirst.policy);
         assert_eq!(first.detail, pfirst.detail);
+    }
+}
+
+/// Coverage-guided campaigns extend the invariance contract to the
+/// feedback loop: the rendered campaign report (which spans every
+/// coverage counter and failure token) and the corpus digest are
+/// byte-identical under 1, 2 and 8 workers, for every strategy. This is
+/// the property the generation-planned design exists to provide — all
+/// adaptation happens on the coordinator against merged state, so
+/// workers can only change wall-clock time.
+#[test]
+fn campaign_reports_and_corpus_digests_are_worker_count_invariant() {
+    for strategy in [Strategy::Random, Strategy::Pct, Strategy::CoverageGuided] {
+        for scenario in [Scenario::MailRace, Scenario::DmaFanout] {
+            let serial = Campaign::new(scenario, strategy, SEED)
+                .budget(BUDGET * 2)
+                .threads(1)
+                .run();
+            for workers in [2, 8] {
+                let parallel = Campaign::new(scenario, strategy, SEED)
+                    .budget(BUDGET * 2)
+                    .threads(workers)
+                    .run();
+                assert_eq!(
+                    serial.render_json(),
+                    parallel.render_json(),
+                    "{} {} campaign report diverged at {workers} workers",
+                    scenario.name(),
+                    strategy.name(),
+                );
+                assert_eq!(
+                    serial.corpus_digest,
+                    parallel.corpus_digest,
+                    "{} {} corpus digest diverged at {workers} workers",
+                    scenario.name(),
+                    strategy.name(),
+                );
+            }
+        }
     }
 }
 

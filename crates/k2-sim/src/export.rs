@@ -33,18 +33,29 @@
 //! ```
 
 use crate::json::JsonWriter;
+use std::fmt;
 
 /// Incremental writer for the Chrome trace-event JSON format. See the
-/// module docs for the field mapping.
-#[derive(Debug)]
-pub struct ChromeTraceWriter<'a> {
-    w: JsonWriter<'a>,
+/// module docs for the field mapping. Generic over any
+/// [`fmt::Write`] target (default `String`); wrap a file in
+/// [`IoAdapter`](crate::json::IoAdapter) to stream multi-hour traces to
+/// disk without staging them in memory.
+pub struct ChromeTraceWriter<'a, W: fmt::Write + ?Sized = String> {
+    w: JsonWriter<'a, W>,
     events: u64,
 }
 
-impl<'a> ChromeTraceWriter<'a> {
+impl<W: fmt::Write + ?Sized> fmt::Debug for ChromeTraceWriter<'_, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChromeTraceWriter")
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, W: fmt::Write + ?Sized> ChromeTraceWriter<'a, W> {
     /// Starts a trace document (opens the `traceEvents` array).
-    pub fn new(out: &'a mut String) -> Self {
+    pub fn new(out: &'a mut W) -> Self {
         let mut w = JsonWriter::compact(out);
         w.begin_object();
         w.key("traceEvents");

@@ -28,7 +28,7 @@
 //! );
 //! ```
 
-use std::fmt::Write;
+use std::fmt::{self, Write};
 
 /// A JSON value tree.
 ///
@@ -109,21 +109,25 @@ impl Json {
         s
     }
 
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+    fn write<W: Write + ?Sized>(&self, out: &mut W, indent: Option<usize>, depth: usize) {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Null => {
+                let _ = out.write_str("null");
+            }
+            Json::Bool(b) => {
+                let _ = out.write_str(if *b { "true" } else { "false" });
+            }
             Json::U64(v) => {
-                write!(out, "{v}").unwrap();
+                let _ = write!(out, "{v}");
             }
             Json::I64(v) => {
-                write!(out, "{v}").unwrap();
+                let _ = write!(out, "{v}");
             }
             Json::F64(v) => {
                 if v.is_finite() {
-                    write!(out, "{v:.6}").unwrap();
+                    let _ = write!(out, "{v:.6}");
                 } else {
-                    out.push_str("null");
+                    let _ = out.write_str("null");
                 }
             }
             Json::Str(s) => write_escaped(out, s),
@@ -136,9 +140,9 @@ impl Json {
                 write_seq(out, indent, depth, '{', '}', members.len(), |out, i, d| {
                     let (k, v) = &members[i];
                     write_escaped(out, k);
-                    out.push(':');
+                    let _ = out.write_char(':');
                     if indent.is_some() {
-                        out.push(' ');
+                        let _ = out.write_char(' ');
                     }
                     v.write(out, indent, d);
                 });
@@ -162,6 +166,14 @@ impl Json {
 /// values written directly inside an array (or at the top level) stand
 /// alone. Commas, newlines and indentation are inserted automatically.
 ///
+/// The writer is generic over any [`fmt::Write`](std::fmt::Write) target
+/// (default: `String`, which never fails), so the same streaming code
+/// renders into memory, a formatter, or — through [`IoAdapter`] — a file
+/// or socket. Write errors never panic mid-document: they are swallowed
+/// here and surfaced by the target (e.g. [`IoAdapter::finish`] returns
+/// the first `io::Error`), keeping every emit method infallible for the
+/// common in-memory case.
+///
 /// # Examples
 ///
 /// ```
@@ -178,9 +190,23 @@ impl Json {
 /// w.finish();
 /// assert_eq!(out, r#"{"name":"udp","bytes":42}"#);
 /// ```
-#[derive(Debug)]
-pub struct JsonWriter<'a> {
-    out: &'a mut String,
+///
+/// Streaming to an [`io::Write`](std::io::Write) target:
+///
+/// ```
+/// use k2_sim::json::{IoAdapter, JsonWriter};
+///
+/// let mut file = IoAdapter::new(Vec::<u8>::new()); // stand-in for File
+/// let mut w = JsonWriter::compact(&mut file);
+/// w.begin_array();
+/// w.u64(1);
+/// w.end_array();
+/// w.finish();
+/// let bytes = file.finish().expect("no io error");
+/// assert_eq!(bytes, b"[1]");
+/// ```
+pub struct JsonWriter<'a, W: Write + ?Sized = String> {
+    out: &'a mut W,
     indent: Option<usize>,
     /// One frame per open container: `(is_object, members_written)`.
     stack: Vec<(bool, usize)>,
@@ -188,10 +214,20 @@ pub struct JsonWriter<'a> {
     pending_key: bool,
 }
 
-impl<'a> JsonWriter<'a> {
+impl<W: Write + ?Sized> fmt::Debug for JsonWriter<'_, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonWriter")
+            .field("indent", &self.indent)
+            .field("depth", &self.stack.len())
+            .field("pending_key", &self.pending_key)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, W: Write + ?Sized> JsonWriter<'a, W> {
     /// A writer matching [`Json::render_compact`] (no whitespace, no
     /// trailing newline).
-    pub fn compact(out: &'a mut String) -> Self {
+    pub fn compact(out: &'a mut W) -> Self {
         JsonWriter {
             out,
             indent: None,
@@ -202,7 +238,7 @@ impl<'a> JsonWriter<'a> {
 
     /// A writer matching [`Json::render_pretty`] (two-space indent and a
     /// trailing newline, added by [`JsonWriter::finish`]).
-    pub fn pretty(out: &'a mut String) -> Self {
+    pub fn pretty(out: &'a mut W) -> Self {
         JsonWriter {
             out,
             indent: Some(2),
@@ -221,13 +257,13 @@ impl<'a> JsonWriter<'a> {
         }
         if let Some((_, count)) = self.stack.last_mut() {
             if *count > 0 {
-                self.out.push(',');
+                let _ = self.out.write_char(',');
             }
             *count += 1;
             if let Some(w) = self.indent {
-                self.out.push('\n');
+                let _ = self.out.write_char('\n');
                 for _ in 0..(w * self.stack.len()) {
-                    self.out.push(' ');
+                    let _ = self.out.write_char(' ');
                 }
             }
         }
@@ -247,9 +283,9 @@ impl<'a> JsonWriter<'a> {
         assert!(!self.pending_key, "two keys in a row");
         self.separate();
         write_escaped(self.out, key);
-        self.out.push(':');
+        let _ = self.out.write_char(':');
         if self.indent.is_some() {
-            self.out.push(' ');
+            let _ = self.out.write_char(' ');
         }
         self.pending_key = true;
     }
@@ -258,7 +294,7 @@ impl<'a> JsonWriter<'a> {
     pub fn begin_object(&mut self) {
         self.separate();
         self.stack.push((true, 0));
-        self.out.push('{');
+        let _ = self.out.write_char('{');
     }
 
     /// Closes the innermost object.
@@ -270,7 +306,7 @@ impl<'a> JsonWriter<'a> {
     pub fn begin_array(&mut self) {
         self.separate();
         self.stack.push((false, 0));
-        self.out.push('[');
+        let _ = self.out.write_char('[');
     }
 
     /// Closes the innermost array.
@@ -284,37 +320,37 @@ impl<'a> JsonWriter<'a> {
         assert!(!self.pending_key, "close with a dangling key");
         if count > 0 {
             if let Some(w) = self.indent {
-                self.out.push('\n');
+                let _ = self.out.write_char('\n');
                 for _ in 0..(w * self.stack.len()) {
-                    self.out.push(' ');
+                    let _ = self.out.write_char(' ');
                 }
             }
         }
-        self.out.push(close);
+        let _ = self.out.write_char(close);
     }
 
     /// Writes `null`.
     pub fn null(&mut self) {
         self.separate();
-        self.out.push_str("null");
+        let _ = self.out.write_str("null");
     }
 
     /// Writes a boolean.
     pub fn bool(&mut self, v: bool) {
         self.separate();
-        self.out.push_str(if v { "true" } else { "false" });
+        let _ = self.out.write_str(if v { "true" } else { "false" });
     }
 
     /// Writes an unsigned integer.
     pub fn u64(&mut self, v: u64) {
         self.separate();
-        write!(self.out, "{v}").unwrap();
+        let _ = write!(self.out, "{v}");
     }
 
     /// Writes a signed integer.
     pub fn i64(&mut self, v: i64) {
         self.separate();
-        write!(self.out, "{v}").unwrap();
+        let _ = write!(self.out, "{v}");
     }
 
     /// Writes a float in the tree renderer's fixed six-decimal notation
@@ -322,9 +358,9 @@ impl<'a> JsonWriter<'a> {
     pub fn f64(&mut self, v: f64) {
         self.separate();
         if v.is_finite() {
-            write!(self.out, "{v:.6}").unwrap();
+            let _ = write!(self.out, "{v:.6}");
         } else {
-            self.out.push_str("null");
+            let _ = self.out.write_str("null");
         }
     }
 
@@ -351,62 +387,110 @@ impl<'a> JsonWriter<'a> {
     pub fn finish(self) {
         assert!(self.stack.is_empty(), "finish with open containers");
         if self.indent.is_some() {
-            self.out.push('\n');
+            let _ = self.out.write_char('\n');
         }
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                write!(out, "\\u{:04x}", c as u32).unwrap();
+/// Bridges a [`fmt::Write`](std::fmt::Write)-consuming renderer (the
+/// [`JsonWriter`], the Chrome trace exporter) onto any
+/// [`io::Write`](std::io::Write) target, so multi-megabyte reports and
+/// traces stream straight to a file instead of staging in a `String`.
+///
+/// The first `io::Error` is latched and every later write becomes a
+/// no-op; [`IoAdapter::finish`] flushes and surfaces that error. This is
+/// what lets the renderers stay infallible (`String` can never fail)
+/// while file targets still get honest error reporting — at the end,
+/// rather than as a panic mid-document.
+#[derive(Debug)]
+pub struct IoAdapter<W: std::io::Write> {
+    inner: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> IoAdapter<W> {
+    /// Wraps an `io::Write` target. Consider handing in a
+    /// `BufWriter<File>`: the renderers emit many small pieces.
+    pub fn new(inner: W) -> Self {
+        IoAdapter { inner, error: None }
+    }
+
+    /// Flushes and returns the target, or the first write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: std::io::Write> Write for IoAdapter<W> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        if self.error.is_some() {
+            return Err(std::fmt::Error);
+        }
+        match self.inner.write_all(s.as_bytes()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.error = Some(e);
+                Err(std::fmt::Error)
             }
-            c => out.push(c),
         }
     }
-    out.push('"');
 }
 
-fn write_seq(
-    out: &mut String,
+fn write_escaped<W: Write + ?Sized>(out: &mut W, s: &str) {
+    let _ = out.write_char('"');
+    for c in s.chars() {
+        let _ = match c {
+            '"' => out.write_str("\\\""),
+            '\\' => out.write_str("\\\\"),
+            '\n' => out.write_str("\\n"),
+            '\r' => out.write_str("\\r"),
+            '\t' => out.write_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32)
+            }
+            c => out.write_char(c),
+        };
+    }
+    let _ = out.write_char('"');
+}
+
+fn write_seq<W: Write + ?Sized>(
+    out: &mut W,
     indent: Option<usize>,
     depth: usize,
     open: char,
     close: char,
     len: usize,
-    mut item: impl FnMut(&mut String, usize, usize),
+    mut item: impl FnMut(&mut W, usize, usize),
 ) {
-    out.push(open);
+    let _ = out.write_char(open);
     if len == 0 {
-        out.push(close);
+        let _ = out.write_char(close);
         return;
     }
     for i in 0..len {
         if i > 0 {
-            out.push(',');
+            let _ = out.write_char(',');
         }
         if let Some(w) = indent {
-            out.push('\n');
+            let _ = out.write_char('\n');
             for _ in 0..(w * (depth + 1)) {
-                out.push(' ');
+                let _ = out.write_char(' ');
             }
         }
         item(out, i, depth + 1);
     }
     if let Some(w) = indent {
-        out.push('\n');
+        let _ = out.write_char('\n');
         for _ in 0..(w * depth) {
-            out.push(' ');
+            let _ = out.write_char(' ');
         }
     }
-    out.push(close);
+    let _ = out.write_char(close);
 }
 
 impl Json {
@@ -756,7 +840,7 @@ mod tests {
 
     /// Streams the specimen through the writer, mixing hand-streamed
     /// members with `tree()` bridges.
-    fn stream_specimen(w: &mut JsonWriter) {
+    fn stream_specimen<W: Write + ?Sized>(w: &mut JsonWriter<'_, W>) {
         w.begin_object();
         w.key("s");
         w.str("a\"b\\c\nd");
@@ -854,6 +938,48 @@ mod tests {
         assert_eq!(b[0], Json::I64(-3));
         assert_eq!(b[1], Json::F64(2.5));
         assert_eq!(b[2], Json::F64(1000.0));
+    }
+
+    #[test]
+    fn io_adapter_streams_writer_output_to_io_targets() {
+        let mut sink = IoAdapter::new(Vec::<u8>::new());
+        let mut w = JsonWriter::pretty(&mut sink);
+        stream_specimen(&mut w);
+        w.finish();
+        let bytes = sink.finish().expect("vec sink never errors");
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text, specimen().render_pretty());
+        // And the streamed file contents parse back losslessly.
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn io_adapter_latches_the_first_error() {
+        /// Accepts `cap` bytes, then fails every write.
+        struct Cramped {
+            cap: usize,
+        }
+        impl std::io::Write for Cramped {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if buf.len() > self.cap {
+                    return Err(std::io::Error::new(std::io::ErrorKind::Other, "full"));
+                }
+                self.cap -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = IoAdapter::new(Cramped { cap: 4 });
+        let mut w = JsonWriter::compact(&mut sink);
+        w.begin_array();
+        for i in 0..64 {
+            w.u64(i);
+        }
+        w.end_array();
+        w.finish(); // must not panic despite the exhausted target
+        assert!(sink.finish().is_err(), "the io error must surface");
     }
 
     #[test]

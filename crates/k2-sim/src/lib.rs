@@ -43,7 +43,7 @@ pub mod trace;
 pub use audit::{InvariantAuditor, Violation};
 pub use explore::{ChoicePoint, EventClass, ScheduleChooser};
 pub use export::ChromeTraceWriter;
-pub use json::{Json, JsonWriter};
+pub use json::{IoAdapter, Json, JsonWriter};
 pub use metrics::{Key, Registry, ShardedCounter, Tag, TimeWeightedGauge};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;

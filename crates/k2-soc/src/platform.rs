@@ -801,7 +801,7 @@ impl<W> Machine<W> {
     ///
     /// The byte contract between the two paths is pinned by tests and by
     /// the golden suite, which renders through this path.
-    pub fn write_profile_fields(&self, w: &mut JsonWriter<'_>) {
+    pub fn write_profile_fields<O: std::fmt::Write + ?Sized>(&self, w: &mut JsonWriter<'_, O>) {
         use std::fmt::Write as _;
         let now = self.now;
         // Reused key buffer: metric keys are `Display`ed, not allocated.
@@ -950,7 +950,7 @@ impl<W> Machine<W> {
 
     /// Streams the whole machine-level report (object included) — the
     /// incremental twin of `profile_report().render_*()`.
-    pub fn write_profile_report(&self, w: &mut JsonWriter<'_>) {
+    pub fn write_profile_report<O: std::fmt::Write + ?Sized>(&self, w: &mut JsonWriter<'_, O>) {
         w.begin_object();
         self.write_profile_fields(w);
         w.end_object();
@@ -968,7 +968,7 @@ impl<W> Machine<W> {
     /// and each core's calibrated state power; and the export closes
     /// with exact end-of-run energy and gauge samples. Deterministic:
     /// simulated time only, fixed notation.
-    pub fn write_chrome_trace(&self, out: &mut String) {
+    pub fn write_chrome_trace<O: std::fmt::Write + ?Sized>(&self, out: &mut O) {
         const TRACKS: [(u64, &str); 4] = [(0, "spans"), (1, "mail"), (2, "irq"), (3, "dma")];
         fn track_of(name: &str) -> u64 {
             match name {

@@ -314,7 +314,11 @@ impl K2System {
     /// section is small and rendered as a tree). Golden reports and the
     /// export binary use this path so report size never dictates peak
     /// memory.
-    pub fn write_profile_report(&self, m: &K2Machine, w: &mut JsonWriter<'_>) {
+    pub fn write_profile_report<W: std::fmt::Write + ?Sized>(
+        &self,
+        m: &K2Machine,
+        w: &mut JsonWriter<'_, W>,
+    ) {
         w.begin_object();
         m.write_profile_fields(w);
         w.key("system");
