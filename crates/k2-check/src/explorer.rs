@@ -9,18 +9,23 @@
 //!
 //! # Parallelism
 //!
-//! Every perturbed run is a complete, self-contained simulation: it boots
-//! its own machine, owns all of its state, and its schedule policy is a
-//! pure function of `(seed, run index)`. The campaign is therefore
-//! embarrassingly parallel, and [`Explorer::run`] fans the budget out
-//! over a scoped worker pool (`K2CHECK_THREADS`, default: available
-//! parallelism). Determinism survives because *what* each indexed run
-//! does never depends on which thread executes it or when — workers claim
-//! indices from an atomic counter, park results in per-index slots, and
-//! the report is merged strictly in index order. The exploration verdict,
-//! distinct-schedule count, and first-failure selection are byte-
-//! identical for any worker count, including one; the thread-invariance
-//! test pins this down.
+//! Every perturbed run is a complete, self-contained simulation that
+//! owns all of its state, and its schedule policy is a pure function of
+//! `(seed, run index)`. The campaign is therefore embarrassingly
+//! parallel, and [`Explorer::run`] fans the budget out over a scoped
+//! worker pool (`K2CHECK_THREADS`, default: available parallelism).
+//! The system boots exactly *once* per campaign: the coordinator
+//! freezes the post-boot image as a [`SystemSnapshot`] and every run —
+//! baseline and perturbed alike — forks it, shaving the boot phase off
+//! each run's cost without touching any observable byte (a fork is
+//! byte-indistinguishable from a fresh boot; the differential snapshot
+//! suite pins this). Determinism survives because *what* each indexed
+//! run does never depends on which thread executes it or when — workers
+//! claim indices from an atomic counter, park results in per-index
+//! slots, and the report is merged strictly in index order. The
+//! exploration verdict, distinct-schedule count, and first-failure
+//! selection are byte-identical for any worker count, including one;
+//! the thread-invariance test pins this down.
 
 use crate::corpus::Corpus;
 use crate::fingerprint::schedule_fingerprint;
@@ -29,8 +34,9 @@ use crate::oracle::EndState;
 use crate::policy::{
     chooser_of, exploration_policy, Baseline, Pct, RandomWalk, Recorder, Replay, SchedulePolicy,
 };
-use crate::scenario::{FaultSpec, RunOutcome, Scenario};
+use crate::scenario::{FaultSpec, RunOptions, RunOutcome, Scenario};
 use crate::schedule::Schedule;
+use k2::system::SystemSnapshot;
 use k2_sim::json::JsonWriter;
 use k2_sim::rng::SimRng;
 use std::collections::HashSet;
@@ -221,18 +227,23 @@ struct PerRun {
     failure: Option<(FailureKind, String)>,
 }
 
-/// Executes perturbed run `index` of the campaign. Pure in `(scenario,
-/// spec, seed, index, reference)` — thread- and order-independent.
+/// Executes perturbed run `index` of the campaign by forking the
+/// coordinator's frozen boot image. Pure in `(scenario, spec, seed,
+/// index, reference, snap)` — thread- and order-independent.
 fn perturbed_run(
     scenario: Scenario,
     spec: &FaultSpec,
     seed: u64,
     index: u32,
     reference: Option<&EndState>,
+    snap: &SystemSnapshot,
 ) -> PerRun {
     let policy = exploration_policy(seed, index);
     let policy_name = policy.name();
-    let (schedule, outcome) = run_recorded_lite(scenario, spec, policy);
+    let recorder = Recorder::new();
+    let chooser = recorder.chooser(policy);
+    let outcome = scenario.run_forked(snap, spec, Some(chooser), RunOptions::lite());
+    let schedule = recorder.schedule();
     PerRun {
         schedule: schedule.trimmed(),
         choice_points: outcome.choice_points,
@@ -294,14 +305,22 @@ impl Explorer {
 
     /// Runs the campaign.
     ///
-    /// The baseline executes first on the calling thread (it is the
-    /// differential reference for everything else); the perturbed budget
-    /// then fans out across the worker pool. Aggregation walks the
-    /// per-index results in index order, so the report — including which
-    /// failure is "first" — matches a serial run exactly.
+    /// The system boots exactly once: the coordinator freezes the
+    /// post-boot image, the baseline executes first on the calling
+    /// thread as a fork of it (it is the differential reference for
+    /// everything else), and the perturbed budget then fans out across
+    /// the worker pool, each run forking the same frozen image.
+    /// Aggregation walks the per-index results in index order, so the
+    /// report — including which failure is "first" — matches a serial
+    /// run exactly.
     pub fn run(&self) -> ExplorationReport {
-        let (baseline_schedule, baseline) =
-            run_recorded_lite(self.scenario, &self.spec, Box::new(Baseline));
+        let snap = Scenario::boot_snapshot();
+        let recorder = Recorder::new();
+        let chooser = recorder.chooser(Box::new(Baseline));
+        let baseline =
+            self.scenario
+                .run_forked(&snap, &self.spec, Some(chooser), RunOptions::lite());
+        let baseline_schedule = recorder.schedule();
         let mut distinct: HashSet<Schedule> = HashSet::new();
         distinct.insert(baseline_schedule.trimmed());
         let mut total_choice_points = baseline.choice_points;
@@ -319,7 +338,7 @@ impl Explorer {
         let workers = self.worker_count();
 
         let per_run: Vec<PerRun> = fan_out(self.budget, workers, |i| {
-            perturbed_run(self.scenario, &self.spec, self.seed, i, reference)
+            perturbed_run(self.scenario, &self.spec, self.seed, i, reference, &snap)
         });
 
         for run in per_run {
@@ -541,13 +560,15 @@ struct CampaignRun {
     failure: Option<(FailureKind, String)>,
 }
 
-/// Executes one planned campaign run. Pure in its arguments.
+/// Executes one planned campaign run as a fork of the coordinator's
+/// frozen boot image. Pure in its arguments.
 fn campaign_run(
     scenario: Scenario,
     spec: &FaultSpec,
     seed: u64,
     plan: &RunPlan,
     reference: Option<&EndState>,
+    snap: &SystemSnapshot,
 ) -> CampaignRun {
     let (policy, label): (Box<dyn SchedulePolicy>, &'static str) = match plan {
         RunPlan::Walk { stream } => (Box::new(RandomWalk::new(seed, *stream)), "random-walk"),
@@ -557,7 +578,7 @@ fn campaign_run(
     };
     let recorder = Recorder::new();
     let chooser = recorder.chooser(policy);
-    let outcome = scenario.run_coverage(spec, Some(chooser));
+    let outcome = scenario.run_forked(snap, spec, Some(chooser), RunOptions::coverage());
     let recorded = recorder.schedule();
     let fingerprint = schedule_fingerprint(
         &recorder.class_trace(),
@@ -819,9 +840,12 @@ impl Campaign {
     /// fingerprint-counted but never admitted to the corpus), then the
     /// budget in planning generations.
     pub fn run(&self) -> CampaignReport {
+        let snap = Scenario::boot_snapshot();
         let recorder = Recorder::new();
         let chooser = recorder.chooser(Box::new(Baseline));
-        let baseline = self.scenario.run_coverage(&self.spec, Some(chooser));
+        let baseline =
+            self.scenario
+                .run_forked(&snap, &self.spec, Some(chooser), RunOptions::coverage());
         let baseline_fp = schedule_fingerprint(
             &recorder.class_trace(),
             recorder.schedule().decisions(),
@@ -949,6 +973,7 @@ impl Campaign {
                     self.seed,
                     &plans[o as usize],
                     reference,
+                    &snap,
                 )
             });
             for (offset, run) in runs.into_iter().enumerate() {

@@ -13,7 +13,7 @@
 //! schedule space and exploration would be vacuous.
 
 use crate::oracle::{self, EndState, DOMAINS};
-use k2::system::{K2Machine, K2System};
+use k2::system::{K2Machine, K2System, SystemConfig, SystemSnapshot};
 use k2_sim::explore::ScheduleChooser;
 use k2_sim::sink::SinkMode;
 use k2_sim::time::SimDuration;
@@ -296,8 +296,39 @@ impl Scenario {
         chooser: Option<ScheduleChooser>,
         opts: RunOptions,
     ) -> RunOutcome {
+        run_system(None, spec, chooser, opts, self.driver())
+    }
+
+    /// Like [`Scenario::run_with`], but forks the pre-booted frozen image
+    /// `snap` instead of booting. The snapshot is taken post-boot and
+    /// pre-knob (see [`Scenario::boot_snapshot`]), so the forked run is
+    /// byte-identical to a boot-then-run of the same scenario, spec,
+    /// chooser and options — the differential suite pins this down.
+    pub fn run_forked(
+        self,
+        snap: &SystemSnapshot,
+        spec: &FaultSpec,
+        chooser: Option<ScheduleChooser>,
+        opts: RunOptions,
+    ) -> RunOutcome {
+        run_system(Some(snap), spec, chooser, opts, self.driver())
+    }
+
+    /// Boots the scenario harness's standard system once and freezes it
+    /// post-boot, before any per-run knob (fault plan, span sink, trace,
+    /// audit, chooser) is applied. Because every scenario runs the same
+    /// boot and knobs are applied per-fork, one frozen image serves every
+    /// `(scenario, spec, preset)` combination; exploration campaigns
+    /// freeze it once on the coordinator and fork per run.
+    pub fn boot_snapshot() -> SystemSnapshot {
+        TestSystem::freeze_boot(SystemConfig::k2())
+    }
+
+    /// The scenario's workload driver: spawns the work, runs to
+    /// completion, and returns the scenario-specific end-state extras.
+    fn driver(self) -> Box<dyn FnOnce(&mut TestSystem) -> Vec<(String, String)>> {
         match self {
-            Scenario::UdpCrossTraffic => run_system(spec, chooser, opts, |t| {
+            Scenario::UdpCrossTraffic => Box::new(|t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "udp-a" } else { "udp-b" });
@@ -319,7 +350,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::Ext2Churn => run_system(spec, chooser, opts, |t| {
+            Scenario::Ext2Churn => Box::new(|t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "fs-a" } else { "fs-b" });
@@ -341,7 +372,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::DmaFanout => run_system(spec, chooser, opts, |t| {
+            Scenario::DmaFanout => Box::new(|t| {
                 let mut extra = Vec::new();
                 for (i, &dom) in DOMAINS.iter().enumerate() {
                     let id = t.background(if i == 0 { "dma-a" } else { "dma-b" });
@@ -363,7 +394,7 @@ impl Scenario {
                     .map(|(k, r)| (k, r.borrow().bytes.to_string()))
                     .collect()
             }),
-            Scenario::MailRace => run_system(spec, chooser, opts, |t| {
+            Scenario::MailRace => Box::new(|t| {
                 // Replace the weak domain's mailbox ISR with one that keeps
                 // only the *last* mail it drains — the planted ordering bug.
                 let last = Rc::new(RefCell::new(0u32));
@@ -457,6 +488,7 @@ fn spawn_pulses(t: &mut TestSystem) {
 const TRACE_CAPACITY: usize = 1 << 16;
 
 fn run_system(
+    snap: Option<&SystemSnapshot>,
     spec: &FaultSpec,
     chooser: Option<ScheduleChooser>,
     opts: RunOptions,
@@ -469,7 +501,10 @@ fn run_system(
     if let Some(mode) = opts.sink {
         builder = builder.span_sink(mode);
     }
-    let mut t = builder.build();
+    let mut t = match snap {
+        Some(s) => builder.build_from(s),
+        None => builder.build(),
+    };
     if opts.chrome_trace {
         t.m.set_trace_capacity(TRACE_CAPACITY);
         t.m.set_trace(true);

@@ -6,6 +6,12 @@
 //! tests run the same campaigns with 1, 2 and 8 workers and require every
 //! observable field to be identical, including the repro token of every
 //! failure the buggy scenario yields.
+//!
+//! Since PR 7 every campaign run is a *fork* of one coordinator-frozen
+//! post-boot snapshot rather than a fresh boot, so these tests now pin
+//! the invariance of the forked path; the fork-specific tests at the
+//! bottom additionally pin that worker forks never leak state back into
+//! the shared frozen image.
 
 use k2_check::{Campaign, ExplorationReport, Explorer, FaultSpec, Scenario, Strategy};
 
@@ -130,4 +136,58 @@ fn automatic_thread_selection_reports_and_matches_serial() {
     assert!(auto.threads >= 1, "auto selection must resolve to >= 1");
     let serial = campaign(Scenario::UdpCrossTraffic, FaultSpec::none(), 1);
     assert_eq!(observables(&serial), observables(&auto));
+}
+
+/// Eight workers forking one shared frozen image leave the image bit-
+/// for-bit intact: the boot snapshot's digest is the same before and
+/// after a parallel campaign hammers forks of it, and a freshly frozen
+/// boot still digests identically afterward.
+#[test]
+fn parallel_forks_never_perturb_the_frozen_image() {
+    let before = Scenario::boot_snapshot();
+    let d = before.digest();
+    for strategy in [Strategy::Random, Strategy::Pct, Strategy::CoverageGuided] {
+        let _ = Campaign::new(Scenario::DmaFanout, strategy, SEED)
+            .budget(BUDGET)
+            .threads(8)
+            .run();
+    }
+    assert_eq!(before.digest(), d, "a worker fork wrote through the image");
+    assert_eq!(
+        Scenario::boot_snapshot().digest(),
+        d,
+        "boot stopped being deterministic after parallel campaigns"
+    );
+}
+
+/// Faulted campaigns (active fault plan → RNG dice, reliable links,
+/// retransmission timers all live) stay worker-count invariant on the
+/// forked path too.
+#[test]
+fn faulted_forked_campaigns_are_worker_count_invariant() {
+    let spec = FaultSpec {
+        seed: SEED,
+        mail_drop: 0.1,
+        mail_duplicate: 0.0,
+        dma_fail: 0.1,
+        dma_partial: 0.0,
+    };
+    let serial = Campaign::new(Scenario::DmaFanout, Strategy::CoverageGuided, SEED)
+        .spec(spec)
+        .budget(BUDGET)
+        .threads(1)
+        .run();
+    for workers in [2, 8] {
+        let parallel = Campaign::new(Scenario::DmaFanout, Strategy::CoverageGuided, SEED)
+            .spec(spec)
+            .budget(BUDGET)
+            .threads(workers)
+            .run();
+        assert_eq!(
+            serial.render_json(),
+            parallel.render_json(),
+            "faulted campaign diverged at {workers} workers"
+        );
+        assert_eq!(serial.corpus_digest, parallel.corpus_digest);
+    }
 }

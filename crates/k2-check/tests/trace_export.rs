@@ -78,6 +78,63 @@ fn dma_fanout_exports_its_span_chains_as_complete_events() {
     }
 }
 
+/// Span payload args survive the full pipeline: `dma` spans carry a
+/// `bytes` arg equal to the transfer size, `mail` spans under a fault
+/// plan carry their reliable-link `tag`, and the parse → re-render
+/// round trip preserves every arg byte for byte.
+#[test]
+fn span_args_export_and_round_trip() {
+    // DMA transfers record their size.
+    let outcome = Scenario::DmaFanout.run_with(&FaultSpec::none(), None, RunOptions::traced());
+    let trace = outcome.chrome_trace.unwrap();
+    let doc = Json::parse(&trace).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    let mut dma_with_bytes = 0u64;
+    for e in events {
+        if e.get("name").and_then(Json::as_str) == Some("dma")
+            && e.get("ph").and_then(Json::as_str) == Some("X")
+        {
+            let bytes = e
+                .get("args")
+                .and_then(|a| a.get("bytes"))
+                .and_then(Json::as_f64)
+                .expect("every dma span must carry a bytes arg");
+            assert!(bytes > 0.0, "dma span with zero-byte transfer");
+            dma_with_bytes += 1;
+        }
+    }
+    assert!(dma_with_bytes > 0, "no dma spans with bytes args exported");
+    assert_eq!(doc.render_compact(), trace);
+
+    // Tagged reliable-link mail (active fault plan) records its tag.
+    let spec = FaultSpec {
+        seed: 2014,
+        mail_drop: 0.2,
+        mail_duplicate: 0.1,
+        dma_fail: 0.0,
+        dma_partial: 0.0,
+    };
+    let outcome = Scenario::UdpCrossTraffic.run_with(&spec, None, RunOptions::traced());
+    let trace = outcome.chrome_trace.unwrap();
+    let doc = Json::parse(&trace).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    let tags: Vec<f64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("mail"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("tag"))
+                .and_then(Json::as_f64)
+        })
+        .collect();
+    assert!(
+        !tags.is_empty(),
+        "faulted run must export mail spans with tag args"
+    );
+    assert!(tags.iter().all(|t| *t >= 0.0));
+    assert_eq!(doc.render_compact(), trace);
+}
+
 #[test]
 fn traced_runs_are_deterministic() {
     let a = traced_run().chrome_trace.unwrap();

@@ -76,7 +76,7 @@ struct Pool {
 }
 
 /// The DMA driver state (one logical instance, shadowed across kernels).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DmaDriver {
     pools: [Pool; 2],
     submissions: u64,

@@ -47,7 +47,7 @@ impl std::error::Error for SensorError {}
 
 /// The sensor device + driver state (device FIFO included: the simulation
 /// has no bus to put it behind).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SensorDriver {
     enabled: bool,
     watermark: usize,

@@ -9,6 +9,7 @@
 
 use crate::cost::Cost;
 use k2_sim::time::SimDuration;
+use std::sync::Arc;
 
 /// Block size in bytes (matches the 4 KB page size).
 pub const BLOCK_SIZE: usize = 4096;
@@ -40,9 +41,14 @@ pub trait BlockDevice {
 }
 
 /// A RAM-backed block device: CPU copy cost, no I/O latency.
-#[derive(Debug)]
+///
+/// Resident blocks are held behind `Arc` so cloning the disk — the bulk
+/// of a [snapshot fork](https://en.wikipedia.org/wiki/Copy-on-write) —
+/// shares every block instead of deep-copying the image; a write to a
+/// shared block copies just that 4 KB block first (`Arc::make_mut`).
+#[derive(Clone, Debug)]
 pub struct RamDisk {
-    blocks: Vec<Option<Box<[u8; BLOCK_SIZE]>>>,
+    blocks: Vec<Option<Arc<[u8; BLOCK_SIZE]>>>,
     reads: u64,
     writes: u64,
 }
@@ -89,11 +95,11 @@ impl BlockDevice for RamDisk {
         self.writes += 1;
         let slot = &mut self.blocks[n as usize];
         match slot {
-            Some(b) => b.copy_from_slice(buf),
+            Some(b) => Arc::make_mut(b).copy_from_slice(buf),
             None => {
-                let mut b = Box::new([0u8; BLOCK_SIZE]);
+                let mut b = [0u8; BLOCK_SIZE];
                 b.copy_from_slice(buf);
-                *slot = Some(b);
+                *slot = Some(Arc::new(b));
             }
         }
         Cost::instr(60) + Cost::bulk(BLOCK_SIZE as u64)
@@ -102,7 +108,7 @@ impl BlockDevice for RamDisk {
 
 /// A flash-like device: same storage, but each operation has device latency
 /// (the I/O-bound idle gaps of §2.1).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FlashDisk {
     inner: RamDisk,
     read_latency: SimDuration,
@@ -145,7 +151,7 @@ impl BlockDevice for FlashDisk {
 /// the Linux baseline by shortening idle gaps), or a flash-like device
 /// whose per-operation latency produces the IO-bound idle periods of
 /// §2.1.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum Disk {
     /// RAM-backed, zero I/O latency.
     Ram(RamDisk),

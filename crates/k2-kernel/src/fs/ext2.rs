@@ -199,7 +199,7 @@ impl Layout {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Ext2Fs<D: BlockDevice> {
     dev: D,
     layout: Layout,

@@ -32,7 +32,7 @@ struct OpenFile {
 }
 
 /// The open-file state of every process.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Vfs {
     tables: HashMap<u32, Vec<Option<OpenFile>>>,
 }

@@ -34,7 +34,7 @@ pub enum BhPolicy {
 }
 
 /// Counters and the pending queue of one kernel's bottom halves.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BottomHalves {
     policy: BhPolicy,
     pending: VecDeque<BhWork>,

@@ -37,7 +37,7 @@ pub struct KernelStats {
 }
 
 /// One domain's kernel: independent core services plus private state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Kernel {
     /// The domain this kernel runs on.
     pub domain: DomainId,
@@ -140,7 +140,7 @@ impl Kernel {
 }
 
 /// The shadowed services: one logical instance shared by all kernels.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SharedServices {
     /// The ext2 filesystem (on a ramdisk in §9.2's configuration, or on a
     /// flash-like device for IO-bound experiments).
@@ -183,7 +183,7 @@ impl SharedServices {
 
 /// The world shared by every task in a simulated system: the kernels, the
 /// shadowed services, and the global process table.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SystemWorld {
     /// Per-domain kernels (index = domain index). The Linux baseline has
     /// one; K2 has one per domain.

@@ -68,7 +68,7 @@ pub struct BuddyStats {
 /// b.free_pages(page);
 /// assert_eq!(b.free_page_count(), 256);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BuddyAllocator {
     /// Free block heads per order.
     free: [BTreeSet<u64>; (MAX_ORDER + 1) as usize],

@@ -38,7 +38,7 @@ pub struct PageCacheStats {
 /// assert_eq!(pc.lookup(InodeNo(3), 0), Some(PageHandle(42)));
 /// assert_eq!(pc.lookup(InodeNo(3), 1), None);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PageCache {
     map: HashMap<(u32, u64), PageHandle>,
     stats: PageCacheStats,

@@ -57,7 +57,7 @@ struct Entry {
 ///
 /// Keyed by VPN (virtual page number). Large-grain entries are stored at
 /// their first VPN and cover `grain.pages()` pages.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct KernelPageTable {
     entries: BTreeMap<u64, Entry>,
 }

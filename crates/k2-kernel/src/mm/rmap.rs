@@ -27,7 +27,7 @@ pub struct PageHandle(pub u64);
 /// r.migrate(h, Pfn(99));
 /// assert_eq!(r.frame_of(h), Some(Pfn(99)));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MovableRegistry {
     by_handle: HashMap<u64, u64>,
     by_pfn: HashMap<u64, u64>,

@@ -23,7 +23,7 @@ pub struct ObjRef {
     pub index: u16,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Slab {
     free: Vec<u16>,
     inuse: u16,
@@ -45,7 +45,7 @@ struct Slab {
 /// let (obj, _cost) = slab.kmalloc(100, &mut buddy).unwrap();
 /// slab.kfree(obj, &mut buddy);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SlabAllocator {
     /// Partial (not-full) slab pages per class index.
     partial: Vec<Vec<Pfn>>,

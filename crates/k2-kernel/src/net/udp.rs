@@ -57,7 +57,7 @@ pub struct Datagram {
     pub payload: Vec<u8>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Socket {
     rx: VecDeque<Datagram>,
     state_page: u32,
@@ -85,7 +85,7 @@ struct Socket {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct NetStack {
     sockets: HashMap<u16, Socket>,
     next_ephemeral: u16,

@@ -69,7 +69,7 @@ pub struct Process {
 }
 
 /// The global process/thread table (part of the single system image).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ProcessTable {
     processes: HashMap<u32, Process>,
     threads: HashMap<u32, Thread>,

@@ -94,7 +94,7 @@ struct Pending {
 /// assert!(link.on_ack(ticket.seq));
 /// assert_eq!(link.stats().acked, 1);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ReliableLink {
     next_seq: u32,
     pending: BTreeMap<u32, Pending>,

@@ -36,7 +36,7 @@ pub const WEIGHT_DEFAULT: u32 = 1024;
 /// // The other thread has less virtual runtime now.
 /// assert_ne!(rq.pick_next().unwrap(), first);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct RunQueue {
     /// Ordered by (vruntime, tid) for deterministic ties.
     queue: BTreeSet<(Vruntime, u32)>,

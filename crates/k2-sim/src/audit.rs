@@ -59,7 +59,7 @@ impl fmt::Display for Violation {
 /// Violation storage is bounded ([`InvariantAuditor::MAX_VIOLATIONS`]): a
 /// systemic breakage in a long soak must not turn into an OOM; the counter
 /// keeps the true total.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct InvariantAuditor {
     enabled: bool,
     stride: u64,
@@ -105,6 +105,23 @@ impl InvariantAuditor {
     pub fn set_stride(&mut self, stride: u64) {
         assert!(stride > 0, "audit stride must be positive");
         self.stride = stride;
+    }
+
+    /// Folds the auditor's exact state into a snapshot digest.
+    pub fn digest_into(&self, h: &mut crate::digest::Fnv64) {
+        h.bool(self.enabled)
+            .u64(self.stride)
+            .u64(self.steps)
+            .u64(self.checks_run)
+            .u64(self.violations_total)
+            .usize(self.violations.len());
+        for v in &self.violations {
+            h.u64(v.at.as_ns()).str(v.invariant).str(&v.detail);
+        }
+        h.usize(self.monotone.len());
+        for (&(name, idx), &val) in &self.monotone {
+            h.str(name).u32(idx).f64(val);
+        }
     }
 
     /// Called once per simulation step; returns `true` when this step

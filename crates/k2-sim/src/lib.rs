@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod digest;
 pub mod explore;
 pub mod export;
 pub mod json;
@@ -41,6 +42,7 @@ pub mod time;
 pub mod trace;
 
 pub use audit::{InvariantAuditor, Violation};
+pub use digest::Fnv64;
 pub use explore::{ChoicePoint, EventClass, ScheduleChooser};
 pub use export::ChromeTraceWriter;
 pub use json::{IoAdapter, Json, JsonWriter};
@@ -48,7 +50,7 @@ pub use metrics::{Key, Registry, ShardedCounter, Tag, TimeWeightedGauge};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use sink::{DisabledSink, FullSink, RingBufferSink, SinkMode, TraceSink};
-pub use span::{Span, SpanId, SpanTracker};
+pub use span::{Span, SpanArgs, SpanId, SpanTracker};
 pub use stats::{Counter, Histogram, Summary};
 pub use time::{cycles_to_duration, SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord};

@@ -254,7 +254,7 @@ impl ShardedCounter {
 /// iteration. Hot paths cache the id from `*_id()` and bump through
 /// `*_by_id()`; occasional paths keep using the [`Key`]-based methods,
 /// which intern on the fly.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Registry {
     counter_ids: BTreeMap<Key, CounterId>,
     counter_values: Vec<u64>,
@@ -455,6 +455,61 @@ impl Registry {
         self.histogram_ids
             .iter()
             .map(|(k, id)| (k, &self.histogram_values[id.0 as usize]))
+    }
+
+    /// Folds the registry's complete state — every key directory and
+    /// every value vector, in deterministic key order — into a snapshot
+    /// digest. Two registries with equal digests render identical
+    /// reports and keep evolving identically.
+    pub fn digest_into(&self, h: &mut crate::digest::Fnv64) {
+        fn fold_key(h: &mut crate::digest::Fnv64, k: &Key) {
+            h.str(k.name);
+            match k.tag {
+                Tag::Whole => {
+                    h.u32(0);
+                }
+                Tag::Domain(d) => {
+                    h.u32(1).bytes(&[d]);
+                }
+                Tag::Core(c) => {
+                    h.u32(2).bytes(&[c]);
+                }
+                Tag::DomainPair(a, b) => {
+                    h.u32(3).bytes(&[a, b]);
+                }
+                Tag::Subsystem(s) => {
+                    h.u32(4).str(s);
+                }
+                Tag::CoreSubsystem(c, s) => {
+                    h.u32(5).bytes(&[c]).str(s);
+                }
+            }
+        }
+        h.usize(self.counter_ids.len());
+        for (k, v) in self.counters() {
+            fold_key(h, k);
+            h.u64(v);
+        }
+        h.usize(self.duration_ids.len());
+        for (k, d) in self.durations() {
+            fold_key(h, k);
+            h.u64(d.as_ns());
+        }
+        h.usize(self.gauge_ids.len());
+        for (k, g) in self.gauges() {
+            fold_key(h, k);
+            h.f64(g.value)
+                .u64(g.since.as_ns())
+                .u64(g.started.as_ns())
+                .f64(g.integral)
+                .f64(g.min)
+                .f64(g.max);
+        }
+        h.usize(self.histogram_ids.len());
+        for (k, hist) in self.histograms() {
+            fold_key(h, k);
+            hist.digest_into(h);
+        }
     }
 
     /// Durations named `name`, restricted to core `core`

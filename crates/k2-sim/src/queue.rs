@@ -71,6 +71,7 @@ impl Ord for HeapEntry {
 /// One slab slot. `payload: Some` means a live scheduled event; `None`
 /// means the slot was cancelled (its heap entry is still pending lazy
 /// removal) or sits on the free list.
+#[derive(Clone)]
 struct Slot<E> {
     gen: u32,
     payload: Option<E>,
@@ -138,6 +139,7 @@ impl<'q, E> CoEnabled<'q, E> {
 /// assert_eq!(q.pop(), Some((SimTime::from_ns(20), "later")));
 /// assert_eq!(q.pop(), None);
 /// ```
+#[derive(Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry>,
     slots: Vec<Slot<E>>,
@@ -341,6 +343,29 @@ impl<E> EventQueue<E> {
     /// `true` if no live events remain.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Visits every live event in deterministic `(time, sequence)` order
+    /// without disturbing the queue, handing each `(at, seq, payload)` to
+    /// `f`. Cancelled entries still parked in the heap are skipped (a live
+    /// slot is referenced by exactly one heap entry, so filtering heap
+    /// entries by slot liveness visits each live event exactly once).
+    /// Cold path: allocates a scratch vector; meant for snapshot digests
+    /// and debugging, not the event loop.
+    pub fn for_each_live_ordered(&self, mut f: impl FnMut(SimTime, u64, &E)) {
+        let mut live: Vec<&HeapEntry> = self
+            .heap
+            .iter()
+            .filter(|e| self.slots[e.slot as usize].payload.is_some())
+            .collect();
+        live.sort_by_key(|e| (e.at, e.seq));
+        for e in live {
+            let payload = self.slots[e.slot as usize]
+                .payload
+                .as_ref()
+                .expect("filtered entry is live");
+            f(e.at, e.seq, payload);
+        }
     }
 
     /// Consumes a popped heap entry's slot: returns the payload (bumping

@@ -116,6 +116,13 @@ impl SimRng {
         self.gen_f64() < p
     }
 
+    /// The generator's internal state words — what a snapshot digest
+    /// folds so two machines agreeing on the digest agree on every
+    /// *future* random draw too.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {

@@ -50,8 +50,10 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// A span storage backend. See the module docs for the three shipped
-/// implementations and the contract they share.
-pub trait TraceSink: fmt::Debug {
+/// implementations and the contract they share. Sinks are plain data
+/// (`Send + Sync`) so a snapshotted machine can be frozen on one thread
+/// and forked from many.
+pub trait TraceSink: fmt::Debug + Send + Sync {
     /// `false` if the sink wants no spans at all — the tracker then skips
     /// id allocation and stack maintenance entirely, making instrumented
     /// call sites free.
@@ -90,6 +92,17 @@ pub trait TraceSink: fmt::Debug {
 
     /// A short backend name for reports and debugging.
     fn name(&self) -> &'static str;
+
+    /// A boxed structural copy of this sink, retained spans included —
+    /// what lets a [`crate::span::SpanTracker`] (and through it a whole
+    /// machine) be snapshotted and forked.
+    fn clone_box(&self) -> Box<dyn TraceSink>;
+}
+
+impl Clone for Box<dyn TraceSink> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// How a component should configure its span sink — the plain-data form
@@ -145,6 +158,10 @@ impl TraceSink for DisabledSink {
 
     fn name(&self) -> &'static str {
         "disabled"
+    }
+
+    fn clone_box(&self) -> Box<dyn TraceSink> {
+        Box::new(*self)
     }
 }
 
@@ -219,6 +236,10 @@ impl TraceSink for RingBufferSink {
     fn name(&self) -> &'static str {
         "ring"
     }
+
+    fn clone_box(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
 }
 
 /// The original backend: retains the first `capacity` spans in a
@@ -283,6 +304,10 @@ impl TraceSink for FullSink {
     fn name(&self) -> &'static str {
         "full"
     }
+
+    fn clone_box(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +322,7 @@ mod tests {
             domain: 0,
             start: SimTime::from_ns(start_ns),
             end: None,
+            args: Default::default(),
         }
     }
 

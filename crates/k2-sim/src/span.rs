@@ -65,6 +65,59 @@ impl fmt::Display for SpanId {
     }
 }
 
+/// Small integer annotations riding on a span — at most
+/// [`SpanArgs::CAPACITY`] `(key, value)` pairs, stored inline so spans
+/// stay `Copy`-cheap and allocation-free. The Chrome trace exporter
+/// merges them into each complete event's `args` object (mail tag, DMA
+/// bytes, ...).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanArgs {
+    len: u8,
+    kv: [(&'static str, u64); Self::CAPACITY],
+}
+
+impl SpanArgs {
+    /// Inline slots available per span.
+    pub const CAPACITY: usize = 2;
+
+    /// No annotations.
+    pub const EMPTY: SpanArgs = SpanArgs {
+        len: 0,
+        kv: [("", 0); Self::CAPACITY],
+    };
+
+    /// A single `(key, value)` annotation.
+    pub fn one(key: &'static str, value: u64) -> SpanArgs {
+        let mut a = Self::EMPTY;
+        a.push(key, value);
+        a
+    }
+
+    /// Appends an annotation; silently ignored once the inline slots are
+    /// full (annotations are observability, never load-bearing).
+    pub fn push(&mut self, key: &'static str, value: u64) {
+        if (self.len as usize) < Self::CAPACITY {
+            self.kv[self.len as usize] = (key, value);
+            self.len += 1;
+        }
+    }
+
+    /// Number of annotations held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when no annotations are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the annotations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kv[..self.len as usize].iter().copied()
+    }
+}
+
 /// One traced interval.
 #[derive(Clone, Debug)]
 pub struct Span {
@@ -80,6 +133,8 @@ pub struct Span {
     pub start: SimTime,
     /// When it ended (`None` while open).
     pub end: Option<SimTime>,
+    /// Small integer annotations (see [`SpanArgs`]).
+    pub args: SpanArgs,
 }
 
 /// Allocates and validates spans; a [`TraceSink`] stores them.
@@ -94,7 +149,7 @@ pub struct Span {
 /// the id counter (so [`SpanTracker::allocated`] stays 0) and the stack
 /// is never pushed. Because span recording is pure observation, a run
 /// behaves identically whichever sink is installed.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SpanTracker {
     next: u64,
     sink: Box<dyn TraceSink>,
@@ -154,6 +209,18 @@ impl SpanTracker {
         self.start_child(now, name, domain, parent)
     }
 
+    /// Like [`SpanTracker::start`], attaching annotations.
+    pub fn start_args(
+        &mut self,
+        now: SimTime,
+        name: &'static str,
+        domain: u8,
+        args: SpanArgs,
+    ) -> SpanId {
+        let parent = self.stack.last().copied();
+        self.start_child_args(now, name, domain, parent, args)
+    }
+
     /// Starts a span with an explicit parent (`None` forces a root) —
     /// the cross-domain stitch: the receiver parents its span on the id
     /// carried in the envelope.
@@ -163,6 +230,18 @@ impl SpanTracker {
         name: &'static str,
         domain: u8,
         parent: Option<SpanId>,
+    ) -> SpanId {
+        self.start_child_args(now, name, domain, parent, SpanArgs::EMPTY)
+    }
+
+    /// [`SpanTracker::start_child`] with annotations.
+    pub fn start_child_args(
+        &mut self,
+        now: SimTime,
+        name: &'static str,
+        domain: u8,
+        parent: Option<SpanId>,
+        args: SpanArgs,
     ) -> SpanId {
         if !self.sink.is_enabled() {
             return SpanId::NONE;
@@ -176,6 +255,7 @@ impl SpanTracker {
             domain,
             start: now,
             end: None,
+            args,
         };
         if !self.sink.offer(span) {
             self.dropped += 1;
@@ -258,6 +338,30 @@ impl SpanTracker {
             }
         });
         out
+    }
+
+    /// Folds the tracker's exact state — id watermark, drop counter,
+    /// current-span stack, backend name, and every retained span in id
+    /// order — into a snapshot digest.
+    pub fn digest_into(&self, h: &mut crate::digest::Fnv64) {
+        h.u64(self.next).u64(self.dropped).str(self.sink.name());
+        h.usize(self.stack.len());
+        for id in &self.stack {
+            h.u64(id.raw());
+        }
+        h.usize(self.sink.len());
+        self.sink.for_each(&mut |s| {
+            h.u64(s.id.raw())
+                .u64(s.parent.map_or(0, SpanId::raw))
+                .str(s.name)
+                .bytes(&[s.domain])
+                .u64(s.start.as_ns())
+                .u64(s.end.map_or(u64::MAX, |e| e.as_ns()));
+            h.usize(s.args.len());
+            for (k, v) in s.args.iter() {
+                h.str(k).u64(v);
+            }
+        });
     }
 
     /// Checks the tree is well-formed: every parent link resolves to a

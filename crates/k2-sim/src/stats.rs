@@ -230,6 +230,16 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Folds the histogram's exact state (count, sum, every bucket) into
+    /// a snapshot digest.
+    pub fn digest_into(&self, h: &mut crate::digest::Fnv64) {
+        h.u64(self.count);
+        h.u64(self.sum as u64).u64((self.sum >> 64) as u64);
+        for &b in &self.buckets {
+            h.u64(b);
+        }
+    }
+
     /// An upper bound for the requested percentile (`0.0..=1.0`), resolved to
     /// the enclosing power-of-two bucket.
     ///

@@ -95,7 +95,7 @@ impl fmt::Display for TraceEvent {
 /// assert_eq!(t.len(), 1);
 /// assert!(t.iter().any(|r| r.event == TraceEvent::Marker("boot")));
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     ring: VecDeque<TraceRecord>,
     capacity: usize,
@@ -128,6 +128,38 @@ impl Trace {
     /// `true` if recording.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Folds the trace's exact state (settings, drop counter, every
+    /// retained record in order) into a snapshot digest.
+    pub fn digest_into(&self, h: &mut crate::digest::Fnv64) {
+        h.usize(self.capacity)
+            .u64(self.dropped)
+            .bool(self.enabled)
+            .usize(self.ring.len());
+        for r in &self.ring {
+            h.u64(r.at.as_ns());
+            match r.event {
+                TraceEvent::Power { core, state } => {
+                    h.u32(0).bytes(&[core, state]);
+                }
+                TraceEvent::Irq { line, domain } => {
+                    h.u32(1).u32(line as u32).bytes(&[domain]);
+                }
+                TraceEvent::Task { task, start } => {
+                    h.u32(2).u32(task).bool(start);
+                }
+                TraceEvent::Mail { to, payload } => {
+                    h.u32(3).bytes(&[to]).u32(payload);
+                }
+                TraceEvent::Fault { kind, arg } => {
+                    h.u32(4).bytes(&[kind]).u32(arg);
+                }
+                TraceEvent::Marker(s) => {
+                    h.u32(5).str(s);
+                }
+            }
+        }
     }
 
     /// Appends a record (dropping the oldest when full).

@@ -83,7 +83,7 @@ struct Active {
 /// }
 /// assert_eq!(finished.len(), 1);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DmaEngine {
     bandwidth_bps: f64,
     setup: SimDuration,
@@ -121,6 +121,28 @@ impl DmaEngine {
     /// Aggregate bandwidth in bytes per second.
     pub fn bandwidth_bps(&self) -> f64 {
         self.bandwidth_bps
+    }
+
+    /// Folds the engine's exact state — configuration, counters, and
+    /// every in-flight transfer in submission order — into a snapshot
+    /// digest.
+    pub fn digest_into(&self, h: &mut k2_sim::digest::Fnv64) {
+        h.f64(self.bandwidth_bps)
+            .u64(self.setup.as_ns())
+            .u64(self.last_update.as_ns())
+            .u64(self.generation)
+            .u64(self.next_id)
+            .u64(self.busy_time.as_ns())
+            .u64(self.bytes_done)
+            .usize(self.active.len());
+        for a in &self.active {
+            h.u64(a.id.0)
+                .u64(a.src.0)
+                .u64(a.dst.0)
+                .u64(a.len)
+                .f64(a.remaining)
+                .u64(a.start.as_ns());
+        }
     }
 
     /// Submits a transfer at time `now`. Data starts moving after the setup

@@ -240,7 +240,7 @@ impl FaultPlanBuilder {
 /// }
 /// assert!(a.stats().total() > 0, "p=0.5 over 100 mails injects faults");
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FaultPlan {
     rng: SimRng,
     seed: u64,
@@ -297,6 +297,44 @@ impl FaultPlan {
     /// Counts of faults injected so far.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Folds the plan's exact state — dials, RNG stream position, stuck
+    /// windows (sorted), scripted faults, and injection counts — into a
+    /// snapshot digest. Covering the RNG words means equal digests imply
+    /// identical *future* fault decisions, not just identical history.
+    pub fn digest_into(&self, h: &mut k2_sim::digest::Fnv64) {
+        for w in self.rng.state() {
+            h.u64(w);
+        }
+        h.u64(self.seed)
+            .f64(self.mail_drop_p)
+            .f64(self.mail_dup_p)
+            .f64(self.mail_delay_p)
+            .u64(self.mail_delay_max.as_ns())
+            .f64(self.lock_stuck_p)
+            .u64(self.lock_stuck_for.as_ns())
+            .f64(self.dma_fail_p)
+            .f64(self.dma_partial_p)
+            .f64(self.stall_p)
+            .u64(self.stall_for.as_ns())
+            .u64(self.stall_domain.map_or(u64::MAX, |d| d.0 as u64))
+            .f64(self.spurious_p)
+            .u64(self.spurious_domain.map_or(u64::MAX, |d| d.0 as u64));
+        let mut stuck: Vec<(u16, SimTime)> =
+            self.stuck_until.iter().map(|(&k, &v)| (k, v)).collect();
+        stuck.sort_unstable_by_key(|&(k, _)| k);
+        h.usize(stuck.len());
+        for (lock, until) in stuck {
+            h.u32(lock as u32).u64(until.as_ns());
+        }
+        h.usize(self.scripted_stuck.len());
+        for &(lock, dur) in &self.scripted_stuck {
+            h.u32(lock.0 as u32).u64(dur.as_ns());
+        }
+        for &c in &self.stats.counts {
+            h.u64(c);
+        }
     }
 
     /// Decides the fate of one outgoing mail. Drop, duplicate, and delay

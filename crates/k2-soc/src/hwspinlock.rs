@@ -18,7 +18,7 @@ pub const HWSPINLOCK_OP: SimDuration = SimDuration::from_ns(150);
 pub struct HwLockId(pub u16);
 
 /// The bank of hardware test-and-set locks.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct HwSpinlockBank {
     owner: Vec<Option<DomainId>>,
     acquisitions: u64,
@@ -43,6 +43,24 @@ impl HwSpinlockBank {
     /// `true` if the bank has no locks (never on real hardware).
     pub fn is_empty(&self) -> bool {
         self.owner.is_empty()
+    }
+
+    /// Folds the bank's exact state (owners and counters) into a
+    /// snapshot digest.
+    pub fn digest_into(&self, h: &mut k2_sim::digest::Fnv64) {
+        h.u64(self.acquisitions)
+            .u64(self.contentions)
+            .usize(self.owner.len());
+        for o in &self.owner {
+            match o {
+                None => {
+                    h.bool(false);
+                }
+                Some(d) => {
+                    h.bool(true).bytes(&[d.0]);
+                }
+            }
+        }
     }
 
     /// Atomic test-and-set. Returns `true` if `dom` acquired the lock.

@@ -76,6 +76,20 @@ impl IrqController {
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
+
+    /// Folds the controller's exact state (mask set, pending latch,
+    /// delivery counter) into a snapshot digest, line sets sorted.
+    pub fn digest_into(&self, h: &mut k2_sim::digest::Fnv64) {
+        h.u64(self.delivered);
+        for set in [&self.unmasked, &self.pending] {
+            let mut lines: Vec<u16> = set.iter().copied().collect();
+            lines.sort_unstable();
+            h.usize(lines.len());
+            for l in lines {
+                h.u32(l as u32);
+            }
+        }
+    }
 }
 
 /// The platform interrupt fabric: one controller per domain, with shared
@@ -101,6 +115,14 @@ impl IrqFabric {
     /// Mutable access to one domain's controller.
     pub fn controller_mut(&mut self, dom: DomainId) -> &mut IrqController {
         &mut self.controllers[dom.index()]
+    }
+
+    /// Folds every controller's state into a snapshot digest.
+    pub fn digest_into(&self, h: &mut k2_sim::digest::Fnv64) {
+        h.usize(self.controllers.len());
+        for c in &self.controllers {
+            c.digest_into(h);
+        }
     }
 
     /// Signals a line to every domain; returns the domains that should

@@ -71,7 +71,7 @@ pub struct Envelope {
 ///
 /// The hardware guarantees in-order delivery per direction; the FIFO plus
 /// the deterministic event queue give the same guarantee here.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MailboxBank {
     inboxes: Vec<VecDeque<Envelope>>,
     fifo_depth: usize,
@@ -90,6 +90,33 @@ impl MailboxBank {
             sent: 0,
             dropped: 0,
             received: 0,
+        }
+    }
+
+    /// Folds the bank's exact state — counters plus every queued
+    /// envelope, per inbox in FIFO order — into a snapshot digest.
+    pub fn digest_into(&self, h: &mut k2_sim::digest::Fnv64) {
+        h.usize(self.fifo_depth)
+            .u64(self.sent)
+            .u64(self.dropped)
+            .u64(self.received)
+            .usize(self.inboxes.len());
+        for inbox in &self.inboxes {
+            h.usize(inbox.len());
+            for env in inbox {
+                h.u32(env.mail.0)
+                    .bytes(&[env.from.0])
+                    .u64(env.sent_at.as_ns())
+                    .u64(env.span.raw());
+                match env.tag {
+                    None => {
+                        h.bool(false);
+                    }
+                    Some(t) => {
+                        h.bool(true).bytes(&[t.chan]).u32(t.seq);
+                    }
+                }
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Size of a physical page in bytes (4 KB, the DSM coherence unit).
 pub const PAGE_SIZE: usize = 4096;
@@ -87,9 +88,13 @@ impl fmt::Display for PhysAddr {
 /// ram.read(PhysAddr(0x1000), &mut buf);
 /// assert_eq!(&buf, b"hello");
 /// ```
+/// Backing pages are `Arc`-shared: cloning the RAM (a snapshot freeze or
+/// fork) bumps refcounts instead of deep-copying pages, and a write to a
+/// shared page copies just that page first (`Arc::make_mut`).
+#[derive(Clone)]
 pub struct SharedRam {
     size: u64,
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Arc<[u8; PAGE_SIZE]>>,
 }
 
 impl SharedRam {
@@ -117,6 +122,20 @@ impl SharedRam {
     /// Number of page frames.
     pub fn frames(&self) -> u64 {
         self.size / PAGE_SIZE as u64
+    }
+
+    /// Folds the RAM's exact state into a snapshot digest: the size plus
+    /// every materialised page (in address order) and its bytes. The
+    /// sparse representation is itself deterministic — which pages are
+    /// materialised is a pure function of the write history — so equal
+    /// digests mean structurally equal RAMs.
+    pub fn digest_into(&self, h: &mut k2_sim::digest::Fnv64) {
+        h.u64(self.size).usize(self.pages.len());
+        let mut addrs: Vec<u64> = self.pages.keys().copied().collect();
+        addrs.sort_unstable();
+        for a in addrs {
+            h.u64(a).bytes(&self.pages[&a][..]);
+        }
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -155,8 +174,8 @@ impl SharedRam {
             let page = self
                 .pages
                 .entry(a >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-            page[off..off + n].copy_from_slice(&data[done..done + n]);
+                .or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
+            Arc::make_mut(page)[off..off + n].copy_from_slice(&data[done..done + n]);
             a += n as u64;
             done += n;
         }
@@ -181,8 +200,8 @@ impl SharedRam {
                 let page = self
                     .pages
                     .entry(a >> PAGE_SHIFT)
-                    .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-                page[off..off + n].fill(byte);
+                    .or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
+                Arc::make_mut(page)[off..off + n].fill(byte);
             }
             a += n as u64;
             left -= n;

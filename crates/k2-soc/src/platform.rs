@@ -11,7 +11,7 @@
 //! interrupt hooks mutate. The k2 crates instantiate `W` with the two-kernel
 //! system; the machine itself knows nothing about operating systems.
 
-use crate::core::CoreDesc;
+use crate::core::{CoreDesc, CoreKind};
 use crate::dma::{DmaEngine, DmaStatus, DmaXferId};
 use crate::fault::{DmaFate, FaultClass, FaultPlan, FaultStats, MailFate};
 use crate::hwspinlock::{HwLockId, HwSpinlockBank};
@@ -21,13 +21,14 @@ use crate::mailbox::{Envelope, LinkTag, Mail, MailboxBank, MAIL_LATENCY};
 use crate::mem::SharedRam;
 use crate::power::{EnergyMeter, PowerState};
 use k2_sim::audit::InvariantAuditor;
+use k2_sim::digest::Fnv64;
 use k2_sim::explore::{ChoicePoint, EventClass, ScheduleChooser};
 use k2_sim::export::ChromeTraceWriter;
 use k2_sim::json::{Json, JsonWriter};
 use k2_sim::metrics::{CounterId, DurationId, GaugeId, HistogramId, Key, Registry, Tag};
 use k2_sim::queue::EventQueue;
 use k2_sim::sink::SinkMode;
-use k2_sim::span::{SpanId, SpanTracker};
+use k2_sim::span::{SpanArgs, SpanId, SpanTracker};
 use k2_sim::time::{SimDuration, SimTime};
 use k2_sim::trace::{Trace, TraceEvent};
 use std::collections::{HashMap, VecDeque};
@@ -155,6 +156,7 @@ fn sub_slot(subsystem: &'static str) -> usize {
 /// the byte-identical profile reports the golden suite pins down);
 /// thereafter every bump is an O(1) dense-vector index instead of an
 /// ordered-map walk over `(name, tag)` keys.
+#[derive(Clone)]
 struct HotIds {
     n_domains: usize,
     /// `active[core][subsystem]` duration accumulators.
@@ -251,7 +253,7 @@ fn observe_duration_hot(
     metrics.observe_duration_by_id(id, d);
 }
 
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 enum Event {
     StepDone { core: CoreId, epoch: u64 },
     InactiveTimeout { core: CoreId, epoch: u64 },
@@ -300,6 +302,7 @@ enum CoreMode {
     Inactive,
 }
 
+#[derive(Clone)]
 struct CoreRt {
     desc: CoreDesc,
     meter: EnergyMeter,
@@ -367,6 +370,271 @@ impl<W> fmt::Debug for Machine<W> {
             .field("live_tasks", &self.live_tasks)
             .finish()
     }
+}
+
+/// A frozen, structurally cloned copy of a machine's complete *data*
+/// state — clock, event queue, cores and energy meters, RAM pages,
+/// mailbox FIFOs, hardware spinlocks, interrupt fabric, DMA engine,
+/// fault-plan RNG, event trace, auditor, metrics registry, span tracker
+/// and every counter — taken with [`Machine::snapshot`] and rehydrated
+/// with [`Machine::fork`].
+///
+/// What a snapshot deliberately does *not* capture is code: task bodies
+/// (`Box<dyn Task>`), interrupt hooks, power observers, invariant
+/// checks, deferred calls and any installed schedule chooser are
+/// closures, not data. A machine must therefore be *quiescent* when
+/// snapshotted — no live or parked tasks, no pending deferred calls —
+/// which is exactly the state a freshly booted system is in. The world
+/// layer re-installs its closures on every fork (see `K2System::fork`),
+/// so a fork plus reinstalled closures is observably indistinguishable
+/// from the original machine: DESIGN.md §5.7 gives the determinism
+/// argument.
+///
+/// The snapshot is `Send + Sync` plain data: freeze it once on a
+/// coordinator and fork from it on any number of worker threads.
+#[derive(Clone)]
+pub struct MachineSnapshot {
+    now: SimTime,
+    queue: EventQueue<Event>,
+    cores: Vec<CoreRt>,
+    domains: Vec<Vec<CoreId>>,
+    ram: SharedRam,
+    mailboxes: MailboxBank,
+    hwlocks: HwSpinlockBank,
+    irq_fabric: IrqFabric,
+    dma: DmaEngine,
+    dma_pending: Vec<crate::dma::DmaCompletion>,
+    /// Length of the task-slot table (every slot is vacant — see the
+    /// quiescence requirement), so forked machines keep allocating
+    /// [`TaskId`]s from the same watermark.
+    task_slots: usize,
+    waiters: HashMap<(DomainId, IrqId), Vec<TaskId>>,
+    completed_tasks: u64,
+    trace: Trace,
+    trace_stderr: bool,
+    fault_plan: Option<FaultPlan>,
+    auditor: InvariantAuditor,
+    next_call_id: u64,
+    metrics: Registry,
+    spans: SpanTracker,
+    dma_inflight: HashMap<DmaXferId, (SpanId, SimTime)>,
+    choice_points: u64,
+    hot_ids: HotIds,
+    events_processed: u64,
+}
+
+impl fmt::Debug for MachineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MachineSnapshot")
+            .field("now", &self.now)
+            .field("cores", &self.cores.len())
+            .field("queued_events", &self.queue.len())
+            .field("digest", &format_args!("{:#018x}", self.digest()))
+            .finish()
+    }
+}
+
+impl MachineSnapshot {
+    /// The frozen clock value.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// 64-bit FNV-1a digest over the frozen state — the cheap identity
+    /// check: equal digests mean (collisions aside) structurally equal
+    /// machines that will evolve identically under identical inputs.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        digest_machine_state(
+            &mut h,
+            StateView {
+                now: self.now,
+                queue: &self.queue,
+                cores: &self.cores,
+                domains: &self.domains,
+                ram: &self.ram,
+                mailboxes: &self.mailboxes,
+                hwlocks: &self.hwlocks,
+                irq_fabric: &self.irq_fabric,
+                dma: &self.dma,
+                dma_pending: &self.dma_pending,
+                task_slots: self.task_slots,
+                waiters: &self.waiters,
+                completed_tasks: self.completed_tasks,
+                trace: &self.trace,
+                trace_stderr: self.trace_stderr,
+                fault_plan: self.fault_plan.as_ref(),
+                auditor: &self.auditor,
+                next_call_id: self.next_call_id,
+                metrics: &self.metrics,
+                spans: &self.spans,
+                dma_inflight: &self.dma_inflight,
+                choice_points: self.choice_points,
+                events_processed: self.events_processed,
+            },
+        );
+        h.finish()
+    }
+}
+
+/// Borrowed view of the machine state both [`Machine::state_digest`] and
+/// [`MachineSnapshot::digest`] fold — one folding routine, so a live
+/// machine and its snapshot agree on the digest by construction.
+struct StateView<'a> {
+    now: SimTime,
+    queue: &'a EventQueue<Event>,
+    cores: &'a [CoreRt],
+    domains: &'a [Vec<CoreId>],
+    ram: &'a SharedRam,
+    mailboxes: &'a MailboxBank,
+    hwlocks: &'a HwSpinlockBank,
+    irq_fabric: &'a IrqFabric,
+    dma: &'a DmaEngine,
+    dma_pending: &'a [crate::dma::DmaCompletion],
+    task_slots: usize,
+    waiters: &'a HashMap<(DomainId, IrqId), Vec<TaskId>>,
+    completed_tasks: u64,
+    trace: &'a Trace,
+    trace_stderr: bool,
+    fault_plan: Option<&'a FaultPlan>,
+    auditor: &'a InvariantAuditor,
+    next_call_id: u64,
+    metrics: &'a Registry,
+    spans: &'a SpanTracker,
+    dma_inflight: &'a HashMap<DmaXferId, (SpanId, SimTime)>,
+    choice_points: u64,
+    events_processed: u64,
+}
+
+/// Folds one queued event (with its firing time and sequence number).
+fn fold_event(h: &mut Fnv64, at: SimTime, seq: u64, ev: &Event) {
+    h.u64(at.as_ns()).u64(seq);
+    match *ev {
+        Event::StepDone { core, epoch } => {
+            h.u32(0).bytes(&[core.0]).u64(epoch);
+        }
+        Event::InactiveTimeout { core, epoch } => {
+            h.u32(1).bytes(&[core.0]).u64(epoch);
+        }
+        Event::MailDeliver { to, env } => {
+            h.u32(2)
+                .bytes(&[to.0, env.from.0])
+                .u32(env.mail.0)
+                .u64(env.sent_at.as_ns())
+                .u64(env.span.raw());
+            match env.tag {
+                None => {
+                    h.bool(false);
+                }
+                Some(t) => {
+                    h.bool(true).bytes(&[t.chan]).u32(t.seq);
+                }
+            }
+        }
+        Event::DmaTick { generation } => {
+            h.u32(3).u64(generation);
+        }
+        Event::TaskWake { task } => {
+            h.u32(4).u32(task.0);
+        }
+        Event::RaiseIrq { irq } => {
+            h.u32(5).u32(irq.0 as u32);
+        }
+        Event::Call { id } => {
+            h.u32(6).u64(id);
+        }
+    }
+}
+
+/// The one folding routine behind both digest entry points.
+fn digest_machine_state(h: &mut Fnv64, v: StateView<'_>) {
+    h.u64(v.now.as_ns());
+    // Event queue: every live event in deterministic (time, seq) order.
+    h.usize(v.queue.len());
+    v.queue
+        .for_each_live_ordered(|at, seq, ev| fold_event(h, at, seq, ev));
+    // Cores and their energy meters.
+    h.usize(v.cores.len());
+    for c in v.cores {
+        h.bytes(&[c.desc.id.0, c.desc.domain.0])
+            .u32(match c.desc.kind {
+                CoreKind::CortexA9 => 0,
+                CoreKind::CortexM3 => 1,
+            })
+            .u64(c.desc.freq_hz);
+        c.meter.digest_into(h);
+        h.u32(match c.mode {
+            CoreMode::Busy => 0,
+            CoreMode::Idle => 1,
+            CoreMode::Inactive => 2,
+        })
+        .u64(c.running.map_or(u64::MAX, |t| t.0 as u64))
+        .usize(c.rq.len());
+        for t in &c.rq {
+            h.u32(t.0);
+        }
+        h.u64(c.epoch)
+            .u64(c.extra.as_ns())
+            .bool(c.woke_for_service)
+            .u64(c.task_activity_at.as_ns());
+    }
+    h.usize(v.domains.len());
+    for d in v.domains {
+        h.usize(d.len());
+        for c in d {
+            h.bytes(&[c.0]);
+        }
+    }
+    v.ram.digest_into(h);
+    v.mailboxes.digest_into(h);
+    v.hwlocks.digest_into(h);
+    v.irq_fabric.digest_into(h);
+    v.dma.digest_into(h);
+    h.usize(v.dma_pending.len());
+    for c in v.dma_pending {
+        h.u64(c.id.0).u64(c.src.0).u64(c.dst.0).u64(c.len);
+        match c.status {
+            crate::dma::DmaStatus::Ok => {
+                h.bool(true);
+            }
+            crate::dma::DmaStatus::Error { bytes_copied } => {
+                h.bool(false).u64(bytes_copied);
+            }
+        }
+    }
+    h.usize(v.task_slots).u64(v.completed_tasks);
+    // IRQ waiters, key-sorted (HashMap iteration order must not leak in).
+    let mut waits: Vec<(&(DomainId, IrqId), &Vec<TaskId>)> = v.waiters.iter().collect();
+    waits.sort_unstable_by_key(|&(&(d, i), _)| (d.0, i.0));
+    h.usize(waits.len());
+    for (&(d, i), tasks) in waits {
+        h.bytes(&[d.0]).u32(i.0 as u32).usize(tasks.len());
+        for t in tasks {
+            h.u32(t.0);
+        }
+    }
+    v.trace.digest_into(h);
+    h.bool(v.trace_stderr);
+    match v.fault_plan {
+        None => {
+            h.bool(false);
+        }
+        Some(p) => {
+            h.bool(true);
+            p.digest_into(h);
+        }
+    }
+    v.auditor.digest_into(h);
+    h.u64(v.next_call_id);
+    v.metrics.digest_into(h);
+    v.spans.digest_into(h);
+    let mut inflight: Vec<(&DmaXferId, &(SpanId, SimTime))> = v.dma_inflight.iter().collect();
+    inflight.sort_unstable_by_key(|&(id, _)| id.0);
+    h.usize(inflight.len());
+    for (id, &(span, at)) in inflight {
+        h.u64(id.0).u64(span.raw()).u64(at.as_ns());
+    }
+    h.u64(v.choice_points).u64(v.events_processed);
 }
 
 impl<W> Machine<W> {
@@ -448,6 +716,146 @@ impl<W> Machine<W> {
             scratch_classes: Vec::new(),
             events_processed: 0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / fork
+    // ------------------------------------------------------------------
+
+    /// Freezes the machine's complete data state into a
+    /// [`MachineSnapshot`] (see its docs for what is and is not
+    /// captured). The machine itself is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not quiescent: a live or parked task, or
+    /// a pending deferred call, holds a closure a structural clone
+    /// cannot carry. A freshly booted system is always quiescent.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        assert!(
+            self.tasks.iter().all(Option::is_none),
+            "cannot snapshot a machine with live tasks ({} live): task bodies are closures",
+            self.live_tasks
+        );
+        assert!(
+            self.deferred.is_empty(),
+            "cannot snapshot a machine with {} pending deferred calls: they are closures",
+            self.deferred.len()
+        );
+        MachineSnapshot {
+            now: self.now,
+            queue: self.queue.clone(),
+            cores: self.cores.clone(),
+            domains: self.domains.clone(),
+            ram: self.ram.clone(),
+            mailboxes: self.mailboxes.clone(),
+            hwlocks: self.hwlocks.clone(),
+            irq_fabric: self.irq_fabric.clone(),
+            dma: self.dma.clone(),
+            dma_pending: self.dma_pending.clone(),
+            task_slots: self.tasks.len(),
+            waiters: self.waiters.clone(),
+            completed_tasks: self.completed_tasks,
+            trace: self.trace.clone(),
+            trace_stderr: self.trace_stderr,
+            fault_plan: self.fault_plan.clone(),
+            auditor: self.auditor.clone(),
+            next_call_id: self.next_call_id,
+            metrics: self.metrics.clone(),
+            spans: self.spans.clone(),
+            dma_inflight: self.dma_inflight.clone(),
+            choice_points: self.choice_points,
+            hot_ids: self.hot_ids.clone(),
+            events_processed: self.events_processed,
+        }
+    }
+
+    /// Rehydrates a machine from a frozen snapshot: every data field is
+    /// structurally cloned back; the closure tables (interrupt hooks,
+    /// power observers, invariant checks, schedule chooser) come back
+    /// *empty* and must be re-installed by the world layer before the
+    /// machine runs — `K2System::fork` does exactly that, making a fork
+    /// byte-indistinguishable from the machine the snapshot froze.
+    pub fn fork(snap: &MachineSnapshot) -> Machine<W> {
+        Machine {
+            now: snap.now,
+            queue: snap.queue.clone(),
+            cores: snap.cores.clone(),
+            domains: snap.domains.clone(),
+            ram: snap.ram.clone(),
+            mailboxes: snap.mailboxes.clone(),
+            hwlocks: snap.hwlocks.clone(),
+            irq_fabric: snap.irq_fabric.clone(),
+            dma: snap.dma.clone(),
+            dma_pending: snap.dma_pending.clone(),
+            tasks: (0..snap.task_slots).map(|_| None).collect(),
+            waiters: snap.waiters.clone(),
+            hooks: HashMap::new(),
+            power_observers: Vec::new(),
+            live_tasks: 0,
+            completed_tasks: snap.completed_tasks,
+            trace: snap.trace.clone(),
+            trace_stderr: snap.trace_stderr,
+            fault_plan: snap.fault_plan.clone(),
+            auditor: snap.auditor.clone(),
+            world_checks: Vec::new(),
+            deferred: HashMap::new(),
+            next_call_id: snap.next_call_id,
+            metrics: snap.metrics.clone(),
+            spans: snap.spans.clone(),
+            dma_inflight: snap.dma_inflight.clone(),
+            schedule_chooser: None,
+            choice_points: snap.choice_points,
+            hot_ids: snap.hot_ids.clone(),
+            scratch_classes: Vec::new(),
+            events_processed: snap.events_processed,
+        }
+    }
+
+    /// 64-bit FNV-1a digest over the machine's current data state — the
+    /// same folding [`MachineSnapshot::digest`] uses, so
+    /// `m.state_digest() == m.snapshot().digest()` whenever the machine
+    /// is quiescent, and two machines agreeing here agree on everything
+    /// a snapshot would capture. Unlike [`Machine::snapshot`] this never
+    /// panics: live tasks and deferred calls are *counted* into the
+    /// digest (their closures cannot be folded, but their presence is
+    /// still distinguishing).
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        digest_machine_state(
+            &mut h,
+            StateView {
+                now: self.now,
+                queue: &self.queue,
+                cores: &self.cores,
+                domains: &self.domains,
+                ram: &self.ram,
+                mailboxes: &self.mailboxes,
+                hwlocks: &self.hwlocks,
+                irq_fabric: &self.irq_fabric,
+                dma: &self.dma,
+                dma_pending: &self.dma_pending,
+                task_slots: self.tasks.len(),
+                waiters: &self.waiters,
+                completed_tasks: self.completed_tasks,
+                trace: &self.trace,
+                trace_stderr: self.trace_stderr,
+                fault_plan: self.fault_plan.as_ref(),
+                auditor: &self.auditor,
+                next_call_id: self.next_call_id,
+                metrics: &self.metrics,
+                spans: &self.spans,
+                dma_inflight: &self.dma_inflight,
+                choice_points: self.choice_points,
+                events_processed: self.events_processed,
+            },
+        );
+        // Closure-bearing state (task bodies, hooks, deferred calls) is
+        // not folded directly, but it is never invisible either: a
+        // pending deferred call owns a live `Event::Call { id }` queue
+        // entry, and a live task is referenced by its core's run state or
+        // a `TaskWake` event — all of which the folding above covers.
+        h.finish()
     }
 
     // ------------------------------------------------------------------
@@ -993,16 +1401,18 @@ impl<W> Machine<W> {
         // Closed spans → complete events.
         self.spans.for_each(|s| {
             if let Some(end) = s.end {
+                let mut args = vec![
+                    ("id", s.id.raw()),
+                    ("parent", s.parent.map_or(0, SpanId::raw)),
+                ];
+                args.extend(s.args.iter());
                 w.complete(
                     s.name,
                     "span",
                     s.domain as u64,
                     track_of(s.name),
                     (s.start.as_ns(), end.saturating_since(s.start).as_ns()),
-                    &[
-                        ("id", s.id.raw()),
-                        ("parent", s.parent.map_or(0, SpanId::raw)),
-                    ],
+                    &args,
                 );
             }
         });
@@ -1316,7 +1726,17 @@ impl<W> Machine<W> {
         mail: Mail,
         tag: Option<LinkTag>,
     ) {
-        let span = self.spans.start(self.now, "mail", from.0);
+        let span = match tag {
+            // The reliable-link sequence tag rides into the trace so a
+            // retransmitted mail is attributable in the Chrome viewer.
+            Some(t) => self.spans.start_args(
+                self.now,
+                "mail",
+                from.0,
+                SpanArgs::one("tag", u64::from(t.seq)),
+            ),
+            None => self.spans.start(self.now, "mail", from.0),
+        };
         let env = Envelope {
             from,
             mail,
@@ -1483,7 +1903,12 @@ impl<W> Machine<W> {
             Key::new("dma.bytes_submitted", Tag::Whole),
             len,
         );
-        let span = self.spans.start(self.now, "dma", DomainId::STRONG.0);
+        let span = self.spans.start_args(
+            self.now,
+            "dma",
+            DomainId::STRONG.0,
+            SpanArgs::one("bytes", len),
+        );
         self.dma_inflight.insert(id, (span, self.now));
         self.schedule_dma_tick();
         id

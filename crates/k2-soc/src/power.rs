@@ -125,7 +125,7 @@ pub struct EnergyMeter {
     state: PowerState,
     last: SimTime,
     energy_mj: f64,
-    /// Time spent in each state, for reporting: [active, idle, inactive].
+    /// Time spent in each state, for reporting: `[active, idle, inactive]`.
     state_time: [SimDuration; 3],
     wakeups: u64,
 }
@@ -208,6 +208,24 @@ impl EnergyMeter {
     /// Number of wake-ups from the inactive state.
     pub fn wakeups(&self) -> u64 {
         self.wakeups
+    }
+
+    /// Folds the meter's exact state (operating point, power state,
+    /// accumulators) into a snapshot digest.
+    pub fn digest_into(&self, h: &mut k2_sim::digest::Fnv64) {
+        h.f64(self.params.active_mw)
+            .f64(self.params.idle_mw)
+            .f64(self.params.inactive_mw)
+            .u64(self.params.inactive_timeout.as_ns())
+            .u64(self.params.wake_latency.as_ns())
+            .f64(self.params.wake_energy_uj)
+            .u32(Self::idx(self.state) as u32)
+            .u64(self.last.as_ns())
+            .f64(self.energy_mj)
+            .u64(self.wakeups);
+        for t in self.state_time {
+            h.u64(t.as_ns());
+        }
     }
 
     fn idx(state: PowerState) -> usize {

@@ -11,7 +11,7 @@ use crate::record::{EnergyRun, EnergySnapshot, SharedDriverRun};
 use crate::tasks::{
     new_report, DmaBenchTask, Ext2BenchTask, ReportHandle, TaskIdentity, UdpBenchTask,
 };
-use k2::system::{K2Machine, K2System, SystemConfig, SystemMode};
+use k2::system::{K2Machine, K2System, SystemConfig, SystemMode, SystemSnapshot};
 use k2_kernel::proc::{Pid, ThreadKind, Tid};
 use k2_sim::sink::SinkMode;
 use k2_sim::time::{SimDuration, SimTime};
@@ -419,6 +419,14 @@ impl TestSystem {
         }
     }
 
+    /// Boots a fresh system with `config` and freezes it before any knob
+    /// is applied — the image [`TestSystemBuilder::build_from`] forks.
+    /// Boot once, explore everywhere.
+    pub fn freeze_boot(config: SystemConfig) -> SystemSnapshot {
+        let (m, sys) = K2System::boot(config);
+        K2System::snapshot(&m, &sys)
+    }
+
     /// The core a kernel's service loops run on in `dom`.
     pub fn kernel_core(&self, dom: DomainId) -> CoreId {
         K2System::kernel_core(&self.m, dom)
@@ -575,7 +583,31 @@ impl TestSystemBuilder {
     /// Boots the system and applies every configured knob, in the same
     /// order the tests it replaces used: plan, trace, audit, settle.
     pub fn build(self) -> TestSystem {
-        let (mut m, mut sys) = K2System::boot(self.config);
+        let (m, sys) = K2System::boot(self.config);
+        self.apply_knobs(m, sys)
+    }
+
+    /// Forks a pre-booted frozen image instead of booting, then applies
+    /// this builder's knobs in exactly the order [`TestSystemBuilder::build`]
+    /// does. Because the image is frozen post-boot and pre-knob, one
+    /// snapshot serves every knob combination; the resulting system is
+    /// byte-indistinguishable from a freshly booted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was frozen under a different [`SystemConfig`]
+    /// than this builder's — the fork would silently model a different SoC.
+    pub fn build_from(self, snap: &SystemSnapshot) -> TestSystem {
+        assert_eq!(
+            format!("{:?}", snap.sys.config),
+            format!("{:?}", self.config),
+            "snapshot was frozen under a different config"
+        );
+        let (m, sys) = K2System::fork(snap);
+        self.apply_knobs(m, sys)
+    }
+
+    fn apply_knobs(self, mut m: K2Machine, mut sys: K2System) -> TestSystem {
         if let Some(mode) = self.span_sink {
             m.set_span_sink(mode);
         }

@@ -84,7 +84,7 @@ pub enum Pressure {
 /// contiguous, 6.1 constraint 3); every other domain's blocks stack from
 /// the high end, each domain tracking its own blocks so inflation returns
 /// the right kernel's frontier block.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BalloonManager {
     global: Region,
     /// Free K2-owned blocks form the contiguous index range

@@ -59,7 +59,7 @@ pub struct SymbolEntry {
 /// let sym = t.register("dma_submit", SymbolEntry { arm_addr: 0xc010_0000, thumb_addr: 0x0410_0001 });
 /// assert_eq!(t.resolve(sym, Isa::Thumb2).unwrap(), 0x0410_0001);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DispatchTable {
     entries: Vec<SymbolEntry>,
     by_name: HashMap<String, SymbolId>,

@@ -32,6 +32,7 @@ pub enum ProtocolChoice {
     ThreeState,
 }
 
+#[derive(Clone, Debug)]
 enum ProtocolImpl {
     Two(TwoStateProtocol),
     Three(MsiProtocol),
@@ -78,6 +79,7 @@ pub struct DsmStats {
 }
 
 /// The DSM state machine. See the module docs.
+#[derive(Clone)]
 pub struct Dsm {
     protocol: ProtocolImpl,
     choice: ProtocolChoice,

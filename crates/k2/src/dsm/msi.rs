@@ -71,7 +71,7 @@ pub struct MsiStats {
 /// // ...until someone writes.
 /// assert!(matches!(p.write(DomainId::WEAK, page), MsiAccess::WriteInvalidate { .. }));
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MsiProtocol {
     state: HashMap<DsmPage, MsiState>,
     default_owner: DomainId,

@@ -110,7 +110,7 @@ pub struct ProtocolStats {
 /// );
 /// assert_eq!(p.access(DomainId::WEAK, page), Access::Hit);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TwoStateProtocol {
     owner: HashMap<DsmPage, DomainId>,
     default_owner: DomainId,

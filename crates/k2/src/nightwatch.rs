@@ -62,7 +62,7 @@ impl NwMsg {
 
 /// The NightWatch gate state kept by the shadow kernel, plus protocol
 /// statistics.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct NightWatch {
     /// Processes whose NightWatch threads are currently flagged off the
     /// run queue.

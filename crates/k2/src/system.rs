@@ -24,6 +24,7 @@ use k2_kernel::kernel::{SharedServices, SystemWorld};
 use k2_kernel::proc::{Pid, ThreadState, Tid};
 use k2_kernel::reliable::{LinkStats, ReliableLink, RetryVerdict, SendTicket};
 use k2_kernel::service::{OpCx, ServiceId};
+use k2_sim::digest::Fnv64;
 use k2_sim::json::{Json, JsonWriter};
 use k2_sim::metrics::{Key, Tag};
 use k2_sim::time::SimDuration;
@@ -34,7 +35,7 @@ use k2_soc::ids::{CoreId, DomainId, IrqId};
 use k2_soc::mailbox::{Envelope, LinkTag, Mail};
 use k2_soc::mem::{Pfn, PhysAddr};
 use k2_soc::mmu::MmuKind;
-use k2_soc::platform::{Machine, TaskId};
+use k2_soc::platform::{Machine, MachineSnapshot, TaskId};
 use k2_soc::power::PowerState;
 use k2_soc::soc::SocBuilder;
 use std::collections::HashMap;
@@ -125,7 +126,7 @@ pub struct SystemStats {
 }
 
 /// The world: see the module docs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct K2System {
     /// Boot configuration.
     pub config: SystemConfig,
@@ -271,29 +272,34 @@ impl K2System {
             for &dom in &all_domains[1..] {
                 machine.irq_unmask(dom, IrqId::mailbox_for(dom), &mut sys);
             }
-            install_hooks(&mut machine, &all_domains);
-        } else {
-            install_dma_hook(&mut machine, DomainId::STRONG);
-            install_sensor_hook(&mut machine, DomainId::STRONG);
-            install_net_hook(&mut machine, DomainId::STRONG);
         }
-        // Conservation laws the platform's invariant auditor enforces when
-        // enabled, alongside its own (energy, mail, irq, lock) checks.
-        machine.add_invariant_check(
-            "buddy-accounting",
-            Box::new(|w: &K2System| {
-                for k in &w.world.kernels {
-                    k.buddy
-                        .validate()
-                        .map_err(|e| format!("kernel {}: {e}", k.domain))?;
-                }
-                Ok(())
-            }),
-        );
-        machine.add_invariant_check(
-            "dsm-single-writer",
-            Box::new(|w: &K2System| w.dsm.validate()),
-        );
+        install_closures(&mut machine, &config);
+        (machine, sys)
+    }
+
+    /// Freezes a booted system: the machine's complete data state plus a
+    /// structural clone of the world. The pair must be quiescent (no live
+    /// tasks, no pending deferred calls — see [`Machine::snapshot`]); a
+    /// freshly booted system always is. The snapshot is `Send + Sync`, so
+    /// one frozen image can seed forks across worker threads.
+    pub fn snapshot(m: &K2Machine, sys: &K2System) -> SystemSnapshot {
+        SystemSnapshot {
+            machine: m.snapshot(),
+            sys: sys.clone(),
+        }
+    }
+
+    /// Rehydrates a runnable `(machine, world)` pair from a frozen
+    /// snapshot. Data state is cloned back verbatim; the closure tables a
+    /// snapshot cannot carry (interrupt hooks, the power observer, the
+    /// invariant checks) are re-installed by the same code boot uses, in
+    /// the same order, so a fork is byte-indistinguishable from the
+    /// system the snapshot froze — `fork(s).0.state_digest()` equals
+    /// `s.machine.digest()`.
+    pub fn fork(snap: &SystemSnapshot) -> (K2Machine, K2System) {
+        let mut machine: K2Machine = Machine::fork(&snap.machine);
+        let sys = snap.sys.clone();
+        install_closures(&mut machine, &sys.config);
         (machine, sys)
     }
 
@@ -381,6 +387,77 @@ impl K2System {
         ])
     }
 
+    /// Folds the world's observable state into a snapshot digest:
+    /// configuration, system counters, DSM / NightWatch / balloon
+    /// statistics, merged link counters, and the shapes of every pending
+    /// device queue (in-flight DMA, parked tasks, inboxes, waiters).
+    pub fn digest_into(&self, h: &mut Fnv64) {
+        h.bool(self.config.mode == SystemMode::K2)
+            .bool(self.config.protocol == ProtocolChoice::TwoState)
+            .u64(self.config.initial_main_blocks)
+            .u64(self.config.initial_shadow_blocks)
+            .u32(self.config.domains as u32)
+            .u64(self.config.a9_freq_mhz)
+            .bool(self.config.fs_on_flash);
+        h.u64(self.stats.shadowed_ops)
+            .u64(self.stats.hwlock_ops)
+            .u64(self.stats.allocs[0])
+            .u64(self.stats.allocs[1])
+            .u64(self.stats.redirected_frees)
+            .u64(self.stats.hwlock_aborts)
+            .u64(self.stats.dma_retries)
+            .u64(self.stats.dma_gave_up);
+        h.u64(self.dsm.total_faults())
+            .u64(self.dsm.stats().messages)
+            .u64(self.dsm.stats().messages_delivered)
+            .u64(self.dsm.stats().sections_split);
+        let (deflates, inflates) = self.balloon.op_counts();
+        h.u64(deflates)
+            .u64(inflates)
+            .u64(self.balloon.free_blocks());
+        let (suspends, resumes) = self.nightwatch.counts();
+        h.u64(suspends).u64(resumes);
+        let ls = self.link_stats();
+        h.u64(ls.sent)
+            .u64(ls.retransmits)
+            .u64(ls.acked)
+            .u64(ls.gave_up)
+            .u64(ls.accepted)
+            .u64(ls.duplicates_dropped);
+        // Pending work, folded by sorted key so HashMap order is moot.
+        let mut xfers: Vec<u64> = self.dma_xfers.keys().copied().collect();
+        xfers.sort_unstable();
+        h.usize(xfers.len());
+        for id in xfers {
+            h.u64(id);
+        }
+        let mut links: Vec<(u8, u8, u8)> = self.links.keys().copied().collect();
+        links.sort_unstable();
+        h.usize(links.len());
+        for (a, b, c) in links {
+            h.u32(a as u32).u32(b as u32).u32(c as u32);
+        }
+        let mut parked: Vec<(u32, usize)> = self
+            .nw_parked
+            .iter()
+            .map(|(pid, v)| (*pid, v.len()))
+            .collect();
+        parked.sort_unstable();
+        h.usize(parked.len());
+        for (pid, n) in parked {
+            h.u32(pid).usize(n);
+        }
+        h.usize(self.sensor_inbox.len())
+            .usize(self.sensor_waiters.len())
+            .usize(self.net_pending.len())
+            .usize(self.net_waiters.len());
+        h.bool(self.sensor_period.is_some());
+        if let Some(p) = self.sensor_period {
+            h.u64(p.as_ns());
+        }
+        h.usize(self.sensor_watermark);
+    }
+
     /// Merged reliable-messaging counters across every link (empty unless
     /// fault injection activated the reliability paths).
     pub fn link_stats(&self) -> LinkStats {
@@ -465,6 +542,71 @@ impl K2System {
         }
         self.balloon.block_owner_of(pfn).unwrap_or(DomainId::STRONG)
     }
+}
+
+/// A frozen image of a booted system: the platform's [`MachineSnapshot`]
+/// plus a structural clone of the [`K2System`] world. Produced by
+/// [`K2System::snapshot`], consumed (any number of times, from any thread)
+/// by [`K2System::fork`].
+#[derive(Clone, Debug)]
+pub struct SystemSnapshot {
+    /// Complete platform data state (cores, queue, peripherals, metrics…).
+    pub machine: MachineSnapshot,
+    /// The world. Plain data throughout — every closure a running system
+    /// needs lives in the machine's hook tables, which fork re-installs.
+    pub sys: K2System,
+}
+
+impl SystemSnapshot {
+    /// Simulated time at which the snapshot was frozen.
+    pub fn now(&self) -> k2_sim::time::SimTime {
+        self.machine.now()
+    }
+
+    /// 64-bit FNV-1a digest over the frozen state: the machine digest
+    /// chained with the world's observable counters (system stats, DSM,
+    /// NightWatch, balloon, reliable links, pending device work). Kernel
+    /// deep state (buddy free lists, page cache, sockets) is deliberately
+    /// not folded — it is exercised through the golden profile reports
+    /// the differential suite compares byte-for-byte.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.u64(self.machine.digest());
+        self.sys.digest_into(&mut h);
+        h.finish()
+    }
+}
+
+/// Installs everything a machine needs that a snapshot cannot carry: the
+/// per-domain interrupt hooks, the shared-interrupt power observer, and
+/// the conservation-law invariant checks the platform auditor enforces
+/// when enabled. Called once by [`K2System::boot`] and again by
+/// [`K2System::fork`] on every rehydrated machine; registration order is
+/// fixed so boot and fork produce identical hook tables.
+fn install_closures(machine: &mut K2Machine, config: &SystemConfig) {
+    let all_domains: Vec<DomainId> = (0..config.domains).map(DomainId).collect();
+    if config.mode == SystemMode::K2 {
+        install_hooks(machine, &all_domains);
+    } else {
+        install_dma_hook(machine, DomainId::STRONG);
+        install_sensor_hook(machine, DomainId::STRONG);
+        install_net_hook(machine, DomainId::STRONG);
+    }
+    machine.add_invariant_check(
+        "buddy-accounting",
+        Box::new(|w: &K2System| {
+            for k in &w.world.kernels {
+                k.buddy
+                    .validate()
+                    .map_err(|e| format!("kernel {}: {e}", k.domain))?;
+            }
+            Ok(())
+        }),
+    );
+    machine.add_invariant_check(
+        "dsm-single-writer",
+        Box::new(|w: &K2System| w.dsm.validate()),
+    );
 }
 
 fn install_hooks(machine: &mut K2Machine, domains: &[DomainId]) {
@@ -1483,6 +1625,62 @@ mod tests {
             s.net.recv(port, cx).unwrap()
         });
         assert_eq!(dg.unwrap().payload, b"http payload");
+    }
+
+    #[test]
+    fn snapshot_fork_digest_round_trip() {
+        for config in [SystemConfig::k2(), SystemConfig::linux()] {
+            let (m, sys) = K2System::boot(config);
+            let snap = K2System::snapshot(&m, &sys);
+            assert_eq!(
+                m.state_digest(),
+                snap.machine.digest(),
+                "snapshot digest must equal the live machine's"
+            );
+            let (fm, fsys) = K2System::fork(&snap);
+            assert_eq!(fm.state_digest(), snap.machine.digest());
+            // Freeze the fork again: bit-for-bit the same image.
+            assert_eq!(
+                K2System::snapshot(&fm, &fsys).digest(),
+                snap.digest(),
+                "fork → snapshot must round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_runs_identically_to_original() {
+        let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+        let snap = K2System::snapshot(&m, &sys);
+        let (mut fm, mut fsys) = K2System::fork(&snap);
+        // Drive both through the same activity: sensor batches + idle
+        // transitions + the shared-irq handoff.
+        let weak = K2System::kernel_core(&m, DomainId::WEAK);
+        sensor_arm(&mut sys, &mut m, weak, 8, SimDuration::from_ms(5));
+        sensor_arm(&mut fsys, &mut fm, weak, 8, SimDuration::from_ms(5));
+        m.run_until(m.now() + SimDuration::from_secs(6), &mut sys);
+        fm.run_until(fm.now() + SimDuration::from_secs(6), &mut fsys);
+        assert_eq!(m.state_digest(), fm.state_digest());
+        assert_eq!(
+            sys.profile_report(&m).render_compact(),
+            fsys.profile_report(&fm).render_compact()
+        );
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let (m, sys) = K2System::boot(SystemConfig::k2());
+        let snap = K2System::snapshot(&m, &sys);
+        let (mut f1, mut s1) = K2System::fork(&snap);
+        let (f2, s2) = K2System::fork(&snap);
+        let d2_before = f2.state_digest();
+        // Running fork 1 must not perturb fork 2 or the frozen image.
+        let weak = K2System::kernel_core(&f1, DomainId::WEAK);
+        sensor_arm(&mut s1, &mut f1, weak, 8, SimDuration::from_ms(5));
+        f1.run_until(f1.now() + SimDuration::from_secs(1), &mut s1);
+        assert_eq!(f2.state_digest(), d2_before);
+        assert_eq!(snap.machine.digest(), d2_before);
+        drop(s2);
     }
 
     #[test]
