@@ -1,4 +1,6 @@
-//! Regenerates one experiment of the reproduction; see EXPERIMENTS.md.
+//! Regenerates one experiment from its declarative scenario file
+//! (`scenarios/dvfs-sweep.k2.md`) and checks the expectations declared
+//! there; see EXPERIMENTS.md. Exits nonzero on a conformance failure.
 fn main() {
-    print!("{}", k2_bench::dvfs_sweep());
+    std::process::exit(k2_bench::conformance::run_and_check("dvfs-sweep"));
 }

@@ -1,4 +1,6 @@
-//! Regenerates one table/figure of the paper; see EXPERIMENTS.md.
+//! Regenerates one experiment from its declarative scenario file
+//! (`scenarios/standby-estimate.k2.md`) and checks the expectations declared
+//! there; see EXPERIMENTS.md. Exits nonzero on a conformance failure.
 fn main() {
-    print!("{}", k2_bench::standby_estimate());
+    std::process::exit(k2_bench::conformance::run_and_check("standby-estimate"));
 }

@@ -1,4 +1,6 @@
-//! Regenerates one table/figure of the paper; see EXPERIMENTS.md.
+//! Regenerates one experiment from its declarative scenario file
+//! (`scenarios/table4-alloc.k2.md`) and checks the expectations declared
+//! there; see EXPERIMENTS.md. Exits nonzero on a conformance failure.
 fn main() {
-    print!("{}", k2_bench::table4_alloc());
+    std::process::exit(k2_bench::conformance::run_and_check("table4-alloc"));
 }

@@ -7,39 +7,19 @@
 
 #![warn(missing_docs)]
 
+pub mod conformance;
+
 use k2::ablation;
 use k2::system::SystemMode;
-use k2_workloads::harness::{
-    self, compare_energy, run_shared_driver, table6_batches, table6_duration, Workload,
-};
-use k2_workloads::micro;
-use k2_workloads::trend;
-use k2_workloads::usage;
+use k2_workloads::harness::{self, compare_energy, Workload};
 use std::fmt::Write as _;
 
 /// Figure 1: the architecture trend points and power ranges.
+///
+/// Parameterized by `scenarios/fig1-trend.k2.md` via the conformance
+/// runner; the rendered bytes are unchanged from the historical form.
 pub fn fig1_trend() -> String {
-    let mut s = String::new();
-    writeln!(s, "== Figure 1: trend in mobile SoC architectures ==").unwrap();
-    writeln!(
-        s,
-        "{:<14} {:<32} {:>10} {:>12} {:>10}",
-        "group", "point", "MIPS", "active mW", "idle mW"
-    )
-    .unwrap();
-    for p in trend::figure1_points() {
-        writeln!(
-            s,
-            "{:<14} {:<32} {:>10.0} {:>12.1} {:>10.1}",
-            p.group, p.label, p.mips, p.active_mw, p.idle_mw
-        )
-        .unwrap();
-    }
-    writeln!(s, "\ncumulative dynamic power range (max/min):").unwrap();
-    for (g, r) in trend::power_ranges() {
-        writeln!(s, "  {g:<14} {r:>6.1}x").unwrap();
-    }
-    s
+    conformance::eval_builtin("fig1-trend").text
 }
 
 /// Table 1: core specifications of the platform.
@@ -127,94 +107,25 @@ pub fn fig6_all() -> String {
 }
 
 /// Table 4: physical-memory allocation latencies.
+///
+/// Parameterized by `scenarios/table4-alloc.k2.md`.
 pub fn table4_alloc() -> String {
-    let mut s = String::from("== Table 4: physical memory allocation latencies (us) ==\n");
-    writeln!(
-        s,
-        "{:<18} {:>10} {:>10}",
-        "Allocation size", "Main", "Shadow"
-    )
-    .unwrap();
-    for r in micro::table4_alloc_latencies() {
-        writeln!(
-            s,
-            "{:<18} {:>10.1} {:>10.1}",
-            format!("{}KB", r.size_kb),
-            r.main_us,
-            r.shadow_us
-        )
-        .unwrap();
-    }
-    let b = micro::table4_balloon_latencies();
-    writeln!(
-        s,
-        "{:<18} {:>10.0} {:>10.0}",
-        "Balloon deflate", b.main_us[0], b.shadow_us[0]
-    )
-    .unwrap();
-    writeln!(
-        s,
-        "{:<18} {:>10.0} {:>10.0}",
-        "Balloon inflate", b.main_us[1], b.shadow_us[1]
-    )
-    .unwrap();
-    s
+    conformance::eval_builtin("table4-alloc").text
 }
 
 /// Table 5: the DSM fault latency breakdown.
+///
+/// Parameterized by `scenarios/table5-dsm.k2.md`.
 pub fn table5_dsm() -> String {
-    let mut s = String::from("== Table 5: DSM page fault latency breakdown (us) ==\n");
-    writeln!(s, "{:<28} {:>10} {:>10}", "Operations", "Main", "Shadow").unwrap();
-    let rows = micro::table5_dsm_breakdown();
-    let (main, shadow) = (&rows[0], &rows[1]);
-    let lines = [
-        ("Local fault handling", main.local_us, shadow.local_us),
-        ("Protocol execution", main.protocol_us, shadow.protocol_us),
-        ("Inter-domain communication", main.comm_us, shadow.comm_us),
-        ("Servicing request", main.service_us, shadow.service_us),
-        ("Exit fault, cache miss", main.exit_us, shadow.exit_us),
-        ("Total", main.total_us(), shadow.total_us()),
-    ];
-    for (label, m, sh) in lines {
-        writeln!(s, "{label:<28} {m:>10.1} {sh:>10.1}").unwrap();
-    }
-    let (meas_main, meas_shadow) = micro::measured_fault_latency(50);
-    writeln!(
-        s,
-        "measured end-to-end (incl. op): {meas_main:.1} / {meas_shadow:.1}"
-    )
-    .unwrap();
-    s
+    conformance::eval_builtin("table5-dsm").text
 }
 
 /// Table 6: concurrent DMA throughput with the shadowed driver.
+///
+/// Parameterized by `scenarios/table6-shared-driver.k2.md` (the batch
+/// list there mirrors [`table6_batches`]).
 pub fn table6_shared_driver() -> String {
-    let mut s =
-        String::from("== Table 6: DMA throughput, driver invoked in both kernels (MB/s) ==\n");
-    writeln!(
-        s,
-        "{:<12} {:>10} {:>10} {:>9} {:>10} {:>12} {:>10}",
-        "batch", "Linux", "K2", "delta", "K2:Main", "K2:Shadow", "faults"
-    )
-    .unwrap();
-    for batch in table6_batches() {
-        let linux = run_shared_driver(SystemMode::LinuxBaseline, batch, table6_duration());
-        let k2 = run_shared_driver(SystemMode::K2, batch, table6_duration());
-        let delta = (k2.total_mbps() - linux.total_mbps()) / linux.total_mbps() * 100.0;
-        writeln!(
-            s,
-            "{:<12} {:>10.1} {:>10.1} {:>8.1}% {:>10.1} {:>12.1} {:>10}",
-            format!("{}K", batch >> 10),
-            linux.total_mbps(),
-            k2.total_mbps(),
-            delta,
-            k2.main_mbps,
-            k2.shadow_mbps,
-            k2.dsm_faults
-        )
-        .unwrap();
-    }
-    s
+    conformance::eval_builtin("table6-shared-driver").text
 }
 
 /// §9.3 ablation: the shadowed page allocator.
@@ -293,33 +204,11 @@ pub fn ablation_three_state() -> String {
 /// justifying the paper's choice of 350 MHz as the baseline's best case
 /// and showing DVFS cannot reach the weak domain (Figure 1's argument,
 /// measured end to end).
+///
+/// Parameterized by `scenarios/dvfs-sweep.k2.md` (workload, frequency
+/// list, and the K2 comparison point all come from the file).
 pub fn dvfs_sweep() -> String {
-    use k2_workloads::harness::run_energy_bench_at;
-    let mut s = String::from("== DVFS sweep: Linux baseline efficiency vs A9 frequency ==\n");
-    writeln!(s, "{:<10} {:>12} {:>12}", "A9 MHz", "MB/J", "window mJ").unwrap();
-    let w = Workload::Udp {
-        batch: 8 << 10,
-        total: 64 << 10,
-    };
-    let mut best = (0u64, 0.0f64);
-    for mhz in [350u64, 600, 800, 1000, 1200] {
-        let run = run_energy_bench_at(SystemMode::LinuxBaseline, w, mhz);
-        let eff = run.efficiency_mb_per_j();
-        if eff > best.1 {
-            best = (mhz, eff);
-        }
-        writeln!(s, "{:<10} {:>12.2} {:>12.1}", mhz, eff, run.energy_mj).unwrap();
-    }
-    let k2 = run_energy_bench_at(SystemMode::K2, w, 350);
-    writeln!(
-        s,
-        "best Linux point: {} MHz at {:.2} MB/J; K2 at the weak domain: {:.2} MB/J",
-        best.0,
-        best.1,
-        k2.efficiency_mb_per_j()
-    )
-    .unwrap();
-    s
+    conformance::eval_builtin("dvfs-sweep").text
 }
 
 /// IO-bound ablation: the ext2 benchmark on flash instead of the paper's
@@ -424,43 +313,17 @@ pub fn ablation_pin_weak() -> String {
 }
 
 /// §9.2: the standby-time estimate.
+///
+/// Parameterized by `scenarios/standby-estimate.k2.md`.
 pub fn standby_estimate() -> String {
-    let est = usage::estimate_standby(usage::UsageModel::default());
-    let mut s = String::from("== 9.2: standby-time estimate ==\n");
-    writeln!(
-        s,
-        "Linux {:.1} days -> K2 {:.1} days ({:+.0}%), measured sync-energy ratio {:.2}",
-        est.linux_days,
-        est.k2_days,
-        est.extension_pct(),
-        est.energy_ratio
-    )
-    .unwrap();
-    s.push_str("(paper: 5.9 -> 9.4 days, +59%)\n");
-    s
+    conformance::eval_builtin("standby-estimate").text
 }
 
 /// Table 2 analogue: the classification and this repo's code inventory.
+///
+/// Parameterized by `scenarios/table2-refactoring.k2.md`.
 pub fn table2_refactoring() -> String {
-    let mut s = String::from("== Table 2 (analogue): service classification ==\n");
-    writeln!(
-        s,
-        "{:<28} {:>12} {:>5}  rationale",
-        "service", "class", "step"
-    )
-    .unwrap();
-    for c in k2::services::classification() {
-        writeln!(
-            s,
-            "{:<28} {:>12} {:>5}  {}",
-            c.name,
-            c.class.to_string(),
-            c.step,
-            c.rationale
-        )
-        .unwrap();
-    }
-    s
+    conformance::eval_builtin("table2-refactoring").text
 }
 
 /// The machine-readable profile report bundle (`BENCH_pr2.json`): every

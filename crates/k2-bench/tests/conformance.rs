@@ -1,0 +1,87 @@
+//! The seven table/figure bins are wrappers over checked-in `.k2.md`
+//! files; this suite proves each eval runs from its file and that the
+//! in-file expected-results table holds — the same check the bins and
+//! the CI matrix job perform, pinned as a cargo test.
+
+use k2_bench::conformance;
+use k2_check::dsl::builtin;
+
+const EVALS: [&str; 7] = [
+    "dvfs-sweep",
+    "standby-estimate",
+    "fig1-trend",
+    "table2-refactoring",
+    "table4-alloc",
+    "table5-dsm",
+    "table6-shared-driver",
+];
+
+#[test]
+fn every_eval_scenario_meets_its_expect_table() {
+    for name in EVALS {
+        let def = builtin::load(name);
+        assert!(def.is_eval(), "{name} must be an eval scenario");
+        let outcome = conformance::eval_builtin(name);
+        let failures = outcome.failures(&def);
+        assert!(
+            failures.is_empty(),
+            "{name}: expectations drifted:\n{}",
+            failures
+                .iter()
+                .map(|(m, want, got)| format!("  {m}: expected {want}, got {got}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            !def.expectations("none", 0).is_empty(),
+            "{name}: expect table must not be empty"
+        );
+    }
+}
+
+#[test]
+fn eval_text_matches_the_legacy_report_functions() {
+    // The bins replaced hand-rolled report fns; the rendered text is
+    // part of the conformance surface (docs quote it verbatim).
+    assert_eq!(
+        conformance::eval_builtin("fig1-trend").text,
+        k2_bench::fig1_trend()
+    );
+    assert_eq!(
+        conformance::eval_builtin("dvfs-sweep").text,
+        k2_bench::dvfs_sweep()
+    );
+    assert_eq!(
+        conformance::eval_builtin("standby-estimate").text,
+        k2_bench::standby_estimate()
+    );
+    assert_eq!(
+        conformance::eval_builtin("table2-refactoring").text,
+        k2_bench::table2_refactoring()
+    );
+    assert_eq!(
+        conformance::eval_builtin("table4-alloc").text,
+        k2_bench::table4_alloc()
+    );
+    assert_eq!(
+        conformance::eval_builtin("table5-dsm").text,
+        k2_bench::table5_dsm()
+    );
+    assert_eq!(
+        conformance::eval_builtin("table6-shared-driver").text,
+        k2_bench::table6_shared_driver()
+    );
+}
+
+#[test]
+fn grid_scenarios_are_not_evals_and_vice_versa() {
+    for name in builtin::GRID {
+        assert!(!builtin::load(name).is_eval(), "{name} wrongly marked eval");
+        assert!(!EVALS.contains(name), "{name} cannot be both grid and eval");
+    }
+    assert_eq!(
+        EVALS.len() + builtin::GRID.len(),
+        builtin::SOURCES.len(),
+        "every checked-in scenario is either grid or eval"
+    );
+}

@@ -176,7 +176,11 @@ fn classify(out: &RunOutcome, reference: Option<&EndState>) -> Option<(FailureKi
 /// slots; the returned vector is strictly index-ordered. The result is
 /// therefore independent of the worker count, including 1 (which runs
 /// inline without spawning).
-fn fan_out<T: Send>(count: u32, workers: usize, job: impl Fn(u32) -> T + Sync) -> Vec<T> {
+pub(crate) fn fan_out<T: Send>(
+    count: u32,
+    workers: usize,
+    job: impl Fn(u32) -> T + Sync,
+) -> Vec<T> {
     if workers <= 1 || count <= 1 {
         return (0..count).map(job).collect();
     }
@@ -205,7 +209,7 @@ fn fan_out<T: Send>(count: u32, workers: usize, job: impl Fn(u32) -> T + Sync) -
 /// Resolves a configured thread count: `0` means `K2CHECK_THREADS` if
 /// set and nonzero, otherwise the host's available parallelism; the
 /// result is capped at `cap` (no point parking idle workers).
-fn resolve_workers(configured: usize, cap: u32) -> usize {
+pub(crate) fn resolve_workers(configured: usize, cap: u32) -> usize {
     let n = if configured != 0 {
         configured
     } else {
@@ -927,10 +931,9 @@ impl Campaign {
             // feedback-driven arms (higher index = Mutant).
             remainders.sort_by(|a, b| b.cmp(a));
             let mut assigned: u32 = slots.iter().sum();
-            for &(_, i) in remainders.iter().cycle() {
-                if assigned >= count {
-                    break;
-                }
+            let mut next_arm = remainders.iter().cycle();
+            while assigned < count {
+                let &(_, i) = next_arm.next().expect("remainders is non-empty");
                 slots[i] += 1;
                 assigned += 1;
             }
@@ -948,7 +951,7 @@ impl Campaign {
                 .into_iter()
                 .enumerate()
             {
-                kinds.extend(std::iter::repeat(arm).take(slots[i] as usize));
+                kinds.extend(std::iter::repeat_n(arm, slots[i] as usize));
             }
             // Mutants the coordinator already knows to be re-runs —
             // byte-equal to an executed trace or to an earlier plan in

@@ -25,12 +25,19 @@
 //! The soundness contract inherited from `k2-sim`: a chooser only
 //! permutes orderings the queue already considered simultaneous, so
 //! every explored schedule is a legal execution of the same program.
+//!
+//! Scenarios can also be written declaratively: [`dsl`] parses the
+//! checked-in `scenarios/*.k2.md` files (spec = test = doc) onto the
+//! same run machinery, and [`matrix`] expands them into the
+//! deterministic conformance matrix `k2-matrix` reports on.
 
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod dsl;
 pub mod explorer;
 pub mod fingerprint;
+pub mod matrix;
 pub mod mutate;
 pub mod oracle;
 pub mod policy;
@@ -40,11 +47,13 @@ pub mod schedule;
 pub mod shrink;
 
 pub use corpus::Corpus;
+pub use dsl::{CompiledScenario, DslError, ScenarioDef};
 pub use explorer::{
     check_failure, run_recorded, run_recorded_lite, Campaign, CampaignReport, ExplorationReport,
     Explorer, Failure, FailureKind, Strategy,
 };
 pub use fingerprint::{schedule_fingerprint, span_shape_hash};
+pub use matrix::{MatrixOutcome, MatrixSpec};
 pub use mutate::{Mutation, Mutator, MAX_DECISION, MAX_LEN};
 pub use oracle::{capture_end_state, check_conservation, EndState};
 pub use policy::{

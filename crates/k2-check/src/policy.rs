@@ -258,7 +258,7 @@ impl SchedulePolicy for Replay {
 /// determinism rests on.
 pub fn exploration_policy(seed: u64, index: u32) -> Box<dyn SchedulePolicy> {
     let stream = 1_000 + u64::from(index);
-    if index % 2 == 0 {
+    if index.is_multiple_of(2) {
         Box::new(RandomWalk::new(seed, stream))
     } else {
         Box::new(DelayBounded::new(seed, stream, 4))

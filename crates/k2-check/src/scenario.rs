@@ -201,6 +201,10 @@ pub struct RunOutcome {
     pub audit: Result<(), String>,
 }
 
+/// A scenario's workload driver: spawns the work against a booted
+/// system and returns the scenario-specific end-state extras.
+type DriverFn = Box<dyn FnOnce(&mut TestSystem) -> Vec<(String, String)>>;
+
 /// A named, reproducible exploration target.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scenario {
@@ -326,7 +330,7 @@ impl Scenario {
 
     /// The scenario's workload driver: spawns the work, runs to
     /// completion, and returns the scenario-specific end-state extras.
-    fn driver(self) -> Box<dyn FnOnce(&mut TestSystem) -> Vec<(String, String)>> {
+    fn driver(self) -> DriverFn {
         match self {
             Scenario::UdpCrossTraffic => Box::new(|t| {
                 let mut extra = Vec::new();
@@ -465,13 +469,25 @@ impl Task<K2System> for PulseTask {
 
 /// Spawns pulse tasks on up to two cores of each domain.
 fn spawn_pulses(t: &mut TestSystem) {
+    spawn_pulses_with(t, 2, PULSE_ROUNDS);
+}
+
+/// Spawns `rounds`-round pulse tasks on up to `cores` cores of each
+/// domain — the parameterized form DSL-compiled scenarios use, with the
+/// same grid alignment as the hand-written scenarios.
+pub(crate) fn spawn_pulses_with(t: &mut TestSystem, cores: u32, rounds: u32) {
     for dom in DOMAINS {
-        let cores: Vec<_> = t.m.domain_cores(dom).iter().copied().take(2).collect();
-        for core in cores {
+        let picked: Vec<_> =
+            t.m.domain_cores(dom)
+                .iter()
+                .copied()
+                .take(cores as usize)
+                .collect();
+        for core in picked {
             t.m.spawn(
                 core,
                 Box::new(PulseTask {
-                    rounds: PULSE_ROUNDS,
+                    rounds,
                     computing: false,
                 }),
                 &mut t.sys,
@@ -487,7 +503,7 @@ fn spawn_pulses(t: &mut TestSystem) {
 /// a scenario's whole post-settle window survives for export.
 const TRACE_CAPACITY: usize = 1 << 16;
 
-fn run_system(
+pub(crate) fn run_system(
     snap: Option<&SystemSnapshot>,
     spec: &FaultSpec,
     chooser: Option<ScheduleChooser>,

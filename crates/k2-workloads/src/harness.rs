@@ -365,6 +365,24 @@ pub fn bench_task(
     }
 }
 
+/// One row of a table-driven task grid: which domain runs which workload
+/// under which label. [`TestSystem::spawn_grid`] spawns a slice of these
+/// in order; the declarative scenario DSL compiles its `grid` tables to
+/// exactly this shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridRow {
+    /// Domain whose kernel core hosts the task.
+    pub domain: DomainId,
+    /// Background-process name (one NightWatch identity per row).
+    pub task: String,
+    /// The benchmark workload the row runs.
+    pub workload: Workload,
+    /// Decorrelates on-disk names between rows sharing a filesystem.
+    pub salt: u32,
+    /// End-state metric key the row's completion is reported under.
+    pub metric: String,
+}
+
 /// A booted K2 system bundled with the scenario-setup conveniences the
 /// integration tests kept re-implementing: process/thread creation, bench
 /// task spawning, timed runs and the closing audit assertion.
@@ -480,6 +498,23 @@ impl TestSystem {
             &mut self.sys,
         );
         report
+    }
+
+    /// Spawns a table-driven task grid: every row, in table order, gets a
+    /// fresh background identity and its benchmark task on the named
+    /// domain's kernel core. Returns `(metric, report)` handles in the
+    /// same order, so callers can read each row's completion into a
+    /// labelled end-state entry. This is the builder hook the declarative
+    /// scenario DSL (`k2-check::dsl`) compiles its `grid` tables onto;
+    /// hand-written tests can use it directly for the same effect.
+    pub fn spawn_grid(&mut self, rows: &[GridRow]) -> Vec<(String, ReportHandle)> {
+        rows.iter()
+            .map(|row| {
+                let id = self.background(&row.task);
+                let report = self.spawn_workload(row.domain, id, row.workload, row.salt);
+                (row.metric.clone(), report)
+            })
+            .collect()
     }
 
     /// Advances simulated time by `dur`, processing every event in it.

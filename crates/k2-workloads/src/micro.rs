@@ -45,6 +45,12 @@ fn mean_alloc_us(
 
 /// Measures the Table 4 allocation rows (4 KB / 256 KB / 1024 KB).
 pub fn table4_alloc_latencies() -> Vec<AllocLatencyRow> {
+    table4_alloc_latencies_with(50)
+}
+
+/// Like [`table4_alloc_latencies`], averaging over `iters` allocations
+/// per row — the knob the `table4-alloc` conformance scenario sets.
+pub fn table4_alloc_latencies_with(iters: u32) -> Vec<AllocLatencyRow> {
     let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
     let strong = K2System::kernel_core(&m, DomainId::STRONG);
     let weak = K2System::kernel_core(&m, DomainId::WEAK);
@@ -52,8 +58,8 @@ pub fn table4_alloc_latencies() -> Vec<AllocLatencyRow> {
         .into_iter()
         .map(|(size_kb, order)| AllocLatencyRow {
             size_kb,
-            main_us: mean_alloc_us(&mut sys, &mut m, strong, order, 50),
-            shadow_us: mean_alloc_us(&mut sys, &mut m, weak, order, 50),
+            main_us: mean_alloc_us(&mut sys, &mut m, strong, order, iters),
+            shadow_us: mean_alloc_us(&mut sys, &mut m, weak, order, iters),
         })
         .collect()
 }
