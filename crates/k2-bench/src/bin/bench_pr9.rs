@@ -1,0 +1,334 @@
+//! PR 9 fleet bench: 1,000 machines, one simulated network,
+//! machines×events/sec.
+//!
+//! Emits `BENCH_pr9.json` (hand-rolled JSON, no deps) into the current
+//! directory. Three figures:
+//!
+//! * **Instantiation microbench** — per-machine cold cost (boot + the
+//!   warm-up setup every fleet member would otherwise repeat) against
+//!   [`K2System::fork`] from the one frozen image. The bench *asserts*
+//!   fork ≥ 5× cheaper; the committed JSON is the evidence.
+//! * **Fleet throughput** — the committed sync-storm scenario (1,000
+//!   devices + 4 hubs, 100 ms horizon) at 1, 2 and 8 workers, reported
+//!   as fleet events/sec. Digests are asserted byte-identical across
+//!   worker counts, so the speed sweep doubles as a determinism check.
+//! * **Epoch-loop allocation churn** — total heap allocations across the
+//!   serial run divided by machines × epochs. The epoch bookkeeping
+//!   recycles its buffers, so this stays a small constant dominated by
+//!   workload datagrams, not O(fleet) coordinator churn.
+//!
+//! With `--check <baseline.json>` it compares serial fleet events/sec
+//! against the committed baseline and exits nonzero on a regression of
+//! more than 15% — the CI gate.
+//!
+//! With `--smoke` it skips the timing sweeps and runs only the
+//! short-horizon 1,000-device determinism check at 1/2/8 workers,
+//! writing the report to `FLEET_pr9.txt` — the cheap CI smoke artifact.
+
+use k2::system::K2System;
+use k2_check::fleet::{cold_machine, warmed_snapshot, FleetSpec};
+use k2_check::{run_fleet_from, FleetReport};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation so the epoch loop's churn shows up as a
+/// measured allocations-per-machine-epoch number, not just wall clock.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const SEED: u64 = 2_014;
+const WORKERS: [usize; 3] = [1, 2, 8];
+/// Timing repetitions per fleet run (median taken).
+const FLEET_REPS: u32 = 3;
+
+/// Median of `n` timed calls, in microseconds.
+fn median_us<R>(n: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct FixedCosts {
+    boot_us: f64,
+    /// Boot + warm-up setup: the honest per-machine cost fork replaces.
+    cold_us: f64,
+    fork_us: f64,
+    freeze_us: f64,
+}
+
+impl FixedCosts {
+    fn fork_speedup(&self) -> f64 {
+        self.cold_us / self.fork_us
+    }
+}
+
+fn bench_fixed_costs() -> FixedCosts {
+    use k2::system::SystemConfig;
+    let (m, sys) = cold_machine();
+    let snap = K2System::snapshot(&m, &sys);
+    FixedCosts {
+        boot_us: median_us(501, || K2System::boot(SystemConfig::k2())),
+        cold_us: median_us(51, cold_machine),
+        fork_us: median_us(501, || K2System::fork(&snap)),
+        freeze_us: median_us(101, || K2System::snapshot(&m, &sys)),
+    }
+}
+
+struct FleetRun {
+    workers: usize,
+    secs: f64,
+    report: FleetReport,
+}
+
+impl FleetRun {
+    fn events_per_sec(&self) -> f64 {
+        self.report.events as f64 / self.secs
+    }
+}
+
+/// Runs the fleet `FLEET_REPS` times at a worker count, keeping the
+/// median wall time. Every repetition must produce the identical report.
+fn bench_fleet(spec: &FleetSpec, snap: &k2::system::SystemSnapshot) -> FleetRun {
+    let mut secs = Vec::with_capacity(FLEET_REPS as usize);
+    let mut report: Option<FleetReport> = None;
+    for _ in 0..FLEET_REPS {
+        let start = Instant::now();
+        let r = run_fleet_from(spec, snap);
+        secs.push(start.elapsed().as_secs_f64());
+        if let Some(prev) = &report {
+            assert_eq!(prev, &r, "fleet run not reproducible at same spec");
+        }
+        report = Some(r);
+    }
+    secs.sort_by(f64::total_cmp);
+    FleetRun {
+        workers: spec.workers,
+        secs: secs[secs.len() / 2],
+        report: report.expect("ran"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+fn render_json(fixed: &FixedCosts, runs: &[FleetRun], allocs_per_machine_epoch: u64) -> String {
+    let serial = &runs[0];
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"pr9\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    s.push_str("  \"fixed_costs\": {\n");
+    s.push_str(&format!("    \"boot_us\": {:.2},\n", fixed.boot_us));
+    s.push_str(&format!(
+        "    \"cold_boot_warm_us\": {:.2},\n",
+        fixed.cold_us
+    ));
+    s.push_str(&format!("    \"fork_us\": {:.2},\n", fixed.fork_us));
+    s.push_str(&format!("    \"freeze_us\": {:.2},\n", fixed.freeze_us));
+    s.push_str(&format!(
+        "    \"fork_vs_cold_speedup\": {:.3}\n",
+        fixed.fork_speedup()
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"fleet\": {\n");
+    s.push_str(&format!("    \"machines\": {},\n", serial.report.machines));
+    s.push_str(&format!("    \"epochs\": {},\n", serial.report.epochs));
+    s.push_str(&format!("    \"events\": {},\n", serial.report.events));
+    s.push_str(&format!(
+        "    \"digest\": \"{:016x}\",\n",
+        serial.report.digest
+    ));
+    s.push_str(&format!(
+        "    \"allocs_per_machine_epoch\": {allocs_per_machine_epoch}\n"
+    ));
+    s.push_str("  },\n");
+    for r in runs {
+        s.push_str(&format!(
+            "  \"fleet_events_per_sec_w{}\": {:.1},\n",
+            r.workers,
+            r.events_per_sec()
+        ));
+    }
+    s.push_str(&format!(
+        "  \"serial_fleet_events_per_sec\": {:.1}\n",
+        serial.events_per_sec()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Pulls `"key": <number>` out of the hand-rolled JSON. Good enough for
+/// the one file this binary itself writes.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Asserts the 1/2/8-worker reports are identical up to the worker-count
+/// line, and returns the canonical (serial) render.
+fn assert_worker_invariance(runs: &[&FleetReport]) -> String {
+    let serial = runs[0];
+    for r in &runs[1..] {
+        assert_eq!(
+            serial.digest, r.digest,
+            "fleet digest diverged between {} and {} workers",
+            serial.workers, r.workers
+        );
+        let normalized = r.render().replace(
+            &format!("{} workers", r.workers),
+            &format!("{} workers", serial.workers),
+        );
+        assert_eq!(
+            serial.render(),
+            normalized,
+            "fleet report diverged between worker counts"
+        );
+    }
+    serial.render()
+}
+
+/// The cheap CI determinism check: short-horizon sync storm at full
+/// 1,000-device scale, digest asserted identical at 1/2/8 workers.
+fn smoke() {
+    eprintln!("fleet smoke: 1000 devices, short horizon, workers {WORKERS:?}...");
+    let snap = warmed_snapshot();
+    let mut spec = FleetSpec::sync_storm(1_000, 4);
+    spec.epochs = 40;
+    let reports: Vec<FleetReport> = WORKERS
+        .iter()
+        .map(|&w| {
+            let mut s = spec.clone();
+            s.workers = w;
+            run_fleet_from(&s, &snap)
+        })
+        .collect();
+    let render = assert_worker_invariance(&reports.iter().collect::<Vec<_>>());
+    let artifact = format!(
+        "{render}determinism: digest {:016x} identical at workers {WORKERS:?}\n",
+        reports[0].digest
+    );
+    eprint!("{artifact}");
+    std::fs::write("FLEET_pr9.txt", &artifact).expect("write FLEET_pr9.txt");
+    eprintln!("wrote FLEET_pr9.txt");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check takes a path").clone());
+
+    // Warm up once so first-touch costs (lazy statics, allocator arenas)
+    // stay out of every measured window.
+    let snap = warmed_snapshot();
+
+    eprintln!("instantiation microbench (boot+warm vs fork)...");
+    let fixed = bench_fixed_costs();
+    eprintln!(
+        "  boot {:.2} us   boot+warm {:.2} us   fork {:.2} us   freeze {:.2} us   ({:.1}x)",
+        fixed.boot_us,
+        fixed.cold_us,
+        fixed.fork_us,
+        fixed.freeze_us,
+        fixed.fork_speedup()
+    );
+    assert!(
+        fixed.fork_speedup() >= 5.0,
+        "fork must be >= 5x cheaper than per-machine boot+setup, got {:.1}x",
+        fixed.fork_speedup()
+    );
+
+    let spec = FleetSpec::sync_storm(1_000, 4);
+    eprintln!(
+        "fleet throughput ({} machines, {} epochs, workers {WORKERS:?})...",
+        spec.machines(),
+        spec.epochs
+    );
+    let runs: Vec<FleetRun> = WORKERS
+        .iter()
+        .map(|&w| {
+            let mut s = spec.clone();
+            s.workers = w;
+            let r = bench_fleet(&s, &snap);
+            eprintln!(
+                "  w{w}: {:>9.1} events/sec  ({:.0} ms/run)",
+                r.events_per_sec(),
+                r.secs * 1e3
+            );
+            r
+        })
+        .collect();
+    assert_worker_invariance(&runs.iter().map(|r| &r.report).collect::<Vec<_>>());
+
+    // Allocation churn: one extra serial run under the counter.
+    let mut serial_spec = spec.clone();
+    serial_spec.workers = 1;
+    let before = allocations();
+    let serial_report = run_fleet_from(&serial_spec, &snap);
+    let machine_epochs = u64::from(serial_report.machines) * u64::from(serial_report.epochs);
+    let allocs_per_machine_epoch = (allocations() - before) / machine_epochs;
+    eprintln!("  allocs/machine-epoch: {allocs_per_machine_epoch}");
+
+    let json = render_json(&fixed, &runs, allocs_per_machine_epoch);
+    std::fs::write("BENCH_pr9.json", &json).expect("write BENCH_pr9.json");
+    eprintln!("wrote BENCH_pr9.json");
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).expect("read baseline");
+        let base = extract_number(&baseline, "serial_fleet_events_per_sec")
+            .expect("baseline has serial_fleet_events_per_sec");
+        let now = extract_number(&json, "serial_fleet_events_per_sec").expect("just rendered");
+        eprintln!("regression check vs {path}: baseline {base:.1}/s, current {now:.1}/s");
+        if now < base * 0.85 {
+            eprintln!("FAIL: serial fleet throughput regressed more than 15%");
+            std::process::exit(1);
+        }
+        eprintln!("OK: within the 15% regression budget");
+    }
+}

@@ -79,9 +79,13 @@ fn grid_scenarios_are_not_evals_and_vice_versa() {
         assert!(!builtin::load(name).is_eval(), "{name} wrongly marked eval");
         assert!(!EVALS.contains(name), "{name} cannot be both grid and eval");
     }
+    let fleets = builtin::SOURCES
+        .iter()
+        .filter(|(name, _)| builtin::load(name).is_fleet())
+        .count();
     assert_eq!(
-        EVALS.len() + builtin::GRID.len(),
+        EVALS.len() + builtin::GRID.len() + fleets,
         builtin::SOURCES.len(),
-        "every checked-in scenario is either grid or eval"
+        "every checked-in scenario is grid, eval, or fleet"
     );
 }

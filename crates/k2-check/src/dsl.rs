@@ -179,6 +179,73 @@ impl EvalSpec {
     }
 }
 
+/// A `k2 fleet` block: topology, workload shape, and fabric model for
+/// the sharded multi-machine driver ([`crate::fleet::run_fleet`]). A
+/// fleet file declares *only* a fleet (plus optional expectations) —
+/// grid/steps workloads and eval descriptors are single-machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetDef {
+    /// Device machines (required, ≥ 1).
+    pub devices: u32,
+    /// Hub machines (required, ≥ 1).
+    pub hubs: u32,
+    /// Datagrams per sync burst.
+    pub burst: u32,
+    /// Bursts each device performs.
+    pub bursts: u32,
+    /// Pause between bursts, µs.
+    pub period_us: u64,
+    /// Epoch length, µs.
+    pub epoch_us: u64,
+    /// Number of epochs.
+    pub epochs: u32,
+    /// Fabric latency band minimum, µs (must be positive).
+    pub latency_min_us: u64,
+    /// Fabric latency band maximum, µs.
+    pub latency_max_us: u64,
+    /// Fabric drop probability.
+    pub loss: f64,
+    /// Fabric reorder probability.
+    pub reorder: f64,
+}
+
+impl FleetDef {
+    /// The sync-storm defaults every unset key falls back to.
+    fn defaults() -> Self {
+        FleetDef {
+            devices: 0,
+            hubs: 0,
+            burst: 4,
+            bursts: 3,
+            period_us: 20_000,
+            epoch_us: 1_000,
+            epochs: 100,
+            latency_min_us: 2_000,
+            latency_max_us: 8_000,
+            loss: 0.01,
+            reorder: 0.05,
+        }
+    }
+
+    /// Converts to a runnable [`FleetSpec`](crate::fleet::FleetSpec)
+    /// under `seed` (workers resolved from `K2CHECK_THREADS`).
+    pub fn spec(&self, seed: u64) -> crate::fleet::FleetSpec {
+        use k2_sim::time::SimDuration;
+        let mut s = crate::fleet::FleetSpec::sync_storm(self.devices, self.hubs);
+        s.seed = seed;
+        s.burst = self.burst;
+        s.bursts = self.bursts;
+        s.period = SimDuration::from_us(self.period_us);
+        s.epoch = SimDuration::from_us(self.epoch_us);
+        s.epochs = self.epochs;
+        s.latency_min = SimDuration::from_us(self.latency_min_us);
+        s.latency_max = SimDuration::from_us(self.latency_max_us);
+        s.loss = self.loss;
+        s.reorder = self.reorder;
+        s
+    }
+}
+
 /// The parsed, structural content of one `.k2.md` file.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioDef {
@@ -198,6 +265,8 @@ pub struct ScenarioDef {
     pub expects: Vec<ExpectBlock>,
     /// Present on paper-evaluation files; absent on workload scenarios.
     pub eval: Option<EvalSpec>,
+    /// Present on fleet files; absent on single-machine scenarios.
+    pub fleet: Option<FleetDef>,
 }
 
 impl ScenarioDef {
@@ -205,6 +274,12 @@ impl ScenarioDef {
     /// a schedule-explorable workload scenario.
     pub fn is_eval(&self) -> bool {
         self.eval.is_some()
+    }
+
+    /// True when this file describes a multi-machine fleet run rather
+    /// than a single-machine scenario.
+    pub fn is_fleet(&self) -> bool {
+        self.fleet.is_some()
     }
 
     /// The named fault preset, or `None` if undeclared. The implicit
@@ -261,6 +336,15 @@ impl ScenarioDef {
                 ),
             ));
         }
+        if self.fleet.is_some() {
+            return Err(DslError::new(
+                1,
+                format!(
+                    "`{}` is a fleet file (`k2 fleet`); it runs through `fleet::run_fleet`, not a single-machine schedule",
+                    self.name
+                ),
+            ));
+        }
         if self.grid.is_empty() && self.steps.is_empty() {
             return Err(DslError::new(
                 1,
@@ -301,6 +385,21 @@ impl ScenarioDef {
         writeln!(s, "pulse_cores: {}", self.pulse_cores).unwrap();
         writeln!(s, "pulse_rounds: {}", self.pulse_rounds).unwrap();
         writeln!(s, "```").unwrap();
+        if let Some(f) = &self.fleet {
+            writeln!(s, "\n```k2 fleet").unwrap();
+            writeln!(s, "devices: {}", f.devices).unwrap();
+            writeln!(s, "hubs: {}", f.hubs).unwrap();
+            writeln!(s, "burst: {}", f.burst).unwrap();
+            writeln!(s, "bursts: {}", f.bursts).unwrap();
+            writeln!(s, "period_us: {}", f.period_us).unwrap();
+            writeln!(s, "epoch_us: {}", f.epoch_us).unwrap();
+            writeln!(s, "epochs: {}", f.epochs).unwrap();
+            writeln!(s, "latency_min_us: {}", f.latency_min_us).unwrap();
+            writeln!(s, "latency_max_us: {}", f.latency_max_us).unwrap();
+            writeln!(s, "loss: {}", f.loss).unwrap();
+            writeln!(s, "reorder: {}", f.reorder).unwrap();
+            writeln!(s, "```").unwrap();
+        }
         if !self.grid.is_empty() {
             writeln!(s, "\n```k2 grid").unwrap();
             writeln!(s, "| domain | task | workload | args | salt | metric |").unwrap();
@@ -496,6 +595,7 @@ pub fn parse(src: &str) -> Result<ScenarioDef, DslError> {
         presets: Vec::new(),
         expects: Vec::new(),
         eval: None,
+        fleet: None,
     };
     let mut saw_scenario = false;
     let mut expect_lines: Vec<usize> = Vec::new();
@@ -595,6 +695,19 @@ pub fn parse(src: &str) -> Result<ScenarioDef, DslError> {
             "a file declares either a grid/steps workload or a `k2 eval`, not both",
         ));
     }
+    if def.fleet.is_some() && (!def.grid.is_empty() || !def.steps.is_empty() || def.eval.is_some())
+    {
+        return Err(DslError::new(
+            last,
+            "a `k2 fleet` file declares only the fleet; grid/steps/eval are single-machine",
+        ));
+    }
+    if def.fleet.is_some() && !def.presets.is_empty() {
+        return Err(DslError::new(
+            last,
+            "fleet files take no fault presets (the fabric has its own loss/reorder model)",
+        ));
+    }
     Ok(def)
 }
 
@@ -605,7 +718,9 @@ fn parse_info(info: &str, ln: usize) -> Result<(String, Vec<(String, String)>), 
     let section = words
         .next()
         .ok_or_else(|| DslError::new(ln, "fence info `k2` needs a section, e.g. ```k2 scenario"))?;
-    const SECTIONS: [&str; 6] = ["scenario", "grid", "steps", "faults", "expect", "eval"];
+    const SECTIONS: [&str; 7] = [
+        "scenario", "grid", "steps", "faults", "expect", "eval", "fleet",
+    ];
     if !SECTIONS.contains(&section) {
         return Err(DslError::new(
             ln,
@@ -839,6 +954,67 @@ fn finish_block(
                 kind: kind.to_string(),
                 params,
             });
+            Ok(())
+        }
+        "fleet" => {
+            no_attrs(&[])?;
+            if def.fleet.is_some() {
+                return Err(DslError::new(header_ln, "duplicate `k2 fleet` block"));
+            }
+            let mut f = FleetDef::defaults();
+            let (mut saw_devices, mut saw_hubs) = (false, false);
+            for (ln, key, value) in kv_lines(body)? {
+                match key.as_str() {
+                    "devices" => {
+                        f.devices = parse_u32(&value, ln)?;
+                        saw_devices = true;
+                    }
+                    "hubs" => {
+                        f.hubs = parse_u32(&value, ln)?;
+                        saw_hubs = true;
+                    }
+                    "burst" => f.burst = parse_u32(&value, ln)?,
+                    "bursts" => f.bursts = parse_u32(&value, ln)?,
+                    "period_us" => f.period_us = parse_u64(&value, ln)?,
+                    "epoch_us" => f.epoch_us = parse_u64(&value, ln)?,
+                    "epochs" => f.epochs = parse_u32(&value, ln)?,
+                    "latency_min_us" => f.latency_min_us = parse_u64(&value, ln)?,
+                    "latency_max_us" => f.latency_max_us = parse_u64(&value, ln)?,
+                    "loss" => f.loss = parse_rate(&value, ln)?,
+                    "reorder" => f.reorder = parse_rate(&value, ln)?,
+                    _ => {
+                        return Err(DslError::new(
+                            ln,
+                            format!("unknown key `{key}` in `k2 fleet`"),
+                        ))
+                    }
+                }
+            }
+            if !saw_devices || !saw_hubs || f.devices == 0 || f.hubs == 0 {
+                return Err(DslError::new(
+                    header_ln,
+                    "`k2 fleet` needs `devices` and `hubs`, both at least 1",
+                ));
+            }
+            if f.devices.saturating_add(f.hubs) > u16::MAX as u32 {
+                return Err(DslError::new(
+                    header_ln,
+                    "fleet too large: machine addresses are u16",
+                ));
+            }
+            if f.epoch_us == 0 || f.epochs == 0 || f.burst == 0 || f.bursts == 0 {
+                return Err(DslError::new(
+                    header_ln,
+                    "`k2 fleet` epoch_us, epochs, burst, and bursts must be positive",
+                ));
+            }
+            if f.latency_min_us == 0 || f.latency_min_us > f.latency_max_us {
+                return Err(DslError::new(
+                    header_ln,
+                    "`k2 fleet` latency band needs 0 < latency_min_us <= latency_max_us",
+                ));
+            }
+            def.fleet = Some(f);
             Ok(())
         }
         _ => unreachable!("parse_info vetted the section"),
@@ -1162,6 +1338,10 @@ pub mod builtin {
         (
             "table6-shared-driver",
             include_str!("../../../scenarios/table6-shared-driver.k2.md"),
+        ),
+        (
+            "sync-storm",
+            include_str!("../../../scenarios/sync-storm.k2.md"),
         ),
     ];
 

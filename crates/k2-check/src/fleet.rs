@@ -1,0 +1,879 @@
+//! Fleet-scale sharded simulation: N machines, one simulated network.
+//!
+//! One `Machine` is one phone; a fleet is thousands of them talking
+//! through a single [`NetFabric`]. This module shards the machines
+//! across long-lived worker threads and advances the whole fleet in
+//! bounded *time epochs*, keeping the run end-to-end deterministic for
+//! any worker count (DESIGN.md §5.9):
+//!
+//! * **Instantiation is fork, not boot.** The fleet boots *one* machine,
+//!   runs a warm-up workload that performs the common per-machine setup
+//!   (socket table, balloon steady state, allocator warm paths), and
+//!   freezes the result with [`K2System::snapshot`]. Every fleet member
+//!   is then [`K2System::fork`]ed from that one image — ~12 µs per
+//!   machine instead of boot + setup per machine (BENCH_pr9.json gates
+//!   the ratio at ≥ 5×).
+//! * **Shards are contiguous, workers own them.** Machines are `!Send`
+//!   (tasks hold `Rc` report handles), so each worker thread forks and
+//!   owns a contiguous chunk of machine indices for the whole run.
+//!   Concatenating shard outputs in shard order therefore *is* the
+//!   global machine-index order — the same strict ordered-merge trick
+//!   the explorer uses, with the index claiming done statically.
+//! * **Epochs are the only synchronisation.** Per epoch the coordinator
+//!   hands each worker the datagrams due in its machines (pre-sorted by
+//!   `(arrival, seq)`), the worker injects them and runs every machine
+//!   to the epoch boundary, and the coordinator routes the merged
+//!   egress through the fabric in machine-index order. Fabric RNG is
+//!   consumed only by the coordinator, in that deterministic order, so
+//!   reports and digests are byte-identical at any `K2CHECK_THREADS`.
+//! * **The hot loop does not allocate per machine.** Delivery and
+//!   egress buffers ride the epoch channels both ways and are recycled;
+//!   fleet metrics are interned once and bumped by id.
+//!
+//! The canonical workload is the *sync storm* (`scenarios/
+//! sync-storm.k2.md`): a small number of hub machines answer periodic
+//! background-sync bursts from every device, through a lossy, reordering
+//! fabric.
+
+use crate::explorer::resolve_workers;
+use k2::system::{self, shadowed, K2Machine, K2System, SystemConfig, SystemSnapshot};
+use k2_kernel::net::{EgressDatagram, InFlight, MachineAddr, NetFabric, Port};
+use k2_kernel::service::ServiceId;
+use k2_sim::digest::Fnv64;
+use k2_sim::metrics::{CounterId, Key, Registry, Tag};
+use k2_sim::rng::SimRng;
+use k2_sim::time::{SimDuration, SimTime};
+use k2_soc::ids::DomainId;
+use k2_soc::platform::{Step, Task, TaskCx};
+use std::fmt::Write as _;
+use std::sync::mpsc;
+
+/// The well-known port every hub listens on.
+pub const HUB_PORT: Port = Port(4433);
+
+/// Sync-storm datagram payload size (bytes). The first two bytes carry
+/// the sending machine's address (the wire does not), so hubs can ack.
+pub const DGRAM: usize = 64;
+
+// ----------------------------------------------------------------------
+// Specification
+// ----------------------------------------------------------------------
+
+/// A fleet run: topology, workload shape, fabric model, and schedule.
+///
+/// Machines `0..hubs` are hubs; machines `hubs..hubs+devices` are
+/// devices. Device `i` syncs against hub `i % hubs`.
+#[derive(Clone, Debug)]
+pub struct FleetSpec {
+    /// Device machines (fleet members that generate sync bursts).
+    pub devices: u32,
+    /// Hub machines answering them.
+    pub hubs: u32,
+    /// Master seed: device stagger and the fabric streams derive from it.
+    pub seed: u64,
+    /// Worker threads; 0 = `K2CHECK_THREADS` / available parallelism.
+    pub workers: usize,
+    /// Epoch length (the fleet-wide synchronisation quantum).
+    pub epoch: SimDuration,
+    /// Number of epochs to run.
+    pub epochs: u32,
+    /// Datagrams per sync burst.
+    pub burst: u32,
+    /// Bursts each device performs before finishing.
+    pub bursts: u32,
+    /// Pause between a device's bursts (its background-sync period).
+    pub period: SimDuration,
+    /// Fabric latency band (uniform draw per datagram), min.
+    pub latency_min: SimDuration,
+    /// Fabric latency band, max.
+    pub latency_max: SimDuration,
+    /// Fabric drop probability.
+    pub loss: f64,
+    /// Fabric reorder probability (extra jitter draw).
+    pub reorder: f64,
+    /// Every `stray_every`-th datagram per device is addressed outside
+    /// the fleet (exercises the deterministic unroutable drop); 0 = off.
+    pub stray_every: u32,
+}
+
+impl FleetSpec {
+    /// The sync-storm defaults at a given fleet size (1,000 devices and
+    /// 4 hubs is the committed scenario).
+    pub fn sync_storm(devices: u32, hubs: u32) -> Self {
+        FleetSpec {
+            devices,
+            hubs,
+            seed: 2014,
+            workers: 0,
+            epoch: SimDuration::from_ms(1),
+            epochs: 100,
+            burst: 4,
+            bursts: 3,
+            period: SimDuration::from_ms(20),
+            latency_min: SimDuration::from_ms(2),
+            latency_max: SimDuration::from_ms(8),
+            loss: 0.01,
+            reorder: 0.05,
+            stray_every: 0,
+        }
+    }
+
+    /// Total machine count (hubs + devices).
+    pub fn machines(&self) -> u32 {
+        self.hubs + self.devices
+    }
+
+    /// Panics unless the spec is well-formed (mirrors the DSL checks).
+    pub fn validate(&self) {
+        assert!(self.devices >= 1, "fleet needs at least one device");
+        assert!(self.hubs >= 1, "fleet needs at least one hub");
+        assert!(
+            self.machines() <= u16::MAX as u32,
+            "machine addresses are u16"
+        );
+        assert!(self.epochs >= 1 && !self.epoch.is_zero(), "empty schedule");
+        assert!(self.burst >= 1 && self.bursts >= 1, "empty workload");
+        assert!(
+            !self.latency_min.is_zero() && self.latency_min <= self.latency_max,
+            "bad latency band"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.loss) && (0.0..=1.0).contains(&self.reorder),
+            "probabilities out of range"
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Workload tasks
+// ----------------------------------------------------------------------
+
+/// Per-machine workload counters live in the machine's own metrics
+/// registry (so they are part of its digest and cost nothing to roll
+/// up): hubs count datagrams answered, devices count acks received.
+const HUB_HANDLED: &str = "fleet.hub_handled";
+const DEV_ACKS: &str = "fleet.acks";
+const DEV_SENT: &str = "fleet.dev_sent";
+
+/// A hub: binds [`HUB_PORT`], then forever drains its socket, acking
+/// every datagram back to the machine address embedded in the payload.
+/// Never finishes — the fleet runs machines with `run_until`, which
+/// tolerates live parked tasks.
+struct HubTask {
+    port: Option<Port>,
+    handled_id: Option<CounterId>,
+}
+
+impl Task<K2System> for HubTask {
+    fn step(&mut self, w: &mut K2System, m: &mut K2Machine, cx: TaskCx) -> Step {
+        let Some(port) = self.port else {
+            let (p, dur) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+                s.net.bind(Some(HUB_PORT), opcx).expect("hub bind")
+            });
+            self.port = Some(p);
+            return Step::ComputeTime { dur };
+        };
+        let id = *self.handled_id.get_or_insert_with(|| {
+            m.metrics_mut()
+                .counter_id(Key::new(HUB_HANDLED, Tag::Whole))
+        });
+        let mut handled = 0u64;
+        let mut dur = SimDuration::ZERO;
+        loop {
+            let (dg, d) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+                s.net.recv(port, opcx).expect("hub recv")
+            });
+            dur += d;
+            let Some(dg) = dg else { break };
+            let reply_to = MachineAddr(u16::from_le_bytes([dg.payload[0], dg.payload[1]]));
+            let (res, d) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+                s.net.send_to(port, reply_to, dg.src, &dg.payload, opcx)
+            });
+            res.expect("hub ack");
+            dur += d;
+            handled += 1;
+        }
+        if handled > 0 {
+            m.metrics_mut().add_by_id(id, handled);
+            return Step::ComputeTime { dur };
+        }
+        system::net_await(w, cx.task);
+        Step::Block
+    }
+
+    fn name(&self) -> &str {
+        "fleet-hub"
+    }
+}
+
+/// A device: binds an ephemeral port, sleeps a seeded stagger (so the
+/// storm does not start phase-locked), then `bursts` rounds of `burst`
+/// datagrams to its hub, one period apart, draining acks opportunistically
+/// before each round and once more at the end.
+struct DeviceTask {
+    addr: u16,
+    hub: MachineAddr,
+    fleet_size: u32,
+    burst: u32,
+    rounds_left: u32,
+    period: SimDuration,
+    stagger: SimDuration,
+    stray_every: u32,
+    sent_seq: u64,
+    port: Option<Port>,
+    pending_sleep: Option<SimDuration>,
+    finishing: bool,
+    acks_id: Option<CounterId>,
+    sent_id: Option<CounterId>,
+    buf: Vec<u8>,
+}
+
+impl DeviceTask {
+    /// Drains every queued ack, bumping the machine's ack counter.
+    fn drain_acks(&mut self, w: &mut K2System, m: &mut K2Machine, cx: &TaskCx) -> SimDuration {
+        let port = self.port.expect("bound");
+        let id = *self
+            .acks_id
+            .get_or_insert_with(|| m.metrics_mut().counter_id(Key::new(DEV_ACKS, Tag::Whole)));
+        let mut acks = 0u64;
+        let mut dur = SimDuration::ZERO;
+        loop {
+            let (dg, d) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+                s.net.recv(port, opcx).expect("device recv")
+            });
+            dur += d;
+            if dg.is_none() {
+                break;
+            }
+            acks += 1;
+        }
+        if acks > 0 {
+            m.metrics_mut().add_by_id(id, acks);
+        }
+        dur
+    }
+}
+
+impl Task<K2System> for DeviceTask {
+    fn step(&mut self, w: &mut K2System, m: &mut K2Machine, cx: TaskCx) -> Step {
+        if self.port.is_none() {
+            let (p, dur) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+                s.net.bind(None, opcx).expect("device bind")
+            });
+            self.port = Some(p);
+            self.pending_sleep = Some(self.stagger);
+            return Step::ComputeTime { dur };
+        }
+        if let Some(d) = self.pending_sleep.take() {
+            return Step::Sleep { dur: d };
+        }
+        if self.finishing {
+            return Step::Done;
+        }
+        let mut dur = self.drain_acks(w, m, &cx);
+        if self.rounds_left == 0 {
+            // Final ack drain done; one more step to retire.
+            self.finishing = true;
+            return if dur.is_zero() {
+                Step::Done
+            } else {
+                Step::ComputeTime { dur }
+            };
+        }
+        self.rounds_left -= 1;
+        let port = self.port.expect("bound");
+        let round = self.rounds_left;
+        for i in 0..self.burst {
+            self.sent_seq += 1;
+            let stray =
+                self.stray_every != 0 && self.sent_seq.is_multiple_of(u64::from(self.stray_every));
+            let dst = if stray {
+                // Deliberately outside the fleet: the fabric drops it
+                // deterministically and counts it as unroutable.
+                MachineAddr(self.fleet_size as u16)
+            } else {
+                self.hub
+            };
+            self.buf.clear();
+            self.buf.extend_from_slice(&self.addr.to_le_bytes());
+            self.buf.push(round as u8);
+            self.buf.push(i as u8);
+            self.buf.resize(DGRAM, 0);
+            let buf = std::mem::take(&mut self.buf);
+            let (res, d) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+                s.net.send_to(port, dst, HUB_PORT, &buf, opcx)
+            });
+            self.buf = buf;
+            res.expect("device send");
+            dur += d;
+        }
+        let id = *self
+            .sent_id
+            .get_or_insert_with(|| m.metrics_mut().counter_id(Key::new(DEV_SENT, Tag::Whole)));
+        m.metrics_mut().add_by_id(id, u64::from(self.burst));
+        self.pending_sleep = Some(self.period);
+        Step::ComputeTime { dur }
+    }
+
+    fn name(&self) -> &str {
+        "fleet-device"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot warm-up
+// ----------------------------------------------------------------------
+
+/// Loopback datagrams the warm-up workload pushes through the stack.
+const WARMUP_DATAGRAMS: u32 = 256;
+
+/// The per-machine setup every fleet member would otherwise repeat:
+/// exercise the socket table and loopback path until the allocator and
+/// service state pages are warm, then tear the sockets down so the
+/// image is quiescent.
+struct WarmupTask {
+    left: u32,
+    sockets: Option<(Port, Port)>,
+}
+
+impl Task<K2System> for WarmupTask {
+    fn step(&mut self, w: &mut K2System, m: &mut K2Machine, cx: TaskCx) -> Step {
+        if self.sockets.is_none() {
+            if self.left == 0 {
+                return Step::Done;
+            }
+            let (s, dur) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+                let a = s.net.bind(None, opcx).expect("warmup bind");
+                let b = s.net.bind(None, opcx).expect("warmup bind");
+                (a, b)
+            });
+            self.sockets = Some(s);
+            return Step::ComputeTime { dur };
+        }
+        let (a, b) = self.sockets.expect("bound");
+        let payload = [0x5au8; DGRAM];
+        let (_, mut dur) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+            s.net.send(a, b, &payload, opcx).expect("warmup send");
+            s.net.recv(b, opcx).expect("warmup recv").expect("loopback");
+        });
+        self.left -= 1;
+        if self.left.is_multiple_of(64) {
+            // Recycle the sockets so bind/close paths are warm too.
+            let (_, d) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
+                s.net.close(a, opcx).and_then(|()| s.net.close(b, opcx))
+            });
+            dur += d;
+            self.sockets = None;
+        }
+        Step::ComputeTime { dur }
+    }
+
+    fn name(&self) -> &str {
+        "fleet-warmup"
+    }
+}
+
+/// Boots one machine and runs the warm-up workload to quiescence: the
+/// per-machine "boot + setup" cost that forking replaces. `bench_pr9`
+/// measures this against [`K2System::fork`] and gates the ratio at ≥ 5×.
+pub fn cold_machine() -> (K2Machine, K2System) {
+    let (mut m, mut sys) = K2System::boot(SystemConfig::k2());
+    let core = K2System::kernel_core(&m, DomainId::STRONG);
+    m.spawn(
+        core,
+        Box::new(WarmupTask {
+            left: WARMUP_DATAGRAMS,
+            sockets: None,
+        }),
+        &mut sys,
+    );
+    m.run_until_idle(&mut sys);
+    (m, sys)
+}
+
+/// Boots one machine, runs the warm-up workload to quiescence, and
+/// freezes the image every fleet member forks from.
+pub fn warmed_snapshot() -> SystemSnapshot {
+    let (m, sys) = cold_machine();
+    K2System::snapshot(&m, &sys)
+}
+
+// ----------------------------------------------------------------------
+// Fleet driver
+// ----------------------------------------------------------------------
+
+/// Epoch command to a shard worker. Buffers ride along and come back in
+/// [`EpochOut`] so the steady-state loop never allocates.
+enum Cmd {
+    /// Inject `deliveries` (pre-sorted by `(arrival, seq)`, all due in
+    /// this shard's machines) and run every machine to `until`.
+    Epoch {
+        until: SimTime,
+        deliveries: Vec<InFlight>,
+        egress: Vec<(u32, EgressDatagram)>,
+    },
+    /// Digest and report every machine, then exit.
+    Finish,
+}
+
+/// A shard's answer to [`Cmd::Epoch`].
+struct EpochOut {
+    /// Outbound datagrams tagged with global machine index, appended in
+    /// machine-index order (shards are contiguous, so concatenating
+    /// shard vectors in shard order is the global order).
+    egress: Vec<(u32, EgressDatagram)>,
+    /// The (now drained) delivery buffer, returned for recycling.
+    deliveries: Vec<InFlight>,
+    /// Machine events processed during this epoch.
+    events: u64,
+}
+
+/// A shard's answer to [`Cmd::Finish`].
+struct FinalOut {
+    /// Per-machine digests, in machine-index order.
+    digests: Vec<u64>,
+    /// Sum of `fleet.acks` over the shard's devices.
+    acks: u64,
+    /// Sum of `fleet.dev_sent` over the shard's devices.
+    sent: u64,
+    /// Sum of `fleet.hub_handled` over the shard's hubs.
+    hub_handled: u64,
+}
+
+/// What one fleet run produced. Everything here is deterministic for a
+/// given spec — including across worker counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetReport {
+    /// Machines simulated (hubs + devices).
+    pub machines: u32,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Epochs advanced.
+    pub epochs: u32,
+    /// Simulated horizon covered.
+    pub horizon: SimDuration,
+    /// Machine events processed, summed over the fleet.
+    pub events: u64,
+    /// Datagrams offered to the fabric.
+    pub routed: u64,
+    /// Datagrams delivered to a destination machine.
+    pub delivered: u64,
+    /// Datagrams lost to the loss model.
+    pub dropped: u64,
+    /// Datagrams addressed outside the fleet (deterministic drop).
+    pub unroutable: u64,
+    /// Datagrams that drew reorder jitter.
+    pub reordered: u64,
+    /// Datagrams still in flight when the schedule ended.
+    pub in_flight_end: usize,
+    /// Sync datagrams sent by devices.
+    pub dev_sent: u64,
+    /// Acks received by devices.
+    pub dev_acks: u64,
+    /// Datagrams answered by hubs.
+    pub hub_handled: u64,
+    /// Fold of every machine digest (index order), the fleet metrics
+    /// registry, and the fabric stats: byte-identical for any worker
+    /// count.
+    pub digest: u64,
+}
+
+impl FleetReport {
+    /// Renders the deterministic text report (the CI artifact).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fleet: {} machines, {} workers",
+            self.machines, self.workers
+        );
+        let _ = writeln!(
+            s,
+            "schedule: {} epochs, {} ns horizon",
+            self.epochs,
+            self.horizon.as_ns()
+        );
+        let _ = writeln!(s, "events: {}", self.events);
+        let _ =
+            writeln!(
+            s,
+            "fabric: routed {} delivered {} dropped {} unroutable {} reordered {} in-flight-end {}",
+            self.routed, self.delivered, self.dropped, self.unroutable, self.reordered,
+            self.in_flight_end
+        );
+        let _ = writeln!(
+            s,
+            "sync: sent {} acked {} hub-handled {}",
+            self.dev_sent, self.dev_acks, self.hub_handled
+        );
+        let _ = writeln!(s, "digest: {:016x}", self.digest);
+        s
+    }
+
+    /// Looks a report metric up by name (the DSL `expect` hook).
+    pub fn metric(&self, name: &str) -> Option<u64> {
+        Some(match name {
+            "machines" => u64::from(self.machines),
+            "epochs" => u64::from(self.epochs),
+            "events" => self.events,
+            "routed" => self.routed,
+            "delivered" => self.delivered,
+            "dropped" => self.dropped,
+            "unroutable" => self.unroutable,
+            "reordered" => self.reordered,
+            "in_flight_end" => self.in_flight_end as u64,
+            "dev_sent" => self.dev_sent,
+            "dev_acks" => self.dev_acks,
+            "hub_handled" => self.hub_handled,
+            _ => return None,
+        })
+    }
+}
+
+/// One worker's run: fork and own a contiguous chunk of machines, then
+/// serve epoch commands until told to finish.
+fn shard_worker(
+    spec: &FleetSpec,
+    snap: &SystemSnapshot,
+    base: u32,
+    count: u32,
+    cmds: mpsc::Receiver<Cmd>,
+    out: mpsc::Sender<EpochOut>,
+    fin: mpsc::Sender<FinalOut>,
+) {
+    let hubs = spec.hubs;
+    let total = spec.machines();
+    let mut machines: Vec<(K2Machine, K2System)> = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let global = base + i;
+        let (mut m, mut sys) = K2System::fork(snap);
+        if global < hubs {
+            let core = K2System::kernel_core(&m, DomainId::STRONG);
+            m.spawn(
+                core,
+                Box::new(HubTask {
+                    port: None,
+                    handled_id: None,
+                }),
+                &mut sys,
+            );
+        } else {
+            let dev = global - hubs;
+            let mut rng = SimRng::seed_from_stream(spec.seed, u64::from(global));
+            let stagger = SimDuration::from_ns(rng.gen_range(spec.period.as_ns().max(1)));
+            let core = K2System::kernel_core(&m, DomainId::WEAK);
+            m.spawn(
+                core,
+                Box::new(DeviceTask {
+                    addr: global as u16,
+                    hub: MachineAddr((dev % hubs) as u16),
+                    fleet_size: total,
+                    burst: spec.burst,
+                    rounds_left: spec.bursts,
+                    period: spec.period,
+                    stagger,
+                    stray_every: spec.stray_every,
+                    sent_seq: 0,
+                    port: None,
+                    pending_sleep: None,
+                    finishing: false,
+                    acks_id: None,
+                    sent_id: None,
+                    buf: Vec::with_capacity(DGRAM),
+                }),
+                &mut sys,
+            );
+        }
+        machines.push((m, sys));
+    }
+    let mut now = snap.now();
+    let mut scratch: Vec<EgressDatagram> = Vec::new();
+    let mut prev_events: u64 = machines.iter().map(|(m, _)| m.events_processed()).sum();
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            Cmd::Epoch {
+                until,
+                mut deliveries,
+                mut egress,
+            } => {
+                for d in deliveries.drain(..) {
+                    let local = (d.dst.0 as u32 - base) as usize;
+                    let (m, sys) = &mut machines[local];
+                    let rtt = d.arrival.saturating_since(now);
+                    system::net_expect_reply(sys, m, d.dst_port, d.src_port, d.payload, rtt);
+                }
+                for (i, (m, sys)) in machines.iter_mut().enumerate() {
+                    m.run_until(until, sys);
+                    system::net_drain_egress(sys, &mut scratch);
+                    for dg in scratch.drain(..) {
+                        egress.push((base + i as u32, dg));
+                    }
+                }
+                now = until;
+                let total_events: u64 = machines.iter().map(|(m, _)| m.events_processed()).sum();
+                let events = total_events - prev_events;
+                prev_events = total_events;
+                let _ = out.send(EpochOut {
+                    egress,
+                    deliveries,
+                    events,
+                });
+            }
+            Cmd::Finish => {
+                let mut digests = Vec::with_capacity(machines.len());
+                let (mut acks, mut sent, mut hub_handled) = (0u64, 0u64, 0u64);
+                for (m, sys) in &machines {
+                    let mut h = Fnv64::new();
+                    h.u64(m.state_digest());
+                    sys.digest_into(&mut h);
+                    digests.push(h.finish());
+                    let reg = m.metrics();
+                    acks += reg.counter(Key::new(DEV_ACKS, Tag::Whole));
+                    sent += reg.counter(Key::new(DEV_SENT, Tag::Whole));
+                    hub_handled += reg.counter(Key::new(HUB_HANDLED, Tag::Whole));
+                }
+                let _ = fin.send(FinalOut {
+                    digests,
+                    acks,
+                    sent,
+                    hub_handled,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Runs the fleet described by `spec` and returns its report.
+///
+/// Forks every machine from one warmed snapshot, shards them over
+/// worker threads, and advances the fleet epoch by epoch. The report
+/// (digest included) is byte-identical for any worker count.
+pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
+    let snap = warmed_snapshot();
+    run_fleet_from(spec, &snap)
+}
+
+/// [`run_fleet`] against a caller-provided snapshot (the bench reuses
+/// one frozen image across many runs).
+pub fn run_fleet_from(spec: &FleetSpec, snap: &SystemSnapshot) -> FleetReport {
+    spec.validate();
+    let total = spec.machines();
+    let workers = resolve_workers(spec.workers, total);
+    let chunk = total.div_ceil(workers.min(total as usize) as u32);
+    let shards = total.div_ceil(chunk) as usize;
+
+    let mut fabric = NetFabric::builder(spec.seed, total)
+        .latency(spec.latency_min, spec.latency_max)
+        .loss(spec.loss)
+        .reorder(spec.reorder)
+        .build();
+
+    // Fleet-level metrics: interned once, bumped by id in the epoch loop.
+    let mut reg = Registry::new();
+    let epochs_id = reg.counter_id(Key::new("fleet.epochs", Tag::Whole));
+    let events_id = reg.counter_id(Key::new("fleet.events", Tag::Whole));
+    let egress_id = reg.counter_id(Key::new("fleet.egress", Tag::Whole));
+    let deliver_id = reg.counter_id(Key::new("fleet.delivered", Tag::Whole));
+
+    let mut bounds = Vec::with_capacity(shards);
+    for s in 0..shards as u32 {
+        let base = s * chunk;
+        let count = chunk.min(total - base);
+        bounds.push((base, count));
+    }
+
+    let t0 = snap.now();
+    let mut events_total = 0u64;
+    let (digests, acks, sent, hub_handled) = {
+        let mut cmd_txs = Vec::with_capacity(shards);
+        let mut out_rxs = Vec::with_capacity(shards);
+        let mut fin_rxs = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            for &(base, count) in &bounds {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+                let (out_tx, out_rx) = mpsc::channel::<EpochOut>();
+                let (fin_tx, fin_rx) = mpsc::channel::<FinalOut>();
+                cmd_txs.push(cmd_tx);
+                out_rxs.push(out_rx);
+                fin_rxs.push(fin_rx);
+                scope.spawn(move || {
+                    shard_worker(spec, snap, base, count, cmd_rx, out_tx, fin_tx);
+                });
+            }
+
+            // Recycled buffers: per-shard delivery and egress vectors
+            // round-trip through the channels; `due` is drained into the
+            // delivery vectors each epoch.
+            let mut due: Vec<InFlight> = Vec::new();
+            let mut delivery_bufs: Vec<Vec<InFlight>> = (0..shards).map(|_| Vec::new()).collect();
+            let mut egress_bufs: Vec<Vec<(u32, EgressDatagram)>> =
+                (0..shards).map(|_| Vec::new()).collect();
+
+            let mut now = t0;
+            for _ in 0..spec.epochs {
+                let until = now + spec.epoch;
+                // Deliveries due this epoch, pre-sorted by (arrival, seq);
+                // appending in order keeps each shard's slice sorted.
+                fabric.take_due(until, &mut due);
+                for d in due.drain(..) {
+                    let shard = (u32::from(d.dst.0) / chunk) as usize;
+                    delivery_bufs[shard].push(d);
+                }
+                for (s, tx) in cmd_txs.iter().enumerate() {
+                    tx.send(Cmd::Epoch {
+                        until,
+                        deliveries: std::mem::take(&mut delivery_bufs[s]),
+                        egress: std::mem::take(&mut egress_bufs[s]),
+                    })
+                    .expect("worker alive");
+                }
+                // Strict ordered merge: receive shard outputs in shard
+                // order; contiguous shards make that machine-index order,
+                // so the fabric RNG is consumed deterministically.
+                let mut epoch_events = 0u64;
+                let mut epoch_egress = 0u64;
+                let mut epoch_delivered = 0u64;
+                for (s, rx) in out_rxs.iter().enumerate() {
+                    let mut o = rx.recv().expect("worker alive");
+                    epoch_events += o.events;
+                    for (src, dg) in o.egress.drain(..) {
+                        epoch_egress += 1;
+                        if let k2_kernel::net::Route::Queued(_) =
+                            fabric.route(until, MachineAddr(src as u16), dg)
+                        {
+                            epoch_delivered += 1;
+                        }
+                    }
+                    delivery_bufs[s] = o.deliveries;
+                    egress_bufs[s] = o.egress;
+                }
+                reg.add_by_id(epochs_id, 1);
+                reg.add_by_id(events_id, epoch_events);
+                reg.add_by_id(egress_id, epoch_egress);
+                reg.add_by_id(deliver_id, epoch_delivered);
+                events_total += epoch_events;
+                now = until;
+            }
+            for tx in &cmd_txs {
+                tx.send(Cmd::Finish).expect("worker alive");
+            }
+            let mut all_digests = Vec::with_capacity(total as usize);
+            let (mut a, mut s_, mut hh) = (0u64, 0u64, 0u64);
+            for rx in &fin_rxs {
+                let f = rx.recv().expect("worker alive");
+                all_digests.extend_from_slice(&f.digests);
+                a += f.acks;
+                s_ += f.sent;
+                hh += f.hub_handled;
+            }
+            (all_digests, a, s_, hh)
+        })
+    };
+
+    let stats = fabric.stats().clone();
+    let mut h = Fnv64::new();
+    for &d in &digests {
+        h.u64(d);
+    }
+    reg.digest_into(&mut h);
+    h.u64(stats.routed)
+        .u64(stats.delivered)
+        .u64(stats.dropped)
+        .u64(stats.unroutable)
+        .u64(stats.reordered)
+        .u64(stats.delivered_bytes)
+        .usize(fabric.in_flight());
+
+    FleetReport {
+        machines: total,
+        workers: shards,
+        epochs: spec.epochs,
+        horizon: SimDuration::from_ns(spec.epoch.as_ns() * u64::from(spec.epochs)),
+        events: events_total,
+        routed: stats.routed,
+        delivered: stats.delivered,
+        dropped: stats.dropped,
+        unroutable: stats.unroutable,
+        reordered: stats.reordered,
+        in_flight_end: fabric.in_flight(),
+        dev_sent: sent,
+        dev_acks: acks,
+        hub_handled,
+        digest: h.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetSpec {
+        let mut s = FleetSpec::sync_storm(10, 2);
+        s.epochs = 60;
+        s.period = SimDuration::from_ms(5);
+        s
+    }
+
+    #[test]
+    fn report_is_identical_across_worker_counts() {
+        let snap = warmed_snapshot();
+        let mut spec = small();
+        spec.workers = 1;
+        let serial = run_fleet_from(&spec, &snap);
+        for workers in [2, 4] {
+            spec.workers = workers;
+            let parallel = run_fleet_from(&spec, &snap);
+            assert_eq!(serial.digest, parallel.digest, "workers={workers}");
+            assert_eq!(serial.events, parallel.events);
+            assert_eq!(serial.render(), {
+                let mut r = parallel.render();
+                // Only the worker count may differ between renders.
+                r = r.replace(
+                    &format!("{} workers", parallel.workers),
+                    &format!("{} workers", serial.workers),
+                );
+                r
+            });
+        }
+    }
+
+    #[test]
+    fn sync_storm_makes_progress() {
+        let r = run_fleet(&{
+            let mut s = small();
+            s.workers = 2;
+            s
+        });
+        assert!(r.dev_sent > 0, "devices sent bursts");
+        assert!(r.hub_handled > 0, "hubs answered");
+        assert!(r.dev_acks > 0, "acks made it back");
+        assert!(r.delivered > 0 && r.routed >= r.delivered);
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn stray_datagrams_drop_deterministically_and_are_counted() {
+        let snap = warmed_snapshot();
+        let mut spec = small();
+        spec.stray_every = 3;
+        spec.workers = 1;
+        let a = run_fleet_from(&spec, &snap);
+        assert!(a.unroutable > 0, "strays counted");
+        spec.workers = 4;
+        let b = run_fleet_from(&spec, &snap);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.unroutable, b.unroutable);
+    }
+
+    #[test]
+    fn same_port_on_every_machine_is_not_a_collision() {
+        // Every hub binds HUB_PORT and every device talks to it; if the
+        // port space were fleet-global the second hub bind would fail.
+        let mut spec = small();
+        spec.hubs = 3;
+        spec.workers = 2;
+        let r = run_fleet(&spec);
+        assert!(r.hub_handled > 0);
+    }
+}

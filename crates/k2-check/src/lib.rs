@@ -37,6 +37,7 @@ pub mod corpus;
 pub mod dsl;
 pub mod explorer;
 pub mod fingerprint;
+pub mod fleet;
 pub mod matrix;
 pub mod mutate;
 pub mod oracle;
@@ -47,12 +48,13 @@ pub mod schedule;
 pub mod shrink;
 
 pub use corpus::Corpus;
-pub use dsl::{CompiledScenario, DslError, ScenarioDef};
+pub use dsl::{CompiledScenario, DslError, FleetDef, ScenarioDef};
 pub use explorer::{
     check_failure, run_recorded, run_recorded_lite, Campaign, CampaignReport, ExplorationReport,
     Explorer, Failure, FailureKind, Strategy,
 };
 pub use fingerprint::{schedule_fingerprint, span_shape_hash};
+pub use fleet::{cold_machine, run_fleet, run_fleet_from, warmed_snapshot, FleetReport, FleetSpec};
 pub use matrix::{MatrixOutcome, MatrixSpec};
 pub use mutate::{Mutation, Mutator, MAX_DECISION, MAX_LEN};
 pub use oracle::{capture_end_state, check_conservation, EndState};

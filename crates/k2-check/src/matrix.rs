@@ -225,7 +225,7 @@ impl MatrixSpec {
     fn compiled(&self) -> Vec<(ScenarioDef, CompiledScenario)> {
         self.defs
             .iter()
-            .filter(|d| !d.is_eval())
+            .filter(|d| !d.is_eval() && !d.is_fleet())
             .map(|d| {
                 let c = d
                     .compile()

@@ -100,6 +100,54 @@ fn malformed_files_are_rejected_with_line_numbers() {
         ),
         // Non-kebab scenario name.
         ("```k2 scenario\nname: CamelCase\n```\n", 2, "kebab"),
+        // Fleet: unknown key.
+        (
+            "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 2\nwarp: 9\n```\n",
+            7,
+            "warp",
+        ),
+        // Fleet: missing required topology keys.
+        (
+            "```k2 scenario\nname: a\n```\n```k2 fleet\nburst: 4\n```\n",
+            4,
+            "devices",
+        ),
+        // Fleet: zero hubs.
+        (
+            "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 0\n```\n",
+            4,
+            "at least 1",
+        ),
+        // Fleet: loss probability out of range.
+        (
+            "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 2\nloss: 1.5\n```\n",
+            7,
+            "out of range",
+        ),
+        // Fleet: inverted latency band.
+        (
+            "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 2\nlatency_min_us: 9000\nlatency_max_us: 100\n```\n",
+            4,
+            "latency",
+        ),
+        // Fleet: duplicate block.
+        (
+            "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 2\n```\n```k2 fleet\ndevices: 4\nhubs: 1\n```\n",
+            8,
+            "duplicate",
+        ),
+        // Fleet: zero-length epochs.
+        (
+            "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 2\nepoch_us: 0\n```\n",
+            4,
+            "positive",
+        ),
+        // Fleet: address space overflow.
+        (
+            "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 70000\nhubs: 2\n```\n",
+            4,
+            "u16",
+        ),
     ];
     for (src, line, fragment) in cases {
         let err = dsl::parse(src).expect_err(&format!("should reject: {src:?}"));
@@ -127,6 +175,19 @@ fn whole_file_validations_fire() {
     // Compiling an empty scenario is rejected.
     let def = dsl::parse("```k2 scenario\nname: a\n```\n").unwrap();
     assert!(def.compile().unwrap_err().msg.contains("no work"));
+    // A fleet file excludes grid/steps workloads...
+    let src = "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 2\n```\n```k2 steps\n| op | args |\n|---|---|\n| send-mail | from=strong to=weak value=1 |\n```\n";
+    let err = dsl::parse(src).unwrap_err();
+    assert!(err.msg.contains("only the fleet"), "{err}");
+    // ...and fault presets (the fabric has its own loss model)...
+    let src = "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 2\n```\n```k2 faults preset=p\nmail_drop: 0.1\n```\n";
+    let err = dsl::parse(src).unwrap_err();
+    assert!(err.msg.contains("no fault presets"), "{err}");
+    // ...and does not compile to a single-machine run.
+    let src = "```k2 scenario\nname: a\n```\n```k2 fleet\ndevices: 10\nhubs: 2\n```\n";
+    let def = dsl::parse(src).unwrap();
+    assert!(def.is_fleet());
+    assert!(def.compile().unwrap_err().msg.contains("fleet"));
 }
 
 /// A tiny deterministic xorshift — the fuzz loop must not depend on
@@ -151,6 +212,10 @@ impl Rng {
 /// Applies one seeded mutation to a source text.
 fn mutate(src: &str, rng: &mut Rng) -> String {
     let lines: Vec<&str> = src.lines().collect();
+    if lines.is_empty() {
+        // A previous stacked mutation emptied the file; nothing to mutate.
+        return src.to_string();
+    }
     match rng.below(6) {
         // Delete a random line (often a fence — exercises recovery).
         0 => {

@@ -141,3 +141,86 @@ fn traced_runs_are_deterministic() {
     let b = traced_run().chrome_trace.unwrap();
     assert_eq!(a, b, "same (scenario, seed) must export identical traces");
 }
+
+/// A fleet trace puts every machine in its own pid block: machine `n`'s
+/// events live at `pid = n * PID_STRIDE + domain`, so Perfetto renders
+/// one track group per device. Machine 0 keeps the bare `domain{d}`
+/// process names — a single-machine export is byte-identical to the
+/// pre-namespaced format.
+#[test]
+fn fleet_trace_namespaces_pids_per_machine() {
+    use k2_sim::export::{ChromeTraceWriter, PID_STRIDE};
+    use k2_soc::ids::DomainId;
+    use k2_workloads::harness::{TestSystem, Workload};
+
+    let run = |salt: u32| {
+        let mut t = TestSystem::builder().trace().build();
+        let id = t.background("sync");
+        let _report = t.spawn_workload(
+            DomainId::WEAK,
+            id,
+            Workload::Udp {
+                batch: 8 << 10,
+                total: 16 << 10,
+            },
+            salt,
+        );
+        t.run_until_idle();
+        t
+    };
+    let a = run(0);
+    let b = run(1);
+
+    let mut combined = String::new();
+    {
+        let mut w = ChromeTraceWriter::new(&mut combined);
+        a.m.chrome_trace_into(&mut w, 0);
+        b.m.chrome_trace_into(&mut w, 1);
+        w.finish();
+    }
+    let doc = Json::parse(&combined).expect("combined trace must parse");
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+
+    let stride = PID_STRIDE as f64;
+    let mut in_block_1 = 0u64;
+    let mut named = Vec::new();
+    for e in events {
+        let pid = e.get("pid").and_then(Json::as_f64).unwrap();
+        assert!(
+            pid < 2.0 || (stride..stride + 2.0).contains(&pid),
+            "pid {pid} outside both machines' blocks"
+        );
+        if pid >= stride {
+            in_block_1 += 1;
+        }
+        if e.get("name").and_then(Json::as_str) == Some("process_name") {
+            let name = e
+                .get("args")
+                .and_then(|args| args.get("name"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            named.push((pid as u64, name));
+        }
+    }
+    assert!(in_block_1 > 0, "machine 1 exported no events");
+    assert!(named.contains(&(0, "domain0".to_string())));
+    assert!(named.contains(&(PID_STRIDE, "m1/domain0".to_string())));
+    assert!(named.contains(&(PID_STRIDE + 1, "m1/domain1".to_string())));
+
+    // Round trip: parse → compact re-render reproduces the exact bytes.
+    assert_eq!(doc.render_compact(), combined);
+
+    // Machine 0's half of the combined document is the plain
+    // single-machine export, unchanged.
+    let mut single = String::new();
+    a.m.write_chrome_trace(&mut single);
+    let mut via_into = String::new();
+    {
+        let mut w = ChromeTraceWriter::new(&mut via_into);
+        a.m.chrome_trace_into(&mut w, 0);
+        w.finish();
+    }
+    assert_eq!(single, via_into);
+    Json::parse(&single).expect("single-machine export still parses");
+}

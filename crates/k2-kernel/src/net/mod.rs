@@ -1,5 +1,8 @@
-//! Network layer: the UDP stack with loopback delivery.
+//! Network layer: the UDP stack with loopback delivery, the machine
+//! egress path, and the simulated inter-machine fabric.
 
+pub mod fabric;
 pub mod udp;
 
-pub use udp::{Datagram, NetError, NetStack, Port};
+pub use fabric::{FabricStats, InFlight, NetFabric, Route};
+pub use udp::{Datagram, EgressDatagram, MachineAddr, NetError, NetStack, Port};

@@ -1,10 +1,18 @@
-//! A UDP stack with loopback delivery.
+//! A UDP stack with loopback delivery and a machine-egress path.
 //!
 //! Models the slice of the network stack the paper's UDP-loopback benchmark
 //! exercises (§9.2): socket creation and teardown, datagram send with
 //! checksum and copy costs, and loopback delivery into the destination
 //! socket's receive queue. Real bytes flow end-to-end, so tests verify
 //! payloads.
+//!
+//! Beyond loopback, [`NetStack::send_to`] addresses another *machine*
+//! ([`MachineAddr`]): the datagram is queued on the stack's egress ring
+//! instead of being delivered locally, and whoever owns the device end
+//! (the fleet's [`NetFabric`](crate::net::fabric::NetFabric)) drains the
+//! ring with [`NetStack::drain_egress_into`] and routes it. Machine
+//! addresses are a fleet-level namespace: two machines binding the same
+//! [`Port`] never collide, because each machine owns a whole stack.
 
 use crate::cost::Cost;
 use crate::service::OpCx;
@@ -57,6 +65,36 @@ pub struct Datagram {
     pub payload: Vec<u8>,
 }
 
+/// The address of one machine on the simulated inter-machine fabric.
+///
+/// Ports are per-machine: `(MachineAddr, Port)` is the globally unique
+/// endpoint, so the same port number bound on two machines is not a
+/// collision.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MachineAddr(pub u16);
+
+impl fmt::Display for MachineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A datagram queued for transmission beyond this machine, waiting on the
+/// egress ring for the fabric to pick it up.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EgressDatagram {
+    /// Destination machine.
+    pub dst: MachineAddr,
+    /// Destination port on that machine.
+    pub dst_port: Port,
+    /// Sending socket's port (the reply-to port on the *sending* machine;
+    /// the wire does not carry the sender's machine address — peers that
+    /// want replies embed it in the payload, as real protocols do).
+    pub src_port: Port,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
 #[derive(Clone, Debug)]
 struct Socket {
     rx: VecDeque<Datagram>,
@@ -92,6 +130,9 @@ pub struct NetStack {
     next_state_page: u32,
     sent_datagrams: u64,
     sent_bytes: u64,
+    egress: VecDeque<EgressDatagram>,
+    egress_datagrams: u64,
+    egress_bytes: u64,
 }
 
 impl NetStack {
@@ -103,6 +144,9 @@ impl NetStack {
             next_state_page: 1,
             sent_datagrams: 0,
             sent_bytes: 0,
+            egress: VecDeque::new(),
+            egress_datagrams: 0,
+            egress_bytes: 0,
         }
     }
 
@@ -195,6 +239,72 @@ impl NetStack {
         Ok(())
     }
 
+    /// Sends a datagram from local socket `src` to `dst_port` on another
+    /// machine: the datagram goes onto the egress ring for the fabric to
+    /// route, not into any local socket. Charges the same syscall/copy
+    /// path as [`NetStack::send`] plus the device-queue handoff a real
+    /// NIC transmit ring costs.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NotBound`] or [`NetError::TooBig`]. An unknown
+    /// `dst` machine is *not* an error here — like a real first hop, the
+    /// sender cannot know; the fabric drops it and counts it.
+    pub fn send_to(
+        &mut self,
+        src: Port,
+        dst: MachineAddr,
+        dst_port: Port,
+        payload: &[u8],
+        cx: &mut OpCx,
+    ) -> Result<(), NetError> {
+        if payload.len() > MAX_DATAGRAM {
+            return Err(NetError::TooBig);
+        }
+        if !self.sockets.contains_key(&src.0) {
+            return Err(NetError::NotBound);
+        }
+        // Syscall + skb alloc + checksum + copy in, then the transmit-ring
+        // doorbell instead of loopback re-delivery.
+        cx.charge(Cost::instr(2_000) + Cost::mem(44) + Cost::bulk(payload.len() as u64));
+        cx.read(0);
+        cx.write(0);
+        self.egress.push_back(EgressDatagram {
+            dst,
+            dst_port,
+            src_port: src,
+            payload: payload.to_vec(),
+        });
+        self.sent_datagrams += 1;
+        self.sent_bytes += payload.len() as u64;
+        self.egress_datagrams += 1;
+        self.egress_bytes += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Moves every queued egress datagram into `buf` (appending, in send
+    /// order). The device end of the transmit ring: the fabric calls this
+    /// with a reused scratch buffer, so steady-state draining allocates
+    /// nothing.
+    pub fn drain_egress_into(&mut self, buf: &mut Vec<EgressDatagram>) {
+        buf.extend(self.egress.drain(..));
+    }
+
+    /// Datagrams currently queued on the egress ring.
+    pub fn egress_pending(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// Datagrams ever queued for another machine.
+    pub fn egress_datagrams(&self) -> u64 {
+        self.egress_datagrams
+    }
+
+    /// Payload bytes ever queued for another machine.
+    pub fn egress_bytes(&self) -> u64 {
+        self.egress_bytes
+    }
+
     /// Receives the next queued datagram on `port`, if any.
     ///
     /// # Errors
@@ -268,6 +378,65 @@ mod tests {
 
     fn cx() -> OpCx {
         OpCx::new()
+    }
+
+    #[test]
+    fn send_to_queues_on_the_egress_ring_in_order() {
+        let mut n = NetStack::new();
+        let a = n.bind(Some(Port(1000)), &mut cx()).unwrap();
+        for i in 0..3u8 {
+            n.send_to(a, MachineAddr(7), Port(443), &[i], &mut cx())
+                .unwrap();
+        }
+        assert_eq!(n.egress_pending(), 3);
+        assert_eq!(n.egress_datagrams(), 3);
+        assert_eq!(n.egress_bytes(), 3);
+        assert_eq!(n.sent_datagrams(), 3, "egress counts as sent traffic");
+        let mut buf = Vec::new();
+        n.drain_egress_into(&mut buf);
+        assert_eq!(n.egress_pending(), 0);
+        let order: Vec<u8> = buf.iter().map(|d| d.payload[0]).collect();
+        assert_eq!(order, vec![0, 1, 2], "egress preserves send order");
+        assert!(buf
+            .iter()
+            .all(|d| d.dst == MachineAddr(7) && d.dst_port == Port(443) && d.src_port == a));
+        // Draining again appends nothing.
+        n.drain_egress_into(&mut buf);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn send_to_validates_like_send() {
+        let mut n = NetStack::new();
+        assert_eq!(
+            n.send_to(Port(9), MachineAddr(0), Port(443), b"x", &mut cx()),
+            Err(NetError::NotBound)
+        );
+        let a = n.bind(None, &mut cx()).unwrap();
+        let big = vec![0u8; MAX_DATAGRAM + 1];
+        assert_eq!(
+            n.send_to(a, MachineAddr(0), Port(443), &big, &mut cx()),
+            Err(NetError::TooBig)
+        );
+        assert_eq!(n.egress_pending(), 0, "failed sends queue nothing");
+    }
+
+    #[test]
+    fn same_port_on_two_machines_is_not_a_collision() {
+        // Two machines = two stacks; (MachineAddr, Port) is the endpoint.
+        let mut a = NetStack::new();
+        let mut b = NetStack::new();
+        a.bind(Some(Port(4433)), &mut cx()).unwrap();
+        b.bind(Some(Port(4433)), &mut cx()).unwrap();
+        // Each delivers external traffic into its own socket.
+        a.deliver_external(Port(4433), Port(1), b"to-a".to_vec(), &mut cx())
+            .unwrap();
+        b.deliver_external(Port(4433), Port(2), b"to-b".to_vec(), &mut cx())
+            .unwrap();
+        let da = a.recv(Port(4433), &mut cx()).unwrap().unwrap();
+        let db = b.recv(Port(4433), &mut cx()).unwrap().unwrap();
+        assert_eq!(da.payload, b"to-a");
+        assert_eq!(db.payload, b"to-b");
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! tracks. Output is deterministic: fixed key order, fixed float
 //! notation, no wall clock.
 //!
+//! Multi-machine documents namespace the pid space: [`set_machine`]
+//! offsets every subsequent pid by `machine ×` [`PID_STRIDE`], so a
+//! fleet trace loads in Perfetto as one track group per device while a
+//! single-machine export (base 0) is byte-identical to the
+//! pre-namespaced format.
+//!
+//! [`set_machine`]: ChromeTraceWriter::set_machine
+//!
 //! # Examples
 //!
 //! ```
@@ -35,6 +43,11 @@
 use crate::json::JsonWriter;
 use std::fmt;
 
+/// Pid block size reserved per machine in a multi-machine trace. One
+/// machine has far fewer domains than this, so `machine * PID_STRIDE +
+/// domain` never collides across machines.
+pub const PID_STRIDE: u64 = 16;
+
 /// Incremental writer for the Chrome trace-event JSON format. See the
 /// module docs for the field mapping. Generic over any
 /// [`fmt::Write`] target (default `String`); wrap a file in
@@ -43,6 +56,7 @@ use std::fmt;
 pub struct ChromeTraceWriter<'a, W: fmt::Write + ?Sized = String> {
     w: JsonWriter<'a, W>,
     events: u64,
+    pid_base: u64,
 }
 
 impl<W: fmt::Write + ?Sized> fmt::Debug for ChromeTraceWriter<'_, W> {
@@ -60,12 +74,24 @@ impl<'a, W: fmt::Write + ?Sized> ChromeTraceWriter<'a, W> {
         w.begin_object();
         w.key("traceEvents");
         w.begin_array();
-        ChromeTraceWriter { w, events: 0 }
+        ChromeTraceWriter {
+            w,
+            events: 0,
+            pid_base: 0,
+        }
     }
 
     /// Events emitted so far.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Switches every subsequent event into machine `machine`'s pid
+    /// block (`machine ×` [`PID_STRIDE`]). Callers keep passing
+    /// per-machine pids (domain indices); the offset is applied here so
+    /// a fleet document gets one Perfetto track group per device.
+    pub fn set_machine(&mut self, machine: u64) {
+        self.pid_base = machine * PID_STRIDE;
     }
 
     /// The shared `ph`/`name`/`pid`/`tid` prefix every event starts with.
@@ -77,7 +103,7 @@ impl<'a, W: fmt::Write + ?Sized> ChromeTraceWriter<'a, W> {
         self.w.key("name");
         self.w.str(name);
         self.w.key("pid");
-        self.w.u64(pid);
+        self.w.u64(self.pid_base + pid);
         self.w.key("tid");
         self.w.u64(tid);
     }

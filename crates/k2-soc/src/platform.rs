@@ -1377,6 +1377,25 @@ impl<W> Machine<W> {
     /// with exact end-of-run energy and gauge samples. Deterministic:
     /// simulated time only, fixed notation.
     pub fn write_chrome_trace<O: std::fmt::Write + ?Sized>(&self, out: &mut O) {
+        let mut w = ChromeTraceWriter::new(out);
+        self.chrome_trace_into(&mut w, 0);
+        w.finish();
+    }
+
+    /// Appends this machine's events into an already-open trace writer
+    /// under machine `machine`'s pid block (see
+    /// [`PID_STRIDE`](k2_sim::export::PID_STRIDE)) — the fleet driver
+    /// calls this once per device to build one combined document that
+    /// Perfetto renders as one track group per machine. Machine 0 keeps
+    /// the bare `domain{d}` process names so a single-machine
+    /// [`write_chrome_trace`](Self::write_chrome_trace) document is
+    /// byte-identical to the pre-fleet format; other machines are named
+    /// `m{machine}/domain{d}`.
+    pub fn chrome_trace_into<O: std::fmt::Write + ?Sized>(
+        &self,
+        w: &mut ChromeTraceWriter<'_, O>,
+        machine: u64,
+    ) {
         const TRACKS: [(u64, &str); 4] = [(0, "spans"), (1, "mail"), (2, "irq"), (3, "dma")];
         fn track_of(name: &str) -> u64 {
             match name {
@@ -1387,12 +1406,16 @@ impl<W> Machine<W> {
             }
         }
         let now = self.now;
-        let mut w = ChromeTraceWriter::new(out);
+        w.set_machine(machine);
         let mut label = String::new();
         for d in 0..self.domain_count() {
             use std::fmt::Write as _;
             label.clear();
-            write!(label, "domain{d}").unwrap();
+            if machine == 0 {
+                write!(label, "domain{d}").unwrap();
+            } else {
+                write!(label, "m{machine}/domain{d}").unwrap();
+            }
             w.metadata_process_name(d as u64, &label);
             for (tid, name) in TRACKS {
                 w.metadata_thread_name(d as u64, tid, name);
@@ -1507,7 +1530,6 @@ impl<W> Machine<W> {
                 );
             }
         }
-        w.finish();
     }
 
     // ------------------------------------------------------------------

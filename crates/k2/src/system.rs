@@ -450,7 +450,9 @@ impl K2System {
         h.usize(self.sensor_inbox.len())
             .usize(self.sensor_waiters.len())
             .usize(self.net_pending.len())
-            .usize(self.net_waiters.len());
+            .usize(self.net_waiters.len())
+            .usize(self.world.services.net.egress_pending())
+            .u64(self.world.services.net.egress_datagrams());
         h.bool(self.sensor_period.is_some());
         if let Some(p) = self.sensor_period {
             h.u64(p.as_ns());
@@ -1271,6 +1273,14 @@ pub fn net_expect_reply(
 /// caller must return `Step::Block` unless data is already queued).
 pub fn net_await(w: &mut K2System, task: TaskId) {
     w.net_waiters.push(task);
+}
+
+/// Drains this machine's outbound (cross-machine) datagrams into `buf`,
+/// appending in send order — the device end of the NIC transmit ring the
+/// fleet fabric polls at every epoch boundary. `buf` is caller scratch;
+/// steady-state draining allocates nothing.
+pub fn net_drain_egress(w: &mut K2System, buf: &mut Vec<k2_kernel::net::EgressDatagram>) {
+    w.world.services.net.drain_egress_into(buf);
 }
 
 /// Arms the sensor: enables the device with `watermark` samples per
