@@ -1,0 +1,337 @@
+//! PR 10 observability bench: what does watching the fleet cost?
+//!
+//! Emits `BENCH_pr10.json` (hand-rolled JSON, no deps) into the current
+//! directory. Three figures over the committed 1,000-device sync storm:
+//!
+//! * **Tracing overhead** — fleet events/sec with the span sink
+//!   disabled (the fleet default), ring-buffered (cap 4096), and fully
+//!   retained. Sim digests are asserted identical across all three
+//!   sinks *and* across 1/2/8 workers on the disabled path, so the
+//!   sweep doubles as the observation-never-perturbs-time check.
+//! * **Trace export cost** — wall time for the fully-traced run
+//!   including fragment rendering and machine-order assembly, plus the
+//!   document size, at a 64-machine scale where full retention fits.
+//! * **Telemetry allocation churn** — heap allocations per
+//!   machine-epoch on the disabled path; the timeline sampler reuses
+//!   its buffers, so observability must not add O(fleet) churn.
+//!
+//! With `--check <baseline.json>` it compares disabled-sink fleet
+//! events/sec against the committed baseline and exits nonzero on a
+//! regression of more than 15% — the CI gate on the do-nothing path.
+//!
+//! With `--smoke` it skips the timing sweeps and runs only the
+//! sink-invariance check at full scale, writing `FLEET_pr10.txt`.
+
+use k2_check::fleet::{run_fleet_from, run_fleet_traced, warmed_snapshot, FleetSpec};
+use k2_check::FleetReport;
+use k2_sim::sink::SinkMode;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation so telemetry churn shows up as a
+/// measured allocations-per-machine-epoch number, not just wall clock.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const SEED: u64 = 2_014;
+const WORKERS: [usize; 3] = [1, 2, 8];
+const SINKS: [SinkMode; 3] = [
+    SinkMode::Disabled,
+    SinkMode::RingBuffer(4_096),
+    SinkMode::Full,
+];
+/// Timing repetitions per fleet run (median taken).
+const FLEET_REPS: u32 = 3;
+
+/// The committed 1,000-device storm at a given sink, 8 workers.
+fn storm(sink: SinkMode) -> FleetSpec {
+    let mut spec = FleetSpec::sync_storm(1_000, 4);
+    spec.seed = SEED;
+    spec.workers = 8;
+    spec.sink = sink;
+    spec
+}
+
+struct SinkRun {
+    sink: SinkMode,
+    secs: f64,
+    report: FleetReport,
+}
+
+impl SinkRun {
+    fn events_per_sec(&self) -> f64 {
+        self.report.events as f64 / self.secs
+    }
+}
+
+/// Runs the storm `FLEET_REPS` times under one sink, keeping the median
+/// wall time. Every repetition must produce the identical report.
+fn bench_sink(sink: SinkMode, snap: &k2::system::SystemSnapshot) -> SinkRun {
+    let spec = storm(sink);
+    let mut secs = Vec::with_capacity(FLEET_REPS as usize);
+    let mut report: Option<FleetReport> = None;
+    for _ in 0..FLEET_REPS {
+        let start = Instant::now();
+        let r = run_fleet_from(&spec, snap);
+        secs.push(start.elapsed().as_secs_f64());
+        if let Some(prev) = &report {
+            assert_eq!(prev, &r, "fleet run not reproducible at same spec");
+        }
+        report = Some(r);
+    }
+    secs.sort_by(f64::total_cmp);
+    SinkRun {
+        sink,
+        secs: secs[secs.len() / 2],
+        report: report.expect("ran"),
+    }
+}
+
+struct ExportRun {
+    secs: f64,
+    trace_bytes: usize,
+    events: u64,
+}
+
+/// The fully-traced export at 64 machines: run + render + assemble.
+fn bench_export(snap: &k2::system::SystemSnapshot) -> ExportRun {
+    let mut spec = FleetSpec::sync_storm(62, 2);
+    spec.seed = SEED;
+    spec.workers = 8;
+    spec.sink = SinkMode::Full;
+    let mut secs = Vec::with_capacity(FLEET_REPS as usize);
+    let mut sizes = Vec::new();
+    let mut events = 0;
+    for _ in 0..FLEET_REPS {
+        let start = Instant::now();
+        let (report, trace) = run_fleet_traced(&spec, snap);
+        secs.push(start.elapsed().as_secs_f64());
+        sizes.push(trace.len());
+        events = report.events;
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "trace size must be reproducible"
+    );
+    secs.sort_by(f64::total_cmp);
+    ExportRun {
+        secs: secs[secs.len() / 2],
+        trace_bytes: sizes[0],
+        events,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+fn render_json(runs: &[SinkRun], export: &ExportRun, allocs_per_machine_epoch: u64) -> String {
+    let disabled = &runs[0];
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"pr10\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    s.push_str("  \"fleet\": {\n");
+    s.push_str(&format!(
+        "    \"machines\": {},\n",
+        disabled.report.machines
+    ));
+    s.push_str(&format!("    \"epochs\": {},\n", disabled.report.epochs));
+    s.push_str(&format!("    \"events\": {},\n", disabled.report.events));
+    s.push_str(&format!(
+        "    \"sim_digest\": \"{:016x}\",\n",
+        disabled.report.digest
+    ));
+    s.push_str(&format!(
+        "    \"stragglers\": {},\n",
+        disabled.report.timeline.stragglers.len()
+    ));
+    s.push_str(&format!(
+        "    \"allocs_per_machine_epoch\": {allocs_per_machine_epoch}\n"
+    ));
+    s.push_str("  },\n");
+    for r in runs {
+        s.push_str(&format!(
+            "  \"fleet_events_per_sec_{}\": {:.1},\n",
+            r.sink.label(),
+            r.events_per_sec()
+        ));
+    }
+    let base = runs[0].events_per_sec();
+    for r in &runs[1..] {
+        s.push_str(&format!(
+            "  \"{}_overhead_pct\": {:.1},\n",
+            r.sink.label(),
+            (base / r.events_per_sec() - 1.0) * 100.0
+        ));
+    }
+    s.push_str("  \"export\": {\n");
+    s.push_str("    \"machines\": 64,\n");
+    s.push_str(&format!("    \"events\": {},\n", export.events));
+    s.push_str(&format!("    \"trace_bytes\": {},\n", export.trace_bytes));
+    s.push_str(&format!("    \"wall_ms\": {:.1}\n", export.secs * 1e3));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"disabled_fleet_events_per_sec\": {:.1}\n",
+        disabled.events_per_sec()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Pulls `"key": <number>` out of the hand-rolled JSON. Good enough for
+/// the one file this binary itself writes.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The cheap CI check: the full-scale storm's sim digest is one value
+/// under every sink, and worker-count invariant on the default path.
+fn sink_invariance(snap: &k2::system::SystemSnapshot) -> FleetReport {
+    let mut spec = storm(SinkMode::Disabled);
+    spec.epochs = 40;
+    let disabled = run_fleet_from(&spec, snap);
+    for w in WORKERS {
+        spec.workers = w;
+        let r = run_fleet_from(&spec, snap);
+        assert_eq!(disabled.digest, r.digest, "digest diverged at {w} workers");
+    }
+    spec.workers = 8;
+    for sink in [SinkMode::RingBuffer(4_096), SinkMode::Full] {
+        spec.sink = sink;
+        let traced = run_fleet_from(&spec, snap);
+        assert_eq!(
+            disabled.digest, traced.digest,
+            "{sink:?} perturbed simulated time"
+        );
+        // Only the trace digest may differ (contexts are NONE when the
+        // sink is off); every simulated quantity must match exactly.
+        assert_eq!(disabled.events, traced.events, "{sink:?} event drift");
+        assert_eq!(disabled.delivered, traced.delivered);
+        assert_eq!(
+            disabled.timeline, traced.timeline,
+            "{sink:?} telemetry drift"
+        );
+    }
+    disabled
+}
+
+fn smoke() {
+    eprintln!("fleet observability smoke: 1000 devices, sinks {SINKS:?}...");
+    let snap = warmed_snapshot();
+    let report = sink_invariance(&snap);
+    let artifact = format!(
+        "{}observation: sim digest {:016x} identical under sinks \
+         disabled/ring/full and workers {WORKERS:?}\n",
+        report.render(),
+        report.digest
+    );
+    eprint!("{artifact}");
+    std::fs::write("FLEET_pr10.txt", &artifact).expect("write FLEET_pr10.txt");
+    eprintln!("wrote FLEET_pr10.txt");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check takes a path").clone());
+
+    // Warm up once so first-touch costs stay out of measured windows.
+    let snap = warmed_snapshot();
+
+    eprintln!("sink invariance (digest identical under every sink)...");
+    sink_invariance(&snap);
+
+    eprintln!("tracing overhead (1,000 machines, sinks disabled/ring/full)...");
+    let runs: Vec<SinkRun> = SINKS.iter().map(|&s| bench_sink(s, &snap)).collect();
+    for r in &runs {
+        eprintln!(
+            "  {:>8}: {:>9.1} events/sec  ({:.0} ms/run)",
+            r.sink.label(),
+            r.events_per_sec(),
+            r.secs * 1e3
+        );
+    }
+    for r in &runs[1..] {
+        assert_eq!(
+            runs[0].report.digest, r.report.digest,
+            "sink {:?} changed the sim digest",
+            r.sink
+        );
+    }
+
+    eprintln!("trace export (64 machines, full sink, render + assemble)...");
+    let export = bench_export(&snap);
+    eprintln!(
+        "  {:.1} ms/run, {} bytes, {} events",
+        export.secs * 1e3,
+        export.trace_bytes,
+        export.events
+    );
+
+    // Allocation churn: one extra disabled-sink run under the counter.
+    let spec = storm(SinkMode::Disabled);
+    let before = allocations();
+    let report = run_fleet_from(&spec, &snap);
+    let machine_epochs = u64::from(report.machines) * u64::from(report.epochs);
+    let allocs_per_machine_epoch = (allocations() - before) / machine_epochs;
+    eprintln!("  allocs/machine-epoch: {allocs_per_machine_epoch}");
+
+    let json = render_json(&runs, &export, allocs_per_machine_epoch);
+    std::fs::write("BENCH_pr10.json", &json).expect("write BENCH_pr10.json");
+    eprintln!("wrote BENCH_pr10.json");
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).expect("read baseline");
+        let base = extract_number(&baseline, "disabled_fleet_events_per_sec")
+            .expect("baseline has disabled_fleet_events_per_sec");
+        let now = extract_number(&json, "disabled_fleet_events_per_sec").expect("just rendered");
+        eprintln!("regression check vs {path}: baseline {base:.1}/s, current {now:.1}/s");
+        if now < base * 0.85 {
+            eprintln!("FAIL: disabled-sink fleet throughput regressed more than 15%");
+            std::process::exit(1);
+        }
+        eprintln!("OK: within the 15% regression budget");
+    }
+}

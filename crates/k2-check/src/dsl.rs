@@ -207,6 +207,8 @@ pub struct FleetDef {
     pub loss: f64,
     /// Fabric reorder probability.
     pub reorder: f64,
+    /// Span sink (`disabled`, `ring`, `ring:<cap>`, or `full`).
+    pub trace: k2_sim::sink::SinkMode,
 }
 
 impl FleetDef {
@@ -224,6 +226,7 @@ impl FleetDef {
             latency_max_us: 8_000,
             loss: 0.01,
             reorder: 0.05,
+            trace: k2_sim::sink::SinkMode::Disabled,
         }
     }
 
@@ -242,6 +245,7 @@ impl FleetDef {
         s.latency_max = SimDuration::from_us(self.latency_max_us);
         s.loss = self.loss;
         s.reorder = self.reorder;
+        s.sink = self.trace;
         s
     }
 }
@@ -398,6 +402,12 @@ impl ScenarioDef {
             writeln!(s, "latency_max_us: {}", f.latency_max_us).unwrap();
             writeln!(s, "loss: {}", f.loss).unwrap();
             writeln!(s, "reorder: {}", f.reorder).unwrap();
+            match f.trace {
+                k2_sim::sink::SinkMode::RingBuffer(cap) => {
+                    writeln!(s, "trace: ring:{cap}").unwrap()
+                }
+                mode => writeln!(s, "trace: {}", mode.label()).unwrap(),
+            }
             writeln!(s, "```").unwrap();
         }
         if !self.grid.is_empty() {
@@ -982,6 +992,17 @@ fn finish_block(
                     "latency_max_us" => f.latency_max_us = parse_u64(&value, ln)?,
                     "loss" => f.loss = parse_rate(&value, ln)?,
                     "reorder" => f.reorder = parse_rate(&value, ln)?,
+                    "trace" => {
+                        f.trace = k2_sim::sink::SinkMode::parse(&value).ok_or_else(|| {
+                            DslError::new(
+                                ln,
+                                format!(
+                                    "bad `trace` value `{value}`: want \
+                                     disabled | ring | ring:<cap> | full"
+                                ),
+                            )
+                        })?;
+                    }
                     _ => {
                         return Err(DslError::new(
                             ln,
@@ -1426,5 +1447,33 @@ mod tests {
         let err = parse(src).unwrap_err();
         assert_eq!(err.line, 5);
         assert!(err.msg.contains("out of range"), "{}", err.msg);
+    }
+
+    #[test]
+    fn fleet_trace_key_selects_the_span_sink() {
+        use k2_sim::sink::SinkMode;
+        let src = |trace: &str| {
+            format!("```k2 scenario\nname: t\n```\n```k2 fleet\ndevices: 4\nhubs: 1\n{trace}```\n")
+        };
+        // Unset defaults to disabled: fleet runs trace nothing.
+        let def = parse(&src("")).unwrap();
+        assert_eq!(def.fleet.as_ref().unwrap().trace, SinkMode::Disabled);
+        assert_eq!(def.fleet.as_ref().unwrap().spec(1).sink, SinkMode::Disabled);
+        for (line, want) in [
+            ("trace: full\n", SinkMode::Full),
+            ("trace: ring\n", SinkMode::RingBuffer(1024)),
+            ("trace: ring:256\n", SinkMode::RingBuffer(256)),
+            ("trace: disabled\n", SinkMode::Disabled),
+        ] {
+            let def = parse(&src(line)).unwrap();
+            let f = def.fleet.as_ref().unwrap();
+            assert_eq!(f.trace, want, "{line}");
+            assert_eq!(f.spec(1).sink, want, "{line}");
+            // The canonical render keeps the sink through a round trip.
+            assert_eq!(parse(&def.render()).unwrap(), def, "{line}");
+        }
+        let err = parse(&src("trace: sometimes\n")).unwrap_err();
+        assert_eq!(err.line, 7);
+        assert!(err.msg.contains("sometimes"), "{}", err.msg);
     }
 }

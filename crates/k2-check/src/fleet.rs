@@ -40,8 +40,12 @@ use k2::system::{self, shadowed, K2Machine, K2System, SystemConfig, SystemSnapsh
 use k2_kernel::net::{EgressDatagram, InFlight, MachineAddr, NetFabric, Port};
 use k2_kernel::service::ServiceId;
 use k2_sim::digest::Fnv64;
+use k2_sim::export::{assemble_trace, ChromeTraceWriter};
+use k2_sim::json::JsonWriter;
 use k2_sim::metrics::{CounterId, Key, Registry, Tag};
 use k2_sim::rng::SimRng;
+use k2_sim::sink::SinkMode;
+use k2_sim::span::{global_span_id, SpanArgs, SpanId, TraceCtx};
 use k2_sim::time::{SimDuration, SimTime};
 use k2_soc::ids::DomainId;
 use k2_soc::platform::{Step, Task, TaskCx};
@@ -94,6 +98,12 @@ pub struct FleetSpec {
     /// Every `stray_every`-th datagram per device is addressed outside
     /// the fleet (exercises the deterministic unroutable drop); 0 = off.
     pub stray_every: u32,
+    /// Per-machine trace sink ([`SinkMode::Disabled`] by default —
+    /// retaining every span on 1,000 machines is pure overhead unless
+    /// someone asked for a trace). The fleet's pinned digest is the
+    /// *sim* digest, identical under every mode: observation never
+    /// perturbs simulated time.
+    pub sink: SinkMode,
 }
 
 impl FleetSpec {
@@ -115,6 +125,7 @@ impl FleetSpec {
             loss: 0.01,
             reorder: 0.05,
             stray_every: 0,
+            sink: SinkMode::Disabled,
         }
     }
 
@@ -155,11 +166,47 @@ const HUB_HANDLED: &str = "fleet.hub_handled";
 const DEV_ACKS: &str = "fleet.acks";
 const DEV_SENT: &str = "fleet.dev_sent";
 
+/// Opens a `net.tx` span for a cross-machine send from machine `addr`
+/// at time `at`, returning the span and the context to put on the wire.
+/// `trace_id == 0` roots a new causal tree under the span's own
+/// fleet-global id (the device side); a hub ack passes the id the
+/// request arrived with, extending that tree. With tracing disabled
+/// this allocates nothing and the wire carries [`TraceCtx::NONE`] —
+/// the send itself is identical either way.
+fn tx_span(
+    m: &mut K2Machine,
+    dom: u8,
+    at: SimTime,
+    addr: u16,
+    trace_id: u64,
+) -> (SpanId, TraceCtx) {
+    let spans = m.spans_mut();
+    if !spans.is_enabled() {
+        return (SpanId::NONE, TraceCtx::NONE);
+    }
+    // Span ids are sequential, so the id `start_args` is about to hand
+    // out is knowable up front — which lets the span carry its own
+    // global id as the `trace` annotation.
+    let gid = global_span_id(u32::from(addr), spans.allocated() + 1);
+    let tid = if trace_id == 0 { gid } else { trace_id };
+    let id = spans.start_args(at, "net.tx", dom, SpanArgs::one("trace", tid));
+    debug_assert_eq!(global_span_id(u32::from(addr), id.raw()), gid);
+    (
+        id,
+        TraceCtx {
+            trace_id: tid,
+            parent: gid,
+        },
+    )
+}
+
 /// A hub: binds [`HUB_PORT`], then forever drains its socket, acking
 /// every datagram back to the machine address embedded in the payload.
 /// Never finishes — the fleet runs machines with `run_until`, which
 /// tolerates live parked tasks.
 struct HubTask {
+    /// This hub's machine index (namespaces its span ids fleet-wide).
+    addr: u16,
     port: Option<Port>,
     handled_id: Option<CounterId>,
 }
@@ -179,6 +226,8 @@ impl Task<K2System> for HubTask {
         });
         let mut handled = 0u64;
         let mut dur = SimDuration::ZERO;
+        let now = m.now();
+        let dom = m.core_desc(cx.core).domain.0;
         loop {
             let (dg, d) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
                 s.net.recv(port, opcx).expect("hub recv")
@@ -186,11 +235,15 @@ impl Task<K2System> for HubTask {
             dur += d;
             let Some(dg) = dg else { break };
             let reply_to = MachineAddr(u16::from_le_bytes([dg.payload[0], dg.payload[1]]));
+            // The ack extends the causal tree the request arrived with.
+            let (tx, ctx) = tx_span(m, dom, now + dur, self.addr, dg.trace.trace_id);
             let (res, d) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
-                s.net.send_to(port, reply_to, dg.src, &dg.payload, opcx)
+                s.net
+                    .send_to_traced(port, reply_to, dg.src, &dg.payload, ctx, opcx)
             });
             res.expect("hub ack");
             dur += d;
+            m.spans_mut().end(now + dur, tx);
             handled += 1;
         }
         if handled > 0 {
@@ -283,6 +336,8 @@ impl Task<K2System> for DeviceTask {
         self.rounds_left -= 1;
         let port = self.port.expect("bound");
         let round = self.rounds_left;
+        let now = m.now();
+        let dom = m.core_desc(cx.core).domain.0;
         for i in 0..self.burst {
             self.sent_seq += 1;
             let stray =
@@ -300,12 +355,16 @@ impl Task<K2System> for DeviceTask {
             self.buf.push(i as u8);
             self.buf.resize(DGRAM, 0);
             let buf = std::mem::take(&mut self.buf);
+            // Each burst datagram roots one causal tree: this tx span's
+            // global id is the trace id the hub's ack comes back under.
+            let (tx, ctx) = tx_span(m, dom, now + dur, self.addr, 0);
             let (res, d) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
-                s.net.send_to(port, dst, HUB_PORT, &buf, opcx)
+                s.net.send_to_traced(port, dst, HUB_PORT, &buf, ctx, opcx)
             });
             self.buf = buf;
             res.expect("device send");
             dur += d;
+            m.spans_mut().end(now + dur, tx);
         }
         let id = *self
             .sent_id
@@ -412,8 +471,9 @@ enum Cmd {
         deliveries: Vec<InFlight>,
         egress: Vec<(u32, EgressDatagram)>,
     },
-    /// Digest and report every machine, then exit.
-    Finish,
+    /// Digest and report every machine (rendering its trace fragment
+    /// when asked), then exit.
+    Finish { collect_trace: bool },
 }
 
 /// A shard's answer to [`Cmd::Epoch`].
@@ -426,6 +486,16 @@ struct EpochOut {
     deliveries: Vec<InFlight>,
     /// Machine events processed during this epoch.
     events: u64,
+    /// Sum over the shard's machines of their epoch-end mail + net
+    /// backlog (pending mailbox envelopes plus undelivered NET irqs).
+    backlog_sum: u64,
+    /// The largest single-machine backlog in the shard this epoch
+    /// (max is associative, so the fleet max is worker-invariant).
+    backlog_max: u64,
+    /// Cumulative shard energy at the epoch boundary, in integer
+    /// microjoules — integers sum associatively, so the fleet series is
+    /// byte-identical for any worker count (f64 sums would not be).
+    energy_uj: u64,
 }
 
 /// A shard's answer to [`Cmd::Finish`].
@@ -438,6 +508,231 @@ struct FinalOut {
     sent: u64,
     /// Sum of `fleet.hub_handled` over the shard's hubs.
     hub_handled: u64,
+    /// Per-machine peak epoch backlog, machine-index order (the
+    /// straggler detector's input).
+    peak_backlogs: Vec<u64>,
+    /// Per-machine rendered trace fragments, machine-index order; empty
+    /// unless the finish asked for a trace.
+    trace_fragments: Vec<String>,
+}
+
+// ----------------------------------------------------------------------
+// Telemetry timeline
+// ----------------------------------------------------------------------
+
+/// Fleet-wide samples taken at one epoch boundary. All integers (energy
+/// in µJ) so aggregation is associative and worker-count-invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochSample {
+    /// Machine events processed during the epoch.
+    pub events: u64,
+    /// Datagrams drained from machine egress rings this epoch.
+    pub egress: u64,
+    /// Of those, datagrams the fabric queued for delivery.
+    pub delivered: u64,
+    /// Datagrams the loss model dropped this epoch.
+    pub dropped: u64,
+    /// Datagrams that drew reorder jitter this epoch.
+    pub reordered: u64,
+    /// Datagrams in flight after this epoch's routing.
+    pub in_flight: u64,
+    /// Fleet mail + net backlog at the epoch boundary (sum).
+    pub backlog: u64,
+    /// Largest single-machine backlog at the epoch boundary.
+    pub backlog_max: u64,
+    /// Cumulative fleet energy at the epoch boundary, µJ.
+    pub energy_uj: u64,
+}
+
+/// p50/p99/max of one timeline column across epochs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Median (nearest-rank on the sorted column).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as u64 * p + 50) / 100;
+    sorted[idx as usize]
+}
+
+/// A machine whose peak epoch backlog exceeded the fleet's
+/// `median + k·MAD` threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Straggler {
+    /// Machine index.
+    pub machine: u32,
+    /// Its largest epoch-boundary backlog over the run.
+    pub peak_backlog: u64,
+}
+
+/// The robust-outlier multiplier: a machine is a straggler when its
+/// peak backlog exceeds `median + STRAGGLER_K · max(MAD, 1)`. MAD
+/// (median absolute deviation) is robust against the stragglers it is
+/// hunting; the `max(…, 1)` floor keeps a zero-MAD fleet (every machine
+/// identical) from flagging machines a single envelope above median.
+pub const STRAGGLER_K: u64 = 4;
+
+/// Per-epoch fleet telemetry: one [`EpochSample`] per epoch plus the
+/// deterministic straggler section. Byte-identical for any worker
+/// count — every column is integer-summed in machine-index order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetTimeline {
+    /// Epoch length, ns (converts event counts to events/sec).
+    pub epoch_ns: u64,
+    /// One sample per epoch, in epoch order.
+    pub samples: Vec<EpochSample>,
+    /// Median of per-machine peak backlogs.
+    pub backlog_median: u64,
+    /// Median absolute deviation of per-machine peak backlogs.
+    pub backlog_mad: u64,
+    /// Machines over the `median + k·MAD` threshold, index order.
+    pub stragglers: Vec<Straggler>,
+}
+
+impl FleetTimeline {
+    /// p50/p99/max of one column across epochs.
+    pub fn stats(&self, col: impl Fn(&EpochSample) -> u64) -> ColumnStats {
+        let mut v: Vec<u64> = self.samples.iter().map(col).collect();
+        v.sort_unstable();
+        ColumnStats {
+            p50: percentile(&v, 50),
+            p99: percentile(&v, 99),
+            max: v.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Events per simulated second during epoch `i`.
+    pub fn events_per_sec(&self, i: usize) -> u64 {
+        if self.epoch_ns == 0 {
+            return 0;
+        }
+        self.samples[i].events.saturating_mul(1_000_000_000) / self.epoch_ns
+    }
+
+    /// Renders the timeline as one JSON document via the streaming
+    /// [`JsonWriter`]: aggregate columns, the full per-epoch series,
+    /// and the straggler section. Deterministic — fixed key order, no
+    /// floats, no wall clock.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        let mut w = JsonWriter::compact(&mut out);
+        w.begin_object();
+        w.key("epoch_ns");
+        w.u64(self.epoch_ns);
+        w.key("epochs");
+        w.u64(self.samples.len() as u64);
+        w.key("columns");
+        w.begin_object();
+        type Col<'a> = (&'a str, &'a dyn Fn(&EpochSample) -> u64);
+        let cols: [Col; 7] = [
+            ("events", &|s| s.events),
+            ("in_flight", &|s| s.in_flight),
+            ("dropped", &|s| s.dropped),
+            ("reordered", &|s| s.reordered),
+            ("backlog", &|s| s.backlog),
+            ("backlog_max", &|s| s.backlog_max),
+            ("energy_uj", &|s| s.energy_uj),
+        ];
+        for (name, col) in cols {
+            let st = self.stats(col);
+            w.key(name);
+            w.begin_object();
+            w.key("p50");
+            w.u64(st.p50);
+            w.key("p99");
+            w.u64(st.p99);
+            w.key("max");
+            w.u64(st.max);
+            w.end_object();
+        }
+        w.end_object();
+        w.key("series");
+        w.begin_array();
+        for (i, s) in self.samples.iter().enumerate() {
+            w.begin_object();
+            w.key("epoch");
+            w.u64(i as u64);
+            w.key("events");
+            w.u64(s.events);
+            w.key("events_per_sec");
+            w.u64(self.events_per_sec(i));
+            w.key("egress");
+            w.u64(s.egress);
+            w.key("delivered");
+            w.u64(s.delivered);
+            w.key("dropped");
+            w.u64(s.dropped);
+            w.key("reordered");
+            w.u64(s.reordered);
+            w.key("in_flight");
+            w.u64(s.in_flight);
+            w.key("backlog");
+            w.u64(s.backlog);
+            w.key("backlog_max");
+            w.u64(s.backlog_max);
+            w.key("energy_uj");
+            w.u64(s.energy_uj);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("stragglers");
+        w.begin_object();
+        w.key("k_mad");
+        w.u64(STRAGGLER_K);
+        w.key("median");
+        w.u64(self.backlog_median);
+        w.key("mad");
+        w.u64(self.backlog_mad);
+        w.key("machines");
+        w.begin_array();
+        for s in &self.stragglers {
+            w.begin_object();
+            w.key("machine");
+            w.u64(u64::from(s.machine));
+            w.key("peak_backlog");
+            w.u64(s.peak_backlog);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.end_object();
+        w.finish();
+        out
+    }
+}
+
+/// Runs the straggler detector over per-machine peak backlogs:
+/// `median + k·MAD` with integer arithmetic throughout.
+fn find_stragglers(peaks: &[u64]) -> (u64, u64, Vec<Straggler>) {
+    if peaks.is_empty() {
+        return (0, 0, Vec::new());
+    }
+    let mut sorted = peaks.to_vec();
+    sorted.sort_unstable();
+    let median = percentile(&sorted, 50);
+    let mut dev: Vec<u64> = peaks.iter().map(|&p| p.abs_diff(median)).collect();
+    dev.sort_unstable();
+    let mad = percentile(&dev, 50);
+    let threshold = median + STRAGGLER_K * mad.max(1);
+    let stragglers = peaks
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| p > threshold)
+        .map(|(i, &p)| Straggler {
+            machine: i as u32,
+            peak_backlog: p,
+        })
+        .collect();
+    (median, mad, stragglers)
 }
 
 /// What one fleet run produced. Everything here is deterministic for a
@@ -472,10 +767,19 @@ pub struct FleetReport {
     pub dev_acks: u64,
     /// Datagrams answered by hubs.
     pub hub_handled: u64,
-    /// Fold of every machine digest (index order), the fleet metrics
-    /// registry, and the fabric stats: byte-identical for any worker
-    /// count.
+    /// Fold of every machine *sim* digest (index order), the fleet
+    /// metrics registry, and the fabric stats: byte-identical for any
+    /// worker count, and — because the sim digest excludes every
+    /// observability-only term — identical whatever trace sink the
+    /// machines run under.
     pub digest: u64,
+    /// Fold of every trace context that crossed the fabric (egress in
+    /// route order, deliveries in arrival order): the causal-tree
+    /// identity of the run. Zero-valued contexts fold too, so the
+    /// digest is defined (and worker-invariant) with tracing disabled.
+    pub trace_digest: u64,
+    /// Per-epoch telemetry and the straggler section.
+    pub timeline: FleetTimeline,
 }
 
 impl FleetReport {
@@ -506,6 +810,27 @@ impl FleetReport {
             "sync: sent {} acked {} hub-handled {}",
             self.dev_sent, self.dev_acks, self.hub_handled
         );
+        let ev = self.timeline.stats(|e| e.events);
+        let fl = self.timeline.stats(|e| e.in_flight);
+        let bl = self.timeline.stats(|e| e.backlog);
+        let _ = writeln!(
+            s,
+            "timeline: events/epoch p50 {} p99 {} max {}; in-flight p50 {} p99 {} max {}; backlog p50 {} p99 {} max {}",
+            ev.p50, ev.p99, ev.max, fl.p50, fl.p99, fl.max, bl.p50, bl.p99, bl.max
+        );
+        let _ = write!(
+            s,
+            "stragglers: {} (k {} median {} mad {})",
+            self.timeline.stragglers.len(),
+            STRAGGLER_K,
+            self.timeline.backlog_median,
+            self.timeline.backlog_mad
+        );
+        for st in self.timeline.stragglers.iter().take(8) {
+            let _ = write!(s, " m{}:{}", st.machine, st.peak_backlog);
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(s, "trace: digest {:016x}", self.trace_digest);
         let _ = writeln!(s, "digest: {:016x}", self.digest);
         s
     }
@@ -525,6 +850,11 @@ impl FleetReport {
             "dev_sent" => self.dev_sent,
             "dev_acks" => self.dev_acks,
             "hub_handled" => self.hub_handled,
+            "stragglers" => self.timeline.stragglers.len() as u64,
+            "events_p50" => self.timeline.stats(|e| e.events).p50,
+            "in_flight_p99" => self.timeline.stats(|e| e.in_flight).p99,
+            "backlog_p99" => self.timeline.stats(|e| e.backlog).p99,
+            "backlog_max" => self.timeline.stats(|e| e.backlog_max).max,
             _ => return None,
         })
     }
@@ -547,11 +877,16 @@ fn shard_worker(
     for i in 0..count {
         let global = base + i;
         let (mut m, mut sys) = K2System::fork(snap);
+        // The warmed image carries the boot default (full sink); every
+        // fleet member switches to the spec's sink, which discards the
+        // warm-up spans — fleet traces start at the fork point.
+        m.set_span_sink(spec.sink);
         if global < hubs {
             let core = K2System::kernel_core(&m, DomainId::STRONG);
             m.spawn(
                 core,
                 Box::new(HubTask {
+                    addr: global as u16,
                     port: None,
                     handled_id: None,
                 }),
@@ -589,6 +924,7 @@ fn shard_worker(
     let mut now = snap.now();
     let mut scratch: Vec<EgressDatagram> = Vec::new();
     let mut prev_events: u64 = machines.iter().map(|(m, _)| m.events_processed()).sum();
+    let mut peak_backlogs: Vec<u64> = vec![0; machines.len()];
     while let Ok(cmd) = cmds.recv() {
         match cmd {
             Cmd::Epoch {
@@ -600,14 +936,23 @@ fn shard_worker(
                     let local = (d.dst.0 as u32 - base) as usize;
                     let (m, sys) = &mut machines[local];
                     let rtt = d.arrival.saturating_since(now);
-                    system::net_expect_reply(sys, m, d.dst_port, d.src_port, d.payload, rtt);
+                    system::net_expect_reply_traced(
+                        sys, m, d.dst_port, d.src_port, d.payload, d.trace, rtt,
+                    );
                 }
+                let (mut backlog_sum, mut backlog_max, mut energy_uj) = (0u64, 0u64, 0u64);
                 for (i, (m, sys)) in machines.iter_mut().enumerate() {
                     m.run_until(until, sys);
                     system::net_drain_egress(sys, &mut scratch);
                     for dg in scratch.drain(..) {
                         egress.push((base + i as u32, dg));
                     }
+                    let backlog = m.mailbox_pending_total() + system::net_backlog(sys) as u64;
+                    backlog_sum += backlog;
+                    backlog_max = backlog_max.max(backlog);
+                    peak_backlogs[i] = peak_backlogs[i].max(backlog);
+                    // Integer µJ so the fleet sum is associative.
+                    energy_uj += (m.total_energy_mj() * 1_000.0).round() as u64;
                 }
                 now = until;
                 let total_events: u64 = machines.iter().map(|(m, _)| m.events_processed()).sum();
@@ -617,26 +962,39 @@ fn shard_worker(
                     egress,
                     deliveries,
                     events,
+                    backlog_sum,
+                    backlog_max,
+                    energy_uj,
                 });
             }
-            Cmd::Finish => {
+            Cmd::Finish { collect_trace } => {
                 let mut digests = Vec::with_capacity(machines.len());
+                let mut trace_fragments = Vec::new();
                 let (mut acks, mut sent, mut hub_handled) = (0u64, 0u64, 0u64);
-                for (m, sys) in &machines {
+                for (i, (m, sys)) in machines.iter().enumerate() {
                     let mut h = Fnv64::new();
-                    h.u64(m.state_digest());
+                    h.u64(m.sim_digest());
                     sys.digest_into(&mut h);
                     digests.push(h.finish());
                     let reg = m.metrics();
                     acks += reg.counter(Key::new(DEV_ACKS, Tag::Whole));
                     sent += reg.counter(Key::new(DEV_SENT, Tag::Whole));
                     hub_handled += reg.counter(Key::new(HUB_HANDLED, Tag::Whole));
+                    if collect_trace {
+                        let mut frag = String::new();
+                        let mut w = ChromeTraceWriter::fragment(&mut frag);
+                        m.chrome_trace_into(&mut w, u64::from(base + i as u32));
+                        w.finish_fragment();
+                        trace_fragments.push(frag);
+                    }
                 }
                 let _ = fin.send(FinalOut {
                     digests,
                     acks,
                     sent,
                     hub_handled,
+                    peak_backlogs,
+                    trace_fragments,
                 });
                 return;
             }
@@ -657,6 +1015,25 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
 /// [`run_fleet`] against a caller-provided snapshot (the bench reuses
 /// one frozen image across many runs).
 pub fn run_fleet_from(spec: &FleetSpec, snap: &SystemSnapshot) -> FleetReport {
+    run_fleet_inner(spec, snap, false).0
+}
+
+/// [`run_fleet_from`] that additionally collects the fleet trace: every
+/// machine's spans rendered into one Perfetto-loadable Chrome trace
+/// document, per-machine fragments merged in machine-index order (so
+/// the document is byte-identical for any worker count). Meaningful
+/// only when `spec.sink` retains spans — under
+/// [`SinkMode::Disabled`] the document contains no events.
+pub fn run_fleet_traced(spec: &FleetSpec, snap: &SystemSnapshot) -> (FleetReport, String) {
+    let (report, trace) = run_fleet_inner(spec, snap, true);
+    (report, trace.expect("trace requested"))
+}
+
+fn run_fleet_inner(
+    spec: &FleetSpec,
+    snap: &SystemSnapshot,
+    collect_trace: bool,
+) -> (FleetReport, Option<String>) {
     spec.validate();
     let total = spec.machines();
     let workers = resolve_workers(spec.workers, total);
@@ -685,7 +1062,12 @@ pub fn run_fleet_from(spec: &FleetSpec, snap: &SystemSnapshot) -> FleetReport {
 
     let t0 = snap.now();
     let mut events_total = 0u64;
-    let (digests, acks, sent, hub_handled) = {
+    let mut samples: Vec<EpochSample> = Vec::with_capacity(spec.epochs as usize);
+    // Trace-context digest: folded by the coordinator alone, in the
+    // same deterministic order the fabric RNG is consumed, so it is
+    // worker-count-invariant by the same argument as the sim digest.
+    let mut th = Fnv64::new();
+    let (digests, acks, sent, hub_handled, peaks, fragments) = {
         let mut cmd_txs = Vec::with_capacity(shards);
         let mut out_rxs = Vec::with_capacity(shards);
         let mut fin_rxs = Vec::with_capacity(shards);
@@ -713,10 +1095,15 @@ pub fn run_fleet_from(spec: &FleetSpec, snap: &SystemSnapshot) -> FleetReport {
             let mut now = t0;
             for _ in 0..spec.epochs {
                 let until = now + spec.epoch;
+                let (drop0, reord0) = (fabric.stats().dropped, fabric.stats().reordered);
                 // Deliveries due this epoch, pre-sorted by (arrival, seq);
                 // appending in order keeps each shard's slice sorted.
                 fabric.take_due(until, &mut due);
                 for d in due.drain(..) {
+                    th.u64(d.arrival.as_ns())
+                        .u64(d.seq)
+                        .u64(d.trace.trace_id)
+                        .u64(d.trace.parent);
                     let shard = (u32::from(d.dst.0) / chunk) as usize;
                     delivery_bufs[shard].push(d);
                 }
@@ -731,43 +1118,54 @@ pub fn run_fleet_from(spec: &FleetSpec, snap: &SystemSnapshot) -> FleetReport {
                 // Strict ordered merge: receive shard outputs in shard
                 // order; contiguous shards make that machine-index order,
                 // so the fabric RNG is consumed deterministically.
-                let mut epoch_events = 0u64;
-                let mut epoch_egress = 0u64;
-                let mut epoch_delivered = 0u64;
+                let mut sample = EpochSample::default();
                 for (s, rx) in out_rxs.iter().enumerate() {
                     let mut o = rx.recv().expect("worker alive");
-                    epoch_events += o.events;
+                    sample.events += o.events;
+                    sample.backlog += o.backlog_sum;
+                    sample.backlog_max = sample.backlog_max.max(o.backlog_max);
+                    sample.energy_uj += o.energy_uj;
                     for (src, dg) in o.egress.drain(..) {
-                        epoch_egress += 1;
+                        sample.egress += 1;
+                        th.u32(src).u64(dg.trace.trace_id).u64(dg.trace.parent);
                         if let k2_kernel::net::Route::Queued(_) =
                             fabric.route(until, MachineAddr(src as u16), dg)
                         {
-                            epoch_delivered += 1;
+                            sample.delivered += 1;
                         }
                     }
                     delivery_bufs[s] = o.deliveries;
                     egress_bufs[s] = o.egress;
                 }
+                sample.dropped = fabric.stats().dropped - drop0;
+                sample.reordered = fabric.stats().reordered - reord0;
+                sample.in_flight = fabric.in_flight() as u64;
                 reg.add_by_id(epochs_id, 1);
-                reg.add_by_id(events_id, epoch_events);
-                reg.add_by_id(egress_id, epoch_egress);
-                reg.add_by_id(deliver_id, epoch_delivered);
-                events_total += epoch_events;
+                reg.add_by_id(events_id, sample.events);
+                reg.add_by_id(egress_id, sample.egress);
+                reg.add_by_id(deliver_id, sample.delivered);
+                events_total += sample.events;
+                samples.push(sample);
                 now = until;
             }
             for tx in &cmd_txs {
-                tx.send(Cmd::Finish).expect("worker alive");
+                tx.send(Cmd::Finish { collect_trace })
+                    .expect("worker alive");
             }
             let mut all_digests = Vec::with_capacity(total as usize);
+            let mut all_peaks = Vec::with_capacity(total as usize);
+            let mut all_fragments = Vec::new();
             let (mut a, mut s_, mut hh) = (0u64, 0u64, 0u64);
             for rx in &fin_rxs {
                 let f = rx.recv().expect("worker alive");
                 all_digests.extend_from_slice(&f.digests);
+                all_peaks.extend_from_slice(&f.peak_backlogs);
+                all_fragments.extend(f.trace_fragments);
                 a += f.acks;
                 s_ += f.sent;
                 hh += f.hub_handled;
             }
-            (all_digests, a, s_, hh)
+            (all_digests, a, s_, hh, all_peaks, all_fragments)
         })
     };
 
@@ -785,23 +1183,38 @@ pub fn run_fleet_from(spec: &FleetSpec, snap: &SystemSnapshot) -> FleetReport {
         .u64(stats.delivered_bytes)
         .usize(fabric.in_flight());
 
-    FleetReport {
-        machines: total,
-        workers: shards,
-        epochs: spec.epochs,
-        horizon: SimDuration::from_ns(spec.epoch.as_ns() * u64::from(spec.epochs)),
-        events: events_total,
-        routed: stats.routed,
-        delivered: stats.delivered,
-        dropped: stats.dropped,
-        unroutable: stats.unroutable,
-        reordered: stats.reordered,
-        in_flight_end: fabric.in_flight(),
-        dev_sent: sent,
-        dev_acks: acks,
-        hub_handled,
-        digest: h.finish(),
-    }
+    let (backlog_median, backlog_mad, stragglers) = find_stragglers(&peaks);
+    let timeline = FleetTimeline {
+        epoch_ns: spec.epoch.as_ns(),
+        samples,
+        backlog_median,
+        backlog_mad,
+        stragglers,
+    };
+    let trace = collect_trace.then(|| assemble_trace(&fragments));
+
+    (
+        FleetReport {
+            machines: total,
+            workers: shards,
+            epochs: spec.epochs,
+            horizon: SimDuration::from_ns(spec.epoch.as_ns() * u64::from(spec.epochs)),
+            events: events_total,
+            routed: stats.routed,
+            delivered: stats.delivered,
+            dropped: stats.dropped,
+            unroutable: stats.unroutable,
+            reordered: stats.reordered,
+            in_flight_end: fabric.in_flight(),
+            dev_sent: sent,
+            dev_acks: acks,
+            hub_handled,
+            digest: h.finish(),
+            trace_digest: th.finish(),
+            timeline,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]
@@ -864,6 +1277,115 @@ mod tests {
         let b = run_fleet_from(&spec, &snap);
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.unroutable, b.unroutable);
+    }
+
+    #[test]
+    fn sim_digest_is_identical_under_every_trace_sink() {
+        let snap = warmed_snapshot();
+        let mut spec = small();
+        spec.workers = 2;
+        let disabled = run_fleet_from(&spec, &snap);
+        spec.sink = SinkMode::RingBuffer(256);
+        let ring = run_fleet_from(&spec, &snap);
+        spec.sink = SinkMode::Full;
+        let full = run_fleet_from(&spec, &snap);
+        // Observation never perturbs simulated time: the sim digest and
+        // every behavioural counter agree across sink modes.
+        assert_eq!(disabled.digest, ring.digest);
+        assert_eq!(disabled.digest, full.digest);
+        assert_eq!(disabled.events, full.events);
+        assert_eq!(disabled.dev_acks, full.dev_acks);
+        // The *trace* digest differs: tracing stamps real contexts on
+        // the wire where the disabled run carries none.
+        assert_ne!(disabled.trace_digest, full.trace_digest);
+        assert_eq!(ring.trace_digest, full.trace_digest);
+    }
+
+    #[test]
+    fn traced_fleet_run_emits_matched_cross_machine_flows() {
+        use k2_sim::json::Json;
+        let snap = warmed_snapshot();
+        let mut spec = small();
+        spec.workers = 2;
+        spec.sink = SinkMode::Full;
+        let (report, trace) = run_fleet_traced(&spec, &snap);
+        assert!(report.dev_acks > 0);
+        let doc = Json::parse(&trace).expect("fleet trace is valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let mut starts = std::collections::BTreeSet::new();
+        let mut finishes = Vec::new();
+        for e in events {
+            match e.get("ph").and_then(Json::as_str) {
+                Some("s") => {
+                    starts.insert(e.get("id").and_then(Json::as_f64).unwrap() as u64);
+                }
+                Some("f") => {
+                    finishes.push(e.get("id").and_then(Json::as_f64).unwrap() as u64);
+                }
+                _ => {}
+            }
+        }
+        assert!(!starts.is_empty(), "traced storm opens flows");
+        assert!(!finishes.is_empty(), "delivered datagrams close flows");
+        for id in &finishes {
+            assert!(starts.contains(id), "flow finish {id} without a start");
+        }
+    }
+
+    #[test]
+    fn timeline_trace_and_stragglers_are_worker_invariant() {
+        let snap = warmed_snapshot();
+        let mut spec = small();
+        spec.sink = SinkMode::Full;
+        spec.workers = 1;
+        let (serial, serial_trace) = run_fleet_traced(&spec, &snap);
+        for workers in [2, 4] {
+            spec.workers = workers;
+            let (parallel, parallel_trace) = run_fleet_traced(&spec, &snap);
+            assert_eq!(
+                serial.timeline.render_json(),
+                parallel.timeline.render_json(),
+                "workers={workers}"
+            );
+            assert_eq!(serial.timeline.stragglers, parallel.timeline.stragglers);
+            assert_eq!(serial.trace_digest, parallel.trace_digest);
+            assert_eq!(serial_trace, parallel_trace, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn timeline_counts_reconcile_with_the_report() {
+        let r = run_fleet(&{
+            let mut s = small();
+            s.workers = 2;
+            s
+        });
+        assert_eq!(r.timeline.samples.len(), r.epochs as usize);
+        let events: u64 = r.timeline.samples.iter().map(|s| s.events).sum();
+        assert_eq!(events, r.events);
+        let dropped: u64 = r.timeline.samples.iter().map(|s| s.dropped).sum();
+        assert_eq!(dropped, r.dropped);
+        let delivered: u64 = r.timeline.samples.iter().map(|s| s.delivered).sum();
+        assert_eq!(delivered, r.delivered);
+        // Cumulative energy is monotone.
+        for w in r.timeline.samples.windows(2) {
+            assert!(w[1].energy_uj >= w[0].energy_uj);
+        }
+    }
+
+    #[test]
+    fn straggler_detector_flags_outliers_and_tolerates_uniform_fleets() {
+        // Uniform fleet, MAD 0: nothing within the k-floor flags.
+        let (median, mad, s) = find_stragglers(&[5, 5, 5, 5]);
+        assert_eq!((median, mad), (5, 0));
+        assert!(s.is_empty());
+        // One machine far beyond median + k·max(MAD,1) flags.
+        let (_, _, s) = find_stragglers(&[5, 5, 5, 40]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].machine, 3);
+        assert_eq!(s[0].peak_backlog, 40);
+        // Empty fleet is defined.
+        assert_eq!(find_stragglers(&[]), (0, 0, Vec::new()));
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub use explorer::{
     Explorer, Failure, FailureKind, Strategy,
 };
 pub use fingerprint::{schedule_fingerprint, span_shape_hash};
-pub use fleet::{cold_machine, run_fleet, run_fleet_from, warmed_snapshot, FleetReport, FleetSpec};
+pub use fleet::{
+    cold_machine, run_fleet, run_fleet_from, run_fleet_traced, warmed_snapshot, FleetReport,
+    FleetSpec, FleetTimeline,
+};
 pub use matrix::{MatrixOutcome, MatrixSpec};
 pub use mutate::{Mutation, Mutator, MAX_DECISION, MAX_LEN};
 pub use oracle::{capture_end_state, check_conservation, EndState};

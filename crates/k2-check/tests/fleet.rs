@@ -4,6 +4,41 @@
 
 use k2_check::dsl::builtin;
 use k2_check::fleet;
+use k2_sim::sink::SinkMode;
+
+/// The committed sync-storm *sim* digest — the observation-independent
+/// fold (span state excluded) pinned so that neither scheduling nor
+/// tracing drift can slip in unnoticed. PR 9 pinned the behaviour via
+/// the scenario metric table (events 79868, routed 23871, ...), which
+/// must keep matching too; this constant pins the full state fold under
+/// every trace sink.
+const SYNC_STORM_SIM_DIGEST: u64 = 0xa225316a0f0ba38b;
+
+/// With tracing disabled (the fleet default), enabled via ring buffers,
+/// or retaining everything, the sync-storm sim digest is one and the
+/// same pinned value: observation never perturbs simulated time.
+#[test]
+fn sync_storm_sim_digest_is_pinned_and_sink_invariant() {
+    let snap = fleet::warmed_snapshot();
+    let def = builtin::load("sync-storm");
+    let mut spec = def.fleet.clone().expect("fleet file").spec(2014);
+    spec.workers = 8;
+    assert_eq!(spec.sink, SinkMode::Disabled, "fleet default is no tracing");
+    let disabled = fleet::run_fleet_from(&spec, &snap);
+    assert_eq!(
+        disabled.digest, SYNC_STORM_SIM_DIGEST,
+        "pinned sync-storm digest drifted: got {:016x}",
+        disabled.digest
+    );
+    for sink in [SinkMode::RingBuffer(512), SinkMode::Full] {
+        spec.sink = sink;
+        let traced = fleet::run_fleet_from(&spec, &snap);
+        assert_eq!(
+            traced.digest, SYNC_STORM_SIM_DIGEST,
+            "{sink:?} perturbed the run"
+        );
+    }
+}
 
 #[test]
 fn sync_storm_scenario_meets_its_pinned_expectations() {

@@ -224,3 +224,106 @@ fn fleet_trace_namespaces_pids_per_machine() {
     assert_eq!(single, via_into);
     Json::parse(&single).expect("single-machine export still parses");
 }
+
+/// A fleet trace merged from per-machine fragments is one valid Chrome
+/// document that survives the parse → compact re-render round trip, and
+/// its flow events (`ph:"s"`/`ph:"f"`) stitch cross-machine span trees:
+/// every flow id is a `machine << 40 | raw` global span id whose pid
+/// block matches the originating machine.
+#[test]
+fn fleet_trace_flow_events_round_trip() {
+    use k2_check::fleet;
+    use k2_sim::export::PID_STRIDE;
+    use k2_sim::sink::SinkMode;
+    use k2_sim::time::SimDuration;
+
+    let snap = fleet::warmed_snapshot();
+    let mut spec = fleet::FleetSpec::sync_storm(10, 2);
+    spec.epochs = 60;
+    spec.period = SimDuration::from_ms(5);
+    spec.workers = 2;
+    spec.sink = SinkMode::Full;
+    let (report, trace) = fleet::run_fleet_traced(&spec, &snap);
+    assert!(report.dev_acks > 0, "storm must complete round trips");
+
+    let doc = Json::parse(&trace).expect("fleet trace must parse as JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    // Round trip: parse → compact re-render reproduces the exact bytes.
+    assert_eq!(doc.render_compact(), trace);
+
+    let mut flow_starts = 0u64;
+    let mut flow_finishes = 0u64;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap();
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        assert_eq!(e.get("cat").and_then(Json::as_str), Some("flow"));
+        let id = e.get("id").and_then(Json::as_f64).unwrap() as u64;
+        let machine = id >> 40;
+        assert!(
+            machine < 12,
+            "flow id {id:#x} names machine {machine}, beyond the fleet"
+        );
+        if ph == "s" {
+            // A flow starts on the machine that owns the span id: its
+            // pid must sit inside that machine's pid block.
+            let pid = e.get("pid").and_then(Json::as_f64).unwrap() as u64;
+            assert_eq!(pid / PID_STRIDE, machine, "flow start pid block");
+            flow_starts += 1;
+        } else {
+            assert_eq!(e.get("bp").and_then(Json::as_str), Some("e"));
+            flow_finishes += 1;
+        }
+    }
+    assert!(flow_starts > 0, "no flow starts in a fully traced storm");
+    assert!(flow_finishes > 0, "no flow finishes in a traced storm");
+}
+
+/// Cross-machine span-tree well-formedness at committed DSL scale with
+/// a ring-buffer sink: every `f` (flow finish) binds to an `s` (flow
+/// start) emitted somewhere in the fleet, and no flow id dangles outside
+/// the machine index space — even when ring eviction drops old spans,
+/// the storm's in-flight window stays stitched.
+#[test]
+fn fleet_flow_trees_are_well_formed_under_ring_eviction() {
+    use k2_check::fleet;
+    use k2_sim::sink::SinkMode;
+    use k2_sim::time::SimDuration;
+    use std::collections::BTreeSet;
+
+    let snap = fleet::warmed_snapshot();
+    let mut spec = fleet::FleetSpec::sync_storm(16, 2);
+    spec.epochs = 80;
+    spec.period = SimDuration::from_ms(4);
+    spec.workers = 4;
+    spec.sink = SinkMode::RingBuffer(4096);
+    let (_report, trace) = fleet::run_fleet_traced(&spec, &snap);
+
+    let doc = Json::parse(&trace).expect("ring-sink fleet trace parses");
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    let mut starts = BTreeSet::new();
+    let mut finishes = Vec::new();
+    for e in events {
+        let id = || e.get("id").and_then(Json::as_f64).unwrap() as u64;
+        match e.get("ph").and_then(Json::as_str) {
+            Some("s") => {
+                assert!(starts.insert(id()), "duplicate flow start {:#x}", id());
+            }
+            Some("f") => finishes.push(id()),
+            _ => {}
+        }
+    }
+    assert!(!finishes.is_empty(), "ring sink must retain recent flows");
+    for id in &finishes {
+        assert!(
+            starts.contains(id),
+            "flow finish {id:#x} has no matching start"
+        );
+        assert!((id >> 40) < 18, "flow id {id:#x} outside the machine space");
+    }
+}

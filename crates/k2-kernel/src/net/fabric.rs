@@ -62,6 +62,10 @@ pub struct InFlight {
     pub src_port: Port,
     /// Payload bytes.
     pub payload: Vec<u8>,
+    /// Trace context carried verbatim from the egress datagram — the
+    /// fabric never reads or rewrites it, so tracing cannot perturb
+    /// routing decisions.
+    pub trace: k2_sim::span::TraceCtx,
 }
 
 /// Counters of everything the fabric did.
@@ -201,6 +205,7 @@ impl NetFabric {
             dst_port: d.dst_port,
             src_port: d.src_port,
             payload: d.payload,
+            trace: d.trace,
         });
         let depth = self.in_flight.len() as u64;
         if depth > self.stats.max_in_flight {
@@ -244,6 +249,7 @@ mod tests {
             dst_port: Port(443),
             src_port: Port(32_768),
             payload: vec![tag],
+            trace: k2_sim::span::TraceCtx::NONE,
         }
     }
 

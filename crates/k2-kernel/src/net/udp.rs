@@ -16,6 +16,7 @@
 
 use crate::cost::Cost;
 use crate::service::OpCx;
+use k2_sim::span::TraceCtx;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -63,6 +64,10 @@ pub struct Datagram {
     pub src: Port,
     /// Payload bytes.
     pub payload: Vec<u8>,
+    /// Causal trace context carried over the wire
+    /// ([`TraceCtx::NONE`] for untraced traffic). Observability only:
+    /// never read by protocol logic, never folded into sim digests.
+    pub trace: TraceCtx,
 }
 
 /// The address of one machine on the simulated inter-machine fabric.
@@ -93,6 +98,9 @@ pub struct EgressDatagram {
     pub src_port: Port,
     /// Payload bytes.
     pub payload: Vec<u8>,
+    /// Causal trace context stamped by the sender and carried verbatim
+    /// through the fabric to the receiving stack.
+    pub trace: TraceCtx,
 }
 
 #[derive(Clone, Debug)]
@@ -233,6 +241,7 @@ impl NetStack {
         dst_sock.rx.push_back(Datagram {
             src,
             payload: payload.to_vec(),
+            trace: TraceCtx::NONE,
         });
         self.sent_datagrams += 1;
         self.sent_bytes += payload.len() as u64;
@@ -258,6 +267,25 @@ impl NetStack {
         payload: &[u8],
         cx: &mut OpCx,
     ) -> Result<(), NetError> {
+        self.send_to_traced(src, dst, dst_port, payload, TraceCtx::NONE, cx)
+    }
+
+    /// [`NetStack::send_to`] carrying an explicit trace context on the
+    /// wire. Identical costs and semantics; the context rides the
+    /// datagram so the receiving machine can stitch the causal tree.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetStack::send_to`].
+    pub fn send_to_traced(
+        &mut self,
+        src: Port,
+        dst: MachineAddr,
+        dst_port: Port,
+        payload: &[u8],
+        trace: TraceCtx,
+        cx: &mut OpCx,
+    ) -> Result<(), NetError> {
         if payload.len() > MAX_DATAGRAM {
             return Err(NetError::TooBig);
         }
@@ -274,6 +302,7 @@ impl NetStack {
             dst_port,
             src_port: src,
             payload: payload.to_vec(),
+            trace,
         });
         self.sent_datagrams += 1;
         self.sent_bytes += payload.len() as u64;
@@ -342,12 +371,34 @@ impl NetStack {
         payload: Vec<u8>,
         cx: &mut OpCx,
     ) -> Result<(), NetError> {
+        self.deliver_external_traced(port, src, payload, TraceCtx::NONE, cx)
+    }
+
+    /// [`NetStack::deliver_external`] preserving the trace context the
+    /// datagram carried over the fabric, so `recv` hands it to the
+    /// application for causal stitching.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetStack::deliver_external`].
+    pub fn deliver_external_traced(
+        &mut self,
+        port: Port,
+        src: Port,
+        payload: Vec<u8>,
+        trace: TraceCtx,
+        cx: &mut OpCx,
+    ) -> Result<(), NetError> {
         // Device ring processing + IP/UDP demux + enqueue.
         cx.charge(Cost::instr(1_400) + Cost::mem(30) + Cost::bulk(payload.len() as u64));
         cx.read(0);
         let sock = self.sockets.get_mut(&port.0).ok_or(NetError::Unreachable)?;
         cx.write(sock.state_page);
-        sock.rx.push_back(Datagram { src, payload });
+        sock.rx.push_back(Datagram {
+            src,
+            payload,
+            trace,
+        });
         Ok(())
     }
 

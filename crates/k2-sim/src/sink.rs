@@ -128,6 +128,33 @@ impl SinkMode {
             SinkMode::Full => Box::new(FullSink::new(crate::span::SpanTracker::DEFAULT_CAPACITY)),
         }
     }
+
+    /// Parses a mode name as written in scenario files and CLI flags:
+    /// `disabled`, `full`, `ring` (default capacity 1024), or
+    /// `ring:<capacity>`.
+    pub fn parse(s: &str) -> Option<SinkMode> {
+        match s {
+            "disabled" => Some(SinkMode::Disabled),
+            "full" => Some(SinkMode::Full),
+            "ring" => Some(SinkMode::RingBuffer(1024)),
+            _ => {
+                let cap = s.strip_prefix("ring:")?;
+                cap.parse::<usize>()
+                    .ok()
+                    .filter(|&c| c > 0)
+                    .map(SinkMode::RingBuffer)
+            }
+        }
+    }
+
+    /// The stable name used in reports and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SinkMode::Disabled => "disabled",
+            SinkMode::RingBuffer(_) => "ring",
+            SinkMode::Full => "full",
+        }
+    }
 }
 
 /// Records nothing; reports itself disabled so the tracker skips all

@@ -65,6 +65,42 @@ impl fmt::Display for SpanId {
     }
 }
 
+/// Trace context carried across machine boundaries by a datagram: the
+/// id of the causal tree the datagram belongs to plus the *global* span
+/// id of the sending span (see [`global_span_id`]). The fabric and the
+/// coordinator carry the context verbatim — only endpoints mint or read
+/// it — so it is deterministic and worker-count-invariant by
+/// construction. [`TraceCtx::NONE`] marks untraced traffic and costs
+/// nothing to propagate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Identifies the causal tree (the root span's global id).
+    pub trace_id: u64,
+    /// Global span id of the immediate sender, for flow stitching.
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// Untraced traffic: both fields zero.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        parent: 0,
+    };
+
+    /// `true` when this is the null context.
+    pub fn is_none(self) -> bool {
+        self.trace_id == 0 && self.parent == 0
+    }
+}
+
+/// Namespaces a per-machine raw span id into a fleet-global id: machine
+/// index in the high bits, raw id in the low 40. Machine 0's global ids
+/// equal its raw ids, so single-machine traces are unchanged. 2^40
+/// spans per machine is far beyond any sink's retention.
+pub fn global_span_id(machine: u32, raw: u64) -> u64 {
+    ((machine as u64) << 40) | (raw & ((1 << 40) - 1))
+}
+
 /// Small integer annotations riding on a span — at most
 /// [`SpanArgs::CAPACITY`] `(key, value)` pairs, stored inline so spans
 /// stay `Copy`-cheap and allocation-free. The Chrome trace exporter

@@ -472,6 +472,7 @@ impl MachineSnapshot {
                 choice_points: self.choice_points,
                 events_processed: self.events_processed,
             },
+            true,
         );
         h.finish()
     }
@@ -507,7 +508,9 @@ struct StateView<'a> {
 }
 
 /// Folds one queued event (with its firing time and sequence number).
-fn fold_event(h: &mut Fnv64, at: SimTime, seq: u64, ev: &Event) {
+/// `observability: false` leaves out the span id riding on mail
+/// deliveries, which exists only for tracing.
+fn fold_event(h: &mut Fnv64, at: SimTime, seq: u64, ev: &Event, observability: bool) {
     h.u64(at.as_ns()).u64(seq);
     match *ev {
         Event::StepDone { core, epoch } => {
@@ -520,8 +523,10 @@ fn fold_event(h: &mut Fnv64, at: SimTime, seq: u64, ev: &Event) {
             h.u32(2)
                 .bytes(&[to.0, env.from.0])
                 .u32(env.mail.0)
-                .u64(env.sent_at.as_ns())
-                .u64(env.span.raw());
+                .u64(env.sent_at.as_ns());
+            if observability {
+                h.u64(env.span.raw());
+            }
             match env.tag {
                 None => {
                     h.bool(false);
@@ -547,12 +552,20 @@ fn fold_event(h: &mut Fnv64, at: SimTime, seq: u64, ev: &Event) {
 }
 
 /// The one folding routine behind both digest entry points.
-fn digest_machine_state(h: &mut Fnv64, v: StateView<'_>) {
+///
+/// `observability: true` (the full digest) folds everything, span
+/// tracker included. `observability: false` folds only *simulation*
+/// state — span ids and sink contents are left out, so two machines
+/// that differ solely in how they are being observed (disabled vs ring
+/// vs full sink) digest identically. The fleet pins this sim digest:
+/// equal across sink modes is the proof that observation never
+/// perturbs simulated time.
+fn digest_machine_state(h: &mut Fnv64, v: StateView<'_>, observability: bool) {
     h.u64(v.now.as_ns());
     // Event queue: every live event in deterministic (time, seq) order.
     h.usize(v.queue.len());
     v.queue
-        .for_each_live_ordered(|at, seq, ev| fold_event(h, at, seq, ev));
+        .for_each_live_ordered(|at, seq, ev| fold_event(h, at, seq, ev, observability));
     // Cores and their energy meters.
     h.usize(v.cores.len());
     for c in v.cores {
@@ -627,12 +640,18 @@ fn digest_machine_state(h: &mut Fnv64, v: StateView<'_>) {
     v.auditor.digest_into(h);
     h.u64(v.next_call_id);
     v.metrics.digest_into(h);
-    v.spans.digest_into(h);
+    if observability {
+        v.spans.digest_into(h);
+    }
     let mut inflight: Vec<(&DmaXferId, &(SpanId, SimTime))> = v.dma_inflight.iter().collect();
     inflight.sort_unstable_by_key(|&(id, _)| id.0);
     h.usize(inflight.len());
     for (id, &(span, at)) in inflight {
-        h.u64(id.0).u64(span.raw()).u64(at.as_ns());
+        h.u64(id.0);
+        if observability {
+            h.u64(span.raw());
+        }
+        h.u64(at.as_ns());
     }
     h.u64(v.choice_points).u64(v.events_processed);
 }
@@ -821,6 +840,20 @@ impl<W> Machine<W> {
     /// digest (their closures cannot be folded, but their presence is
     /// still distinguishing).
     pub fn state_digest(&self) -> u64 {
+        self.digest_with(true)
+    }
+
+    /// The *simulation* digest: [`Machine::state_digest`] minus every
+    /// observability-only term (span ids, sink contents, sink identity).
+    /// Two machines running the same workload under different trace
+    /// sinks — disabled, ring, full — agree here; the fleet driver pins
+    /// this digest precisely so that turning tracing on can never change
+    /// a pinned run.
+    pub fn sim_digest(&self) -> u64 {
+        self.digest_with(false)
+    }
+
+    fn digest_with(&self, observability: bool) -> u64 {
         let mut h = Fnv64::new();
         digest_machine_state(
             &mut h,
@@ -849,6 +882,7 @@ impl<W> Machine<W> {
                 choice_points: self.choice_points,
                 events_processed: self.events_processed,
             },
+            observability,
         );
         // Closure-bearing state (task bodies, hooks, deferred calls) is
         // not folded directly, but it is never invisible either: a
@@ -1421,7 +1455,14 @@ impl<W> Machine<W> {
                 w.metadata_thread_name(d as u64, tid, name);
             }
         }
-        // Closed spans → complete events.
+        // Closed spans → complete events, plus Chrome flow events
+        // stitching cross-machine sends: a tx span annotated with a
+        // `trace` arg opens a flow under its fleet-global id, and an rx
+        // span annotated with `rparent` (the sender's global id) closes
+        // that flow, binding to the enclosing slice (`bp:"e"`). Perfetto
+        // then draws the hub→device→hub arrows of one causal tree.
+        // Single-machine traces carry no such args, so their output is
+        // byte-identical to the pre-flow format.
         self.spans.for_each(|s| {
             if let Some(end) = s.end {
                 let mut args = vec![
@@ -1437,6 +1478,24 @@ impl<W> Machine<W> {
                     (s.start.as_ns(), end.saturating_since(s.start).as_ns()),
                     &args,
                 );
+                let pid = s.domain as u64;
+                let tid = track_of(s.name);
+                let mut rparent = None;
+                let mut traced = false;
+                for (k, v) in s.args.iter() {
+                    match k {
+                        "trace" => traced = true,
+                        "rparent" => rparent = Some(v),
+                        _ => {}
+                    }
+                }
+                if traced && rparent.is_none() {
+                    let gid = k2_sim::span::global_span_id(machine as u32, s.id.raw());
+                    w.flow_start("net", pid, tid, gid, s.start.as_ns());
+                }
+                if let Some(rp) = rparent {
+                    w.flow_finish("net", pid, tid, rp, s.start.as_ns());
+                }
             }
         });
         // Event-trace timeline (only present when tracing was enabled):

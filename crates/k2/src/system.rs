@@ -667,6 +667,7 @@ struct NetDelivery {
     port: k2_kernel::net::Port,
     src: k2_kernel::net::Port,
     payload: Vec<u8>,
+    trace: k2_sim::span::TraceCtx,
 }
 
 fn install_net_hook(machine: &mut K2Machine, dom: DomainId) {
@@ -677,12 +678,27 @@ fn install_net_hook(machine: &mut K2Machine, dom: DomainId) {
             let Some(d) = w.net_pending.pop_front() else {
                 return 200; // spurious
             };
+            // A traced datagram gets an rx span parented on the irq
+            // handler span (the current span while this hook runs),
+            // annotated with its trace context so the exporter can
+            // close the cross-machine flow. Span work never changes the
+            // cycles returned, so tracing cannot perturb simulated time.
+            let rx = if d.trace.is_none() {
+                k2_sim::span::SpanId::NONE
+            } else {
+                let mut args = k2_sim::span::SpanArgs::one("trace", d.trace.trace_id);
+                args.push("rparent", d.trace.parent);
+                let now = m.now();
+                m.spans_mut().start_args(now, "net.rx", dom.0, args)
+            };
             // The device handler pushes the datagram into the socket — a
             // shadowed network-stack operation like any other.
             let (res, dur) = shadowed(w, m, cx.core, ServiceId::Net, |s, opcx| {
                 s.net
-                    .deliver_external(d.port, d.src, d.payload.clone(), opcx)
+                    .deliver_external_traced(d.port, d.src, d.payload.clone(), d.trace, opcx)
             });
+            let rx_end = m.now() + dur;
+            m.spans_mut().end(rx_end, rx);
             if res.is_ok() {
                 for t in std::mem::take(&mut w.net_waiters) {
                     m.wake(t, w);
@@ -1265,7 +1281,27 @@ pub fn net_expect_reply(
     payload: Vec<u8>,
     rtt: SimDuration,
 ) {
-    w.net_pending.push_back(NetDelivery { port, src, payload });
+    net_expect_reply_traced(w, m, port, src, payload, k2_sim::span::TraceCtx::NONE, rtt);
+}
+
+/// [`net_expect_reply`] carrying the trace context the datagram brought
+/// across the fabric, so the NET interrupt's delivery opens an rx span
+/// that closes the cross-machine flow.
+pub fn net_expect_reply_traced(
+    w: &mut K2System,
+    m: &mut K2Machine,
+    port: k2_kernel::net::Port,
+    src: k2_kernel::net::Port,
+    payload: Vec<u8>,
+    trace: k2_sim::span::TraceCtx,
+    rtt: SimDuration,
+) {
+    w.net_pending.push_back(NetDelivery {
+        port,
+        src,
+        payload,
+        trace,
+    });
     m.raise_irq_after(IrqId::NET, rtt);
 }
 
@@ -1273,6 +1309,13 @@ pub fn net_expect_reply(
 /// caller must return `Step::Block` unless data is already queued).
 pub fn net_await(w: &mut K2System, task: TaskId) {
     w.net_waiters.push(task);
+}
+
+/// Datagrams the simulated network device is still holding for delivery
+/// (NET interrupts raised but not yet serviced) — the machine's inbound
+/// network backlog, sampled by the fleet timeline at epoch boundaries.
+pub fn net_backlog(w: &K2System) -> usize {
+    w.net_pending.len()
 }
 
 /// Drains this machine's outbound (cross-machine) datagrams into `buf`,
